@@ -1,0 +1,156 @@
+#ifndef C5_BENCH_BENCH_UTIL_H_
+#define C5_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/thread_util.h"
+#include "core/protocol_factory.h"
+#include "log/log_collector.h"
+#include "log/segment_source.h"
+#include "replica/replica.h"
+#include "storage/database.h"
+#include "txn/mvtso_engine.h"
+#include "txn/two_phase_locking_engine.h"
+#include "workload/runner.h"
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace c5::bench {
+
+// Optional glibc malloc-arena tuning. On sandboxed kernels (gVisor-style
+// user-space kernels) page faults on mmap-backed secondary arenas can cost
+// tens of microseconds, which throttles allocation-heavy single threads by
+// an order of magnitude (measured here: 18us -> 1.7us per scheduler record
+// with one arena) — but a single arena serializes multi-worker allocation.
+// Neither default is right everywhere, so the knob is env-controlled:
+// C5_MALLOC_ARENAS=<n> caps the arena count; unset leaves glibc defaults.
+inline void InitBenchRuntime() {
+#if defined(__GLIBC__)
+  if (const char* arenas = std::getenv("C5_MALLOC_ARENAS")) {
+    const int n = std::atoi(arenas);
+    if (n > 0) mallopt(M_ARENA_MAX, n);
+  }
+#endif
+}
+
+// Environment knobs shared by the harness binaries. C5_BENCH_SCALE scales
+// the per-experiment transaction counts (1.0 = defaults sized for a ~24-core
+// box and a few seconds per bench).
+inline double Scale() {
+  const char* s = std::getenv("C5_BENCH_SCALE");
+  return s == nullptr ? 1.0 : std::atof(s);
+}
+
+inline std::uint64_t Scaled(std::uint64_t n) {
+  const double v = static_cast<double>(n) * Scale();
+  return v < 1 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+inline int DefaultClients() {
+  if (const char* c = std::getenv("C5_BENCH_CLIENTS")) {
+    const int n = std::atoi(c);
+    if (n > 0) return n;
+  }
+  const unsigned hw = HardwareConcurrency();
+  return static_cast<int>(hw >= 24 ? 16 : (hw >= 16 ? 8 : (hw >= 8 ? 4 : 2)));
+}
+
+inline int DefaultWorkers() {
+  if (const char* w = std::getenv("C5_BENCH_WORKERS")) {
+    const int n = std::atoi(w);
+    if (n > 0) return n;
+  }
+  // The paper sets workers to at most the primary's thread count and picks
+  // the best-performing count; half the client count is a good default here
+  // (workers are install-bound, clients are execution-bound).
+  return std::max(2, DefaultClients() / 2);
+}
+
+// A primary world assembled for offline log generation.
+struct OfflinePrimary {
+  storage::Database db;
+  TxnClock clock;
+  log::PerThreadLogCollector collector{4096};
+  std::unique_ptr<txn::Engine> engine;
+
+  static std::unique_ptr<OfflinePrimary> Mvtso() {
+    auto p = std::make_unique<OfflinePrimary>();
+    p->engine = std::make_unique<txn::MvtsoEngine>(&p->db, &p->collector,
+                                                   &p->clock);
+    return p;
+  }
+  static std::unique_ptr<OfflinePrimary> Tpl() {
+    auto p = std::make_unique<OfflinePrimary>();
+    p->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
+        &p->db, &p->collector, &p->clock);
+    return p;
+  }
+};
+
+struct ReplayResult {
+  double seconds = 0;
+  std::uint64_t txns = 0;
+  std::uint64_t writes = 0;
+  double TxnsPerSec() const {
+    return seconds > 0 ? static_cast<double>(txns) / seconds : 0;
+  }
+  double WritesPerSec() const {
+    return seconds > 0 ? static_cast<double>(writes) / seconds : 0;
+  }
+};
+
+// Replays `log` through the given protocol into a fresh backup database
+// created by `schema` and measures wall-clock apply time (offline
+// methodology, §7.1: log fully materialized before the backup starts).
+inline ReplayResult ReplayLog(core::ProtocolKind kind, log::Log& log,
+                              const std::function<void(storage::Database*)>&
+                                  schema,
+                              int workers,
+                              core::ProtocolOptions base_options = {}) {
+  storage::Database backup;
+  schema(&backup);
+  log.ResetReplayState();
+  log::OfflineSegmentSource source(&log);
+
+  core::ProtocolOptions options = base_options;
+  options.num_workers = workers;
+
+  auto replica = core::MakeReplica(kind, &backup, options);
+  Stopwatch sw;
+  replica->Start(&source);
+  replica->WaitUntilCaughtUp();
+  ReplayResult result;
+  result.seconds = sw.ElapsedSeconds();
+  replica->Stop();
+  result.txns = replica->stats().applied_txns.load();
+  result.writes = replica->stats().applied_writes.load();
+  return result;
+}
+
+// Formatting helpers for the figure tables.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace c5::bench
+
+#endif  // C5_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,143 @@
+// Extension bench: failover time as a function of replication lag at the
+// moment the primary dies.
+//
+// §8's availability argument quantified: when the primary fails, the backup
+// must drain everything it has received before it can be promoted (the
+// synchronization step of §9's replication model). The drain runs at the
+// cloned concurrency control protocol's apply rate — so the SAME parallelism
+// gap that causes replication lag also lengthens failover. A C5 backup both
+// (a) carries less backlog at the moment of failure and (b) drains whatever
+// it has faster than transaction-granularity or single-threaded backups.
+//
+// Method: deliver the first (1-f) fraction of an adversarial log normally;
+// the remaining fraction is "in flight" when the primary dies. Failover
+// time = drain the in-flight suffix + ha::PromoteToPrimary. Sweep f.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ha/promotion.h"
+#include "ha/recovery.h"
+#include "log/segment_source.h"
+#include "workload/synthetic.h"
+
+namespace c5 {
+namespace {
+
+struct FailoverResult {
+  double drain_ms = 0;
+  double promote_ms = 0;
+  std::uint64_t backlog_txns = 0;
+};
+
+FailoverResult RunFailover(core::ProtocolKind kind, log::Log& log,
+                           double backlog_fraction) {
+  storage::Database backup;
+  const TableId table = workload::SyntheticWorkload::CreateTable(&backup);
+  log.ResetReplayState();
+
+  const std::size_t total = log.NumSegments();
+  const std::size_t delivered =
+      total - static_cast<std::size_t>(total * backlog_fraction);
+
+  FailoverResult result;
+  // Phase 1 (before the failure): replay the already-delivered prefix.
+  Timestamp checkpoint = 0;
+  {
+    struct Partial : log::SegmentSource {
+      log::Log* log;
+      std::size_t count, pos = 0;
+      Partial(log::Log* l, std::size_t c) : log(l), count(c) {}
+      log::LogSegment* Next() override {
+        return pos < count ? log->segment(pos++) : nullptr;
+      }
+    } prefix(&log, delivered);
+    auto rep = core::MakeReplica(kind, &backup,
+                                 {.num_workers = bench::DefaultWorkers()});
+    rep->Start(&prefix);
+    rep->WaitUntilCaughtUp();
+    checkpoint = rep->VisibleTimestamp();
+    rep->Stop();
+  }
+
+  // Count the backlog (transactions in the undelivered suffix).
+  for (std::size_t s = delivered; s < total; ++s) {
+    for (const auto& rec : log.segment(s)->records()) {
+      result.backlog_txns += rec.last_in_txn ? 1 : 0;
+    }
+  }
+
+  // Phase 2 (the failure): the in-flight suffix arrives; drain + promote.
+  log.ResetReplayState();
+  Stopwatch drain;
+  {
+    ha::ResumeSegmentSource resume(&log, checkpoint);
+    auto rep = core::MakeReplica(kind, &backup,
+                                 {.num_workers = bench::DefaultWorkers()});
+    rep->Start(&resume);
+    rep->WaitUntilCaughtUp();
+    result.drain_ms = drain.ElapsedSeconds() * 1e3;
+    const Timestamp applied = rep->VisibleTimestamp();
+    rep->Stop();
+
+    Stopwatch promote;
+    auto promoted =
+        ha::PromoteToPrimary(&backup, applied, ha::EngineKind::kMvtso);
+    // One probe transaction proves the promoted node serves writes.
+    (void)promoted->engine->ExecuteWithRetry([&](txn::Txn& txn) {
+      return txn.Put(table, 999999, workload::EncodeIntValue(1));
+    });
+    result.promote_ms = promote.ElapsedSeconds() * 1e3;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace c5
+
+int main() {
+  c5::bench::InitBenchRuntime();
+  c5::bench::PrintHeader(
+      "Failover time vs backlog at primary failure (adversarial log)\n"
+      "failover = drain in-flight suffix at the protocol's apply rate + "
+      "promote");
+
+  // Adversarial log: contended enough that protocol parallelism matters.
+  auto primary = c5::bench::OfflinePrimary::Mvtso();
+  const c5::TableId table =
+      c5::workload::SyntheticWorkload::CreateTable(&primary->db);
+  c5::workload::SyntheticWorkload wl(table,
+                                     {.inserts_per_txn = 8,
+                                      .adversarial = true});
+  (void)wl.LoadHotRow(*primary->engine);
+  const int clients = c5::bench::DefaultClients();
+  std::vector<std::uint64_t> seqs(clients, 0);
+  c5::workload::RunClosedLoop(
+      clients, std::chrono::milliseconds(0),
+      c5::bench::Scaled(200000) / clients,
+      [&](std::uint32_t client, c5::Rng& rng) {
+        return wl.RunTxn(*primary->engine, rng, client, &seqs[client]);
+      });
+  c5::log::Log log = primary->collector.Coalesce();
+
+  c5::bench::PrintRow("%-16s %10s %14s %12s %12s", "protocol", "backlog%",
+                      "backlog txns", "drain(ms)", "promote(ms)");
+  using c5::core::ProtocolKind;
+  for (const ProtocolKind kind :
+       {ProtocolKind::kC5, ProtocolKind::kKuaFu,
+        ProtocolKind::kSingleThread}) {
+    for (const double frac : {0.05, 0.20, 0.50}) {
+      const auto r = c5::RunFailover(kind, log, frac);
+      c5::bench::PrintRow("%-16s %9.0f%% %14llu %12.1f %12.2f",
+                          c5::core::ToString(kind), frac * 100,
+                          static_cast<unsigned long long>(r.backlog_txns),
+                          r.drain_ms, r.promote_ms);
+    }
+  }
+  c5::bench::PrintRow(
+      "Expected: promotion itself is O(ms) and flat; drain dominates and "
+      "grows with\nbacklog at each protocol's apply rate — C5 drains the "
+      "same backlog fastest,\nso lag bounds translate directly into "
+      "failover-time bounds.");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 10 + §7.3: TPC-C 50/50 NewOrder-Payment on the MVTSO (Cicada-like)
+// primary, sweeping the district count 10 -> 1 (contention up as districts
+// go down), replayed through C5, KuaFu, and — as the paper's diagnostic —
+// KuaFu with dependency calculation disabled.
+//
+// Paper's shape: KuaFu lags at >= 4 districts; below that the primary's own
+// abort rate collapses its throughput and KuaFu catches up. C5 keeps up
+// everywhere. Unconstrained KuaFu exceeds the primary, proving the lag is
+// caused by the transaction-granularity constraints, not scheduler overhead.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/tpcc.h"
+
+namespace c5 {
+namespace {
+
+using core::ProtocolKind;
+using workload::tpcc::TpccConfig;
+
+struct Point {
+  double primary_tps;
+  double abort_rate;
+  double c5_tps;
+  double kuafu_tps;
+  double kuafu_unconstrained_tps;
+};
+
+Point RunPoint(std::uint32_t districts, bool optimized, std::uint64_t txns,
+               int clients, int workers) {
+  auto primary = bench::OfflinePrimary::Mvtso();
+  workload::tpcc::CreateTables(&primary->db);
+  TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_warehouse = districts;
+  cfg.customers_per_district = 300;
+  cfg.items = 2000;
+  cfg.optimized = optimized;
+  workload::tpcc::Load(*primary->engine, cfg);
+  (void)primary->collector.Coalesce();  // exclude the load phase
+  primary->engine->stats().Reset();
+
+  const auto gen = workload::RunClosedLoop(
+      clients, std::chrono::milliseconds(0), txns / clients,
+      [&](std::uint32_t client, Rng& rng) {
+        (void)client;
+        return rng.Uniform(2) == 0
+                   ? workload::tpcc::RunNewOrder(*primary->engine, rng, cfg, 1)
+                   : workload::tpcc::RunPayment(*primary->engine, rng, cfg,
+                                                1);
+      });
+
+  log::Log log = primary->collector.Coalesce();
+  auto schema = [](storage::Database* db) {
+    workload::tpcc::CreateTables(db);
+  };
+  Point p;
+  p.primary_tps = gen.Throughput();
+  const auto& stats = primary->engine->stats();
+  const double attempts = static_cast<double>(stats.commits.load() +
+                                              stats.aborts.load());
+  p.abort_rate = attempts > 0
+                     ? static_cast<double>(stats.aborts.load()) / attempts
+                     : 0;
+  p.c5_tps =
+      bench::ReplayLog(ProtocolKind::kC5, log, schema, workers).TxnsPerSec();
+  p.kuafu_tps =
+      bench::ReplayLog(ProtocolKind::kKuaFu, log, schema, workers)
+          .TxnsPerSec();
+  p.kuafu_unconstrained_tps =
+      bench::ReplayLog(ProtocolKind::kKuaFuUnconstrained, log, schema,
+                       workers)
+          .TxnsPerSec();
+  return p;
+}
+
+}  // namespace
+}  // namespace c5
+
+int main() {
+  c5::bench::InitBenchRuntime();
+  // MVTSO abort rates explode with too many closed-loop clients on one
+  // warehouse; the paper's shape needs moderate contention at 10 districts.
+  const int clients = std::max(4, c5::bench::DefaultClients() / 2);
+  const int workers = c5::bench::DefaultWorkers();
+  const std::uint64_t txns = c5::bench::Scaled(60000);
+
+  c5::bench::PrintHeader(
+      "Fig. 10: TPC-C 50/50 NewOrder-Payment on MVTSO (Cicada-like) primary "
+      "vs district count\n(optimized transactions; KuaFu-unconstrained = "
+      "§7.3 diagnostic, correctness off)");
+  c5::bench::PrintRow("%-10s %10s %8s %10s %10s %12s %10s %10s", "districts",
+                      "primary", "abort%", "C5", "KuaFu", "KuaFu-unconstr",
+                      "C5 rel", "KuaFu rel");
+  // Untimed warmup: the first point otherwise pays one-time process costs
+  // (page faults, allocator growth) and under-reports the primary.
+  (void)c5::RunPoint(10, true, txns / 4, clients, workers);
+  for (const std::uint32_t d : {10u, 8u, 6u, 4u, 2u, 1u}) {
+    const auto p = c5::RunPoint(d, /*optimized=*/true, txns, clients, workers);
+    c5::bench::PrintRow("%-10u %10.0f %7.1f%% %10.0f %10.0f %12.0f %9.2f %9.2f",
+                        d, p.primary_tps, 100 * p.abort_rate, p.c5_tps,
+                        p.kuafu_tps, p.kuafu_unconstrained_tps,
+                        p.c5_tps / p.primary_tps,
+                        p.kuafu_tps / p.primary_tps);
+  }
+
+  c5::bench::PrintHeader(
+      "§7.3 summary rows: 10 districts, optimized vs unoptimized mix");
+  c5::bench::PrintRow("%-14s %10s %10s %10s %10s", "mix", "primary", "C5",
+                      "KuaFu", "KuaFu rel");
+  for (const bool optimized : {false, true}) {
+    const auto p = c5::RunPoint(10, optimized, txns, clients, workers);
+    c5::bench::PrintRow("%-14s %10.0f %10.0f %10.0f %9.2f",
+                        optimized ? "optimized" : "unoptimized", p.primary_tps,
+                        p.c5_tps, p.kuafu_tps, p.kuafu_tps / p.primary_tps);
+  }
+  c5::bench::PrintRow(
+      "\nExpected shape: KuaFu rel < 1 at high district counts, recovering "
+      "as primary\nabort rates climb at 1-2 districts; C5 rel >= 1 "
+      "everywhere; unconstrained KuaFu\nwell above the primary.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Live replication-lag monitor: runs the adversarial workload (every
+// transaction updates one hot row) against an online 2PL primary twice —
+// once replicated through KuaFu (transaction granularity) and once through
+// C5 — printing instantaneous lag twice per second. The KuaFu run visibly
+// accumulates lag; the C5 run stays flat (§3 vs §4).
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+#include "core/protocol_factory.h"
+#include "log/log_collector.h"
+#include "log/segment_source.h"
+#include "replica/lag_tracker.h"
+#include "storage/database.h"
+#include "txn/two_phase_locking_engine.h"
+#include "workload/runner.h"
+#include "workload/synthetic.h"
+
+using namespace c5;
+
+namespace {
+
+void RunOnce(core::ProtocolKind kind, int seconds) {
+  storage::Database primary, backup;
+  const TableId table = workload::SyntheticWorkload::CreateTable(&primary);
+  workload::SyntheticWorkload::CreateTable(&backup);
+
+  TxnClock clock;
+  log::OnlineLogCollector collector(256);
+  txn::TwoPhaseLockingEngine engine(&primary, &collector, &clock);
+  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+
+  workload::SyntheticWorkload wl(table, {.inserts_per_txn = 16,
+                                         .adversarial = true});
+  if (!wl.LoadHotRow(engine).ok()) return;
+  collector.Flush();
+
+  replica::LagTracker lag(/*sample_every=*/16);
+  log::ChannelSegmentSource source(&collector.channel());
+  auto rep = core::MakeReplica(kind, &backup,
+                               core::ProtocolOptions{.num_workers = 4}, &lag);
+  rep->Start(&source);
+
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load()) {
+      collector.Flush();
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  std::printf("\n--- protocol: %s ---\n", core::ToString(kind));
+  std::printf("%8s %12s %14s\n", "t(s)", "lag(ms)", "pending txns");
+  std::atomic<std::uint64_t> commits{0};
+  std::vector<std::thread> writers;
+  std::vector<std::uint64_t> seqs(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    writers.emplace_back([&, c] {
+      Rng rng(c);
+      while (!stop.load()) {
+        if (wl.RunTxn(engine, rng, c, &seqs[c]).ok()) {
+          lag.RecordCommit(clock.Latest());
+          commits.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  Stopwatch sw;
+  for (int tick = 0; tick < seconds * 2; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    std::printf("%8.1f %12.1f %14zu\n", sw.ElapsedSeconds(),
+                static_cast<double>(lag.CurrentLagNanos()) / 1e6,
+                lag.PendingCount());
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  flusher.join();
+  collector.Finish();
+  rep->WaitUntilCaughtUp();
+  rep->Stop();
+  std::printf("committed %llu txns; final lag 0 (caught up)\n",
+              static_cast<unsigned long long>(commits.load()));
+}
+
+}  // namespace
+
+int main() {
+  RunOnce(core::ProtocolKind::kKuaFu, /*seconds=*/4);
+  RunOnce(core::ProtocolKind::kC5, /*seconds=*/4);
+  return 0;
+}

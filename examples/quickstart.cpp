@@ -1,0 +1,78 @@
+// Quickstart: a primary database executing transactions, an asynchronous
+// backup running C5's cloned concurrency control, and a read-only query
+// against the backup's monotonic-prefix-consistent snapshot.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "core/c5_replica.h"
+#include "log/log_collector.h"
+#include "log/segment_source.h"
+#include "storage/database.h"
+#include "txn/mvtso_engine.h"
+
+using namespace c5;
+
+int main() {
+  // --- Primary: an in-memory multi-version database with MVTSO concurrency
+  // control, logging committed writes for replication.
+  storage::Database primary;
+  const TableId accounts = primary.CreateTable("accounts");
+
+  TxnClock clock;
+  log::OnlineLogCollector log_collector;
+  txn::MvtsoEngine engine(&primary, &log_collector, &clock);
+  // Online log sequencing needs a release horizon from the engine.
+  log_collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+
+  // --- Backup: same schema, C5 replica consuming the shipped log.
+  storage::Database backup;
+  backup.CreateTable("accounts");
+
+  log::ChannelSegmentSource source(&log_collector.channel());
+  core::C5Replica replica(&backup, core::C5Replica::Options{.num_workers = 2});
+  replica.Start(&source);
+
+  // --- Execute read-write transactions on the primary.
+  Status s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+    Status st = txn.Insert(accounts, /*key=*/1, "alice:100");
+    if (!st.ok()) return st;
+    return txn.Insert(accounts, /*key=*/2, "bob:50");
+  });
+  std::printf("insert txn: %s\n", s.ToString().c_str());
+
+  s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+    // Transfer: read-modify-write both rows atomically.
+    Value a, b;
+    Status st = txn.ReadForUpdate(accounts, 1, &a);
+    if (!st.ok()) return st;
+    st = txn.ReadForUpdate(accounts, 2, &b);
+    if (!st.ok()) return st;
+    st = txn.Update(accounts, 1, "alice:70");
+    if (!st.ok()) return st;
+    return txn.Update(accounts, 2, "bob:80");
+  });
+  std::printf("transfer txn: %s\n", s.ToString().c_str());
+
+  // --- Ship the log and wait for the backup to catch up.
+  log_collector.Finish();
+  replica.WaitUntilCaughtUp();
+
+  // --- Read-only transactions on the backup observe a consistent snapshot.
+  Value v;
+  if (replica.ReadAtVisible(accounts, 1, &v).ok()) {
+    std::printf("backup read key 1 -> %s\n", v.c_str());
+  }
+  if (replica.ReadAtVisible(accounts, 2, &v).ok()) {
+    std::printf("backup read key 2 -> %s\n", v.c_str());
+  }
+  std::printf("backup applied %llu writes, snapshot ts=%llu, lag bounded.\n",
+              static_cast<unsigned long long>(
+                  replica.stats().applied_writes.load()),
+              static_cast<unsigned long long>(replica.VisibleTimestamp()));
+  replica.Stop();
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace c5 {
+
+namespace {
+
+// Lookup table generated at compile time from the reflected Castagnoli
+// polynomial 0x82F63B78.
+struct Crc32cTable {
+  std::array<std::uint32_t, 256> entries;
+
+  constexpr Crc32cTable() : entries() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32cTable kCrcTable;
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kCrcTable.entries[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace c5

@@ -1,0 +1,16 @@
+#ifndef C5_COMMON_CRC32C_H_
+#define C5_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c5 {
+
+// CRC32C (Castagnoli), table-driven. Used by the log wire format and the
+// checkpoint file format to detect torn and corrupted frames.
+std::uint32_t Crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+}  // namespace c5
+
+#endif  // C5_COMMON_CRC32C_H_

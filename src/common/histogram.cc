@@ -1,0 +1,122 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace c5 {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<std::uint64_t>::max()),
+      max_(0) {}
+
+int Histogram::BucketFor(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int log = 63 - std::countl_zero(value);
+  // Top bits below the leading bit select the sub-bucket.
+  const int sub =
+      static_cast<int>((value >> (log - 4)) & (kSubBuckets - 1));
+  const int bucket = (log - 3) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::BucketLow(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<std::uint64_t>(bucket);
+  const int log = bucket / kSubBuckets + 3;
+  const int sub = bucket % kSubBuckets;
+  return (std::uint64_t{1} << log) |
+         (static_cast<std::uint64_t>(sub) << (log - 4));
+}
+
+std::uint64_t Histogram::BucketHigh(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<std::uint64_t>(bucket);
+  const int log = bucket / kSubBuckets + 3;
+  return BucketLow(bucket) + (std::uint64_t{1} << (log - 4)) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::uint64_t>::max();
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      const std::uint64_t lo = std::max(BucketLow(i), min());
+      const std::uint64_t hi = std::min(BucketHigh(i), max_);
+      if (buckets_[i] == 1 || hi <= lo) return lo;
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(buckets_[i]);
+      return lo + static_cast<std::uint64_t>(
+                      frac * static_cast<double>(hi - lo));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string FormatNanos(std::uint64_t nanos) {
+  char buf[32];
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(nanos));
+  } else if (nanos < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(nanos) / 1e3);
+  } else if (nanos < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+std::string Histogram::Summary() const {
+  if (count_ == 0) return "(empty)";
+  std::string s;
+  s += "min=" + FormatNanos(min());
+  s += " p25=" + FormatNanos(Quantile(0.25));
+  s += " p50=" + FormatNanos(Quantile(0.50));
+  s += " p75=" + FormatNanos(Quantile(0.75));
+  s += " max=" + FormatNanos(max());
+  return s;
+}
+
+}  // namespace c5

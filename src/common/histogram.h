@@ -1,0 +1,55 @@
+#ifndef C5_COMMON_HISTOGRAM_H_
+#define C5_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c5 {
+
+// Log-bucketed latency histogram. Single-threaded; benchmark threads keep one
+// each and Merge() at the end. Values are arbitrary non-negative integers
+// (we use nanoseconds).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(std::uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Approximate quantile (q in [0,1]) via linear interpolation within the
+  // containing bucket. Quantile(0.5) is the median.
+  std::uint64_t Quantile(double q) const;
+
+  // "min p25 p50 p75 max" summary with a value->string formatter applied.
+  std::string Summary() const;
+
+ private:
+  static int BucketFor(std::uint64_t value);
+  static std::uint64_t BucketLow(int bucket);
+  static std::uint64_t BucketHigh(int bucket);
+
+  // Buckets: [0], [1], [2,3], [4,7], ... 64 power-of-two buckets with 16
+  // linear sub-buckets each for resolution.
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_;
+  std::uint64_t sum_;
+  std::uint64_t min_;
+  std::uint64_t max_;
+};
+
+// Formats nanoseconds as a human-readable latency string ("12.3ms").
+std::string FormatNanos(std::uint64_t nanos);
+
+}  // namespace c5
+
+#endif  // C5_COMMON_HISTOGRAM_H_

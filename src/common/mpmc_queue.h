@@ -1,0 +1,101 @@
+#ifndef C5_COMMON_MPMC_QUEUE_H_
+#define C5_COMMON_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/spin_lock.h"
+
+namespace c5 {
+
+// Unbounded multi-producer multi-consumer FIFO queue. Lock-based with a
+// spin-then-block consumer: at replica rates (hundreds of thousands of
+// hand-offs per second) the dominant cost of a naive mutex+condvar queue is
+// wakeup latency whenever the queue oscillates around empty, so Pop() polls
+// briefly before sleeping and Push() only notifies when a consumer is
+// actually blocked.
+template <typename T>
+class MpmcQueue {
+ public:
+  MpmcQueue() = default;
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  void Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(value));
+    }
+    size_hint_.fetch_add(1, std::memory_order_release);
+    if (waiters_.load(std::memory_order_acquire) > 0) cv_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    // Spin phase: poll without sleeping (bounded, then fall back to the
+    // condition variable so idle consumers don't burn a core forever). The
+    // size hint keeps spinners off the mutex while the queue is empty —
+    // otherwise a pack of spinning consumers convoys the producer.
+    for (int spin = 0; spin < 16384; ++spin) {
+      if (size_hint_.load(std::memory_order_acquire) > 0) {
+        if (auto v = TryPop()) return v;
+      } else if (closed_flag_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (items_.empty()) return std::nullopt;
+      }
+      CpuRelax();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    waiters_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    size_hint_.fetch_sub(1, std::memory_order_release);
+    return value;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    size_hint_.fetch_sub(1, std::memory_order_release);
+    return value;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    closed_flag_.store(true, std::memory_order_release);
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    return closed_flag_.load(std::memory_order_acquire);
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::atomic<bool> closed_flag_{false};
+  std::atomic<int> waiters_{0};
+  alignas(64) std::atomic<std::size_t> size_hint_{0};
+};
+
+}  // namespace c5
+
+#endif  // C5_COMMON_MPMC_QUEUE_H_

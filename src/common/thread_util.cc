@@ -1,0 +1,35 @@
+#include "common/thread_util.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace c5 {
+
+void PinThreadToCore(int core) {
+#if defined(__linux__)
+  if (core < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) % CPU_SETSIZE, &set);
+  // Best effort; ignore failures (e.g., restricted cgroups).
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+unsigned HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void JoinAll(std::vector<std::thread>& threads) {
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  threads.clear();
+}
+
+}  // namespace c5

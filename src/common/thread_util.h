@@ -1,0 +1,22 @@
+#ifndef C5_COMMON_THREAD_UTIL_H_
+#define C5_COMMON_THREAD_UTIL_H_
+
+#include <thread>
+#include <vector>
+
+namespace c5 {
+
+// Best-effort pinning of the calling thread to a CPU. No-op on failure or on
+// platforms without sched_setaffinity. The paper pins primary threads,
+// workers, the scheduler, and the snapshotter to distinct cores (§7.3).
+void PinThreadToCore(int core);
+
+// Number of hardware threads, never less than 1.
+unsigned HardwareConcurrency();
+
+// Joins every thread in the vector (skipping non-joinable ones) and clears it.
+void JoinAll(std::vector<std::thread>& threads);
+
+}  // namespace c5
+
+#endif  // C5_COMMON_THREAD_UTIL_H_

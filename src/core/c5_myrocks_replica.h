@@ -1,0 +1,120 @@
+#ifndef C5_CORE_C5_MYROCKS_REPLICA_H_
+#define C5_CORE_C5_MYROCKS_REPLICA_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "replica/lag_tracker.h"
+#include "replica/replica.h"
+
+namespace c5::core {
+
+// C5-MyRocks (§5): the backward-compatible variant deployed at Meta. Same
+// row-granularity safety rule as C5Replica (a write executes only when the
+// previous write to its row is in place), plus the two constraints backward
+// compatibility imposed:
+//
+//  1. One-thread-per-transaction execution (§5.1): MyRocks's row-based
+//     logging assumes all of a transaction's writes are executed by the same
+//     worker. Workers pick up whole transactions in commit order and
+//     spin-wait each write until it is safe ("the worker first waits until
+//     the write reaches the head of its per-row queue ... then executes it").
+//  2. A blocking two-snapshot snapshotter (§5.2): RocksDB snapshots can only
+//     capture the current state, so taking one requires briefly blocking
+//     writes with timestamps above the chosen boundary n. The snapshot
+//     frequency I is tunable; taking a snapshot can be given a simulated
+//     cost to reproduce the lag spikes the paper discusses.
+class C5MyRocksReplica : public replica::ReplicaBase {
+ public:
+  struct Options {
+    int num_workers = 4;
+    // Approximate snapshot frequency I (§5.2; the paper's Fig. 8 uses 10ms).
+    std::chrono::microseconds snapshot_interval =
+        std::chrono::microseconds(10000);
+    // Simulated cost of taking a RocksDB snapshot while writers are blocked.
+    std::chrono::microseconds snapshot_cost = std::chrono::microseconds(0);
+    int gc_every = 0;
+  };
+
+  C5MyRocksReplica(storage::Database* db, Options options,
+                   replica::LagTracker* lag = nullptr);
+  ~C5MyRocksReplica() override { Stop(); }
+
+  void Start(log::SegmentSource* source) override;
+  void WaitUntilCaughtUp() override;
+  void Stop() override;
+  std::string name() const override { return "c5-myrocks"; }
+
+ private:
+  // A transaction ready for execution: contiguous records within a segment.
+  struct TxnUnit {
+    const log::LogRecord* first;
+    std::size_t count;
+    Timestamp commit_ts;
+  };
+
+  // Commit-ordered dispatch queue that atomically tracks the minimum
+  // timestamp that is dispatched-or-in-flight, so the snapshotter can pick a
+  // provably applied boundary n. All transitions happen under one mutex:
+  // there is no window in which a transaction is neither in the queue nor in
+  // a worker's in-flight slot.
+  class TxnDispatchQueue {
+   public:
+    explicit TxnDispatchQueue(int num_workers)
+        : inflight_(num_workers, kMaxTimestamp) {}
+
+    void Push(TxnUnit txn);
+    // Blocks; returns nullopt when closed and drained. Marks the popped
+    // transaction in-flight for `worker`.
+    std::optional<TxnUnit> Pop(int worker);
+    void Complete(int worker);
+    void Close();
+
+    // Smallest timestamp not yet fully applied (kMaxTimestamp if none
+    // outstanding). Everything strictly below is applied.
+    Timestamp MinUnapplied() const;
+
+    std::size_t SizeApprox() const;
+
+   private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<TxnUnit> queue_;
+    std::vector<Timestamp> inflight_;
+    bool closed_ = false;
+    int waiters_ = 0;
+    alignas(64) std::atomic<std::size_t> size_hint_{0};
+  };
+
+  void SchedulerLoop(log::SegmentSource* source);
+  void WorkerLoop(int idx);
+  void SnapshotterLoop();
+
+  Options options_;
+  replica::LagTracker* lag_;
+
+  TxnDispatchQueue dispatch_;
+  alignas(64) std::atomic<Timestamp> watermark_{0};
+  // Snapshot barrier (§5.2): while active, workers must not install writes
+  // with timestamps greater than barrier_ts_. kMaxTimestamp = inactive.
+  alignas(64) std::atomic<Timestamp> barrier_ts_{kMaxTimestamp};
+
+  std::atomic<bool> scheduler_done_{false};
+  std::atomic<int> workers_running_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace c5::core
+
+#endif  // C5_CORE_C5_MYROCKS_REPLICA_H_

@@ -1,0 +1,240 @@
+#include "core/c5_replica.h"
+
+#include <unordered_map>
+
+#include "common/spin_lock.h"
+
+namespace c5::core {
+
+namespace {
+std::uint64_t RowName(TableId table, RowId row) {
+  return (static_cast<std::uint64_t>(table) << 56) | row;
+}
+}  // namespace
+
+C5Replica::C5Replica(storage::Database* db, Options options,
+                     replica::LagTracker* lag)
+    : ReplicaBase(db), options_(options), lag_(lag) {
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerState>(/*queue_capacity=*/4096));
+  }
+}
+
+void C5Replica::Start(log::SegmentSource* source) {
+  workers_running_.store(options_.num_workers, std::memory_order_release);
+  threads_.emplace_back([this, source] { SchedulerLoop(source); });
+  for (int i = 0; i < options_.num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  threads_.emplace_back([this] { SnapshotterLoop(); });
+}
+
+void C5Replica::SchedulerLoop(log::SegmentSource* source) {
+  // Row id -> timestamp of the last write seen for it. This is the entire
+  // scheduler state (§7.2): per-row FIFOs are embedded in the log via
+  // prev_timestamp instead of being materialized.
+  std::unordered_map<std::uint64_t, Timestamp> last_write_ts;
+  std::size_t next_worker = 0;
+
+  while (log::LogSegment* seg = source->Next()) {
+    for (log::LogRecord& rec : seg->records()) {
+      auto [it, inserted] =
+          last_write_ts.try_emplace(RowName(rec.table, rec.row), 0);
+      rec.prev_ts = it->second;
+      it->second = rec.commit_ts;
+    }
+    seg->MarkPreprocessed();
+    // Hand the segment to its worker BEFORE publishing the watermark: an
+    // idle worker that read the watermark and then found its queue empty may
+    // publish that watermark as its c', which is only safe if every segment
+    // enqueued afterwards carries strictly larger timestamps.
+    workers_[next_worker]->queue.Push(seg);
+    next_worker = (next_worker + 1) % workers_.size();
+    if (!seg->empty()) {
+      watermark_.store(seg->MaxTimestamp(), std::memory_order_release);
+    }
+  }
+  scheduler_done_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->queue.Close();
+}
+
+bool C5Replica::TryApply(const log::LogRecord& rec) {
+  storage::Table& table = db_->table(rec.table);
+  // kAlreadyApplied records (at-least-once delivery, checkpoint resume)
+  // count as applied so caught-up accounting and c' advancement still hold.
+  if (table.TryInstallIfPrev(rec.row, rec.prev_ts, rec.commit_ts, rec.value,
+                             rec.op == OpType::kDelete) ==
+      storage::PrevInstall::kNotReady) {
+    return false;
+  }
+  stats_.applied_writes.fetch_add(1, std::memory_order_relaxed);
+  if (rec.last_in_txn) {
+    stats_.applied_txns.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool C5Replica::RetryDeferred(std::deque<const log::LogRecord*>& deferred) {
+  bool progress = false;
+  // FIFO sweep: earlier (smaller-timestamp) writes unblock later ones.
+  for (std::size_t n = deferred.size(); n > 0; --n) {
+    const log::LogRecord* rec = deferred.front();
+    deferred.pop_front();
+    if (TryApply(*rec)) {
+      progress = true;
+    } else {
+      deferred.push_back(rec);
+    }
+  }
+  return progress;
+}
+
+void C5Replica::WorkerLoop(int idx) {
+  const auto guard = db_->epochs().Enter();
+  WorkerState& me = *workers_[idx];
+  std::deque<const log::LogRecord*> deferred;
+
+  auto publish_c_prime = [&me](Timestamp floor) {
+    me.c_prime.store(floor, std::memory_order_release);
+  };
+
+  while (true) {
+    // Read the watermark BEFORE checking the queue (see SchedulerLoop).
+    const Timestamp idle_floor = watermark_.load(std::memory_order_acquire);
+    auto seg_opt = me.queue.TryPop();
+    if (!seg_opt.has_value()) {
+      if (!deferred.empty()) {
+        RetryDeferred(deferred);
+        if (!deferred.empty()) {
+          publish_c_prime(deferred.front()->commit_ts - 1);
+        } else {
+          publish_c_prime(idle_floor);
+        }
+        continue;
+      }
+      publish_c_prime(idle_floor);
+      if (me.queue.closed()) {
+        // Re-check after observing closure (a segment may have raced in).
+        seg_opt = me.queue.TryPop();
+        if (!seg_opt.has_value()) break;
+      } else {
+        CpuRelax();
+        continue;
+      }
+    }
+
+    log::LogSegment* seg = *seg_opt;
+    // The scheduler marks segments preprocessed before shipping them, so this
+    // never spins in practice; it documents the §7.1 header contract.
+    while (!seg->preprocessed()) CpuRelax();
+
+    for (const log::LogRecord& rec : seg->records()) {
+      // Everything at or above this record's transaction is unexecuted by
+      // this worker; deferred writes (always older) take precedence in c'.
+      publish_c_prime((deferred.empty() ? rec.commit_ts
+                                        : deferred.front()->commit_ts) -
+                      1);
+      // Row-slot creation and index maintenance are idempotent; do them on
+      // first sight so deferred retries only need the install.
+      storage::Table& table = db_->table(rec.table);
+      table.EnsureRow(rec.row);
+      if (rec.op == OpType::kInsert) {
+        db_->index(rec.table).Upsert(rec.key, rec.row);
+      }
+      if (!TryApply(rec)) {
+        // Defer and move on; deferred writes are re-checked at segment
+        // boundaries (§7.2). Spinning here instead was measured WORSE on
+        // serialized hot chains: it stalls this worker's independent rows
+        // without making the predecessor (owned by another worker) land
+        // sooner (see EXPERIMENTS.md, Fig. 11 deviation).
+        deferred.push_back(&rec);
+        stats_.deferred_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // §7.2: re-check deferred writes at the end of each segment.
+    RetryDeferred(deferred);
+    if (!deferred.empty()) {
+      publish_c_prime(deferred.front()->commit_ts - 1);
+    }
+  }
+
+  // Drain any remaining deferred writes (their predecessors are owned by
+  // other workers and will land).
+  while (!deferred.empty()) {
+    RetryDeferred(deferred);
+    if (!deferred.empty()) {
+      publish_c_prime(deferred.front()->commit_ts - 1);
+      CpuRelax();
+    }
+  }
+  me.c_prime.store(kMaxTimestamp, std::memory_order_release);
+  me.finished.store(true, std::memory_order_release);
+  workers_running_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void C5Replica::SnapshotterLoop() {
+  int iter = 0;
+  while (true) {
+    // n = min over workers of c', clamped by the scheduler's watermark
+    // (§7.2: "periodically calculates a new n as the minimum across all c'
+    // and then advances c to n").
+    Timestamp n = watermark_.load(std::memory_order_acquire);
+    for (const auto& w : workers_) {
+      const Timestamp cp = w->c_prime.load(std::memory_order_acquire);
+      if (cp < n) n = cp;
+    }
+    if (n > VisibleTimestamp()) {
+      PublishVisible(n);
+      stats_.snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      if (lag_ != nullptr) lag_->OnVisible(n);
+    } else if (lag_ != nullptr) {
+      lag_->OnVisible(VisibleTimestamp());
+    }
+
+    ++iter;
+    if (options_.gc_every > 0 && iter % options_.gc_every == 0) {
+      db_->CollectGarbage(GcHorizon());
+    }
+    if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
+        iter % options_.checkpoint_every == 0) {
+      const Timestamp c = VisibleTimestamp();
+      if (c > last_checkpoint_ts_.load(std::memory_order_relaxed) &&
+          storage::WriteCheckpoint(*db_, c, options_.checkpoint_path).ok()) {
+        last_checkpoint_ts_.store(c, std::memory_order_release);
+      }
+    }
+
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    if (scheduler_done_.load(std::memory_order_acquire) &&
+        workers_running_.load(std::memory_order_acquire) == 0) {
+      // Final advance: all writes applied, expose the full log.
+      const Timestamp final_ts = watermark_.load(std::memory_order_acquire);
+      if (final_ts > VisibleTimestamp()) {
+        PublishVisible(final_ts);
+        if (lag_ != nullptr) lag_->OnVisible(final_ts);
+      }
+      break;
+    }
+    std::this_thread::sleep_for(options_.snapshot_interval);
+  }
+}
+
+void C5Replica::WaitUntilCaughtUp() {
+  while (!(scheduler_done_.load(std::memory_order_acquire) &&
+           workers_running_.load(std::memory_order_acquire) == 0 &&
+           VisibleTimestamp() >=
+               watermark_.load(std::memory_order_acquire))) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void C5Replica::Stop() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->queue.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace c5::core

@@ -1,0 +1,120 @@
+#ifndef C5_CORE_C5_REPLICA_H_
+#define C5_CORE_C5_REPLICA_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/checkpoint.h"
+
+#include "common/spsc_queue.h"
+#include "replica/lag_tracker.h"
+#include "replica/replica.h"
+
+namespace c5::core {
+
+// C5-Cicada (§7.2): the faithful implementation of the paper's design.
+//
+// Scheduler (single thread): embeds the per-row FIFO queues in the log by
+// setting each record's prev_timestamp to the timestamp of the preceding
+// write to the same row ("dynamically allocating and managing these queues
+// prevented the single-threaded scheduler from keeping up with Cicada"). It
+// marks each segment's preprocessed flag and hands segments to workers in
+// round-robin order.
+//
+// Workers: for each record, a write is safe to execute iff the newest version
+// of its row carries exactly prev_timestamp; otherwise the write is deferred
+// to a worker-local FIFO and re-checked at segment boundaries ("a distributed,
+// approximate version of the scheduler queue"). Each worker publishes
+// c' = (smallest timestamp it might still execute) - 1.
+//
+// Snapshotter: periodically advances the current snapshot c to
+// min(watermark, min over workers of c'). Because every write of a
+// transaction carries the transaction's commit timestamp and a worker's c'
+// stays below an incompletely applied transaction, c always lands on a
+// transaction boundary — giving monotonic prefix consistency without ever
+// blocking workers (§4.2's current/next/future snapshots realized through
+// version timestamps).
+class C5Replica : public replica::ReplicaBase {
+ public:
+  struct Options {
+    int num_workers = 4;
+    std::chrono::microseconds snapshot_interval =
+        std::chrono::microseconds(100);
+    // If > 0, the snapshotter garbage-collects version chains every
+    // `gc_every` snapshots using the replica's safe horizon.
+    int gc_every = 0;
+    // If non-empty and checkpoint_every > 0, the snapshotter writes a
+    // consistent checkpoint of the backup (storage/checkpoint.h) at the
+    // current snapshot every `checkpoint_every` snapshot advances. On
+    // restart, load the checkpoint and resume the archived log with
+    // ha::ResumeSegmentSource from the loaded timestamp. The write runs on
+    // the snapshotter thread (it never blocks workers — the multi-version
+    // store keeps the snapshot stable), so very small intervals trade
+    // snapshot freshness for checkpoint recency.
+    std::string checkpoint_path;
+    int checkpoint_every = 0;
+  };
+
+  C5Replica(storage::Database* db, Options options,
+            replica::LagTracker* lag = nullptr);
+  ~C5Replica() override { Stop(); }
+
+  void Start(log::SegmentSource* source) override;
+  void WaitUntilCaughtUp() override;
+  void Stop() override;
+  std::string name() const override { return "c5"; }
+
+  // Largest commit timestamp fully scheduled (diagnostics / tests).
+  Timestamp watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  // Snapshot timestamp of the last checkpoint written (0 if none).
+  Timestamp last_checkpoint_ts() const {
+    return last_checkpoint_ts_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct WorkerState {
+    explicit WorkerState(std::size_t queue_capacity)
+        : queue(queue_capacity) {}
+    SpscQueue<log::LogSegment*> queue;
+    // c' (§7.2): one writer (the worker), one reader (the snapshotter).
+    alignas(64) std::atomic<Timestamp> c_prime{0};
+    std::atomic<bool> finished{false};
+  };
+
+  void SchedulerLoop(log::SegmentSource* source);
+  void WorkerLoop(int idx);
+  void SnapshotterLoop();
+
+  // Attempts one deferred-queue sweep; returns true if progress was made.
+  bool RetryDeferred(std::deque<const log::LogRecord*>& deferred);
+
+  // Applies one record if its predecessor is in place. Returns false to
+  // defer. Row-slot creation and index maintenance are idempotent and happen
+  // on first attempt.
+  bool TryApply(const log::LogRecord& rec);
+
+  Options options_;
+  replica::LagTracker* lag_;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  alignas(64) std::atomic<Timestamp> watermark_{0};
+  std::atomic<Timestamp> last_checkpoint_ts_{0};
+  std::atomic<bool> scheduler_done_{false};
+  std::atomic<int> workers_running_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace c5::core
+
+#endif  // C5_CORE_C5_REPLICA_H_

@@ -1,0 +1,38 @@
+#include "ha/promotion.h"
+
+#include "txn/mvtso_engine.h"
+#include "txn/two_phase_locking_engine.h"
+
+namespace c5::ha {
+
+const char* ToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMvtso:
+      return "mvtso";
+    case EngineKind::kTwoPhaseLocking:
+      return "2pl";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PromotedPrimary> PromoteToPrimary(
+    storage::Database* db, Timestamp applied_upto, EngineKind kind,
+    std::size_t segment_capacity) {
+  auto promoted = std::make_unique<PromotedPrimary>(segment_capacity);
+  // Every new commit must extend the replicated history: start strictly
+  // above everything the backup applied.
+  promoted->clock.Reset(applied_upto + 1);
+  switch (kind) {
+    case EngineKind::kMvtso:
+      promoted->engine = std::make_unique<txn::MvtsoEngine>(
+          db, &promoted->collector, &promoted->clock);
+      break;
+    case EngineKind::kTwoPhaseLocking:
+      promoted->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
+          db, &promoted->collector, &promoted->clock);
+      break;
+  }
+  return promoted;
+}
+
+}  // namespace c5::ha

@@ -1,0 +1,145 @@
+#include "index/hash_index.h"
+
+#include <bit>
+#include <cassert>
+
+namespace c5::index {
+
+namespace {
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+HashIndex::HashIndex(std::size_t initial_capacity_per_shard, int shard_count) {
+  shard_count_ = static_cast<int>(NextPow2(
+      static_cast<std::size_t>(shard_count < 1 ? 1 : shard_count)));
+  shard_shift_ = 64 - std::countr_zero(
+                          static_cast<std::uint64_t>(shard_count_));
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  const std::size_t cap = NextPow2(initial_capacity_per_shard < 8
+                                       ? 8
+                                       : initial_capacity_per_shard);
+  for (int i = 0; i < shard_count_; ++i) {
+    shards_[i].slots.resize(cap);
+  }
+}
+
+void HashIndex::Shard::Grow() {
+  std::vector<Slot> old = std::move(slots);
+  slots.assign(old.size() * 2, Slot{});
+  size = 0;
+  occupied = 0;
+  for (const Slot& s : old) {
+    if (s.key != kEmpty && s.key != kTombstone) {
+      InsertLocked(s.key, s.row, /*overwrite=*/false);
+    }
+  }
+}
+
+bool HashIndex::Shard::InsertLocked(std::uint64_t stored_key, RowId row,
+                                    bool overwrite) {
+  if ((occupied + 1) * 4 >= slots.size() * 3) Grow();  // 75% load factor
+  const std::size_t mask = slots.size() - 1;
+  std::size_t idx = HashIndex::HashKey(stored_key) & mask;
+  std::size_t first_tombstone = slots.size();
+  while (true) {
+    Slot& s = slots[idx];
+    if (s.key == stored_key) {
+      if (!overwrite) return false;
+      s.row = row;
+      return true;
+    }
+    if (s.key == kTombstone && first_tombstone == slots.size()) {
+      first_tombstone = idx;
+    }
+    if (s.key == kEmpty) {
+      Slot& target =
+          first_tombstone != slots.size() ? slots[first_tombstone] : s;
+      const bool reused_tombstone = first_tombstone != slots.size();
+      target.key = stored_key;
+      target.row = row;
+      ++size;
+      if (!reused_tombstone) ++occupied;
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+std::optional<RowId> HashIndex::Shard::LookupLocked(
+    std::uint64_t stored_key) const {
+  const std::size_t mask = slots.size() - 1;
+  std::size_t idx = HashIndex::HashKey(stored_key) & mask;
+  while (true) {
+    const Slot& s = slots[idx];
+    if (s.key == stored_key) return s.row;
+    if (s.key == kEmpty) return std::nullopt;
+    idx = (idx + 1) & mask;
+  }
+}
+
+bool HashIndex::Shard::EraseLocked(std::uint64_t stored_key) {
+  const std::size_t mask = slots.size() - 1;
+  std::size_t idx = HashIndex::HashKey(stored_key) & mask;
+  while (true) {
+    Slot& s = slots[idx];
+    if (s.key == stored_key) {
+      s.key = kTombstone;
+      s.row = kInvalidRowId;
+      --size;
+      return true;
+    }
+    if (s.key == kEmpty) return false;
+    idx = (idx + 1) & mask;
+  }
+}
+
+bool HashIndex::Insert(Key key, RowId row) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> lock(shard.lock);
+  return shard.InsertLocked(key + 2, row, /*overwrite=*/false);
+}
+
+void HashIndex::Upsert(Key key, RowId row) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> lock(shard.lock);
+  shard.InsertLocked(key + 2, row, /*overwrite=*/true);
+}
+
+std::optional<RowId> HashIndex::Lookup(Key key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> lock(shard.lock);
+  return shard.LookupLocked(key + 2);
+}
+
+bool HashIndex::Erase(Key key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> lock(shard.lock);
+  return shard.EraseLocked(key + 2);
+}
+
+void HashIndex::ForEach(const std::function<void(Key, RowId)>& fn) const {
+  for (int i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<SpinLock> lock(shard.lock);
+    for (const Shard::Slot& slot : shard.slots) {
+      if (slot.key != Shard::kEmpty && slot.key != Shard::kTombstone) {
+        fn(slot.key - 2, slot.row);
+      }
+    }
+  }
+}
+
+std::size_t HashIndex::Size() const {
+  std::size_t total = 0;
+  for (int i = 0; i < shard_count_; ++i) {
+    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    total += shards_[i].size;
+  }
+  return total;
+}
+
+}  // namespace c5::index

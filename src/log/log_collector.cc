@@ -1,0 +1,114 @@
+#include "log/log_collector.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace c5::log {
+
+// ---------------------------------------------------------------------------
+// PerThreadLogCollector
+
+PerThreadLogCollector::PerThreadLogCollector(std::size_t segment_records)
+    : segment_records_(segment_records),
+      shards_(std::make_unique<Shard[]>(kShards)) {}
+
+void PerThreadLogCollector::LogCommit(std::vector<LogRecord>&& records) {
+  const std::size_t shard_idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  Shard& shard = shards_[shard_idx];
+  std::lock_guard<SpinLock> lock(shard.lock);
+  shard.txns.push_back(std::move(records));
+}
+
+std::size_t PerThreadLogCollector::BufferedTxns() const {
+  std::size_t n = 0;
+  for (int i = 0; i < kShards; ++i) {
+    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    n += shards_[i].txns.size();
+  }
+  return n;
+}
+
+Log PerThreadLogCollector::Coalesce() {
+  std::vector<std::vector<LogRecord>> all;
+  for (int i = 0; i < kShards; ++i) {
+    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    for (auto& txn : shards_[i].txns) all.push_back(std::move(txn));
+    shards_[i].txns.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const std::vector<LogRecord>& a,
+               const std::vector<LogRecord>& b) {
+              return a.front().commit_ts < b.front().commit_ts;
+            });
+
+  Log log;
+  std::uint64_t seq = 0;
+  std::unique_ptr<LogSegment> open;
+  for (auto& txn : all) {
+    if (open != nullptr && open->size() + txn.size() > segment_records_ &&
+        !open->empty()) {
+      seq += open->size();
+      log.AppendSegment(std::move(open));
+    }
+    if (open == nullptr) open = std::make_unique<LogSegment>(seq);
+    for (auto& rec : txn) open->Append(std::move(rec));
+  }
+  if (open != nullptr && !open->empty()) log.AppendSegment(std::move(open));
+  return log;
+}
+
+// ---------------------------------------------------------------------------
+// OnlineLogCollector
+
+OnlineLogCollector::OnlineLogCollector(std::size_t segment_records,
+                                       std::size_t channel_capacity)
+    : segment_records_(segment_records), channel_(channel_capacity) {}
+
+void OnlineLogCollector::ShipLocked() {
+  if (open_ == nullptr || open_->empty()) return;
+  next_seq_ += open_->size();
+  LogSegment* raw = open_.get();
+  shipped_store_.push_back(std::move(open_));
+  shipped_.fetch_add(1, std::memory_order_relaxed);
+  channel_.Push(raw);
+}
+
+void OnlineLogCollector::DrainLocked(Timestamp horizon) {
+  while (!pending_.empty() && pending_.top().ts < horizon) {
+    // priority_queue::top is const; the moved-from shell is popped at once.
+    auto& txn = const_cast<PendingTxn&>(pending_.top());
+    if (open_ == nullptr) open_ = std::make_unique<LogSegment>(next_seq_);
+    for (auto& rec : txn.records) open_->Append(std::move(rec));
+    pending_.pop();
+    if (open_->size() >= segment_records_) ShipLocked();
+  }
+}
+
+void OnlineLogCollector::LogCommit(std::vector<LogRecord>&& records) {
+  const Timestamp horizon =
+      horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push(PendingTxn{records.front().commit_ts, std::move(records)});
+  DrainLocked(horizon);
+}
+
+void OnlineLogCollector::Flush() {
+  const Timestamp horizon =
+      horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainLocked(horizon);
+  ShipLocked();
+}
+
+void OnlineLogCollector::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DrainLocked(kMaxTimestamp);
+    ShipLocked();
+  }
+  channel_.Close();
+}
+
+}  // namespace c5::log

@@ -1,0 +1,131 @@
+#ifndef C5_LOG_LOG_COLLECTOR_H_
+#define C5_LOG_LOG_COLLECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/spsc_queue.h"
+#include "log/log_segment.h"
+
+namespace c5::log {
+
+// Sink for committed transactions' writes. The primary's engines call
+// LogCommit exactly once per committed read-write transaction, after
+// validation and before the commit becomes visible (§7.1: "After execution
+// and validation but before committing, each client thread logs its changes").
+class LogCollector {
+ public:
+  virtual ~LogCollector() = default;
+
+  // `records` are the transaction's writes in operation order; the engine has
+  // set commit_ts on each and last_in_txn on the final record.
+  virtual void LogCommit(std::vector<LogRecord>&& records) = 0;
+};
+
+// Discards everything (primary-only benchmarks, e.g. "Cicada without
+// logging" upper-bound runs).
+class NullLogCollector : public LogCollector {
+ public:
+  void LogCommit(std::vector<LogRecord>&&) override {}
+};
+
+// Offline collection: commits land in per-shard buffers with negligible
+// contention (each worker thread hashes to its own shard); Coalesce() then
+// produces the single totally ordered log, emulating the paper's
+// "per-thread logs are coalesced into a single, totally ordered log before
+// the backup's scheduler, workers, and snapshotter start" (§7.1).
+class PerThreadLogCollector : public LogCollector {
+ public:
+  explicit PerThreadLogCollector(std::size_t segment_records = 4096);
+
+  void LogCommit(std::vector<LogRecord>&& records) override;
+
+  // Merges all buffered transactions into commit-timestamp order and packs
+  // them into segments (never splitting a transaction across segments).
+  // Leaves the collector empty.
+  Log Coalesce();
+
+  std::size_t BufferedTxns() const;
+
+ private:
+  struct Shard {
+    mutable SpinLock lock;
+    std::vector<std::vector<LogRecord>> txns;
+  };
+
+  static constexpr int kShards = 256;
+  const std::size_t segment_records_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+// Online collection: commits are sequenced into commit-timestamp order, then
+// appended to an open segment; full segments (closed at transaction
+// boundaries) are shipped through an SPSC channel to the backup's scheduler.
+// Models prompt log delivery (§2.4) with the total ordering a real
+// group-commit log provides.
+//
+// Sequencing: threads may call LogCommit out of timestamp order (an MVTSO
+// thread with a larger timestamp can reach its commit point first), so
+// transactions are buffered in a min-heap and released only when their
+// timestamp falls below the engine-provided release horizon — the smallest
+// timestamp any in-flight transaction could still commit with. Without a
+// horizon function, entries release in arrival order (only valid for
+// engines whose arrival order IS commit order).
+class OnlineLogCollector : public LogCollector {
+ public:
+  // Returns a timestamp H such that no future LogCommit can carry ts < H.
+  using ReleaseHorizonFn = std::function<Timestamp()>;
+
+  explicit OnlineLogCollector(std::size_t segment_records = 1024,
+                              std::size_t channel_capacity = 1 << 16);
+
+  void SetReleaseHorizon(ReleaseHorizonFn fn) { horizon_fn_ = std::move(fn); }
+
+  void LogCommit(std::vector<LogRecord>&& records) override;
+
+  // Closes the open segment (if non-empty) and ships it. Call periodically
+  // from a flusher thread (or rely on segment-full shipping) so lag does not
+  // include batching delay.
+  void Flush();
+
+  // Flushes and closes the channel; the backup drains and terminates.
+  void Finish();
+
+  // The backup side: pops segments in order; nullopt after Finish() + drain.
+  SpscQueue<LogSegment*>& channel() { return channel_; }
+
+  std::uint64_t ShippedSegments() const {
+    return shipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingTxn {
+    Timestamp ts;
+    std::vector<LogRecord> records;
+    bool operator>(const PendingTxn& other) const { return ts > other.ts; }
+  };
+
+  void ShipLocked();
+  void DrainLocked(Timestamp horizon);
+
+  const std::size_t segment_records_;
+  ReleaseHorizonFn horizon_fn_;
+  std::mutex mu_;
+  std::priority_queue<PendingTxn, std::vector<PendingTxn>,
+                      std::greater<PendingTxn>>
+      pending_;
+  std::uint64_t next_seq_ = 0;
+  std::unique_ptr<LogSegment> open_;
+  std::vector<std::unique_ptr<LogSegment>> shipped_store_;
+  SpscQueue<LogSegment*> channel_;
+  std::atomic<std::uint64_t> shipped_{0};
+};
+
+}  // namespace c5::log
+
+#endif  // C5_LOG_LOG_COLLECTOR_H_

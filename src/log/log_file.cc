@@ -1,0 +1,94 @@
+#include "log/log_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace c5::log {
+
+Status LogFileWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("open failed: " + std::string(strerror(errno)));
+  }
+  segments_written_ = 0;
+  bytes_written_ = 0;
+  return Status::Ok();
+}
+
+Status LogFileWriter::Append(const LogSegment& segment) {
+  if (file_ == nullptr) return Status::Internal("writer not open");
+  std::string frame;
+  EncodeSegment(segment, &frame);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("short write to log archive");
+  }
+  ++segments_written_;
+  bytes_written_ += frame.size();
+  return Status::Ok();
+}
+
+Status LogFileWriter::Sync() {
+  if (file_ == nullptr) return Status::Internal("writer not open");
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (fsync(fileno(file_)) != 0) {
+    return Status::Internal("fsync failed");
+  }
+#endif
+  return Status::Ok();
+}
+
+Status LogFileWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  const Status s = Sync();
+  std::fclose(file_);
+  file_ = nullptr;
+  return s;
+}
+
+Status ReadLogFile(const std::string& path, ReadLogResult* result) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no archive at " + path);
+  }
+  // Read the whole file (archives at this library's scale are in-memory
+  // sized; a production reader would stream frame by frame).
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read failed");
+
+  result->log = Log();
+  result->clean_end = true;
+  result->valid_bytes = 0;
+  std::string_view in = bytes;
+  while (!in.empty()) {
+    std::size_t consumed = 0;
+    std::unique_ptr<LogSegment> segment;
+    const Status s = DecodeSegment(in, &consumed, &segment);
+    if (!s.ok()) {
+      // Torn or corrupt tail: keep the valid prefix (WAL semantics).
+      result->clean_end = false;
+      break;
+    }
+    in.remove_prefix(consumed);
+    result->valid_bytes += consumed;
+    result->log.AppendSegment(std::move(segment));
+  }
+  return Status::Ok();
+}
+
+}  // namespace c5::log

@@ -1,0 +1,68 @@
+#ifndef C5_LOG_LOG_FILE_H_
+#define C5_LOG_LOG_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "log/log_segment.h"
+#include "log/wire.h"
+
+namespace c5::log {
+
+// Appends wire-encoded segments to an archive file. This is the durable
+// form of the shipped log: the primary (or a shipping relay) appends each
+// segment as it closes; a restarting backup replays the archive to rebuild
+// state (optionally from a checkpoint, see storage/checkpoint.h +
+// ha::ResumeSegmentSource).
+//
+// Single-writer. Append() buffers in the stdio layer; Sync() flushes to the
+// OS and fsyncs, which is the archive's durability point.
+class LogFileWriter {
+ public:
+  LogFileWriter() = default;
+  ~LogFileWriter() { Close(); }
+
+  LogFileWriter(const LogFileWriter&) = delete;
+  LogFileWriter& operator=(const LogFileWriter&) = delete;
+
+  // Opens (creating or truncating) the archive at `path`.
+  Status Open(const std::string& path);
+
+  Status Append(const LogSegment& segment);
+
+  // Flushes buffered frames and fsyncs.
+  Status Sync();
+
+  // Sync + close. Idempotent.
+  Status Close();
+
+  std::uint64_t segments_written() const { return segments_written_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t segments_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+// Result of reading an archive.
+struct ReadLogResult {
+  // Frames decoded before the first invalid/truncated frame (WAL tail
+  // semantics: a torn final frame is normal after a crash).
+  Log log;
+  // True if the file ended exactly on a frame boundary (no torn tail).
+  bool clean_end = true;
+  // Bytes of valid frames consumed.
+  std::uint64_t valid_bytes = 0;
+};
+
+// Reads an archive file front to back, stopping at the first bad frame.
+// Returns kNotFound if the file does not exist; other errors only for I/O
+// failures (a corrupt tail is reported via result->clean_end, not an
+// error — that is the expected crash shape).
+Status ReadLogFile(const std::string& path, ReadLogResult* result);
+
+}  // namespace c5::log
+
+#endif  // C5_LOG_LOG_FILE_H_

@@ -1,0 +1,35 @@
+#ifndef C5_LOG_LOG_RECORD_H_
+#define C5_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace c5::log {
+
+// One row write in the replication log (§7.1): "a table ID, a row ID, the
+// write's timestamp, and a full copy of the row version", plus the unused
+// prev_timestamp field the C5 scheduler fills in, and the key so the backup
+// can maintain its own indices.
+//
+// commit_ts doubles as the transaction id: every write of a transaction
+// carries the transaction's commit timestamp, and timestamps are unique.
+struct LogRecord {
+  TableId table = 0;
+  OpType op = OpType::kInsert;
+  bool last_in_txn = false;
+  RowId row = 0;
+  Key key = 0;
+  Timestamp commit_ts = kInvalidTimestamp;
+
+  // Timestamp of the write to the same row that immediately precedes this one
+  // in the log; kInvalidTimestamp (0) for a row's first write. Left zero by
+  // the primary; computed by C5's scheduler during preprocessing (§7.2).
+  Timestamp prev_ts = kInvalidTimestamp;
+
+  Value value;
+};
+
+}  // namespace c5::log
+
+#endif  // C5_LOG_LOG_RECORD_H_

@@ -1,0 +1,114 @@
+#ifndef C5_LOG_LOG_SEGMENT_H_
+#define C5_LOG_LOG_SEGMENT_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "log/log_record.h"
+
+namespace c5::log {
+
+// A fixed-capacity run of log records. Mirrors the paper's segment design
+// (§7.1): a header carries a `preprocessed` flag set by the C5 scheduler
+// once every record's prev_timestamp has been computed, and "transactions
+// never span segment boundaries".
+//
+// base_seq is the global position of records[0] in the whole log; replicas
+// that apply writes out of order use (base_seq + i) with a prefix tracker to
+// compute their monotonic-prefix-consistent visibility watermark.
+class LogSegment {
+ public:
+  explicit LogSegment(std::uint64_t base_seq) : base_seq_(base_seq) {}
+
+  LogSegment(const LogSegment&) = delete;
+  LogSegment& operator=(const LogSegment&) = delete;
+
+  std::uint64_t base_seq() const { return base_seq_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  LogRecord& record(std::size_t i) { return records_[i]; }
+  const LogRecord& record(std::size_t i) const { return records_[i]; }
+  std::vector<LogRecord>& records() { return records_; }
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  void Append(LogRecord rec) { records_.push_back(std::move(rec)); }
+
+  Timestamp MinTimestamp() const {
+    return records_.empty() ? kInvalidTimestamp : records_.front().commit_ts;
+  }
+  Timestamp MaxTimestamp() const {
+    return records_.empty() ? kInvalidTimestamp : records_.back().commit_ts;
+  }
+
+  bool preprocessed() const {
+    return preprocessed_.load(std::memory_order_acquire);
+  }
+  void MarkPreprocessed() {
+    preprocessed_.store(true, std::memory_order_release);
+  }
+  void ResetReplayState() {
+    preprocessed_.store(false, std::memory_order_relaxed);
+    for (LogRecord& r : records_) r.prev_ts = kInvalidTimestamp;
+  }
+
+ private:
+  const std::uint64_t base_seq_;
+  std::vector<LogRecord> records_;
+  std::atomic<bool> preprocessed_{false};
+};
+
+// An immutable-once-built sequence of segments: the backup's input. Owns the
+// segments; replicas receive raw pointers and mutate only replay state
+// (prev_ts / preprocessed), which ResetReplayState() clears between replays
+// so several protocols can be benchmarked against the same log.
+class Log {
+ public:
+  Log() = default;
+  Log(Log&&) = default;
+  Log& operator=(Log&&) = default;
+
+  LogSegment* AppendSegment(std::unique_ptr<LogSegment> seg) {
+    total_records_ += seg->size();
+    segments_.push_back(std::move(seg));
+    return segments_.back().get();
+  }
+
+  std::size_t NumSegments() const { return segments_.size(); }
+  std::size_t NumRecords() const { return total_records_; }
+  LogSegment* segment(std::size_t i) { return segments_[i].get(); }
+  const LogSegment* segment(std::size_t i) const {
+    return segments_[i].get();
+  }
+
+  // Number of transactions = number of last_in_txn markers.
+  std::size_t CountTransactions() const {
+    std::size_t n = 0;
+    for (const auto& seg : segments_) {
+      for (const LogRecord& r : seg->records()) n += r.last_in_txn ? 1 : 0;
+    }
+    return n;
+  }
+
+  Timestamp MaxTimestamp() const {
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      if (!(*it)->empty()) return (*it)->MaxTimestamp();
+    }
+    return kInvalidTimestamp;
+  }
+
+  void ResetReplayState() {
+    for (auto& seg : segments_) seg->ResetReplayState();
+  }
+
+ private:
+  std::vector<std::unique_ptr<LogSegment>> segments_;
+  std::size_t total_records_ = 0;
+};
+
+}  // namespace c5::log
+
+#endif  // C5_LOG_LOG_SEGMENT_H_

@@ -1,0 +1,109 @@
+#ifndef C5_LOG_SEGMENT_SOURCE_H_
+#define C5_LOG_SEGMENT_SOURCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+#include "common/spsc_queue.h"
+#include "log/log_segment.h"
+
+namespace c5::log {
+
+// Uniform input for replica protocols: a stream of log segments in log order.
+// Next() blocks until a segment is available and returns nullptr at
+// end-of-log. Only the backup's scheduler thread calls Next().
+class SegmentSource {
+ public:
+  virtual ~SegmentSource() = default;
+  virtual LogSegment* Next() = 0;
+};
+
+// Replays a prebuilt (coalesced) log: the offline methodology the paper uses
+// for C5-Cicada throughput experiments (§7.1).
+class OfflineSegmentSource : public SegmentSource {
+ public:
+  explicit OfflineSegmentSource(Log* log) : log_(log) {}
+
+  LogSegment* Next() override {
+    if (pos_ >= log_->NumSegments()) return nullptr;
+    return log_->segment(pos_++);
+  }
+
+ private:
+  Log* log_;
+  std::size_t pos_ = 0;
+};
+
+// Wraps a source and delays each segment's delivery (network-latency /
+// slow-shipping injection for tests and benches). `delay_fn` is called with
+// the segment index and returns the delay to sleep before handing it over.
+class DelayedSegmentSource : public SegmentSource {
+ public:
+  using DelayFn = std::function<std::chrono::microseconds(std::size_t)>;
+
+  DelayedSegmentSource(SegmentSource* inner, DelayFn delay_fn)
+      : inner_(inner), delay_fn_(std::move(delay_fn)) {}
+
+  LogSegment* Next() override {
+    LogSegment* seg = inner_->Next();
+    if (seg != nullptr) {
+      const auto d = delay_fn_(index_++);
+      if (d.count() > 0) std::this_thread::sleep_for(d);
+    }
+    return seg;
+  }
+
+ private:
+  SegmentSource* inner_;
+  DelayFn delay_fn_;
+  std::size_t index_ = 0;
+};
+
+// Delivers the first `gate_at` segments of a log, then blocks until Open()
+// is called, then delivers the rest (replica stall injection: models a
+// paused shipping channel or an unresponsive backup).
+class GatedSegmentSource : public SegmentSource {
+ public:
+  GatedSegmentSource(Log* log, std::size_t gate_at)
+      : log_(log), gate_at_(gate_at) {}
+
+  void Open() { open_.store(true, std::memory_order_release); }
+
+  LogSegment* Next() override {
+    if (pos_ >= log_->NumSegments()) return nullptr;
+    if (pos_ >= gate_at_) {
+      while (!open_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    return log_->segment(pos_++);
+  }
+
+ private:
+  Log* log_;
+  const std::size_t gate_at_;
+  std::atomic<bool> open_{false};
+  std::size_t pos_ = 0;
+};
+
+// Streams segments from an online primary through an SPSC channel.
+class ChannelSegmentSource : public SegmentSource {
+ public:
+  explicit ChannelSegmentSource(SpscQueue<LogSegment*>* channel)
+      : channel_(channel) {}
+
+  LogSegment* Next() override {
+    auto seg = channel_->Pop();
+    return seg.has_value() ? *seg : nullptr;
+  }
+
+ private:
+  SpscQueue<LogSegment*>* channel_;
+};
+
+}  // namespace c5::log
+
+#endif  // C5_LOG_SEGMENT_SOURCE_H_

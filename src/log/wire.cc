@@ -1,0 +1,114 @@
+#include "log/wire.h"
+
+#include <cstring>
+
+namespace c5::log {
+
+namespace {
+
+template <typename T>
+void PutInt(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));  // little-endian hosts only (x86/ARM LE)
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetInt(std::string_view* in, T* v) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(v, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+constexpr std::size_t kHeaderBytes =
+    sizeof(std::uint32_t) +  // magic
+    sizeof(std::uint64_t) +  // base_seq
+    sizeof(std::uint32_t) +  // record_count
+    sizeof(std::uint32_t) +  // payload_len
+    sizeof(std::uint32_t);   // payload_crc32c
+
+}  // namespace
+
+void EncodeSegment(const LogSegment& segment, std::string* out) {
+  std::string payload;
+  payload.reserve(segment.size() * 48);
+  for (const LogRecord& rec : segment.records()) {
+    PutInt<std::uint32_t>(&payload, rec.table);
+    PutInt<std::uint8_t>(&payload, static_cast<std::uint8_t>(rec.op));
+    PutInt<std::uint8_t>(&payload, rec.last_in_txn ? 1 : 0);
+    PutInt<std::uint64_t>(&payload, rec.row);
+    PutInt<std::uint64_t>(&payload, rec.key);
+    PutInt<std::uint64_t>(&payload, rec.commit_ts);
+    PutInt<std::uint32_t>(&payload,
+                          static_cast<std::uint32_t>(rec.value.size()));
+    payload.append(rec.value);
+  }
+
+  PutInt<std::uint32_t>(out, kSegmentMagic);
+  PutInt<std::uint64_t>(out, segment.base_seq());
+  PutInt<std::uint32_t>(out, static_cast<std::uint32_t>(segment.size()));
+  PutInt<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  PutInt<std::uint32_t>(out, Crc32c(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
+                     std::unique_ptr<LogSegment>* out) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::NotFound("end of stream");
+  }
+  std::string_view in = bytes;
+  std::uint32_t magic = 0, record_count = 0, payload_len = 0, crc = 0;
+  std::uint64_t base_seq = 0;
+  GetInt(&in, &magic);
+  GetInt(&in, &base_seq);
+  GetInt(&in, &record_count);
+  GetInt(&in, &payload_len);
+  GetInt(&in, &crc);
+  if (magic != kSegmentMagic) {
+    return Status::InvalidArgument("bad segment magic");
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("implausible payload length");
+  }
+  if (in.size() < payload_len) {
+    return Status::InvalidArgument("truncated segment payload (torn tail)");
+  }
+  const std::string_view payload = in.substr(0, payload_len);
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return Status::InvalidArgument("segment CRC mismatch");
+  }
+
+  auto segment = std::make_unique<LogSegment>(base_seq);
+  std::string_view rec_in = payload;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    LogRecord rec;
+    std::uint8_t op = 0, last = 0;
+    std::uint32_t value_len = 0;
+    if (!GetInt(&rec_in, &rec.table) || !GetInt(&rec_in, &op) ||
+        !GetInt(&rec_in, &last) || !GetInt(&rec_in, &rec.row) ||
+        !GetInt(&rec_in, &rec.key) || !GetInt(&rec_in, &rec.commit_ts) ||
+        !GetInt(&rec_in, &value_len) || rec_in.size() < value_len) {
+      return Status::InvalidArgument("malformed record in segment payload");
+    }
+    if (op > static_cast<std::uint8_t>(OpType::kDelete)) {
+      return Status::InvalidArgument("unknown op code");
+    }
+    rec.op = static_cast<OpType>(op);
+    rec.last_in_txn = last != 0;
+    rec.prev_ts = kInvalidTimestamp;  // recomputed by the backup (§7.1)
+    rec.value.assign(rec_in.data(), value_len);
+    rec_in.remove_prefix(value_len);
+    segment->Append(std::move(rec));
+  }
+  if (!rec_in.empty()) {
+    return Status::InvalidArgument("trailing bytes in segment payload");
+  }
+
+  *consumed = kHeaderBytes + payload_len;
+  *out = std::move(segment);
+  return Status::Ok();
+}
+
+}  // namespace c5::log

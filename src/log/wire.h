@@ -1,0 +1,64 @@
+#ifndef C5_LOG_WIRE_H_
+#define C5_LOG_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/crc32c.h"
+#include "common/status.h"
+#include "log/log_segment.h"
+
+namespace c5::log {
+
+// Binary wire format for shipped/archived log segments. This is the
+// at-rest and on-the-wire form of the §7.1 log; the in-memory LogSegment is
+// what protocols consume. Layout (all integers little-endian):
+//
+//   segment frame:
+//     u32 magic      'C5SG'
+//     u64 base_seq
+//     u32 record_count
+//     u32 payload_len          (bytes of the records block)
+//     u32 payload_crc32c
+//     [payload: record_count records]
+//
+//   record:
+//     u32 table
+//     u8  op                   (OpType)
+//     u8  last_in_txn
+//     u64 row
+//     u64 key
+//     u64 commit_ts
+//     u32 value_len
+//     [value bytes]
+//
+// prev_timestamp is intentionally NOT serialized: it is dead space the
+// primary leaves for the backup's scheduler (§7.1); decoders initialize it
+// to kInvalidTimestamp and C5's scheduler recomputes it on every replay.
+//
+// CRC32C (common/crc32c.h) over the payload detects torn or corrupted
+// frames; readers stop at the first bad frame, which is exactly
+// write-ahead-log tail semantics.
+
+inline constexpr std::uint32_t kSegmentMagic = 0x47355343u;  // "C5SG"
+
+// Maximum bytes a decoder will accept for one segment payload (a defense
+// against corrupt length fields, not a format limit).
+inline constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
+
+// Appends the segment's wire form to *out.
+void EncodeSegment(const LogSegment& segment, std::string* out);
+
+// Decodes one segment frame from the front of `bytes`. On success sets
+// *consumed to the frame's size and returns the segment. Failure modes:
+//   kNotFound       - fewer bytes than a header (clean end of stream)
+//   kInvalidArgument- bad magic, impossible length, CRC mismatch, or a
+//                     truncated payload (torn tail)
+Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
+                     std::unique_ptr<LogSegment>* out);
+
+}  // namespace c5::log
+
+#endif  // C5_LOG_WIRE_H_

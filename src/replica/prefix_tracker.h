@@ -1,0 +1,106 @@
+#ifndef C5_REPLICA_PREFIX_TRACKER_H_
+#define C5_REPLICA_PREFIX_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/spin_lock.h"
+#include "common/types.h"
+
+namespace c5::replica {
+
+// Tracks out-of-order completion of log records and maintains the contiguous
+// completed prefix, mapping it to a transaction-aligned visibility timestamp.
+//
+// Replica protocols that apply writes out of log order (KuaFu, page/table
+// granularity, the queue-based C5 variant) cannot expose state as writes
+// land — that would violate monotonic prefix consistency (§4: a later write
+// may be applied before an earlier one). Instead, workers Mark() each
+// record's global sequence number as it is applied; a single advancer thread
+// calls Advance(), which walks the contiguous prefix and publishes the
+// commit timestamp of the last *complete transaction* inside it. That
+// timestamp is a valid MPC read point: every record of every transaction at
+// or below it has been applied.
+//
+// Concurrency contract: any thread may Mark(); exactly one thread calls
+// Advance(). Mark() applies backpressure (spins) if a record is more than
+// `capacity` ahead of the watermark, bounding memory.
+class PrefixTracker {
+ public:
+  explicit PrefixTracker(std::size_t capacity = std::size_t{1} << 20)
+      : capacity_(NextPow2(capacity)),
+        mask_(capacity_ - 1),
+        done_(new std::atomic<std::uint8_t>[capacity_]),
+        txn_ts_(new std::atomic<Timestamp>[capacity_]) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      done_[i].store(0, std::memory_order_relaxed);
+      txn_ts_[i].store(kInvalidTimestamp, std::memory_order_relaxed);
+    }
+  }
+
+  PrefixTracker(const PrefixTracker&) = delete;
+  PrefixTracker& operator=(const PrefixTracker&) = delete;
+
+  // Marks record `seq` applied. If the record is the last of its
+  // transaction, pass the transaction's commit timestamp; else
+  // kInvalidTimestamp.
+  void Mark(std::uint64_t seq, Timestamp txn_end_ts) {
+    // Backpressure: never run more than capacity_ ahead of the watermark.
+    while (seq >= watermark_.load(std::memory_order_acquire) + capacity_) {
+      CpuRelax();
+    }
+    const std::size_t slot = seq & mask_;
+    if (txn_end_ts != kInvalidTimestamp) {
+      txn_ts_[slot].store(txn_end_ts, std::memory_order_relaxed);
+    }
+    done_[slot].store(1, std::memory_order_release);
+  }
+
+  // Advances the watermark over completed records; returns the latest
+  // transaction-aligned visibility timestamp (monotonic).
+  Timestamp Advance() {
+    std::uint64_t w = watermark_.load(std::memory_order_relaxed);
+    Timestamp vis = visible_ts_.load(std::memory_order_relaxed);
+    while (done_[w & mask_].load(std::memory_order_acquire) != 0) {
+      const std::size_t slot = w & mask_;
+      const Timestamp ts = txn_ts_[slot].load(std::memory_order_relaxed);
+      if (ts != kInvalidTimestamp) {
+        vis = ts;
+        txn_ts_[slot].store(kInvalidTimestamp, std::memory_order_relaxed);
+      }
+      done_[slot].store(0, std::memory_order_relaxed);
+      ++w;
+      // The watermark store releases the slot for reuse by Mark()'s
+      // backpressure check.
+      watermark_.store(w, std::memory_order_release);
+    }
+    visible_ts_.store(vis, std::memory_order_release);
+    return vis;
+  }
+
+  std::uint64_t watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+  Timestamp visible_ts() const {
+    return visible_ts_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t NextPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> done_;
+  std::unique_ptr<std::atomic<Timestamp>[]> txn_ts_;
+  alignas(64) std::atomic<std::uint64_t> watermark_{0};
+  alignas(64) std::atomic<Timestamp> visible_ts_{kInvalidTimestamp};
+};
+
+}  // namespace c5::replica
+
+#endif  // C5_REPLICA_PREFIX_TRACKER_H_

@@ -1,0 +1,148 @@
+#ifndef C5_REPLICA_REPLICA_H_
+#define C5_REPLICA_REPLICA_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "log/segment_source.h"
+#include "storage/database.h"
+#include "txn/active_txn_tracker.h"
+
+namespace c5::replica {
+
+// Counters every cloned concurrency control protocol maintains.
+struct ReplicaStats {
+  std::atomic<std::uint64_t> applied_writes{0};
+  std::atomic<std::uint64_t> applied_txns{0};
+  std::atomic<std::uint64_t> deferred_writes{0};  // C5: prev-ts misses
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  std::atomic<std::uint64_t> read_only_txns{0};
+};
+
+// A cloned concurrency control protocol: consumes the primary's log and
+// applies it to the backup database while serving monotonic-prefix-consistent
+// read-only transactions.
+//
+// Lifecycle: construct -> Start(source) -> [primary runs / offline replay]
+// -> WaitUntilCaughtUp() -> Stop(). Start spawns the protocol's threads
+// (scheduler, workers, snapshotter as applicable); they exit once `source`
+// returns nullptr and all writes are applied and visible.
+class Replica {
+ public:
+  virtual ~Replica() = default;
+
+  virtual void Start(log::SegmentSource* source) = 0;
+
+  // Blocks until the log is exhausted, every write is applied, and the
+  // visibility watermark covers the whole log. Call before Stop().
+  virtual void WaitUntilCaughtUp() = 0;
+
+  // Joins all protocol threads. Idempotent.
+  virtual void Stop() = 0;
+
+  // MPC read point: read-only transactions reading at this timestamp observe
+  // a state that (a) reflects a contiguous prefix of the primary's log and
+  // (b) only advances (§2.3).
+  virtual Timestamp VisibleTimestamp() const = 0;
+
+  virtual storage::Database& db() = 0;
+  virtual ReplicaStats& stats() = 0;
+  virtual std::string name() const = 0;
+};
+
+// Shared plumbing: visibility watermark, read-only transaction execution,
+// reader registration for GC horizons.
+class ReplicaBase : public Replica {
+ public:
+  explicit ReplicaBase(storage::Database* db) : db_(db) {}
+
+  storage::Database& db() override { return *db_; }
+  ReplicaStats& stats() override { return stats_; }
+
+  Timestamp VisibleTimestamp() const override {
+    return visible_ts_.load(std::memory_order_acquire);
+  }
+
+  // Executes a read-only point query against the current snapshot. Returns
+  // kNotFound for keys absent (or deleted) at the snapshot. Thread-safe;
+  // runs on the caller's thread ("read-only transactions are executed by a
+  // separate set of threads", §4). Virtual because lazy protocols (Query
+  // Fresh, §9) do deferred row instantiation on this path.
+  virtual Status ReadAtVisible(TableId table, Key key, Value* out) {
+    const auto guard = db_->epochs().Enter();
+    txn::ActiveTxnTracker::Scope scope(&readers_);
+    const Timestamp ts = VisibleTimestamp();
+    scope.Set(ts);
+    stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
+    const storage::Version* v = db_->ReadKeyAt(table, key, ts);
+    if (v == nullptr || v->deleted) return Status::NotFound();
+    *out = v->data;
+    return Status::Ok();
+  }
+
+  // Multi-key read-only transaction at one stable snapshot. `fn` receives
+  // the snapshot timestamp and a reader callback.
+  template <typename Fn>
+  void ReadOnlyTxn(Fn&& fn) {
+    const auto guard = db_->epochs().Enter();
+    txn::ActiveTxnTracker::Scope scope(&readers_);
+    const Timestamp ts = VisibleTimestamp();
+    scope.Set(ts);
+    stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
+    fn(ts);
+  }
+
+  // Safe GC horizon for the backup: nothing at or below min(active reader
+  // snapshots, current snapshot) may lose its newest-committed-below version.
+  Timestamp GcHorizon() const {
+    const Timestamp readers = readers_.MinActive();
+    const Timestamp visible = VisibleTimestamp();
+    const Timestamp bound = readers == kMaxTimestamp
+                                ? visible
+                                : std::min(readers, visible);
+    return bound == 0 ? 0 : bound - 1;
+  }
+
+ protected:
+  // Applies one log record to the backup database, installing a committed
+  // version with the record's commit timestamp. The caller guarantees
+  // per-row ordering. Keys are upserted into the backup's index so read-only
+  // transactions can resolve them. Idempotent: a record whose row already
+  // carries a version at or above its commit timestamp was applied by a
+  // previous incarnation of this replica (at-least-once log delivery,
+  // checkpoint resume) and is skipped — but still counted, so caught-up
+  // accounting holds.
+  void ApplyRecord(const log::LogRecord& rec) {
+    storage::Table& table = db_->table(rec.table);
+    table.EnsureRow(rec.row);
+    if (rec.op == OpType::kInsert) db_->index(rec.table).Upsert(rec.key, rec.row);
+    if (table.NewestVisibleTimestamp(rec.row) < rec.commit_ts) {
+      table.InstallCommitted(rec.row, rec.commit_ts, rec.value,
+                             rec.op == OpType::kDelete);
+    }
+    stats_.applied_writes.fetch_add(1, std::memory_order_relaxed);
+    if (rec.last_in_txn) {
+      stats_.applied_txns.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void PublishVisible(Timestamp ts) {
+    Timestamp cur = visible_ts_.load(std::memory_order_relaxed);
+    while (cur < ts && !visible_ts_.compare_exchange_weak(
+                           cur, ts, std::memory_order_acq_rel)) {
+    }
+  }
+
+  storage::Database* db_;
+  ReplicaStats stats_;
+  txn::ActiveTxnTracker readers_;
+  std::atomic<Timestamp> visible_ts_{0};
+};
+
+}  // namespace c5::replica
+
+#endif  // C5_REPLICA_REPLICA_H_

@@ -1,0 +1,94 @@
+#include "replica/session.h"
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace c5::replica {
+
+const char* ToString(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kSticky:
+      return "sticky";
+    case RoutingPolicy::kTokenRouted:
+      return "token-routed";
+    case RoutingPolicy::kFreshest:
+      return "freshest";
+  }
+  return "unknown";
+}
+
+ClientSession::ClientSession(const BackupSet* backups, Options options)
+    : backups_(backups), options_(options) {
+  stats_.reads_per_backup.assign(backups_->size(), 0);
+}
+
+ReplicaBase* ClientSession::PickBackup() {
+  const std::size_t n = backups_->size();
+  switch (options_.policy) {
+    case RoutingPolicy::kSticky: {
+      ReplicaBase* b = backups_->at(options_.sticky_index);
+      return b->VisibleTimestamp() >= token_ ? b : nullptr;
+    }
+    case RoutingPolicy::kTokenRouted: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = (rotate_ + i) % n;
+        ReplicaBase* b = backups_->at(idx);
+        if (b->VisibleTimestamp() >= token_) {
+          rotate_ = idx + 1;
+          return b;
+        }
+      }
+      return nullptr;
+    }
+    case RoutingPolicy::kFreshest: {
+      ReplicaBase* best = nullptr;
+      Timestamp best_ts = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ReplicaBase* b = backups_->at(i);
+        const Timestamp ts = b->VisibleTimestamp();
+        if (ts >= token_ && (best == nullptr || ts > best_ts)) {
+          best = b;
+          best_ts = ts;
+        }
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+Status ClientSession::Read(TableId table, Key key, Value* out) {
+  ++stats_.reads;
+  const Stopwatch waited;
+  ReplicaBase* backup = PickBackup();
+  if (backup == nullptr) ++stats_.waits;
+  while (backup == nullptr) {
+    if (options_.wait_timeout.count() > 0 &&
+        waited.ElapsedNanos() >
+            options_.wait_timeout.count() * 1'000'000LL) {
+      ++stats_.timeouts;
+      return Status::TimedOut("no backup covers the session token");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    backup = PickBackup();
+  }
+
+  const Status s = backup->ReadAtVisible(table, key, out);
+
+  // Advance the token to at least the snapshot the read used. The backup's
+  // visibility is monotonic, so its value AFTER the read is >= the snapshot
+  // ReadAtVisible pinned; using it keeps the invariant (and is merely
+  // conservative when the backup advanced mid-read).
+  token_ = std::max(token_, backup->VisibleTimestamp());
+
+  for (std::size_t i = 0; i < backups_->size(); ++i) {
+    if (backups_->at(i) == backup) {
+      ++stats_.reads_per_backup[i];
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace c5::replica

@@ -1,0 +1,122 @@
+#ifndef C5_REPLICA_SESSION_H_
+#define C5_REPLICA_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "replica/replica.h"
+
+namespace c5::replica {
+
+// How a client session picks a backup for each read (§2.3: "MPC can be
+// guaranteed across multiple backups using sticky sessions [55] or with
+// client-tracked metadata").
+enum class RoutingPolicy {
+  // The session is pinned to one backup for its lifetime (Terry et al.'s
+  // sticky sessions). Monotonic reads follow from single-backup MPC; reads
+  // may wait for the pinned backup to cover the session's writes.
+  kSticky = 0,
+  // Client-tracked metadata: the session carries a timestamp token (the
+  // largest snapshot it has observed or written) and any backup whose
+  // visibility covers the token may serve the read. Rotates across eligible
+  // backups for load spreading.
+  kTokenRouted = 1,
+  // Token-routed, but always picks the most caught-up eligible backup
+  // (minimizes staleness at the cost of load skew toward fast backups).
+  kFreshest = 2,
+};
+
+const char* ToString(RoutingPolicy policy);
+
+// A group of backups a session may read from. Backups register once before
+// sessions start (no concurrent registration).
+class BackupSet {
+ public:
+  void Add(ReplicaBase* backup) { backups_.push_back(backup); }
+  std::size_t size() const { return backups_.size(); }
+  ReplicaBase* at(std::size_t i) const { return backups_[i]; }
+
+  // The largest visibility timestamp across the set (diagnostics).
+  Timestamp MaxVisible() const {
+    Timestamp m = 0;
+    for (ReplicaBase* b : backups_) {
+      m = std::max(m, b->VisibleTimestamp());
+    }
+    return m;
+  }
+
+ private:
+  std::vector<ReplicaBase*> backups_;
+};
+
+// A client session providing the two session guarantees that extend
+// monotonic prefix consistency across a set of backups:
+//
+//  * monotonic reads — the snapshots observed by this session's reads never
+//    regress, even when consecutive reads land on different backups;
+//  * read-your-writes — a read issued after OnWrite(commit_ts) observes a
+//    snapshot covering commit_ts.
+//
+// Both reduce to one invariant: every read executes at a snapshot >= the
+// session token, and the token advances to (at least) the snapshot each
+// read used. Sessions are single-client objects; each client thread owns
+// its own.
+class ClientSession {
+ public:
+  struct Options {
+    RoutingPolicy policy = RoutingPolicy::kTokenRouted;
+    // For kSticky: index of the pinned backup in the set.
+    std::size_t sticky_index = 0;
+    // How long Read() waits for some backup to cover the token before
+    // giving up with kTimedOut. Zero means wait forever.
+    std::chrono::milliseconds wait_timeout{0};
+  };
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t waits = 0;          // reads that found no eligible backup
+                                      // on the first scan
+    std::uint64_t timeouts = 0;
+    std::vector<std::uint64_t> reads_per_backup;
+  };
+
+  ClientSession(const BackupSet* backups, Options options);
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  // Records a write this client committed on the primary. `commit_ts` may be
+  // the exact commit timestamp or any upper bound on it (e.g., the primary
+  // clock's latest value right after commit): an upper bound only makes
+  // future reads more conservative, never inconsistent.
+  void OnWrite(Timestamp commit_ts) { token_ = std::max(token_, commit_ts); }
+
+  // Session-consistent point read. Routes per the policy, waiting until an
+  // eligible backup exists (or wait_timeout expires -> kTimedOut). kNotFound
+  // is a successful outcome (key absent at the snapshot).
+  Status Read(TableId table, Key key, Value* out);
+
+  // The session's consistency token: no future read will observe a snapshot
+  // below it.
+  Timestamp token() const { return token_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Returns an eligible backup for the current token, or nullptr if none.
+  ReplicaBase* PickBackup();
+
+  const BackupSet* backups_;
+  Options options_;
+  Timestamp token_ = 0;
+  std::size_t rotate_ = 0;  // next scan start for kTokenRouted
+  Stats stats_;
+};
+
+}  // namespace c5::replica
+
+#endif  // C5_REPLICA_SESSION_H_

@@ -1,0 +1,63 @@
+#ifndef C5_SIM_LAG_MODEL_H_
+#define C5_SIM_LAG_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace c5::sim {
+
+// Discrete-event model of the paper's §3.1 system: a primary with m cores
+// running 2PL (FIFO lock grants, one core per transaction, operations take e
+// time units) and a backup with m cores whose cloned concurrency control is
+// parameterized by granularity (operations take d <= e time units).
+//
+// The workload is the proof's adversarial construction: each transaction
+// performs n-1 writes to unique keys followed by one write to the shared hot
+// key k0; a new transaction arrives every e time units.
+//
+// The simulator reproduces the closed forms in the proof of Theorem 1:
+//   f_p(T_i) = (n + i) e                      (primary, for m > n)
+//   f_b(T_i) = n e + (i + 1) n d              (transaction granularity)
+//   lag(T_i) = i (n d - e) + n d              (unbounded in i when nd > e)
+// and shows row granularity's lag is bounded (Theorem 2 / §4.1.1).
+struct SimConfig {
+  int cores = 64;           // m
+  double primary_op_cost = 1.0;   // e
+  double backup_op_cost = 1.0;    // d (must be <= e)
+  int writes_per_txn = 4;         // n (proof needs n > e/d)
+  int num_txns = 1000;
+  int rows_per_page = 64;   // for page granularity: uniques per transaction
+                            // land on one page (§3.1.1's construction)
+};
+
+enum class BackupGranularity {
+  kTransaction = 0,
+  kPage = 1,
+  kRow = 2,
+};
+
+struct SimResult {
+  std::vector<double> primary_finish;  // f_p(T_i)
+  std::vector<double> backup_finish;   // f_b(T_i)
+
+  double Lag(int i) const { return backup_finish[i] - primary_finish[i]; }
+  double MaxLag() const;
+  double FinalLag() const { return Lag(static_cast<int>(backup_finish.size()) - 1); }
+};
+
+// Simulates the primary's 2PL execution: each transaction occupies one core;
+// its n-1 unique writes run serially on that core; the final hot write waits
+// for the k0 lock in FIFO order and the lock is released at transaction end.
+std::vector<double> SimulatePrimary(const SimConfig& config);
+
+// Simulates the backup under the given granularity. `primary_finish[i]` is
+// when transaction i's log entry becomes available (instant delivery, §2.4).
+SimResult SimulateBackup(const SimConfig& config, BackupGranularity g);
+
+// Closed-form lag from the proof of Theorem 1 for transaction granularity,
+// for cross-checking the simulator: i (nd - e) + nd (when nd > e).
+double TheoremOneLag(const SimConfig& config, int i);
+
+}  // namespace c5::sim
+
+#endif  // C5_SIM_LAG_MODEL_H_

@@ -1,0 +1,55 @@
+#ifndef C5_STORAGE_CHECKPOINT_H_
+#define C5_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/database.h"
+
+namespace c5::storage {
+
+// Consistent backup checkpoints: a point-in-time copy of the database at a
+// snapshot timestamp, written to a single file. Together with the log
+// archive (log/log_file.h) this closes the recovery loop of §9's database
+// recovery model: a restarting backup loads the newest checkpoint and
+// resumes the archived log from the checkpoint timestamp
+// (ha::ResumeSegmentSource) instead of replaying history from zero.
+//
+// The checkpointer reads at the replica's visible snapshot `ts`, so it
+// captures a monotonic-prefix-consistent state by construction — the same
+// guarantee read-only transactions get — and can run concurrently with
+// workers applying writes above `ts` (the multi-version store keeps the
+// snapshot stable; hold no latches).
+//
+// File layout (little-endian):
+//   u32 magic 'C5CP'   u64 checkpoint_ts   u32 table_count
+//   per table: u32 table_id  u64 entry_count
+//     per entry: u64 key  u64 row  u64 write_ts  u8 deleted
+//                u32 value_len  [value]
+//   u32 crc32c over everything after the magic
+//
+// Rows are addressed by key through each table's index; write_ts is the
+// version's original commit timestamp, so a loaded checkpoint is
+// indistinguishable from a replica that applied the prefix normally (the
+// resume path's idempotency checks keep working).
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x50433543u;  // "C5CP"
+
+// Writes a checkpoint of `db` at snapshot `ts` to `path` (atomically:
+// written to a temp file, fsynced, renamed). The caller must hold no
+// references that prevent reading at `ts` (an epoch guard is taken
+// internally).
+Status WriteCheckpoint(const Database& db, Timestamp ts,
+                       const std::string& path);
+
+// Loads a checkpoint into `db`, which must have the same schema (tables
+// created in the same order) and be otherwise empty. On success,
+// *checkpoint_ts is the snapshot timestamp to resume the log from.
+Status LoadCheckpoint(Database* db, const std::string& path,
+                      Timestamp* checkpoint_ts);
+
+}  // namespace c5::storage
+
+#endif  // C5_STORAGE_CHECKPOINT_H_

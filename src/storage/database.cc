@@ -1,0 +1,25 @@
+#include "storage/database.h"
+
+namespace c5::storage {
+
+TableId Database::CreateTable(std::string name) {
+  tables_.push_back(std::make_unique<Table>(std::move(name)));
+  indexes_.push_back(std::make_unique<index::HashIndex>());
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+std::size_t Database::CollectGarbage(Timestamp horizon) {
+  std::size_t total = 0;
+  for (auto& t : tables_) total += t->CollectGarbage(horizon, epochs_);
+  total += 0;
+  epochs_.ReclaimSome();
+  return total;
+}
+
+const Version* Database::ReadKeyAt(TableId tid, Key key, Timestamp ts) const {
+  const auto row = indexes_[tid]->Lookup(key);
+  if (!row.has_value()) return nullptr;
+  return tables_[tid]->ReadAt(*row, ts);
+}
+
+}  // namespace c5::storage

@@ -1,0 +1,62 @@
+#ifndef C5_STORAGE_DATABASE_H_
+#define C5_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/types.h"
+#include "index/hash_index.h"
+#include "storage/epoch.h"
+#include "storage/table.h"
+
+namespace c5::storage {
+
+// A database: a set of multi-version tables, each paired with a key -> row-id
+// hash index, plus the epoch manager that protects version reclamation.
+//
+// Two Database instances play the primary and backup in replication
+// experiments. Table ids are assigned in creation order, so creating the
+// same schema on both sides yields matching ids (the replication log
+// addresses tables by id).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table (and its index); returns its id. Not thread-safe against
+  // concurrent DDL (schema setup happens before execution starts).
+  TableId CreateTable(std::string name);
+
+  Table& table(TableId id) { return *tables_[id]; }
+  const Table& table(TableId id) const { return *tables_[id]; }
+  index::HashIndex& index(TableId id) { return *indexes_[id]; }
+  const index::HashIndex& index(TableId id) const { return *indexes_[id]; }
+
+  std::size_t NumTables() const { return tables_.size(); }
+
+  EpochManager& epochs() { return epochs_; }
+
+  // Truncates all version chains below `horizon` across all tables and
+  // reclaims eligible garbage. Callers guarantee no reader is at or below
+  // horizon (e.g., horizon = snapshotter's current snapshot minus active
+  // reader margin).
+  std::size_t CollectGarbage(Timestamp horizon);
+
+  // Convenience read: resolve key through the index, then read at ts.
+  // Returns nullptr for absent keys, tombstoned rows included (caller checks
+  // deleted flag via the returned version).
+  const Version* ReadKeyAt(TableId tid, Key key, Timestamp ts) const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<index::HashIndex>> indexes_;
+  EpochManager epochs_;
+};
+
+}  // namespace c5::storage
+
+#endif  // C5_STORAGE_DATABASE_H_

@@ -1,0 +1,111 @@
+#include "storage/epoch.h"
+
+#include <algorithm>
+
+#include "common/spin_lock.h"
+
+namespace c5::storage {
+
+namespace {
+// Start-of-scan hint so a thread usually reacquires the slot it just
+// released. Purely a performance hint; correctness never depends on it.
+thread_local int tls_slot_hint = 0;
+}  // namespace
+
+EpochManager::EpochManager() = default;
+
+EpochManager::~EpochManager() {
+  // All readers must be gone by now; free any leftovers.
+  ReclaimAllUnsafe();
+}
+
+EpochManager& EpochManager::Default() {
+  static EpochManager* instance = new EpochManager();
+  return *instance;
+}
+
+int EpochManager::AcquireSlot() {
+  const int start = tls_slot_hint % kMaxThreads;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    const int idx = (start + i) % kMaxThreads;
+    bool expected = false;
+    if (!slots_[idx].in_use.load(std::memory_order_relaxed) &&
+        slots_[idx].in_use.compare_exchange_strong(
+            expected, true, std::memory_order_acquire)) {
+      tls_slot_hint = idx;
+      return idx;
+    }
+  }
+  // More concurrent critical sections than kMaxThreads; give up on
+  // reclamation protection by pinning epoch 0 forever would be wrong, so
+  // treat as fatal configuration error.
+  std::abort();
+}
+
+EpochManager::Guard::Guard(EpochManager* mgr) : mgr_(mgr) {
+  slot_ = mgr_->AcquireSlot();
+  // seq_cst so the epoch publication is ordered before any subsequent chain
+  // traversal, and visible to a concurrent MinActiveEpoch() scan.
+  mgr_->slots_[slot_].epoch.store(
+      mgr_->global_epoch_.load(std::memory_order_acquire),
+      std::memory_order_seq_cst);
+}
+
+EpochManager::Guard::~Guard() {
+  mgr_->slots_[slot_].epoch.store(kIdleEpoch, std::memory_order_release);
+  mgr_->slots_[slot_].in_use.store(false, std::memory_order_release);
+}
+
+void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(RetiredItem{ptr, deleter, e});
+  }
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t EpochManager::MinActiveEpoch() const {
+  std::uint64_t min_epoch = kIdleEpoch;
+  for (const Slot& s : slots_) {
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    min_epoch = std::min(min_epoch, e);
+  }
+  return min_epoch;
+}
+
+std::size_t EpochManager::ReclaimSome() {
+  // Advance the epoch so future retirements are distinguishable from the
+  // garbage we are about to examine.
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t min_active = MinActiveEpoch();
+
+  std::vector<RetiredItem> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    auto keep_end = std::partition(
+        retired_.begin(), retired_.end(),
+        [min_active](const RetiredItem& item) {
+          return item.epoch >= min_active;
+        });
+    to_free.assign(std::make_move_iterator(keep_end),
+                   std::make_move_iterator(retired_.end()));
+    retired_.erase(keep_end, retired_.end());
+  }
+  for (const RetiredItem& item : to_free) item.deleter(item.ptr);
+  retired_count_.fetch_sub(to_free.size(), std::memory_order_relaxed);
+  return to_free.size();
+}
+
+std::size_t EpochManager::ReclaimAllUnsafe() {
+  std::vector<RetiredItem> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    to_free.swap(retired_);
+  }
+  for (const RetiredItem& item : to_free) item.deleter(item.ptr);
+  retired_count_.fetch_sub(to_free.size(), std::memory_order_relaxed);
+  return to_free.size();
+}
+
+}  // namespace c5::storage

@@ -1,0 +1,105 @@
+#ifndef C5_STORAGE_EPOCH_H_
+#define C5_STORAGE_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace c5::storage {
+
+// Epoch-based memory reclamation for version chains.
+//
+// Readers traverse version chains lock-free, so a version unlinked by garbage
+// collection may still be referenced by an in-flight reader. Every reader
+// enters a critical section through Guard; unlinked versions are Retire()d
+// and freed only once every thread that might have observed them has left its
+// critical section (i.e., the minimum active epoch has advanced past the
+// retirement epoch).
+//
+// This is a classic three-phase EBR scheme kept deliberately small:
+//  * Enter() publishes the thread's view of the global epoch.
+//  * Retire() stamps garbage with the current global epoch.
+//  * ReclaimSome() advances the global epoch when possible and frees garbage
+//    whose epoch is strictly below the minimum active epoch.
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 512;
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // RAII critical-section marker. Cheap: one seq_cst store on entry, one
+  // relaxed store on exit. Re-entrant guards are supported via a depth count.
+  class Guard {
+   public:
+    explicit Guard(EpochManager* mgr);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager* mgr_;
+    int slot_;
+  };
+
+  Guard Enter() { return Guard(this); }
+
+  // Registers `ptr` for deferred deletion. May be called inside or outside a
+  // critical section. `deleter` must be callable from any thread.
+  void Retire(void* ptr, void (*deleter)(void*));
+
+  // Attempts to advance the global epoch and frees all eligible garbage.
+  // Returns the number of objects freed. Safe to call from any thread;
+  // internally serialized.
+  std::size_t ReclaimSome();
+
+  // Frees everything regardless of epochs. Only call when no thread can be
+  // inside a critical section (e.g., after joining all workers).
+  std::size_t ReclaimAllUnsafe();
+
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  std::size_t RetiredCountApprox() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  // Process-wide default instance.
+  static EpochManager& Default();
+
+ private:
+  friend class Guard;
+
+  struct Slot {
+    alignas(64) std::atomic<std::uint64_t> epoch{kIdleEpoch};
+    std::atomic<int> depth{0};
+    std::atomic<bool> in_use{false};
+  };
+
+  struct RetiredItem {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  int AcquireSlot();
+  std::uint64_t MinActiveEpoch() const;
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  Slot slots_[kMaxThreads];
+
+  std::mutex retired_mu_;
+  std::vector<RetiredItem> retired_;
+  std::atomic<std::size_t> retired_count_{0};
+};
+
+}  // namespace c5::storage
+
+#endif  // C5_STORAGE_EPOCH_H_

@@ -1,0 +1,46 @@
+#include "storage/logical_snapshot.h"
+
+namespace c5::storage {
+
+void LogicalSnapshot::Apply(Write w) {
+  const auto key = std::make_pair(w.table, w.row);
+  if (w.op == OpType::kDelete) {
+    state_[key] = std::nullopt;
+  } else {
+    state_[key] = w.value;
+  }
+  writes_.push_back(std::move(w));
+}
+
+LogicalSnapshot LogicalSnapshot::Merge(LogicalSnapshot s1,
+                                       LogicalSnapshot s2) {
+  // All of s1's writes precede all of s2's, so s2's state overrides s1's.
+  LogicalSnapshot s3 = std::move(s1);
+  for (auto& w : s2.writes_) {
+    s3.Apply(std::move(w));
+  }
+  return s3;
+}
+
+std::optional<Value> LogicalSnapshot::Read(TableId table, Key row) const {
+  const auto it = state_.find(std::make_pair(table, row));
+  if (it == state_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LogicalSnapshot::StateEquals(const LogicalSnapshot& other) const {
+  // Compare over the union of touched rows.
+  for (const auto& [key, value] : state_) {
+    const auto theirs = other.Read(key.first, key.second);
+    const auto ours = Read(key.first, key.second);
+    if (ours != theirs) return false;
+  }
+  for (const auto& [key, value] : other.state_) {
+    const auto theirs = other.Read(key.first, key.second);
+    const auto ours = Read(key.first, key.second);
+    if (ours != theirs) return false;
+  }
+  return true;
+}
+
+}  // namespace c5::storage

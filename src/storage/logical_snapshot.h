@@ -1,0 +1,79 @@
+#ifndef C5_STORAGE_LOGICAL_SNAPSHOT_H_
+#define C5_STORAGE_LOGICAL_SNAPSHOT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace c5::storage {
+
+// Direct implementation of the paper's Table 2 logical storage interface:
+//
+//   NewSnapshot(D) -> S     Create empty snapshot.
+//   Merge(S1, S2) -> S3     S3 reflects all writes to both, in order.
+//   Read(S, r) -> v         Read value from snapshot.
+//   Insert/Update/Delete    Add a write to a snapshot.
+//
+// "Logically, a snapshot is a sequence of writes" (§4.2). This class models
+// that semantics literally: it records the ordered write sequence and
+// materializes reads by last-writer-wins. C5-Cicada realizes the same API
+// implicitly through version timestamps (see core/snapshotter.h); this
+// explicit form documents the contract, backs the snapshotter's unit tests,
+// and is useful for model-checking the three-snapshot rotation.
+class LogicalSnapshot {
+ public:
+  struct Write {
+    OpType op;
+    TableId table;
+    Key row;
+    Value value;
+  };
+
+  LogicalSnapshot() = default;
+
+  // Table 2: NewSnapshot(D) -> S.
+  static LogicalSnapshot NewSnapshot() { return LogicalSnapshot(); }
+
+  // Table 2: Merge(S1, S2) -> S3 ("all writes in S1 ordered before those in
+  // S2"). Consumes both inputs.
+  static LogicalSnapshot Merge(LogicalSnapshot s1, LogicalSnapshot s2);
+
+  // Table 2: Read(S, r) -> v. Returns nullopt if the row is absent or its
+  // last write was a delete.
+  std::optional<Value> Read(TableId table, Key row) const;
+
+  // Table 2 write operations. Insert/Update are distinguished only for log
+  // fidelity; both set the row's value.
+  void Insert(TableId table, Key row, Value value) {
+    Apply({OpType::kInsert, table, row, std::move(value)});
+  }
+  void Update(TableId table, Key row, Value value) {
+    Apply({OpType::kUpdate, table, row, std::move(value)});
+  }
+  void Delete(TableId table, Key row) {
+    Apply({OpType::kDelete, table, row, Value()});
+  }
+
+  const std::vector<Write>& writes() const { return writes_; }
+  std::size_t WriteCount() const { return writes_.size(); }
+  bool Empty() const { return writes_.empty(); }
+
+  // Equality of materialized state (not of write sequences): two snapshots
+  // are state-equal if every row reads the same in both.
+  bool StateEquals(const LogicalSnapshot& other) const;
+
+ private:
+  void Apply(Write w);
+
+  std::vector<Write> writes_;
+  // Materialized last-writer-wins state for O(log n) reads.
+  std::map<std::pair<TableId, Key>, std::optional<Value>> state_;
+};
+
+}  // namespace c5::storage
+
+#endif  // C5_STORAGE_LOGICAL_SNAPSHOT_H_

@@ -1,0 +1,75 @@
+#ifndef C5_STORAGE_VERSION_H_
+#define C5_STORAGE_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace c5::storage {
+
+// Lifecycle of a version in the chain. The MVTSO engine installs kPending
+// versions during execution and flips them at commit/abort; the 2PL engine
+// and all replica protocols install kCommitted versions directly.
+enum class VersionStatus : std::uint8_t {
+  kPending = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+// One entry in a row's version list. Entries are linked newest-to-oldest in
+// descending write-timestamp order (Cicada's layout, §7.1 of the paper).
+//
+// Immutable after publication: write_ts, data, deleted. Mutable: read_ts
+// (CAS-max by readers), status (pending -> committed/aborted), next (only
+// changed by GC unlink).
+struct Version {
+  Version(Timestamp ts, Value value, bool is_delete)
+      : write_ts(ts),
+        read_ts(0),
+        status(VersionStatus::kPending),
+        deleted(is_delete),
+        next(nullptr),
+        data(std::move(value)) {}
+
+  // Advances read_ts to at least `ts` (CAS-max loop).
+  void ObserveRead(Timestamp ts) {
+    Timestamp cur = read_ts.load(std::memory_order_relaxed);
+    while (cur < ts && !read_ts.compare_exchange_weak(
+                           cur, ts, std::memory_order_acq_rel)) {
+    }
+  }
+
+  VersionStatus Status() const {
+    return status.load(std::memory_order_acquire);
+  }
+  void SetStatus(VersionStatus s) {
+    status.store(s, std::memory_order_release);
+  }
+
+  Version* Next() const { return next.load(std::memory_order_acquire); }
+
+  const Timestamp write_ts;
+  std::atomic<Timestamp> read_ts;
+  std::atomic<VersionStatus> status;
+  const bool deleted;  // tombstone flag
+  std::atomic<Version*> next;
+  const Value data;
+};
+
+inline void DeleteVersion(void* v) { delete static_cast<Version*>(v); }
+
+// Deletes an entire chain (used when reclaiming a truncated tail: the tail
+// links are no longer reachable by readers once the unlink epoch expires).
+inline void DeleteVersionChain(void* v) {
+  auto* cur = static_cast<Version*>(v);
+  while (cur != nullptr) {
+    Version* next = cur->next.load(std::memory_order_relaxed);
+    delete cur;
+    cur = next;
+  }
+}
+
+}  // namespace c5::storage
+
+#endif  // C5_STORAGE_VERSION_H_

@@ -1,0 +1,88 @@
+#ifndef C5_TXN_ACTIVE_TXN_TRACKER_H_
+#define C5_TXN_ACTIVE_TXN_TRACKER_H_
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace c5::txn {
+
+// Publishes the timestamps of in-flight transactions so garbage collection
+// can compute a safe horizon: versions older than the newest committed
+// version at or below min(active timestamps) can never be read again.
+//
+// Registration protocol: a transaction registers BEFORE drawing its
+// timestamp (pinning the horizon at the conservative floor of 1), then
+// publishes its real timestamp with Set(). This closes the race where GC
+// computes a horizon between timestamp assignment and registration.
+class ActiveTxnTracker {
+ public:
+  static constexpr int kMaxSlots = 512;
+  // Conservative placeholder pinned between registration and Set().
+  static constexpr Timestamp kPinnedFloor = 1;
+
+  ActiveTxnTracker() = default;
+  ActiveTxnTracker(const ActiveTxnTracker&) = delete;
+  ActiveTxnTracker& operator=(const ActiveTxnTracker&) = delete;
+
+  // RAII registration of one active transaction.
+  class Scope {
+   public:
+    explicit Scope(ActiveTxnTracker* tracker) : tracker_(tracker) {
+      slot_ = tracker_->Acquire();
+    }
+    ~Scope() { tracker_->Release(slot_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    // Publishes the transaction's actual timestamp.
+    void Set(Timestamp ts) {
+      tracker_->slots_[slot_].ts.store(ts, std::memory_order_release);
+    }
+
+   private:
+    ActiveTxnTracker* tracker_;
+    int slot_;
+  };
+
+  // Minimum timestamp among active transactions, or kMaxTimestamp if none.
+  Timestamp MinActive() const {
+    Timestamp min_ts = kMaxTimestamp;
+    for (const Slot& s : slots_) {
+      const Timestamp ts = s.ts.load(std::memory_order_seq_cst);
+      if (ts < min_ts) min_ts = ts;
+    }
+    return min_ts;
+  }
+
+ private:
+  friend class Scope;
+
+  struct Slot {
+    alignas(64) std::atomic<Timestamp> ts{kMaxTimestamp};
+    std::atomic<bool> used{false};
+  };
+
+  int Acquire() {
+    for (int i = 0;; i = (i + 1) % kMaxSlots) {
+      bool expected = false;
+      if (!slots_[i].used.load(std::memory_order_relaxed) &&
+          slots_[i].used.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acquire)) {
+        slots_[i].ts.store(kPinnedFloor, std::memory_order_seq_cst);
+        return i;
+      }
+    }
+  }
+
+  void Release(int slot) {
+    slots_[slot].ts.store(kMaxTimestamp, std::memory_order_release);
+    slots_[slot].used.store(false, std::memory_order_release);
+  }
+
+  Slot slots_[kMaxSlots];
+};
+
+}  // namespace c5::txn
+
+#endif  // C5_TXN_ACTIVE_TXN_TRACKER_H_

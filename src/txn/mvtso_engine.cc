@@ -1,0 +1,290 @@
+#include "txn/mvtso_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "storage/table.h"
+#include "storage/version.h"
+
+namespace c5::txn {
+
+using storage::InstallResult;
+using storage::Version;
+using storage::VersionStatus;
+
+namespace {
+
+struct BufferedWrite {
+  TableId table;
+  RowId row;
+  Key key;
+  OpType op;
+  Value value;
+};
+
+struct ReadEntry {
+  TableId table;
+  RowId row;
+  const Version* observed;  // nullptr = observed absence of any version
+};
+
+// Newest non-aborted version with write_ts strictly below `ts`, waiting out
+// pending versions (their writers resolve promptly). Unlike Table::ReadAt,
+// excludes write_ts == ts so a transaction never self-waits on its own
+// pending versions during validation.
+const Version* NewestCommittedBelow(const storage::Table& table, RowId row,
+                                    Timestamp ts) {
+  // Table::ReadAt(ts - 1) implements exactly "newest committed <= ts - 1".
+  if (ts == 0) return nullptr;
+  return table.ReadAt(row, ts - 1);
+}
+
+}  // namespace
+
+class MvtsoEngine::MvtsoTxn : public Txn {
+ public:
+  MvtsoTxn(MvtsoEngine* engine, Timestamp ts) : engine_(engine), ts_(ts) {}
+
+  Timestamp timestamp() const override { return ts_; }
+
+  Status Read(TableId table, Key key, Value* out) override {
+    // Read-your-writes: newest buffered write to this key wins.
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+      if (it->table == table && it->key == key) {
+        if (it->op == OpType::kDelete) return Status::NotFound();
+        *out = it->value;
+        return Status::Ok();
+      }
+    }
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    const Version* v = db.table(table).ReadAt(*row, ts_);
+    // Record the observation (including observed absence) for validation.
+    reads_.push_back(ReadEntry{table, *row, v});
+    if (v == nullptr || v->deleted) return Status::NotFound();
+    const_cast<Version*>(v)->ObserveRead(ts_);
+    *out = v->data;
+    return Status::Ok();
+  }
+
+  Status ReadForUpdate(TableId table, Key key, Value* out) override {
+    // MVTSO: read validation + the predecessor read-timestamp check already
+    // make read-modify-write safe; a plain read suffices.
+    return Read(table, key, out);
+  }
+
+  Status Insert(TableId table, Key key, Value value) override {
+    storage::Database& db = engine_->db();
+    auto row = db.index(table).Lookup(key);
+    if (row.has_value()) {
+      const Version* v = db.table(table).ReadAt(*row, ts_);
+      if (v != nullptr && !v->deleted) return Status::AlreadyExists();
+    } else {
+      const RowId fresh = db.table(table).AllocateRow();
+      if (db.index(table).Insert(key, fresh)) {
+        row = fresh;
+      } else {
+        // Lost an insert race; the slot is wasted, reuse the winner's row.
+        row = db.index(table).Lookup(key);
+        assert(row.has_value());
+      }
+    }
+    Buffer(table, *row, key, OpType::kInsert, std::move(value));
+    return Status::Ok();
+  }
+
+  Status Update(TableId table, Key key, Value value) override {
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    Buffer(table, *row, key, OpType::kUpdate, std::move(value));
+    return Status::Ok();
+  }
+
+  Status Delete(TableId table, Key key) override {
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    Buffer(table, *row, key, OpType::kDelete, Value());
+    return Status::Ok();
+  }
+
+  Status Put(TableId table, Key key, Value value) override {
+    storage::Database& db = engine_->db();
+    auto row = db.index(table).Lookup(key);
+    OpType op = OpType::kUpdate;
+    if (!row.has_value()) {
+      const RowId fresh = db.table(table).AllocateRow();
+      if (db.index(table).Insert(key, fresh)) {
+        row = fresh;
+      } else {
+        row = db.index(table).Lookup(key);
+        assert(row.has_value());
+      }
+      op = OpType::kInsert;
+    }
+    Buffer(table, *row, key, op, std::move(value));
+    return Status::Ok();
+  }
+
+  // Installs pending versions, validates reads, logs, and commits.
+  Status Commit() {
+    storage::Database& db = engine_->db();
+    if (writes_.empty()) {
+      // Read-only transactions still validate: ObserveRead() and a
+      // concurrent writer's read-timestamp check can race (the writer may
+      // install-and-commit between our version lookup and our read-timestamp
+      // publication), so re-check that each observed version is still the
+      // newest committed one below our timestamp.
+      for (const ReadEntry& r : reads_) {
+        const Version* now =
+            NewestCommittedBelow(db.table(r.table), r.row, ts_);
+        if (now != r.observed) {
+          return Status::Aborted("read-only validation failed");
+        }
+      }
+      return Status::Ok();
+    }
+
+    // (1) Deduplicate per row, keeping operation order of the survivors.
+    std::vector<BufferedWrite*> final_writes;
+    final_writes.reserve(writes_.size());
+    for (auto& w : writes_) {
+      bool superseded = false;
+      // Scan later writes for the same row.
+      for (auto* fw : final_writes) {
+        if (fw->table == w.table && fw->row == w.row) {
+          // Later write replaces the earlier one, but an insert-then-update
+          // pair stays an insert so the backup knows the row is new.
+          const bool keep_insert =
+              fw->op == OpType::kInsert && w.op != OpType::kDelete;
+          *fw = w;
+          if (keep_insert) fw->op = OpType::kInsert;
+          superseded = true;
+          break;
+        }
+      }
+      if (!superseded) final_writes.push_back(&w);
+    }
+
+    // (2) Install pending versions (sorted by (table,row) for determinism).
+    std::sort(final_writes.begin(), final_writes.end(),
+              [](const BufferedWrite* a, const BufferedWrite* b) {
+                return std::tie(a->table, a->row) < std::tie(b->table, b->row);
+              });
+    std::vector<std::pair<BufferedWrite*, Version*>> installed;
+    installed.reserve(final_writes.size());
+    for (auto* w : final_writes) {
+      auto* v = new Version(ts_, w->value, w->op == OpType::kDelete);
+      const InstallResult res = db.table(w->table).TryInstallPending(w->row, v);
+      if (res != InstallResult::kOk) {
+        delete v;
+        AbortInstalled(installed);
+        return Status::Aborted(res == InstallResult::kWriteConflict
+                                   ? "write-write conflict"
+                                   : "read-timestamp conflict");
+      }
+      installed.push_back({w, v});
+      // Cicada's install-then-validate order: re-check the predecessor's
+      // read timestamp AFTER our pending version is linked. A reader
+      // publishes its read timestamp before it validates, so exactly one of
+      // us observes the other (checking only before the CAS would let a
+      // racing reader and writer both commit inconsistently).
+      const Version* below = v->Next();
+      while (below != nullptr &&
+             below->Status() == storage::VersionStatus::kAborted) {
+        below = below->Next();
+      }
+      if (below != nullptr &&
+          below->read_ts.load(std::memory_order_acquire) > ts_) {
+        AbortInstalled(installed);
+        return Status::Aborted("read-timestamp conflict (post-install)");
+      }
+    }
+
+    // (3) Validate reads: the version observed must still be the newest
+    // committed one strictly below our timestamp (our own pendings have
+    // write_ts == ts_ and are skipped by construction).
+    for (const ReadEntry& r : reads_) {
+      const Version* now = NewestCommittedBelow(db.table(r.table), r.row, ts_);
+      if (now != r.observed) {
+        AbortInstalled(installed);
+        return Status::Aborted("read validation failed");
+      }
+    }
+
+    // (4) Log after validation, before visibility.
+    if (engine_->collector_ != nullptr) {
+      std::vector<log::LogRecord> records;
+      records.reserve(installed.size());
+      for (auto& [w, v] : installed) {
+        log::LogRecord rec;
+        rec.table = w->table;
+        rec.op = w->op;
+        rec.row = w->row;
+        rec.key = w->key;
+        rec.commit_ts = ts_;
+        rec.value = w->value;
+        records.push_back(std::move(rec));
+      }
+      records.back().last_in_txn = true;
+      engine_->collector_->LogCommit(std::move(records));
+    }
+
+    // (5) Make the writes visible.
+    for (auto& [w, v] : installed) v->SetStatus(VersionStatus::kCommitted);
+    return Status::Ok();
+  }
+
+ private:
+  void Buffer(TableId table, RowId row, Key key, OpType op, Value value) {
+    writes_.push_back(BufferedWrite{table, row, key, op, std::move(value)});
+  }
+
+  void AbortInstalled(
+      const std::vector<std::pair<BufferedWrite*, Version*>>& installed) {
+    storage::Database& db = engine_->db();
+    for (const auto& [w, v] : installed) {
+      db.table(w->table).AbortPending(w->row, v, db.epochs());
+    }
+  }
+
+  MvtsoEngine* engine_;
+  const Timestamp ts_;
+  std::vector<BufferedWrite> writes_;
+  std::vector<ReadEntry> reads_;
+};
+
+MvtsoEngine::MvtsoEngine(storage::Database* db, log::LogCollector* collector,
+                         TxnClock* clock)
+    : db_(db), collector_(collector), clock_(clock) {}
+
+Status MvtsoEngine::Execute(const TxnFn& fn) {
+  const auto guard = db_->epochs().Enter();
+  ActiveTxnTracker::Scope scope(&active_);
+  const Timestamp ts = clock_->Next();
+  scope.Set(ts);
+
+  MvtsoTxn txn(this, ts);
+  Status body = fn(txn);
+  if (body.code() == StatusCode::kCancelled) {
+    // Explicit rollback: nothing was installed (installs happen at commit).
+    stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
+    return body;
+  }
+  if (!body.ok()) {
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    return body;
+  }
+  Status commit = txn.Commit();
+  if (commit.ok()) {
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return commit;
+}
+
+}  // namespace c5::txn

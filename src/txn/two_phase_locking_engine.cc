@@ -1,0 +1,275 @@
+#include "txn/two_phase_locking_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/version.h"
+
+namespace c5::txn {
+
+using storage::Version;
+
+namespace {
+
+struct BufferedWrite {
+  TableId table;
+  RowId row;
+  Key key;
+  OpType op;
+  Value value;
+};
+
+struct HeldLock {
+  TableId table;
+  RowId row;
+};
+
+}  // namespace
+
+class TwoPhaseLockingEngine::TplTxn : public Txn {
+ public:
+  TplTxn(TwoPhaseLockingEngine* engine, LockManager::TxnId id)
+      : engine_(engine),
+        id_(id),
+        deadline_(std::chrono::steady_clock::now() +
+                  engine->options_.lock_wait_timeout) {}
+
+  Timestamp timestamp() const override { return kInvalidTimestamp; }
+
+  Status Read(TableId table, Key key, Value* out) override {
+    // Read-your-writes first.
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+      if (it->table == table && it->key == key) {
+        if (it->op == OpType::kDelete) return Status::NotFound();
+        *out = it->value;
+        return Status::Ok();
+      }
+    }
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    // Read committed: newest committed version, no lock (§6 setup).
+    const Version* v = db.table(table).ReadLatestCommitted(*row);
+    if (v == nullptr || v->deleted) return Status::NotFound();
+    *out = v->data;
+    return Status::Ok();
+  }
+
+  Status ReadForUpdate(TableId table, Key key, Value* out) override {
+    // Buffered writes win (read-your-writes).
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+      if (it->table == table && it->key == key) {
+        if (it->op == OpType::kDelete) return Status::NotFound();
+        *out = it->value;
+        return Status::Ok();
+      }
+    }
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    // Take the exclusive lock BEFORE reading: the value is then stable until
+    // commit, making read-modify-write safe under read committed.
+    if (!Lock(table, *row)) return Status::TimedOut("lock wait");
+    const Version* v = db.table(table).ReadLatestCommitted(*row);
+    if (v == nullptr || v->deleted) return Status::NotFound();
+    *out = v->data;
+    return Status::Ok();
+  }
+
+  Status Insert(TableId table, Key key, Value value) override {
+    storage::Database& db = engine_->db();
+    auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) {
+      const RowId fresh = db.table(table).AllocateRow();
+      if (db.index(table).Insert(key, fresh)) {
+        // We won the index insert for a brand-new row slot: no other
+        // transaction can have locked it, so the row lock is skipped (the
+        // classic new-row latch elision; the row id is private until our
+        // commit installs the first version).
+        Buffer(table, fresh, key, OpType::kInsert, std::move(value));
+        return Status::Ok();
+      }
+      row = db.index(table).Lookup(key);
+      assert(row.has_value());
+    }
+    if (!Lock(table, *row)) return Status::TimedOut("lock wait");
+    const Version* v = db.table(table).ReadLatestCommitted(*row);
+    if (v != nullptr && !v->deleted && !HasBufferedDelete(table, *row)) {
+      return Status::AlreadyExists();
+    }
+    Buffer(table, *row, key, OpType::kInsert, std::move(value));
+    return Status::Ok();
+  }
+
+  Status Update(TableId table, Key key, Value value) override {
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    if (!Lock(table, *row)) return Status::TimedOut("lock wait");
+    Buffer(table, *row, key, OpType::kUpdate, std::move(value));
+    return Status::Ok();
+  }
+
+  Status Delete(TableId table, Key key) override {
+    storage::Database& db = engine_->db();
+    const auto row = db.index(table).Lookup(key);
+    if (!row.has_value()) return Status::NotFound();
+    if (!Lock(table, *row)) return Status::TimedOut("lock wait");
+    Buffer(table, *row, key, OpType::kDelete, Value());
+    return Status::Ok();
+  }
+
+  Status Put(TableId table, Key key, Value value) override {
+    storage::Database& db = engine_->db();
+    auto row = db.index(table).Lookup(key);
+    OpType op = OpType::kUpdate;
+    if (!row.has_value()) {
+      const RowId fresh = db.table(table).AllocateRow();
+      if (db.index(table).Insert(key, fresh)) {
+        // New-row latch elision (see Insert).
+        Buffer(table, fresh, key, OpType::kInsert, std::move(value));
+        return Status::Ok();
+      }
+      row = db.index(table).Lookup(key);
+      assert(row.has_value());
+      op = OpType::kInsert;
+    }
+    if (!Lock(table, *row)) return Status::TimedOut("lock wait");
+    Buffer(table, *row, key, op, std::move(value));
+    return Status::Ok();
+  }
+
+  // Commits: draws the LSN while holding all locks so conflicting
+  // transactions are LSN-ordered by their lock-acquisition order, installs
+  // committed versions, logs, then releases.
+  Status Commit() {
+    storage::Database& db = engine_->db();
+    if (writes_.empty()) {
+      ReleaseAll();
+      return Status::Ok();
+    }
+
+    // Register in the commit tracker BEFORE drawing the LSN so the online
+    // log sequencer's release horizon never passes an unlogged commit.
+    ActiveTxnTracker::Scope commit_scope(&engine_->commit_tracker_);
+    const Timestamp lsn = engine_->clock_->Next();
+    commit_scope.Set(lsn);
+
+    // Deduplicate per row (last write wins, inserts stay inserts).
+    std::vector<BufferedWrite*> final_writes;
+    final_writes.reserve(writes_.size());
+    for (auto& w : writes_) {
+      bool superseded = false;
+      for (auto* fw : final_writes) {
+        if (fw->table == w.table && fw->row == w.row) {
+          const bool keep_insert =
+              fw->op == OpType::kInsert && w.op != OpType::kDelete;
+          *fw = w;
+          if (keep_insert) fw->op = OpType::kInsert;
+          superseded = true;
+          break;
+        }
+      }
+      if (!superseded) final_writes.push_back(&w);
+    }
+
+    // Log after execution, before visibility.
+    if (engine_->collector_ != nullptr) {
+      std::vector<log::LogRecord> records;
+      records.reserve(final_writes.size());
+      for (auto* w : final_writes) {
+        log::LogRecord rec;
+        rec.table = w->table;
+        rec.op = w->op;
+        rec.row = w->row;
+        rec.key = w->key;
+        rec.commit_ts = lsn;
+        rec.value = w->value;
+        records.push_back(std::move(rec));
+      }
+      records.back().last_in_txn = true;
+      engine_->collector_->LogCommit(std::move(records));
+    }
+
+    for (auto* w : final_writes) {
+      db.table(w->table).InstallCommitted(w->row, lsn, std::move(w->value),
+                                          w->op == OpType::kDelete);
+    }
+    ReleaseAll();
+    return Status::Ok();
+  }
+
+  void Rollback() { ReleaseAll(); }
+
+ private:
+  bool Lock(TableId table, RowId row) {
+    for (const HeldLock& h : held_) {
+      if (h.table == table && h.row == row) return true;
+    }
+    if (!engine_->locks_.Acquire(id_, table, row, deadline_)) return false;
+    held_.push_back(HeldLock{table, row});
+    return true;
+  }
+
+  void ReleaseAll() {
+    for (const HeldLock& h : held_) {
+      engine_->locks_.Release(id_, h.table, h.row);
+    }
+    held_.clear();
+  }
+
+  bool HasBufferedDelete(TableId table, RowId row) const {
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+      if (it->table == table && it->row == row) {
+        return it->op == OpType::kDelete;
+      }
+    }
+    return false;
+  }
+
+  void Buffer(TableId table, RowId row, Key key, OpType op, Value value) {
+    writes_.push_back(BufferedWrite{table, row, key, op, std::move(value)});
+  }
+
+  TwoPhaseLockingEngine* engine_;
+  const LockManager::TxnId id_;
+  const std::chrono::steady_clock::time_point deadline_;
+  std::vector<BufferedWrite> writes_;
+  std::vector<HeldLock> held_;
+};
+
+TwoPhaseLockingEngine::TwoPhaseLockingEngine(storage::Database* db,
+                                             log::LogCollector* collector,
+                                             TxnClock* clock, Options options)
+    : db_(db), collector_(collector), clock_(clock), options_(options) {}
+
+Status TwoPhaseLockingEngine::Execute(const TxnFn& fn) {
+  const auto guard = db_->epochs().Enter();
+  const LockManager::TxnId id =
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+
+  TplTxn txn(this, id);
+  Status body = fn(txn);
+  if (body.code() == StatusCode::kCancelled) {
+    txn.Rollback();
+    stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
+    return body;
+  }
+  if (!body.ok()) {
+    txn.Rollback();
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    return body;
+  }
+  Status commit = txn.Commit();
+  if (commit.ok()) {
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    txn.Rollback();
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return commit;
+}
+
+}  // namespace c5::txn

@@ -1,0 +1,95 @@
+#ifndef C5_TXN_TXN_H_
+#define C5_TXN_TXN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/database.h"
+
+namespace c5::txn {
+
+// Operation surface exposed to a transaction body. All operations address
+// rows by externally meaningful key; the engine resolves keys through the
+// table's index.
+class Txn {
+ public:
+  virtual ~Txn() = default;
+
+  // Reads the row's value into *out. kNotFound if the key has no visible
+  // (non-deleted) row at this transaction's read point.
+  virtual Status Read(TableId table, Key key, Value* out) = 0;
+
+  // Locking read (SELECT ... FOR UPDATE): the value read is stable until
+  // commit, so read-modify-write sequences do not lose updates. Under 2PL
+  // this takes the row's exclusive lock before reading; under MVTSO it is an
+  // ordinary read (timestamp validation already gives the guarantee).
+  virtual Status ReadForUpdate(TableId table, Key key, Value* out) = 0;
+
+  // Buffered write operations; they take effect atomically at commit.
+  // Insert returns kAlreadyExists if a visible row already has the key.
+  virtual Status Insert(TableId table, Key key, Value value) = 0;
+  // Update / Delete return kNotFound if no visible row has the key.
+  virtual Status Update(TableId table, Key key, Value value) = 0;
+  virtual Status Delete(TableId table, Key key) = 0;
+
+  // Blind write: inserts the key if absent, overwrites if present. Never
+  // fails with existence errors (used by loaders and synthetic workloads).
+  virtual Status Put(TableId table, Key key, Value value) = 0;
+
+  // The transaction's timestamp (MVTSO: its multi-version timestamp; 2PL:
+  // assigned only at commit, so kInvalidTimestamp during the body).
+  virtual Timestamp timestamp() const = 0;
+};
+
+// A transaction body. Returning OK requests commit; kCancelled requests an
+// explicit rollback (not retried); any other status aborts.
+using TxnFn = std::function<Status(Txn&)>;
+
+// Outcome counters shared by benchmark drivers.
+struct EngineStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};      // concurrency-control aborts
+  std::atomic<std::uint64_t> user_aborts{0};  // kCancelled rollbacks
+
+  void Reset() {
+    commits.store(0);
+    aborts.store(0);
+    user_aborts.store(0);
+  }
+};
+
+// A primary concurrency-control engine. Thread-safe: any number of threads
+// may call Execute concurrently.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  // Runs one attempt of the transaction. Returns:
+  //   OK          - committed
+  //   kCancelled  - body requested rollback; nothing was applied
+  //   kAborted / kTimedOut - concurrency-control abort; retryable
+  virtual Status Execute(const TxnFn& fn) = 0;
+
+  // Retries Execute on retryable outcomes. kCancelled is returned as-is
+  // (it is a successful rollback, per TPC-C semantics).
+  Status ExecuteWithRetry(const TxnFn& fn, int max_attempts = 1000) {
+    Status s = Status::Internal("no attempts");
+    for (int i = 0; i < max_attempts; ++i) {
+      s = Execute(fn);
+      if (!s.IsRetryable()) return s;
+    }
+    return s;
+  }
+
+  virtual storage::Database& db() = 0;
+  virtual EngineStats& stats() = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace c5::txn
+
+#endif  // C5_TXN_TXN_H_

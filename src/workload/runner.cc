@@ -1,0 +1,64 @@
+#include "workload/runner.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/thread_util.h"
+
+namespace c5::workload {
+
+RunResult RunClosedLoop(int clients, std::chrono::milliseconds duration,
+                        std::uint64_t txns_per_client, const ClientBody& body,
+                        std::uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> failed{0};
+
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(c));
+      std::uint64_t done = 0;
+      std::uint64_t local_committed = 0, local_cancelled = 0,
+                    local_failed = 0;
+      while (true) {
+        if (txns_per_client > 0) {
+          if (done >= txns_per_client) break;
+        } else if (stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        const Status s = body(static_cast<std::uint32_t>(c), rng);
+        if (s.ok()) {
+          ++local_committed;
+        } else if (s.code() == StatusCode::kCancelled) {
+          ++local_cancelled;
+        } else {
+          ++local_failed;
+        }
+        ++done;
+      }
+      committed.fetch_add(local_committed, std::memory_order_relaxed);
+      cancelled.fetch_add(local_cancelled, std::memory_order_relaxed);
+      failed.fetch_add(local_failed, std::memory_order_relaxed);
+    });
+  }
+
+  if (txns_per_client == 0) {
+    std::this_thread::sleep_for(duration);
+    stop.store(true, std::memory_order_relaxed);
+  }
+  JoinAll(threads);
+
+  RunResult result;
+  result.committed = committed.load();
+  result.cancelled = cancelled.load();
+  result.failed = failed.load();
+  result.seconds = sw.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace c5::workload

@@ -1,0 +1,44 @@
+#ifndef C5_WORKLOAD_RUNNER_H_
+#define C5_WORKLOAD_RUNNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace c5::workload {
+
+struct RunResult {
+  std::uint64_t committed = 0;   // OK outcomes
+  std::uint64_t cancelled = 0;   // kCancelled (intentional rollbacks)
+  std::uint64_t failed = 0;      // anything else after retries
+  double seconds = 0;
+
+  double Throughput() const {
+    // Per TPC-C convention, intentional rollbacks count as completed work.
+    return seconds > 0
+               ? static_cast<double>(committed + cancelled) / seconds
+               : 0;
+  }
+};
+
+// A client body: runs ONE transaction (including retries) and reports its
+// outcome. `client` in [0, clients).
+using ClientBody = std::function<Status(std::uint32_t client, Rng& rng)>;
+
+// Drives `clients` closed-loop threads (the paper's load model, §6: "we
+// generated load with a fixed number of closed-loop clients").
+//
+// Duration mode (txns_per_client == 0): run until `duration` elapses.
+// Count mode: each client runs exactly txns_per_client transactions (used to
+// produce fixed-size logs for offline replay).
+RunResult RunClosedLoop(int clients, std::chrono::milliseconds duration,
+                        std::uint64_t txns_per_client, const ClientBody& body,
+                        std::uint64_t seed = 1);
+
+}  // namespace c5::workload
+
+#endif  // C5_WORKLOAD_RUNNER_H_

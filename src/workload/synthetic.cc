@@ -1,0 +1,43 @@
+#include "workload/synthetic.h"
+
+namespace c5::workload {
+
+TableId SyntheticWorkload::CreateTable(storage::Database* db) {
+  return db->CreateTable("kv");
+}
+
+Status SyntheticWorkload::LoadHotRow(txn::Engine& engine) const {
+  const TableId table = table_;
+  return engine.ExecuteWithRetry([table](txn::Txn& txn) {
+    return txn.Put(table, kHotKey, EncodeIntValue(0));
+  });
+}
+
+Status SyntheticWorkload::RunTxn(txn::Engine& engine, Rng& rng,
+                                 std::uint32_t client_id,
+                                 std::uint64_t* insert_seq) const {
+  const TableId table = table_;
+  const Options& opts = options_;
+  const std::uint64_t base = *insert_seq;
+  const std::uint64_t hot_value = rng.Next();
+
+  const Status s = engine.ExecuteWithRetry(
+      [table, &opts, client_id, base, hot_value](txn::Txn& txn) {
+        for (std::uint32_t i = 0; i < opts.inserts_per_txn; ++i) {
+          const Status st = txn.Insert(table, InsertKey(client_id, base + i),
+                                       EncodeIntValue(base + i));
+          if (!st.ok()) return st;
+        }
+        if (opts.adversarial) {
+          // The conflicting update: every transaction writes the same row
+          // (§6: "the updates in all transactions set the same row's value
+          // to a random integer, so all transactions conflict").
+          return txn.Update(table, kHotKey, EncodeIntValue(hot_value));
+        }
+        return Status::Ok();
+      });
+  if (s.ok()) *insert_seq = base + opts.inserts_per_txn;
+  return s;
+}
+
+}  // namespace c5::workload

@@ -1,0 +1,74 @@
+#ifndef C5_WORKLOAD_SYNTHETIC_H_
+#define C5_WORKLOAD_SYNTHETIC_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "txn/txn.h"
+
+namespace c5::workload {
+
+// The paper's two synthetic workloads (§6): "the database contains one table
+// with two integer columns, a primary key and its associated value."
+//
+//  * insert-only: each transaction is `inserts_per_txn` unique inserts; no
+//    transactions conflict. Stresses raw scheduler/worker throughput.
+//  * adversarial: each transaction is `inserts_per_txn` unique inserts plus
+//    one update that sets THE SAME row's value to a random integer, so all
+//    transactions conflict. Transaction-granularity protocols serialize the
+//    whole workload; row-granularity protocols serialize only the hot row.
+class SyntheticWorkload {
+ public:
+  struct Options {
+    std::uint32_t inserts_per_txn = 4;
+    bool adversarial = false;  // add the hot-row update
+  };
+
+  // Creates the single table on `db`; returns its id. Call on both sides.
+  static TableId CreateTable(storage::Database* db);
+
+  SyntheticWorkload(TableId table, Options options)
+      : table_(table), options_(options) {}
+
+  // Seeds the hot row (key 0) so adversarial updates find it.
+  Status LoadHotRow(txn::Engine& engine) const;
+
+  // Runs one transaction for client `client_id` (key ranges are partitioned
+  // per client so inserts are unique without coordination).
+  Status RunTxn(txn::Engine& engine, Rng& rng, std::uint32_t client_id,
+                std::uint64_t* insert_seq) const;
+
+  TableId table() const { return table_; }
+  static constexpr Key kHotKey = 0;
+
+ private:
+  static Key InsertKey(std::uint32_t client_id, std::uint64_t seq) {
+    // Bit 63 set to keep insert keys disjoint from the hot key and any
+    // read-only query range.
+    return (std::uint64_t{1} << 63) |
+           (static_cast<std::uint64_t>(client_id) << 40) | seq;
+  }
+
+  TableId table_;
+  Options options_;
+};
+
+// Encodes an int64 payload as the row value (the "associated value" column).
+inline Value EncodeIntValue(std::uint64_t v) {
+  return Value(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint64_t DecodeIntValue(const Value& value) {
+  std::uint64_t v = 0;
+  if (value.size() >= sizeof(v)) {
+    __builtin_memcpy(&v, value.data(), sizeof(v));
+  }
+  return v;
+}
+
+}  // namespace c5::workload
+
+#endif  // C5_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,87 @@
+#ifndef C5_WORKLOAD_TPCC_H_
+#define C5_WORKLOAD_TPCC_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "replica/replica.h"
+#include "storage/database.h"
+#include "txn/txn.h"
+#include "workload/tpcc_schema.h"
+
+namespace c5::workload::tpcc {
+
+// Workload parameters. Defaults follow the spec where the paper does and the
+// paper where it deviates (single-warehouse contention studies, district
+// sweep in Fig. 10).
+struct TpccConfig {
+  std::uint32_t warehouses = 1;
+  std::uint32_t districts_per_warehouse = 10;  // Fig. 10 varies this 10 -> 1
+  std::uint32_t customers_per_district = 3000;
+  std::uint32_t items = 10000;
+
+  // §6.1's optimization: defer the highest-contention write (district
+  // next_o_id for NewOrder, warehouse ytd for Payment) as late as data
+  // dependencies allow, shortening the serial section on the primary.
+  bool optimized = false;
+};
+
+// Creates the nine TPC-C tables on `db` in TableIdx order. Call on both the
+// primary and backup databases before loading/replication.
+void CreateTables(storage::Database* db);
+
+// Populates warehouses, districts, customers, items, and stock through the
+// engine (so the backup can be populated by replication or by a second Load).
+// Single-threaded; returns the number of rows loaded.
+std::uint64_t Load(txn::Engine& engine, const TpccConfig& config);
+
+// One NewOrder transaction (spec clause 2.4) against a random district of
+// warehouse `w`. ~1% of transactions roll back with kCancelled (invalid
+// item), per the spec. Returns the engine's commit status.
+Status RunNewOrder(txn::Engine& engine, Rng& rng, const TpccConfig& config,
+                   std::uint32_t w);
+
+// One Payment transaction (spec clause 2.5) against a random district.
+Status RunPayment(txn::Engine& engine, Rng& rng, const TpccConfig& config,
+                  std::uint32_t w);
+
+// One Delivery transaction (spec clause 2.7): for each district of the
+// warehouse, delivers the oldest undelivered order — deletes its NEW_ORDER
+// row, stamps the carrier on the ORDER row, and credits the customer with
+// the order's line total. Districts with nothing to deliver are skipped.
+// Sets *delivered to the number of orders delivered.
+Status RunDelivery(txn::Engine& engine, Rng& rng, const TpccConfig& config,
+                   std::uint32_t w, std::uint32_t* delivered);
+
+// One OrderStatus transaction (spec clause 2.6): reads a customer and their
+// most recent order with its lines. Read-only. Our storage has no
+// order-by-customer index, so the most recent order is found by a bounded
+// backward scan over recent order ids (documented deviation).
+Status RunOrderStatus(txn::Engine& engine, Rng& rng, const TpccConfig& config,
+                      std::uint32_t w);
+
+// One StockLevel transaction (spec clause 2.8): counts distinct items from
+// the district's last 20 orders whose stock is below `threshold`.
+// Read-only.
+Status RunStockLevel(txn::Engine& engine, Rng& rng, const TpccConfig& config,
+                     std::uint32_t w, std::uint32_t* low_stock);
+
+// StockLevel executed against a BACKUP's snapshot (the paper's read-only
+// transaction path, §4.2): same semantics, served at `replica`'s visible
+// timestamp without touching the primary.
+Status RunStockLevelOnBackup(replica::ReplicaBase& replica, Rng& rng,
+                             const TpccConfig& config, std::uint32_t w,
+                             std::uint32_t* low_stock);
+
+// Consistency probe used by tests: returns d_next_o_id - initial (the number
+// of successful NewOrders for the district) as observed at snapshot `ts` on
+// `db`, and cross-checks that exactly that many ORDER rows exist.
+bool CheckDistrictOrderInvariant(storage::Database& db, const TpccConfig& cfg,
+                                 std::uint32_t w, std::uint32_t d,
+                                 Timestamp ts);
+
+}  // namespace c5::workload::tpcc
+
+#endif  // C5_WORKLOAD_TPCC_H_

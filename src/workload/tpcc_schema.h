@@ -1,0 +1,178 @@
+#ifndef C5_WORKLOAD_TPCC_SCHEMA_H_
+#define C5_WORKLOAD_TPCC_SCHEMA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/types.h"
+
+namespace c5::workload::tpcc {
+
+// TPC-C table set (the subset exercised by NewOrder and Payment, the two
+// transactions the paper evaluates, §6.1 / §7.3). Row types are trivially
+// copyable PODs serialized by memcpy; char arrays are fixed-size and
+// null-padded, sized near the spec's minima to keep rows realistic without
+// bloating log volume.
+
+// Table creation order — table ids must match between primary and backup.
+enum TableIdx : TableId {
+  kWarehouse = 0,
+  kDistrict = 1,
+  kCustomer = 2,
+  kHistory = 3,
+  kNewOrder = 4,
+  kOrder = 5,
+  kOrderLine = 6,
+  kItem = 7,
+  kStock = 8,
+  kNumTables = 9,
+};
+
+struct WarehouseRow {
+  std::uint32_t w_id;
+  double w_tax;
+  double w_ytd;
+  char w_name[10];
+  char w_city[10];
+  char w_state[2];
+};
+
+struct DistrictRow {
+  std::uint32_t d_id;
+  std::uint32_t d_w_id;
+  double d_tax;
+  double d_ytd;
+  std::uint32_t d_next_o_id;  // the NewOrder hot counter (§6.1)
+  // Delivery cursor: highest order id already delivered (all orders at or
+  // below it are delivered). Not in the spec's schema — real systems keep a
+  // NEW_ORDER b-tree and take min(NO_O_ID); our hash-indexed storage tracks
+  // the frontier explicitly instead.
+  std::uint32_t d_last_delivered;
+  char d_name[10];
+  char d_city[10];
+};
+
+struct CustomerRow {
+  std::uint32_t c_id;
+  std::uint32_t c_d_id;
+  std::uint32_t c_w_id;
+  double c_discount;
+  double c_balance;
+  double c_ytd_payment;
+  std::uint32_t c_payment_cnt;
+  std::uint32_t c_delivery_cnt;
+  char c_last[16];
+  char c_credit[2];
+};
+
+struct HistoryRow {
+  std::uint32_t h_c_id;
+  std::uint32_t h_c_d_id;
+  std::uint32_t h_c_w_id;
+  std::uint32_t h_d_id;
+  std::uint32_t h_w_id;
+  double h_amount;
+  char h_data[24];
+};
+
+struct NewOrderRow {
+  std::uint32_t no_o_id;
+  std::uint32_t no_d_id;
+  std::uint32_t no_w_id;
+};
+
+struct OrderRow {
+  std::uint32_t o_id;
+  std::uint32_t o_d_id;
+  std::uint32_t o_w_id;
+  std::uint32_t o_c_id;
+  std::uint32_t o_ol_cnt;
+  std::uint32_t o_carrier_id;
+  std::int64_t o_entry_d;
+};
+
+struct OrderLineRow {
+  std::uint32_t ol_o_id;
+  std::uint32_t ol_d_id;
+  std::uint32_t ol_w_id;
+  std::uint32_t ol_number;
+  std::uint32_t ol_i_id;
+  std::uint32_t ol_supply_w_id;
+  std::uint32_t ol_quantity;
+  double ol_amount;
+  char ol_dist_info[24];
+};
+
+struct ItemRow {
+  std::uint32_t i_id;
+  std::uint32_t i_im_id;
+  double i_price;
+  char i_name[24];
+  char i_data[32];
+};
+
+struct StockRow {
+  std::uint32_t s_i_id;
+  std::uint32_t s_w_id;
+  std::uint32_t s_quantity;
+  double s_ytd;
+  std::uint32_t s_order_cnt;
+  std::uint32_t s_remote_cnt;
+  char s_dist[24];  // one dist_xx slot; the spec's ten are elided
+};
+
+// POD <-> Value serialization.
+template <typename Row>
+Value ToValue(const Row& row) {
+  static_assert(std::is_trivially_copyable_v<Row>);
+  return Value(reinterpret_cast<const char*>(&row), sizeof(Row));
+}
+
+template <typename Row>
+Row FromValue(const Value& value) {
+  static_assert(std::is_trivially_copyable_v<Row>);
+  Row row;
+  std::memcpy(&row, value.data(), sizeof(Row));
+  return row;
+}
+
+// ---- Key encodings --------------------------------------------------------
+// Composite TPC-C keys packed into 64 bits. Widths: warehouse 16, district 8,
+// customer 32, order 28, order-line 4, item 32.
+
+inline Key WarehouseKey(std::uint32_t w) { return w; }
+
+inline Key DistrictKey(std::uint32_t w, std::uint32_t d) {
+  return (static_cast<Key>(w) << 8) | d;
+}
+
+inline Key CustomerKey(std::uint32_t w, std::uint32_t d, std::uint32_t c) {
+  return (((static_cast<Key>(w) << 8) | d) << 32) | c;
+}
+
+inline Key OrderKey(std::uint32_t w, std::uint32_t d, std::uint32_t o) {
+  return (((static_cast<Key>(w) << 8) | d) << 32) | o;
+}
+
+inline Key NewOrderKey(std::uint32_t w, std::uint32_t d, std::uint32_t o) {
+  return OrderKey(w, d, o);
+}
+
+inline Key OrderLineKey(std::uint32_t w, std::uint32_t d, std::uint32_t o,
+                        std::uint32_t ol) {
+  return (((static_cast<Key>(w) << 8) | d) << 32) |
+         (static_cast<Key>(o) << 4) | ol;
+}
+
+inline Key ItemKey(std::uint32_t i) { return i; }
+
+inline Key StockKey(std::uint32_t w, std::uint32_t i) {
+  return (static_cast<Key>(w) << 32) | i;
+}
+
+inline Key HistoryKey(std::uint64_t unique) { return unique; }
+
+}  // namespace c5::workload::tpcc
+
+#endif  // C5_WORKLOAD_TPCC_SCHEMA_H_

@@ -1,0 +1,135 @@
+#include "storage/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace c5::storage {
+namespace {
+
+std::atomic<int> g_deleted{0};
+
+void CountingDeleter(void* p) {
+  g_deleted.fetch_add(1);
+  delete static_cast<int*>(p);
+}
+
+class EpochTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_deleted.store(0); }
+};
+
+TEST_F(EpochTest, RetireWithoutReadersFreesOnReclaim) {
+  EpochManager mgr;
+  mgr.Retire(new int(1), CountingDeleter);
+  mgr.Retire(new int(2), CountingDeleter);
+  EXPECT_EQ(mgr.RetiredCountApprox(), 2u);
+  // First reclaim advances the epoch; with no active readers everything
+  // retired below the new epoch is freed.
+  mgr.ReclaimSome();
+  mgr.ReclaimSome();
+  EXPECT_EQ(g_deleted.load(), 2);
+  EXPECT_EQ(mgr.RetiredCountApprox(), 0u);
+}
+
+TEST_F(EpochTest, ActiveGuardBlocksReclaim) {
+  EpochManager mgr;
+  {
+    auto guard = mgr.Enter();
+    mgr.Retire(new int(1), CountingDeleter);
+    // The guard pinned the epoch at or below the retire epoch, so the
+    // object must survive.
+    mgr.ReclaimSome();
+    EXPECT_EQ(g_deleted.load(), 0);
+  }
+  mgr.ReclaimSome();
+  EXPECT_EQ(g_deleted.load(), 1);
+}
+
+TEST_F(EpochTest, GuardsFromOtherThreadsBlockReclaim) {
+  EpochManager mgr;
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    auto guard = mgr.Enter();
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!entered.load()) std::this_thread::yield();
+
+  mgr.Retire(new int(1), CountingDeleter);
+  mgr.ReclaimSome();
+  EXPECT_EQ(g_deleted.load(), 0);
+
+  release.store(true);
+  reader.join();
+  mgr.ReclaimSome();
+  EXPECT_EQ(g_deleted.load(), 1);
+}
+
+TEST_F(EpochTest, NestedGuardsAreSupported) {
+  EpochManager mgr;
+  auto g1 = mgr.Enter();
+  {
+    auto g2 = mgr.Enter();
+  }
+  mgr.Retire(new int(1), CountingDeleter);
+  mgr.ReclaimSome();
+  EXPECT_EQ(g_deleted.load(), 0);  // outer guard still active
+}
+
+TEST_F(EpochTest, ReclaimAllUnsafeFreesEverything) {
+  EpochManager mgr;
+  for (int i = 0; i < 10; ++i) mgr.Retire(new int(i), CountingDeleter);
+  EXPECT_EQ(mgr.ReclaimAllUnsafe(), 10u);
+  EXPECT_EQ(g_deleted.load(), 10);
+}
+
+TEST_F(EpochTest, DestructorFreesLeftovers) {
+  {
+    EpochManager mgr;
+    mgr.Retire(new int(1), CountingDeleter);
+  }
+  EXPECT_EQ(g_deleted.load(), 1);
+}
+
+TEST_F(EpochTest, EpochAdvances) {
+  EpochManager mgr;
+  const auto before = mgr.global_epoch();
+  mgr.ReclaimSome();
+  EXPECT_GT(mgr.global_epoch(), before);
+}
+
+TEST_F(EpochTest, StressManyReadersAndReclaims) {
+  EpochManager mgr;
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> retired{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto guard = mgr.Enter();
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread retirer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      mgr.Retire(new int(i), CountingDeleter);
+      retired.fetch_add(1);
+      if (i % 256 == 0) mgr.ReclaimSome();
+    }
+  });
+  retirer.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  mgr.ReclaimSome();
+  mgr.ReclaimSome();
+  EXPECT_EQ(g_deleted.load(), retired.load());
+}
+
+}  // namespace
+}  // namespace c5::storage

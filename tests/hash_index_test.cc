@@ -1,0 +1,193 @@
+#include "index/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace c5::index {
+namespace {
+
+TEST(HashIndexTest, InsertAndLookup) {
+  HashIndex idx;
+  EXPECT_TRUE(idx.Insert(42, 7));
+  ASSERT_TRUE(idx.Lookup(42).has_value());
+  EXPECT_EQ(*idx.Lookup(42), 7u);
+}
+
+TEST(HashIndexTest, LookupMissingReturnsNullopt) {
+  HashIndex idx;
+  EXPECT_FALSE(idx.Lookup(99).has_value());
+}
+
+TEST(HashIndexTest, DuplicateInsertRejected) {
+  HashIndex idx;
+  EXPECT_TRUE(idx.Insert(1, 10));
+  EXPECT_FALSE(idx.Insert(1, 20));
+  EXPECT_EQ(*idx.Lookup(1), 10u);
+}
+
+TEST(HashIndexTest, UpsertOverwrites) {
+  HashIndex idx;
+  idx.Upsert(1, 10);
+  idx.Upsert(1, 20);
+  EXPECT_EQ(*idx.Lookup(1), 20u);
+  EXPECT_EQ(idx.Size(), 1u);
+}
+
+TEST(HashIndexTest, KeysZeroAndOneAreUsable) {
+  // Raw keys 0 and 1 collide with internal sentinel encodings if mishandled.
+  HashIndex idx;
+  EXPECT_TRUE(idx.Insert(0, 100));
+  EXPECT_TRUE(idx.Insert(1, 101));
+  EXPECT_EQ(*idx.Lookup(0), 100u);
+  EXPECT_EQ(*idx.Lookup(1), 101u);
+}
+
+TEST(HashIndexTest, MaxKeyIsUsable) {
+  HashIndex idx;
+  const Key k = ~Key{0} - 2;  // +2 encoding must not overflow into sentinels
+  EXPECT_TRUE(idx.Insert(k, 5));
+  EXPECT_EQ(*idx.Lookup(k), 5u);
+}
+
+TEST(HashIndexTest, EraseRemovesEntry) {
+  HashIndex idx;
+  idx.Insert(1, 10);
+  EXPECT_TRUE(idx.Erase(1));
+  EXPECT_FALSE(idx.Lookup(1).has_value());
+  EXPECT_FALSE(idx.Erase(1));
+  EXPECT_EQ(idx.Size(), 0u);
+}
+
+TEST(HashIndexTest, ReinsertAfterEraseUsesTombstone) {
+  HashIndex idx(8, 1);  // single shard, tiny capacity: forces probing
+  for (Key k = 0; k < 6; ++k) idx.Insert(k, k);
+  idx.Erase(3);
+  EXPECT_TRUE(idx.Insert(3, 33));
+  EXPECT_EQ(*idx.Lookup(3), 33u);
+  for (Key k = 0; k < 6; ++k) {
+    if (k != 3) EXPECT_EQ(*idx.Lookup(k), k);
+  }
+}
+
+TEST(HashIndexTest, GrowPreservesEntries) {
+  HashIndex idx(8, 1);
+  constexpr Key kN = 10000;
+  for (Key k = 0; k < kN; ++k) ASSERT_TRUE(idx.Insert(k, k * 2));
+  EXPECT_EQ(idx.Size(), kN);
+  for (Key k = 0; k < kN; ++k) ASSERT_EQ(*idx.Lookup(k), k * 2);
+}
+
+TEST(HashIndexTest, ProbeAcrossTombstonesFindsDeepEntries) {
+  HashIndex idx(16, 1);
+  for (Key k = 0; k < 12; ++k) idx.Insert(k, k);
+  for (Key k = 0; k < 6; ++k) idx.Erase(k);
+  for (Key k = 6; k < 12; ++k) EXPECT_EQ(*idx.Lookup(k), k);
+}
+
+TEST(HashIndexTest, MatchesReferenceMapUnderRandomOps) {
+  HashIndex idx(16, 4);
+  std::unordered_map<Key, RowId> ref;
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    const Key k = rng.Uniform(2000);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const bool inserted = idx.Insert(k, i);
+        EXPECT_EQ(inserted, ref.find(k) == ref.end());
+        if (inserted) ref[k] = i;
+        break;
+      }
+      case 1: {
+        const bool erased = idx.Erase(k);
+        EXPECT_EQ(erased, ref.erase(k) == 1);
+        break;
+      }
+      default: {
+        const auto got = idx.Lookup(k);
+        const auto it = ref.find(k);
+        EXPECT_EQ(got.has_value(), it != ref.end());
+        if (got.has_value() && it != ref.end()) EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(idx.Size(), ref.size());
+}
+
+TEST(HashIndexTest, ConcurrentDisjointInserts) {
+  HashIndex idx;
+  constexpr int kThreads = 8;
+  constexpr Key kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (Key k = 0; k < kPerThread; ++k) {
+        const Key key = static_cast<Key>(t) * kPerThread + k;
+        ASSERT_TRUE(idx.Insert(key, key + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(idx.Size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (Key k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_EQ(*idx.Lookup(k), k + 1);
+  }
+}
+
+TEST(HashIndexTest, ConcurrentInsertRaceExactlyOneWins) {
+  for (int round = 0; round < 20; ++round) {
+    HashIndex idx;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&idx, &winners, t] {
+        if (idx.Insert(123, static_cast<RowId>(t))) winners.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1);
+    EXPECT_TRUE(idx.Lookup(123).has_value());
+  }
+}
+
+TEST(HashIndexTest, ConcurrentReadersDuringInserts) {
+  HashIndex idx;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (Key k = 0; k < 100000; ++k) idx.Insert(k, k);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      Rng rng(t);
+      while (!stop.load()) {
+        const Key k = rng.Uniform(100000);
+        const auto v = idx.Lookup(k);
+        if (v.has_value()) ASSERT_EQ(*v, k);
+      }
+    });
+  }
+  writer.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+}
+
+class HashIndexShardParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashIndexShardParamTest, WorksWithVariousShardCounts) {
+  HashIndex idx(32, GetParam());
+  for (Key k = 0; k < 5000; ++k) ASSERT_TRUE(idx.Insert(k, k));
+  for (Key k = 0; k < 5000; ++k) ASSERT_EQ(*idx.Lookup(k), k);
+  EXPECT_EQ(idx.Size(), 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, HashIndexShardParamTest,
+                         ::testing::Values(1, 2, 3, 16, 128, 1000));
+
+}  // namespace
+}  // namespace c5::index

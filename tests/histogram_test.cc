@@ -1,0 +1,118 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace c5 {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Summary(), "(empty)");
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // A single sample: every quantile falls in its bucket.
+  const std::uint64_t q = h.Quantile(0.5);
+  EXPECT_GE(q, 960u);
+  EXPECT_LE(q, 1050u);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.Record(v);
+  // Values below kSubBuckets are exact.
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.count(), 16u);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrdered) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.Uniform(1'000'000));
+  const auto q25 = h.Quantile(0.25);
+  const auto q50 = h.Quantile(0.50);
+  const auto q75 = h.Quantile(0.75);
+  const auto q99 = h.Quantile(0.99);
+  EXPECT_LE(q25, q50);
+  EXPECT_LE(q50, q75);
+  EXPECT_LE(q75, q99);
+  EXPECT_GE(q99, h.min());
+  EXPECT_LE(q99, h.max());
+}
+
+TEST(HistogramTest, UniformQuantileAccuracy) {
+  Histogram h;
+  // Exact uniform sweep: quantiles should land within bucket resolution
+  // (~6%) of the true value.
+  for (std::uint64_t v = 0; v < 100000; ++v) h.Record(v);
+  const double mid = static_cast<double>(h.Quantile(0.5));
+  EXPECT_NEAR(mid, 50000.0, 50000.0 * 0.08);
+  const double p90 = static_cast<double>(h.Quantile(0.9));
+  EXPECT_NEAR(p90, 90000.0, 90000.0 * 0.08);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(1000);
+  b.Record(5);
+  b.Record(100000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 100000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(~std::uint64_t{0});
+  h.Record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_GE(h.Quantile(1.0), 1ull << 62);
+}
+
+TEST(FormatNanosTest, UnitSelection) {
+  EXPECT_EQ(FormatNanos(500), "500ns");
+  EXPECT_EQ(FormatNanos(1500), "1.5us");
+  EXPECT_EQ(FormatNanos(2'500'000), "2.5ms");
+  EXPECT_EQ(FormatNanos(3'000'000'000ull), "3.00s");
+}
+
+TEST(HistogramTest, QuantileZeroAndOne) {
+  Histogram h;
+  for (std::uint64_t v = 100; v <= 200; ++v) h.Record(v);
+  EXPECT_LE(h.Quantile(0.0), 110u);
+  EXPECT_GE(h.Quantile(1.0), 190u);
+}
+
+}  // namespace
+}  // namespace c5

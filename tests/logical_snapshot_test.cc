@@ -1,0 +1,140 @@
+// Tests for the paper's Table 2 logical storage interface, realized
+// explicitly by storage::LogicalSnapshot. These also model-check the
+// snapshotter's rotation invariant (§4.2): merging the current and next
+// snapshots yields a prefix-complete snapshot.
+
+#include "storage/logical_snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace c5::storage {
+namespace {
+
+TEST(LogicalSnapshotTest, NewSnapshotIsEmpty) {
+  const LogicalSnapshot s = LogicalSnapshot::NewSnapshot();
+  EXPECT_TRUE(s.Empty());
+  EXPECT_FALSE(s.Read(0, 1).has_value());
+}
+
+TEST(LogicalSnapshotTest, InsertThenRead) {
+  LogicalSnapshot s;
+  s.Insert(0, 1, "v1");
+  ASSERT_TRUE(s.Read(0, 1).has_value());
+  EXPECT_EQ(*s.Read(0, 1), "v1");
+}
+
+TEST(LogicalSnapshotTest, UpdateOverwrites) {
+  LogicalSnapshot s;
+  s.Insert(0, 1, "v1");
+  s.Update(0, 1, "v2");
+  EXPECT_EQ(*s.Read(0, 1), "v2");
+  EXPECT_EQ(s.WriteCount(), 2u);  // the sequence keeps both writes
+}
+
+TEST(LogicalSnapshotTest, DeleteHidesRow) {
+  LogicalSnapshot s;
+  s.Insert(0, 1, "v1");
+  s.Delete(0, 1);
+  EXPECT_FALSE(s.Read(0, 1).has_value());
+}
+
+TEST(LogicalSnapshotTest, TablesAreIndependent) {
+  LogicalSnapshot s;
+  s.Insert(0, 1, "t0");
+  s.Insert(1, 1, "t1");
+  EXPECT_EQ(*s.Read(0, 1), "t0");
+  EXPECT_EQ(*s.Read(1, 1), "t1");
+}
+
+TEST(LogicalSnapshotTest, MergeOrdersS1BeforeS2) {
+  // Table 2: "S3 reflects all writes to both, with all writes in S1 ordered
+  // before those in S2" — S2's writes win on conflict.
+  LogicalSnapshot s1, s2;
+  s1.Insert(0, 1, "from_s1");
+  s1.Insert(0, 2, "only_s1");
+  s2.Update(0, 1, "from_s2");
+  s2.Insert(0, 3, "only_s2");
+
+  const LogicalSnapshot s3 =
+      LogicalSnapshot::Merge(std::move(s1), std::move(s2));
+  EXPECT_EQ(*s3.Read(0, 1), "from_s2");
+  EXPECT_EQ(*s3.Read(0, 2), "only_s1");
+  EXPECT_EQ(*s3.Read(0, 3), "only_s2");
+  EXPECT_EQ(s3.WriteCount(), 4u);
+}
+
+TEST(LogicalSnapshotTest, MergeWithEmptyIsIdentity) {
+  LogicalSnapshot s1;
+  s1.Insert(0, 1, "x");
+  LogicalSnapshot merged =
+      LogicalSnapshot::Merge(std::move(s1), LogicalSnapshot::NewSnapshot());
+  EXPECT_EQ(*merged.Read(0, 1), "x");
+  LogicalSnapshot merged2 =
+      LogicalSnapshot::Merge(LogicalSnapshot::NewSnapshot(),
+                             std::move(merged));
+  EXPECT_EQ(*merged2.Read(0, 1), "x");
+}
+
+TEST(LogicalSnapshotTest, MergeDeleteInS2Wins) {
+  LogicalSnapshot s1, s2;
+  s1.Insert(0, 1, "x");
+  s2.Delete(0, 1);
+  const LogicalSnapshot s3 =
+      LogicalSnapshot::Merge(std::move(s1), std::move(s2));
+  EXPECT_FALSE(s3.Read(0, 1).has_value());
+}
+
+TEST(LogicalSnapshotTest, MergeIsAssociativeOnState) {
+  // (A + B) + C state-equals A + (B + C): the snapshotter may rotate
+  // snapshots in any grouping without changing the exposed state.
+  auto make = [](int tag) {
+    LogicalSnapshot s;
+    s.Insert(0, 1, "v" + std::to_string(tag));
+    s.Insert(0, 10 + tag, "u");
+    return s;
+  };
+  const LogicalSnapshot left = LogicalSnapshot::Merge(
+      LogicalSnapshot::Merge(make(1), make(2)), make(3));
+  const LogicalSnapshot right = LogicalSnapshot::Merge(
+      make(1), LogicalSnapshot::Merge(make(2), make(3)));
+  EXPECT_TRUE(left.StateEquals(right));
+  EXPECT_EQ(*left.Read(0, 1), "v3");
+}
+
+TEST(LogicalSnapshotTest, SnapshotterRotationModel) {
+  // Model §4.2's rotation: writes with seq <= c are in current, (c, n] in
+  // next, > n in future. After a rotation, current reflects the longer
+  // prefix — exactly the serial application of the log.
+  LogicalSnapshot current, next, future, reference;
+  // Log of 9 writes to 3 rows.
+  for (int i = 1; i <= 9; ++i) {
+    const Key row = i % 3;
+    const Value v = "w" + std::to_string(i);
+    reference.Update(0, row, v);
+    if (i <= 3) {
+      current.Update(0, row, v);
+    } else if (i <= 6) {
+      next.Update(0, row, v);
+    } else {
+      future.Update(0, row, v);
+    }
+  }
+  // Rotation 1: current' = merge(current, next); next' = future.
+  current = LogicalSnapshot::Merge(std::move(current), std::move(next));
+  next = std::move(future);
+  // Rotation 2.
+  current = LogicalSnapshot::Merge(std::move(current), std::move(next));
+  EXPECT_TRUE(current.StateEquals(reference));
+}
+
+TEST(LogicalSnapshotTest, StateEqualsDetectsDifference) {
+  LogicalSnapshot a, b;
+  a.Insert(0, 1, "x");
+  b.Insert(0, 1, "y");
+  EXPECT_FALSE(a.StateEquals(b));
+  b.Update(0, 1, "x");
+  EXPECT_TRUE(a.StateEquals(b));
+}
+
+}  // namespace
+}  // namespace c5::storage

@@ -1,0 +1,141 @@
+#include "replica/prefix_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace c5::replica {
+namespace {
+
+TEST(PrefixTrackerTest, InOrderMarksAdvanceImmediately) {
+  PrefixTracker pt(64);
+  pt.Mark(0, 10);
+  EXPECT_EQ(pt.Advance(), 10u);
+  pt.Mark(1, 20);
+  pt.Mark(2, 30);
+  EXPECT_EQ(pt.Advance(), 30u);
+  EXPECT_EQ(pt.watermark(), 3u);
+}
+
+TEST(PrefixTrackerTest, GapBlocksWatermark) {
+  PrefixTracker pt(64);
+  pt.Mark(0, 10);
+  pt.Mark(2, 30);  // gap at 1
+  EXPECT_EQ(pt.Advance(), 10u);
+  EXPECT_EQ(pt.watermark(), 1u);
+  pt.Mark(1, 20);
+  EXPECT_EQ(pt.Advance(), 30u);  // 1 and 2 both advance
+  EXPECT_EQ(pt.watermark(), 3u);
+}
+
+TEST(PrefixTrackerTest, VisibilityOnlyAtTxnEnds) {
+  PrefixTracker pt(64);
+  // Records 0,1 belong to txn ts=7 (end at 1); record 2 is txn ts=9.
+  pt.Mark(0, kInvalidTimestamp);
+  EXPECT_EQ(pt.Advance(), kInvalidTimestamp);  // no complete txn yet
+  pt.Mark(1, 7);
+  EXPECT_EQ(pt.Advance(), 7u);
+  pt.Mark(2, 9);
+  EXPECT_EQ(pt.Advance(), 9u);
+}
+
+TEST(PrefixTrackerTest, VisibleTimestampIsMonotonic) {
+  PrefixTracker pt(64);
+  pt.Mark(1, 20);
+  pt.Mark(2, 30);
+  EXPECT_EQ(pt.Advance(), kInvalidTimestamp);  // 0 missing
+  pt.Mark(0, 10);
+  EXPECT_EQ(pt.Advance(), 30u);
+  EXPECT_EQ(pt.visible_ts(), 30u);
+}
+
+TEST(PrefixTrackerTest, WrapsAroundRing) {
+  PrefixTracker pt(8);
+  Timestamp vis = 0;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    pt.Mark(seq, seq + 1);
+    vis = pt.Advance();
+  }
+  EXPECT_EQ(vis, 100u);
+  EXPECT_EQ(pt.watermark(), 100u);
+}
+
+TEST(PrefixTrackerTest, BackpressureReleasesAfterAdvance) {
+  PrefixTracker pt(8);  // tiny ring
+  std::atomic<bool> marked_far{false};
+  std::thread marker([&] {
+    pt.Mark(0, 1);
+    pt.Mark(8, 9);  // exactly capacity ahead: must wait for watermark > 0
+    marked_far.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(marked_far.load());
+  pt.Advance();  // watermark -> 1, unblocks
+  marker.join();
+  EXPECT_TRUE(marked_far.load());
+}
+
+TEST(PrefixTrackerTest, ConcurrentMarkersSingleAdvancer) {
+  PrefixTracker pt(1 << 12);
+  constexpr std::uint64_t kN = 200000;
+  constexpr int kThreads = 4;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> markers;
+  for (int t = 0; t < kThreads; ++t) {
+    markers.emplace_back([&] {
+      while (true) {
+        const std::uint64_t seq = next.fetch_add(1);
+        if (seq >= kN) break;
+        pt.Mark(seq, seq + 1);
+      }
+    });
+  }
+  std::thread advancer([&] {
+    while (!done.load()) pt.Advance();
+    pt.Advance();
+  });
+  for (auto& m : markers) m.join();
+  done.store(true);
+  advancer.join();
+  EXPECT_EQ(pt.watermark(), kN);
+  EXPECT_EQ(pt.visible_ts(), kN);
+}
+
+TEST(PrefixTrackerTest, RandomCompletionOrderReachesFullPrefix) {
+  PrefixTracker pt(1 << 10);
+  constexpr std::uint64_t kN = 512;  // within ring capacity: any order works
+  std::vector<std::uint64_t> order(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) order[i] = i;
+  Rng rng(3);
+  for (std::uint64_t i = kN - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Uniform(i + 1)]);
+  }
+  Timestamp vis = 0;
+  std::uint64_t max_marked = 0;
+  for (const std::uint64_t seq : order) {
+    max_marked = std::max(max_marked, seq);
+    pt.Mark(seq, seq + 1);
+    const Timestamp next = pt.Advance();
+    EXPECT_GE(next, vis);              // monotonic
+    EXPECT_LE(next, max_marked + 1);   // never beyond what was marked
+    vis = next;
+  }
+  EXPECT_EQ(vis, kN);
+}
+
+TEST(PrefixTrackerTest, AdvanceIdempotentWhenNoNewMarks) {
+  PrefixTracker pt(64);
+  pt.Mark(0, 5);
+  EXPECT_EQ(pt.Advance(), 5u);
+  EXPECT_EQ(pt.Advance(), 5u);
+  EXPECT_EQ(pt.Advance(), 5u);
+}
+
+}  // namespace
+}  // namespace c5::replica

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "common/spsc_queue.h"
+
+namespace c5 {
+namespace {
+
+TEST(SpscQueueTest, PushPopSingleThread) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_EQ(q.TryPop().value(), 1);
+  EXPECT_EQ(q.TryPop().value(), 2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(SpscQueueTest, FullQueueRejectsTryPush) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));
+  EXPECT_EQ(q.SizeApprox(), 4u);
+}
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q(5);  // becomes 8
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+TEST(SpscQueueTest, PopDrainsAfterClose) {
+  SpscQueue<int> q(8);
+  q.TryPush(1);
+  q.TryPush(2);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(SpscQueueTest, PushFailsAfterCloseWhenFull) {
+  SpscQueue<int> q(2);
+  q.TryPush(1);
+  q.TryPush(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // full + closed: must not block forever
+}
+
+TEST(SpscQueueTest, ConcurrentTransferPreservesOrderAndContent) {
+  SpscQueue<int> q(64);
+  constexpr int kItems = 200000;
+  std::vector<int> received;
+  received.reserve(kItems);
+
+  std::thread consumer([&] {
+    while (auto v = q.Pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(i));
+  q.Close();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) ASSERT_EQ(received[i], i);
+}
+
+TEST(MpmcQueueTest, PushPopBasic) {
+  MpmcQueue<int> q;
+  q.Push(7);
+  EXPECT_EQ(q.Pop().value(), 7);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpmcQueueTest, FifoOrderSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.Pop().value(), i);
+}
+
+TEST(MpmcQueueTest, CloseUnblocksPoppers) {
+  MpmcQueue<int> q;
+  std::thread t([&] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  t.join();
+}
+
+TEST(MpmcQueueTest, DrainsAfterClose) {
+  MpmcQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 50000;
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (int c = kProducers; c < kProducers + kConsumers; ++c) {
+    threads[c].join();
+  }
+
+  const std::int64_t n = static_cast<std::int64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MpmcQueueTest, SizeReflectsContents) {
+  MpmcQueue<int> q;
+  EXPECT_EQ(q.Size(), 0u);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.Size(), 2u);
+  q.TryPop();
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace c5

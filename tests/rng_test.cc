@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace c5 {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(37), 37u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.UniformRange(10, 15);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 15u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 15);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRangeSingleton) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformRange(7, 7), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NURandWithinRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.NURand(1023, 1, 3000, 259);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(RngTest, NURandIsNonUniform) {
+  // NURand should produce a visibly skewed distribution versus uniform:
+  // its collision mass concentrates on fewer hot values.
+  Rng rng(19);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) counts[rng.NURand(255, 1, 1000, 7)]++;
+  int max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  // Uniform expectation is 30 per value; NURand's peak must exceed it well.
+  EXPECT_GT(max_count, 60);
+}
+
+TEST(RngTest, RoughUniformity) {
+  Rng rng(23);
+  int buckets[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.Uniform(10)]++;
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], n / 10, n / 10 * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace c5

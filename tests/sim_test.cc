@@ -1,0 +1,193 @@
+// Validates the §3.1 discrete-event model against the paper's closed forms.
+
+#include "sim/lag_model.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace c5::sim {
+namespace {
+
+SimConfig DefaultConfig() {
+  SimConfig c;
+  c.cores = 64;
+  c.primary_op_cost = 1.0;  // e
+  c.backup_op_cost = 1.0;   // d
+  c.writes_per_txn = 4;     // n > e/d
+  c.num_txns = 500;
+  return c;
+}
+
+TEST(SimPrimaryTest, MatchesClosedForm) {
+  // Proof of Theorem 1: f_p(T_i) = (n + i) e when m > n.
+  const SimConfig c = DefaultConfig();
+  const auto fp = SimulatePrimary(c);
+  for (int i = 0; i < c.num_txns; ++i) {
+    EXPECT_DOUBLE_EQ(fp[i],
+                     (c.writes_per_txn + i) * c.primary_op_cost)
+        << "at txn " << i;
+  }
+}
+
+TEST(SimTransactionGranularityTest, MatchesTheoremOneLag) {
+  // f_b(T_i) = n e + (i + 1) n d  =>  lag(T_i) = i (nd - e) + nd.
+  const SimConfig c = DefaultConfig();
+  const SimResult r = SimulateBackup(c, BackupGranularity::kTransaction);
+  for (int i = 0; i < c.num_txns; ++i) {
+    EXPECT_NEAR(r.Lag(i), TheoremOneLag(c, i), 1e-9) << "at txn " << i;
+  }
+}
+
+TEST(SimTransactionGranularityTest, LagGrowsWithoutBound) {
+  SimConfig c = DefaultConfig();
+  c.num_txns = 2000;
+  const SimResult r = SimulateBackup(c, BackupGranularity::kTransaction);
+  EXPECT_GT(r.FinalLag(), r.Lag(0) * 100);
+  // Strictly increasing lag.
+  EXPECT_GT(r.Lag(1000), r.Lag(100));
+  EXPECT_GT(r.Lag(1999), r.Lag(1000));
+}
+
+TEST(SimPageGranularityTest, LagGrowsWithoutBound) {
+  SimConfig c = DefaultConfig();
+  c.num_txns = 2000;
+  const SimResult r = SimulateBackup(c, BackupGranularity::kPage);
+  // The unique-writes page queue needs (n-1)d per transaction against an
+  // arrival period of e: with n=4, d=e the queue grows linearly.
+  EXPECT_GT(r.FinalLag(), 100 * (c.writes_per_txn * c.backup_op_cost));
+  EXPECT_GT(r.Lag(1999), r.Lag(500));
+}
+
+TEST(SimRowGranularityTest, LagIsBounded) {
+  SimConfig c = DefaultConfig();
+  c.num_txns = 5000;
+  const SimResult r = SimulateBackup(c, BackupGranularity::kRow);
+  // Row granularity mirrors the primary's constraints (Theorem 2): the hot
+  // queue drains at one write per d <= e, so lag stays O(nd).
+  EXPECT_LE(r.MaxLag(), 3.0 * c.writes_per_txn * c.backup_op_cost);
+  // And lag at the end is no worse than early lag by more than a constant.
+  EXPECT_NEAR(r.Lag(4999), r.Lag(100), 2.0 * c.backup_op_cost);
+}
+
+TEST(SimRowGranularityTest, FasterBackupNeverLagsMore) {
+  SimConfig c = DefaultConfig();
+  c.backup_op_cost = 0.5;  // d < e
+  const SimResult fast = SimulateBackup(c, BackupGranularity::kRow);
+  c.backup_op_cost = 1.0;
+  const SimResult slow = SimulateBackup(c, BackupGranularity::kRow);
+  EXPECT_LE(fast.MaxLag(), slow.MaxLag() + 1e-9);
+}
+
+TEST(SimTransactionGranularityTest, FastEnoughBackupKeepsUp) {
+  // When nd <= e the theorem's construction no longer grows: with d small
+  // enough the serial backup drains faster than arrivals.
+  SimConfig c = DefaultConfig();
+  c.backup_op_cost = 0.2;  // nd = 0.8 < e = 1
+  c.num_txns = 2000;
+  const SimResult r = SimulateBackup(c, BackupGranularity::kTransaction);
+  EXPECT_LE(r.MaxLag(), 10.0);
+  EXPECT_NEAR(r.Lag(1999), r.Lag(100), 1.0);
+}
+
+TEST(SimTest, LagNeverNegative) {
+  for (const auto g : {BackupGranularity::kTransaction,
+                       BackupGranularity::kPage, BackupGranularity::kRow}) {
+    const SimResult r = SimulateBackup(DefaultConfig(), g);
+    for (int i = 0; i < DefaultConfig().num_txns; ++i) {
+      ASSERT_GE(r.Lag(i), 0.0);
+    }
+  }
+}
+
+TEST(SimTest, RowDominatesCoarserGranularities) {
+  SimConfig c = DefaultConfig();
+  c.num_txns = 1000;
+  const double row = SimulateBackup(c, BackupGranularity::kRow).MaxLag();
+  const double page = SimulateBackup(c, BackupGranularity::kPage).MaxLag();
+  const double txn =
+      SimulateBackup(c, BackupGranularity::kTransaction).MaxLag();
+  EXPECT_LE(row, page);
+  EXPECT_LE(row, txn);
+}
+
+TEST(SimTest, MoreWritesPerTxnWorsensTransactionGranularity) {
+  // Fig. 7 / Fig. 11's x-axis effect: growing n widens the gap.
+  SimConfig c = DefaultConfig();
+  c.num_txns = 1000;
+  c.writes_per_txn = 2;
+  const double lag2 =
+      SimulateBackup(c, BackupGranularity::kTransaction).FinalLag();
+  c.writes_per_txn = 8;
+  const double lag8 =
+      SimulateBackup(c, BackupGranularity::kTransaction).FinalLag();
+  EXPECT_GT(lag8, lag2 * 2);
+}
+
+
+// Property sweep over the theorem's parameter space: for every (n, e, d, m)
+// with m > n > e/d and nd > e, the simulator must match the closed forms
+// EXACTLY, transaction-granularity lag must grow without bound, and
+// row-granularity lag must stay bounded by a workload-independent constant.
+class TheoremSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {
+};
+
+TEST_P(TheoremSweepTest, ClosedFormsHoldAcrossParameterSpace) {
+  const auto [n, e, d, m] = GetParam();
+  SimConfig c;
+  c.writes_per_txn = n;
+  c.primary_op_cost = e;
+  c.backup_op_cost = d;
+  c.cores = m;
+  c.num_txns = 400;
+  ASSERT_GT(m, n);                      // proof precondition m > n
+  ASSERT_GT(n * d, e);                  // proof precondition nd > e
+  ASSERT_LE(d, e);                      // model assumption d <= e
+
+  // f_p(T_i) = (n + i) e.
+  const auto fp = SimulatePrimary(c);
+  for (int i = 0; i < c.num_txns; ++i) {
+    ASSERT_NEAR(fp[i], (n + i) * e, 1e-9) << "f_p mismatch at " << i;
+  }
+
+  // Transaction granularity: lag(T_i) = i (nd - e) + nd, exactly.
+  const auto txn = SimulateBackup(c, BackupGranularity::kTransaction);
+  for (int i = 0; i < c.num_txns; i += 37) {
+    ASSERT_NEAR(txn.Lag(i), TheoremOneLag(c, i), 1e-9)
+        << "Theorem 1 mismatch at " << i;
+  }
+  ASSERT_GT(txn.FinalLag(), txn.Lag(0)) << "lag must grow";
+
+  // Row granularity: lag bounded by nd + d for every i (the backup's hot-row
+  // chain drains at d per write while uniques run fully parallel).
+  const auto row = SimulateBackup(c, BackupGranularity::kRow);
+  for (int i = 0; i < c.num_txns; ++i) {
+    ASSERT_LE(row.Lag(i), n * d + d + 1e-9) << "row lag unbounded at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSpace, TheoremSweepTest,
+    ::testing::Values(
+        std::make_tuple(2, 1.0, 1.0, 8),      // minimal n
+        std::make_tuple(4, 1.0, 1.0, 64),     // the paper's illustration
+        std::make_tuple(4, 1.0, 0.5, 64),     // backup 2x faster, nd > e
+        std::make_tuple(8, 2.0, 1.0, 32),     // slower primary ops
+        std::make_tuple(16, 1.0, 0.25, 128),  // 4x faster backup, large n
+        std::make_tuple(64, 1.0, 1.0, 128),   // wide transactions
+        std::make_tuple(3, 2.5, 1.0, 16)),    // fractional e/d boundary
+    [](const ::testing::TestParamInfo<std::tuple<int, double, double, int>>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<3>(info.param)) + "_ed" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_" +
+             std::to_string(
+                 static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace c5::sim
+

@@ -1,0 +1,80 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace c5 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodes) {
+  EXPECT_EQ(Status::NotFound().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Aborted().code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::TimedOut().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::InvalidArgument().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ResourceExhausted().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal().code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled().code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, MessagePropagates) {
+  const Status s = Status::Aborted("write conflict");
+  EXPECT_EQ(s.message(), "write conflict");
+  EXPECT_EQ(s.ToString(), "ABORTED: write conflict");
+}
+
+TEST(StatusTest, RetryableCodes) {
+  EXPECT_TRUE(Status::Aborted().IsRetryable());
+  EXPECT_TRUE(Status::TimedOut().IsRetryable());
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_FALSE(Status::NotFound().IsRetryable());
+  EXPECT_FALSE(Status::Cancelled().IsRetryable());
+  EXPECT_FALSE(Status::Internal().IsRetryable());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted() == Status::TimedOut());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(ToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(ToString(StatusCode::kAborted), "ABORTED");
+  EXPECT_STREQ(ToString(StatusCode::kTimedOut), "TIMED_OUT");
+  EXPECT_STREQ(ToString(StatusCode::kCancelled), "CANCELLED");
+}
+
+}  // namespace
+}  // namespace c5

@@ -1,0 +1,132 @@
+#ifndef C5_TESTS_TEST_UTIL_H_
+#define C5_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "log/log_collector.h"
+#include "log/log_segment.h"
+#include "storage/database.h"
+#include "txn/mvtso_engine.h"
+#include "txn/two_phase_locking_engine.h"
+#include "txn/txn.h"
+#include "workload/runner.h"
+#include "workload/synthetic.h"
+
+namespace c5::test {
+
+// Digest of a database's committed state at `ts`: fold of every row's
+// (table, row, deleted, data) into one hash. Primary and backup assign
+// identical row ids (the log dictates them), so equal digests mean equal
+// states.
+inline std::uint64_t StateDigest(storage::Database& db, Timestamp ts) {
+  const auto guard = db.epochs().Enter();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  };
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const storage::Table& table = db.table(t);
+    const RowId n = table.NumRows();
+    for (RowId r = 0; r < n; ++r) {
+      const storage::Version* v = table.ReadAt(r, ts);
+      if (v == nullptr) continue;
+      mix(t);
+      mix(r);
+      mix(v->deleted ? 1 : 0);
+      std::uint64_t dh = 1469598103934665603ull;
+      for (const char c : v->data) {
+        dh = (dh ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+      }
+      mix(dh);
+    }
+  }
+  return h;
+}
+
+// A primary world: database + clock + collector + engine.
+struct Primary {
+  storage::Database db;
+  TxnClock clock;
+  std::unique_ptr<log::PerThreadLogCollector> collector;
+  std::unique_ptr<txn::Engine> engine;
+
+  static std::unique_ptr<Primary> Mvtso() {
+    auto p = std::make_unique<Primary>();
+    p->collector = std::make_unique<log::PerThreadLogCollector>(256);
+    p->engine = std::make_unique<txn::MvtsoEngine>(&p->db, p->collector.get(),
+                                                   &p->clock);
+    return p;
+  }
+  static std::unique_ptr<Primary> Tpl() {
+    auto p = std::make_unique<Primary>();
+    p->collector = std::make_unique<log::PerThreadLogCollector>(256);
+    p->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
+        &p->db, p->collector.get(), &p->clock);
+    return p;
+  }
+};
+
+// Runs the synthetic workload on a fresh MVTSO primary and returns the
+// coalesced log plus the primary (for state comparison).
+struct SyntheticRun {
+  std::unique_ptr<Primary> primary;
+  TableId table;
+  log::Log log;
+};
+
+inline SyntheticRun RunSyntheticPrimary(bool adversarial, int clients,
+                                        std::uint64_t txns_per_client,
+                                        std::uint32_t inserts_per_txn = 4,
+                                        bool use_2pl = false) {
+  SyntheticRun run;
+  run.primary = use_2pl ? Primary::Tpl() : Primary::Mvtso();
+  run.table = workload::SyntheticWorkload::CreateTable(&run.primary->db);
+  workload::SyntheticWorkload wl(
+      run.table, {.inserts_per_txn = inserts_per_txn,
+                  .adversarial = adversarial});
+  if (adversarial) {
+    const Status s = wl.LoadHotRow(*run.primary->engine);
+    (void)s;
+  }
+  std::vector<std::uint64_t> seqs(clients, 0);
+  workload::RunClosedLoop(
+      clients, std::chrono::milliseconds(0), txns_per_client,
+      [&](std::uint32_t client, Rng& rng) {
+        return wl.RunTxn(*run.primary->engine, rng, client, &seqs[client]);
+      });
+  run.log = run.primary->collector->Coalesce();
+  return run;
+}
+
+// Asserts structural log sanity: timestamps non-decreasing, transactions
+// contiguous and never spanning segments.
+inline bool LogIsWellFormed(const log::Log& log) {
+  Timestamp prev_ts = 0;
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    const log::LogSegment* seg = log.segment(s);
+    if (seg->empty()) return false;
+    if (!seg->records().back().last_in_txn) return false;  // txn spans segs
+    Timestamp open_txn = kInvalidTimestamp;
+    for (const log::LogRecord& rec : seg->records()) {
+      if (rec.commit_ts < prev_ts) return false;
+      prev_ts = rec.commit_ts;
+      if (open_txn != kInvalidTimestamp && rec.commit_ts != open_txn) {
+        return false;  // interleaved transactions
+      }
+      open_txn = rec.last_in_txn ? kInvalidTimestamp : rec.commit_ts;
+    }
+  }
+  return true;
+}
+
+}  // namespace c5::test
+
+#endif  // C5_TESTS_TEST_UTIL_H_
