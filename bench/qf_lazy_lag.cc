@@ -99,9 +99,6 @@ void PartB() {
        {bench::Scaled(2000), bench::Scaled(8000), bench::Scaled(32000),
         bench::Scaled(128000)}) {
     log::Log log = BuildAdversarialLog(depth, bench::DefaultClients(), 2);
-    auto schema = [](storage::Database* db) {
-      workload::SyntheticWorkload::CreateTable(db);
-    };
 
     // Query Fresh: ingest fully, then time the first hot-row read (drains
     // the row's whole redo list) and a second read (already instantiated).

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, and run every test suite.
+# Exits nonzero on the first failure. Usage: scripts/check.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if command -v nproc >/dev/null 2>&1; then
+  jobs=$(nproc)
+else
+  jobs=4
+fi
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"

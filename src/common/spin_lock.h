@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__)
 #include <immintrin.h>
@@ -18,6 +19,21 @@ inline void CpuRelax() {
 #endif
 }
 
+// Bounded spin with graceful degradation. Callers thread their own counter
+// through a wait loop; past the limit each iteration yields the quantum so a
+// descheduled peer can run. Pure CpuRelax() waits livelock-by-slowness on
+// single-core or oversubscribed machines: the waiter burns its entire
+// scheduler quantum per hand-off while the thread it waits on sits runnable.
+inline void SpinBackoff(int& spins) {
+  constexpr int kSpinLimit = 1024;
+  if (spins < kSpinLimit) {
+    ++spins;
+    CpuRelax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
 // Test-and-test-and-set spinlock. Satisfies Lockable so it works with
 // std::lock_guard.
 class SpinLock {
@@ -27,9 +43,10 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() {
+    int spins = 0;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
-      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+      while (flag_.load(std::memory_order_relaxed)) SpinBackoff(spins);
     }
   }
 
@@ -56,7 +73,10 @@ class TicketSpinLock {
   void lock() {
     const std::uint32_t ticket =
         next_.fetch_add(1, std::memory_order_relaxed);
-    while (serving_.load(std::memory_order_acquire) != ticket) CpuRelax();
+    int spins = 0;
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      SpinBackoff(spins);
+    }
   }
 
   void unlock() {

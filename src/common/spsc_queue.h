@@ -36,9 +36,10 @@ class SpscQueue {
   // Blocks (spinning) until space is available or the queue is closed.
   // Returns false only if closed.
   bool Push(T value) {
+    int spins = 0;
     while (!TryPush(value)) {
       if (closed_.load(std::memory_order_acquire)) return false;
-      CpuRelax();
+      SpinBackoff(spins);
     }
     return true;
   }
@@ -55,6 +56,7 @@ class SpscQueue {
   // Blocks (spinning) until an element is available. Returns nullopt once
   // the queue is closed *and* drained.
   std::optional<T> Pop() {
+    int spins = 0;
     while (true) {
       if (auto v = TryPop()) return v;
       if (closed_.load(std::memory_order_acquire)) {
@@ -62,7 +64,7 @@ class SpscQueue {
         if (auto v = TryPop()) return v;
         return std::nullopt;
       }
-      CpuRelax();
+      SpinBackoff(spins);
     }
   }
 

@@ -155,8 +155,9 @@ void C5MyRocksReplica::WorkerLoop(int idx) {
       // §5.2: while a snapshot is being taken, writes beyond the boundary n
       // must wait ("choosing n also blocks workers from executing writes
       // with sequence numbers greater than n until after the snapshot").
+      int barrier_spins = 0;
       while (rec.commit_ts > barrier_ts_.load(std::memory_order_acquire)) {
-        CpuRelax();
+        SpinBackoff(barrier_spins);
       }
       // §5.1: wait until the write is safe (its predecessor is in place),
       // then execute it. Spin-waiting here is deadlock-free because workers
@@ -173,9 +174,14 @@ void C5MyRocksReplica::WorkerLoop(int idx) {
         while (true) {
           // The write becomes actionable once the row reaches (or passes,
           // after a checkpoint resume) its predecessor position.
+          int wait_spins = 0;
           while (table.NewestVisibleTimestamp(rec.row) < rec.prev_ts) {
-            for (int p = 0; p < backoff; ++p) CpuRelax();
-            if (backoff < 64) backoff <<= 1;
+            if (backoff < 64) {
+              for (int p = 0; p < backoff; ++p) CpuRelax();
+              backoff <<= 1;
+            } else {
+              SpinBackoff(wait_spins);
+            }
           }
           if (table.TryInstallIfPrev(rec.row, rec.prev_ts, rec.commit_ts,
                                      rec.value, rec.op == OpType::kDelete) !=

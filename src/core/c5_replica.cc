@@ -98,15 +98,17 @@ void C5Replica::WorkerLoop(int idx) {
     me.c_prime.store(floor, std::memory_order_release);
   };
 
+  int idle_spins = 0;
   while (true) {
     // Read the watermark BEFORE checking the queue (see SchedulerLoop).
     const Timestamp idle_floor = watermark_.load(std::memory_order_acquire);
     auto seg_opt = me.queue.TryPop();
     if (!seg_opt.has_value()) {
       if (!deferred.empty()) {
-        RetryDeferred(deferred);
+        if (RetryDeferred(deferred)) idle_spins = 0;
         if (!deferred.empty()) {
           publish_c_prime(deferred.front()->commit_ts - 1);
+          SpinBackoff(idle_spins);
         } else {
           publish_c_prime(idle_floor);
         }
@@ -118,12 +120,13 @@ void C5Replica::WorkerLoop(int idx) {
         seg_opt = me.queue.TryPop();
         if (!seg_opt.has_value()) break;
       } else {
-        CpuRelax();
+        SpinBackoff(idle_spins);
         continue;
       }
     }
 
     log::LogSegment* seg = *seg_opt;
+    idle_spins = 0;  // new wait episode once this segment is done
     // The scheduler marks segments preprocessed before shipping them, so this
     // never spins in practice; it documents the §7.1 header contract.
     while (!seg->preprocessed()) CpuRelax();
@@ -160,11 +163,12 @@ void C5Replica::WorkerLoop(int idx) {
 
   // Drain any remaining deferred writes (their predecessors are owned by
   // other workers and will land).
+  int drain_spins = 0;
   while (!deferred.empty()) {
-    RetryDeferred(deferred);
+    if (RetryDeferred(deferred)) drain_spins = 0;
     if (!deferred.empty()) {
       publish_c_prime(deferred.front()->commit_ts - 1);
-      CpuRelax();
+      SpinBackoff(drain_spins);
     }
   }
   me.c_prime.store(kMaxTimestamp, std::memory_order_release);

@@ -1,3 +1,18 @@
+// C5-Cicada backup: scheduler / workers / snapshotter pipeline (§7.2).
+//
+// Invariants the pipeline maintains, on which every reader of the backup
+// relies:
+//  * Per-row order: a write executes only after the previous write to its
+//    row (identified by prev_ts) is installed, so each row's version chain
+//    is always a prefix of the primary's history for that row.
+//  * Transaction-boundary snapshots: each worker's published c' stays below
+//    any transaction it has partially applied, so the snapshot
+//    c = min(watermark, min c') never exposes a torn transaction.
+//  * Monotonicity: watermark, c', and the visible snapshot only advance —
+//    read-only transactions observe monotonic prefix consistency.
+//  * Non-blocking reads: the snapshotter advances c without stopping
+//    workers; versions are guarded by storage epochs, never locks.
+
 #ifndef C5_CORE_C5_REPLICA_H_
 #define C5_CORE_C5_REPLICA_H_
 

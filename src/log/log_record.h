@@ -1,3 +1,13 @@
+// The unit of the replication log.
+//
+// Ordering invariants carried by the log as a whole:
+//  * Records of one transaction are contiguous and share its commit_ts;
+//    last_in_txn marks the boundary, so any prefix of the log that ends on
+//    a last_in_txn record is a transaction-consistent state.
+//  * For each row, records appear in commit_ts order; prev_ts threads that
+//    per-row order through the log, which is the entire execution
+//    constraint row-granularity replay needs (Theorem 2).
+
 #ifndef C5_LOG_LOG_RECORD_H_
 #define C5_LOG_LOG_RECORD_H_
 

@@ -47,8 +47,9 @@ class PrefixTracker {
   // kInvalidTimestamp.
   void Mark(std::uint64_t seq, Timestamp txn_end_ts) {
     // Backpressure: never run more than capacity_ ahead of the watermark.
+    int spins = 0;
     while (seq >= watermark_.load(std::memory_order_acquire) + capacity_) {
-      CpuRelax();
+      SpinBackoff(spins);
     }
     const std::size_t slot = seq & mask_;
     if (txn_end_ts != kInvalidTimestamp) {

@@ -106,9 +106,10 @@ void QueryFreshReplica::InstantiateRow(TableId table, RowId row,
 
   // Optimistic serialization (§9): if another reader is instantiating this
   // row, count a conflict and retry (spin) rather than queueing politely.
+  int spins = 0;
   while (!state->mu.try_lock()) {
     instantiation_conflicts_.fetch_add(1, std::memory_order_relaxed);
-    CpuRelax();
+    SpinBackoff(spins);
   }
   storage::Table& t = db_->table(table);
   std::uint64_t applied = 0;
@@ -161,7 +162,8 @@ void QueryFreshReplica::InstantiateAll(Timestamp ts) {
 }
 
 void QueryFreshReplica::WaitUntilCaughtUp() {
-  while (!ingest_done_.load(std::memory_order_acquire)) CpuRelax();
+  int spins = 0;
+  while (!ingest_done_.load(std::memory_order_acquire)) SpinBackoff(spins);
   if (!options_.leave_lazy_after_catchup) {
     InstantiateAll(kMaxTimestamp);
   }

@@ -1,3 +1,16 @@
+// Replica interface and shared backup plumbing.
+//
+// Invariants every protocol implementation must preserve:
+//  * VisibleTimestamp() is monotonic and always lands on a transaction
+//    boundary: readers see a contiguous, untorn prefix of the primary's
+//    log (monotonic prefix consistency, §2.3).
+//  * Every read-only transaction runs inside an epoch guard and registers
+//    its snapshot with the reader tracker before reading, so GcHorizon()
+//    never reclaims a version an active reader could still observe.
+//  * ApplyRecord is idempotent: at-least-once log delivery (checkpoint
+//    resume, source restart) must not install duplicate versions or skew
+//    the applied-write/transaction counters used for caught-up accounting.
+
 #ifndef C5_REPLICA_REPLICA_H_
 #define C5_REPLICA_REPLICA_H_
 

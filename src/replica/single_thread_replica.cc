@@ -25,7 +25,8 @@ void SingleThreadReplica::Run(log::SegmentSource* source) {
 }
 
 void SingleThreadReplica::WaitUntilCaughtUp() {
-  while (!done_.load(std::memory_order_acquire)) CpuRelax();
+  int spins = 0;
+  while (!done_.load(std::memory_order_acquire)) SpinBackoff(spins);
 }
 
 void SingleThreadReplica::Stop() {

@@ -38,9 +38,15 @@ Table::Chunk* Table::EnsureChunk(std::size_t chunk_idx) {
 }
 
 Table::RowEntry& Table::Entry(RowId row) const {
+  RowEntry* entry = EntryOrNull(row);
+  assert(entry != nullptr && "row slot not allocated");
+  return *entry;
+}
+
+Table::RowEntry* Table::EntryOrNull(RowId row) const {
   Chunk* chunk = chunks_[row >> kChunkBits].load(std::memory_order_acquire);
-  assert(chunk != nullptr && "row slot not allocated");
-  return chunk->rows[row & (kChunkSize - 1)];
+  if (chunk == nullptr) return nullptr;
+  return &chunk->rows[row & (kChunkSize - 1)];
 }
 
 RowId Table::AllocateRow() {
@@ -68,8 +74,9 @@ const Version* Table::ReadAt(RowId row, Timestamp ts) const {
       VersionStatus s = v->Status();
       // A pending version at or below our timestamp must be resolved before
       // we can decide visibility; its writer flips it at commit/abort.
+      int spins = 0;
       while (s == VersionStatus::kPending) {
-        CpuRelax();
+        SpinBackoff(spins);
         s = v->Status();
       }
       if (s == VersionStatus::kCommitted) return v;
@@ -173,9 +180,11 @@ void Table::AbortPending(RowId row, Version* v, EpochManager& epochs) {
 
 std::size_t Table::CollectRowGarbage(RowId row, Timestamp horizon,
                                      EpochManager& epochs) {
+  RowEntry* entry = EntryOrNull(row);
+  if (entry == nullptr) return 0;
   // Find the truncation point: the newest committed version at or below the
   // horizon. Everything strictly older can never be read again.
-  Version* v = Entry(row).head.load(std::memory_order_acquire);
+  Version* v = entry->head.load(std::memory_order_acquire);
   while (v != nullptr && !(v->Status() == VersionStatus::kCommitted &&
                            v->write_ts <= horizon)) {
     v = v->Next();
@@ -203,7 +212,9 @@ std::size_t Table::CountVersionsApprox() const {
   std::size_t total = 0;
   const RowId n = NumRows();
   for (RowId r = 0; r < n; ++r) {
-    for (const Version* v = Entry(r).head.load(std::memory_order_acquire);
+    const RowEntry* entry = EntryOrNull(r);
+    if (entry == nullptr) continue;
+    for (const Version* v = entry->head.load(std::memory_order_acquire);
          v != nullptr; v = v->Next()) {
       ++total;
     }

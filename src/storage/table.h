@@ -158,6 +158,11 @@ class Table {
 
   Chunk* EnsureChunk(std::size_t chunk_idx);
   RowEntry& Entry(RowId row) const;
+  // Null when the row's chunk is not installed yet. AllocateRow publishes
+  // the row counter before the chunk, so NumRows()-bounded scans (GC,
+  // diagnostics) can observe a row id whose slot does not exist; such a row
+  // has no versions and must be skipped, not dereferenced.
+  RowEntry* EntryOrNull(RowId row) const;
 
   const std::string name_;
   std::unique_ptr<std::atomic<Chunk*>[]> chunks_;

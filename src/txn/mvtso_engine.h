@@ -1,3 +1,18 @@
+// MVTSO primary engine (Cicada-like, §7.1).
+//
+// Invariants the replication pipeline depends on:
+//  * Commit timestamps are unique and totally ordered; every write of a
+//    transaction carries the transaction's commit timestamp, so commit_ts
+//    doubles as the transaction id in the shipped log.
+//  * A transaction's records reach the log collector only after read-set
+//    validation succeeds and before its versions become visible, so the log
+//    never contains an aborted transaction and visibility never precedes
+//    durability-in-log.
+//  * LogHorizon() is a lower bound on every future commit timestamp:
+//    transactions register with the active-transaction tracker before
+//    drawing their timestamp and deregister only after logging, so the
+//    online log sequencer can release records at or below the horizon.
+
 #ifndef C5_TXN_MVTSO_ENGINE_H_
 #define C5_TXN_MVTSO_ENGINE_H_
 

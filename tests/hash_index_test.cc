@@ -71,7 +71,9 @@ TEST(HashIndexTest, ReinsertAfterEraseUsesTombstone) {
   EXPECT_TRUE(idx.Insert(3, 33));
   EXPECT_EQ(*idx.Lookup(3), 33u);
   for (Key k = 0; k < 6; ++k) {
-    if (k != 3) EXPECT_EQ(*idx.Lookup(k), k);
+    if (k != 3) {
+      EXPECT_EQ(*idx.Lookup(k), k);
+    }
   }
 }
 
@@ -112,7 +114,9 @@ TEST(HashIndexTest, MatchesReferenceMapUnderRandomOps) {
         const auto got = idx.Lookup(k);
         const auto it = ref.find(k);
         EXPECT_EQ(got.has_value(), it != ref.end());
-        if (got.has_value() && it != ref.end()) EXPECT_EQ(*got, it->second);
+        if (got.has_value() && it != ref.end()) {
+          EXPECT_EQ(*got, it->second);
+        }
       }
     }
   }
@@ -168,7 +172,9 @@ TEST(HashIndexTest, ConcurrentReadersDuringInserts) {
       while (!stop.load()) {
         const Key k = rng.Uniform(100000);
         const auto v = idx.Lookup(k);
-        if (v.has_value()) ASSERT_EQ(*v, k);
+        if (v.has_value()) {
+          ASSERT_EQ(*v, k);
+        }
       }
     });
   }

@@ -1,8 +1,8 @@
-#include "src/common/histogram.h"
+#include "common/histogram.h"
 
 #include <gtest/gtest.h>
 
-#include "src/common/rng.h"
+#include "common/rng.h"
 
 namespace c5 {
 namespace {

@@ -343,7 +343,9 @@ TEST_F(MvtsoTest, SnapshotReadsAreStableUnderConcurrentWrites) {
       b = workload::DecodeIntValue(v);
       return Status::Ok();
     });
-    if (s.ok()) ASSERT_EQ(a, b) << "torn snapshot at iteration " << i;
+    if (s.ok()) {
+      ASSERT_EQ(a, b) << "torn snapshot at iteration " << i;
+    }
   }
   stop.store(true);
   writer.join();

@@ -81,7 +81,8 @@ TEST(TicketSpinLockTest, FifoOrderWithStaggeredArrival) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
-      while (arrived.load() != t) CpuRelax();
+      int spins = 0;
+      while (arrived.load() != t) SpinBackoff(spins);
       arrived.store(t + 1);
       lock.lock();  // ticket drawn here, in arrival order
       order.push_back(t);
@@ -89,7 +90,8 @@ TEST(TicketSpinLockTest, FifoOrderWithStaggeredArrival) {
     });
     // Wait for thread t to have drawn its ticket: it sets arrived then
     // blocks in lock(); give it a moment to reach the ticket draw.
-    while (arrived.load() != t + 1) CpuRelax();
+    int waits = 0;
+    while (arrived.load() != t + 1) SpinBackoff(waits);
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   lock.unlock();

@@ -1,4 +1,4 @@
-#include "src/common/status.h"
+#include "common/status.h"
 
 #include <gtest/gtest.h>
 
