@@ -1,0 +1,119 @@
+#ifndef C5_BENCH_ALLOC_HOOK_H_
+#define C5_BENCH_ALLOC_HOOK_H_
+
+// Global operator new/delete replacement that counts allocations, so the
+// bench harnesses can report allocations/op (the replay hot path's headline
+// metric — see docs/PERFORMANCE.md).
+//
+// ODR caveat: the replacement operators below are NON-inline definitions.
+// This header must be included by exactly one translation unit per binary.
+// Every bench target is a single .cc linked against c5_core (which does not
+// include this header), so including it from bench_util.h is safe; never
+// include it from src/ or tests/.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace c5::bench {
+
+struct AllocCounters {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+inline AllocCounters& GlobalAllocCounters() {
+  static AllocCounters counters;
+  return counters;
+}
+
+inline std::uint64_t AllocCount() {
+  return GlobalAllocCounters().count.load(std::memory_order_relaxed);
+}
+inline std::uint64_t AllocBytes() {
+  return GlobalAllocCounters().bytes.load(std::memory_order_relaxed);
+}
+
+// Snapshot-delta helper: AllocScope scope; ...work...; scope.Count().
+class AllocScope {
+ public:
+  AllocScope() : start_count_(AllocCount()), start_bytes_(AllocBytes()) {}
+  std::uint64_t Count() const { return AllocCount() - start_count_; }
+  std::uint64_t Bytes() const { return AllocBytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_count_;
+  std::uint64_t start_bytes_;
+};
+
+namespace internal {
+inline void* CountedAlloc(std::size_t size, std::size_t align) {
+  auto& c = GlobalAllocCounters();
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(size, std::memory_order_relaxed);
+  // Zero-size new must return a unique non-null pointer; malloc(0) may not.
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  return p;
+}
+}  // namespace internal
+
+}  // namespace c5::bench
+
+// ---- Replacement operators (counted; malloc-backed) -------------------------
+// Every path below allocates with malloc/aligned_alloc, so free() is the
+// matching deallocator for all of them; GCC's pairing heuristic cannot see
+// through the replacement and warns anyway.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  void* p = c5::bench::internal::CountedAlloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return c5::bench::internal::CountedAlloc(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return c5::bench::internal::CountedAlloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = c5::bench::internal::CountedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // C5_BENCH_ALLOC_HOOK_H_

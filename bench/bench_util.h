@@ -1,14 +1,19 @@
 #ifndef C5_BENCH_BENCH_UTIL_H_
 #define C5_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "bench/alloc_hook.h"
 #include "common/clock.h"
+#include "common/histogram.h"
 #include "common/thread_util.h"
 #include "core/protocol_factory.h"
 #include "log/log_collector.h"
@@ -99,11 +104,21 @@ struct ReplayResult {
   double seconds = 0;
   std::uint64_t txns = 0;
   std::uint64_t writes = 0;
+  // operator-new calls during the whole replay (scheduler + workers +
+  // snapshotter), from the bench-binary-wide counting hook (alloc_hook.h).
+  std::uint64_t allocs = 0;
+  // Sampled per-record apply latency (install path only), nanoseconds.
+  // Zero when the protocol does not sample (e.g. KuaFu).
+  std::uint64_t apply_p50_ns = 0;
+  std::uint64_t apply_p99_ns = 0;
   double TxnsPerSec() const {
     return seconds > 0 ? static_cast<double>(txns) / seconds : 0;
   }
   double WritesPerSec() const {
     return seconds > 0 ? static_cast<double>(writes) / seconds : 0;
+  }
+  double AllocsPerWrite() const {
+    return writes > 0 ? static_cast<double>(allocs) / writes : 0;
   }
 };
 
@@ -124,15 +139,141 @@ inline ReplayResult ReplayLog(core::ProtocolKind kind, log::Log& log,
   options.num_workers = workers;
 
   auto replica = core::MakeReplica(kind, &backup, options);
+  AllocScope allocs;
   Stopwatch sw;
   replica->Start(&source);
   replica->WaitUntilCaughtUp();
   ReplayResult result;
   result.seconds = sw.ElapsedSeconds();
+  result.allocs = allocs.Count();
   replica->Stop();
   result.txns = replica->stats().applied_txns.load();
   result.writes = replica->stats().applied_writes.load();
+  if (auto* base = dynamic_cast<replica::ReplicaBase*>(replica.get())) {
+    const Histogram h = base->ApplyLatencySnapshot();
+    if (h.count() > 0) {
+      result.apply_p50_ns = h.Quantile(0.5);
+      result.apply_p99_ns = h.Quantile(0.99);
+    }
+  }
   return result;
+}
+
+// ---- Machine-readable output --------------------------------------------
+// Every harness can emit its table as a JSON object for the benchmark
+// trajectory (BENCH_replay.json): pass `--json <path>` or set C5_BENCH_JSON.
+// The writer is append-only and renders {"k": v, ...} in insertion order.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string JsonNum(double v) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";  // NaN/inf -> 0
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+class JsonWriter {
+ public:
+  // `raw` must already be valid JSON (an object, array, or literal).
+  JsonWriter& Raw(const std::string& key, const std::string& raw) {
+    fields_ += fields_.empty() ? "" : ", ";
+    fields_ += "\"" + JsonEscape(key) + "\": " + raw;
+    return *this;
+  }
+  JsonWriter& Num(const std::string& key, double v) {
+    return Raw(key, JsonNum(v));
+  }
+  JsonWriter& Int(const std::string& key, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return Raw(key, buf);
+  }
+  JsonWriter& Str(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + JsonEscape(v) + "\"");
+  }
+  std::string Object() const { return "{" + fields_ + "}"; }
+
+ private:
+  std::string fields_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& elems) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += elems[i];
+  }
+  return out + "]";
+}
+
+// Returns the JSON output path from `--json <path>` (or C5_BENCH_JSON), or
+// an empty string when no JSON output was requested. A `--json` with no
+// operand is a usage error, not a silent no-op: the run would otherwise
+// burn minutes and write nothing.
+inline std::string JsonOutputPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path operand\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  const char* env = std::getenv("C5_BENCH_JSON");
+  return env == nullptr ? "" : env;
+}
+
+// Writes `json` to `path` (with a trailing newline). Returns false and prints
+// to stderr on failure so bench mains can propagate a nonzero exit.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
+// JSON fragment shared by every replay measurement.
+inline std::string ReplayResultJson(const ReplayResult& r) {
+  return JsonWriter()
+      .Num("seconds", r.seconds)
+      .Int("txns", r.txns)
+      .Int("writes", r.writes)
+      .Num("txns_per_sec", r.TxnsPerSec())
+      .Num("writes_per_sec", r.WritesPerSec())
+      .Int("allocs", r.allocs)
+      .Num("allocs_per_write", r.AllocsPerWrite())
+      .Int("apply_p50_ns", r.apply_p50_ns)
+      .Int("apply_p99_ns", r.apply_p99_ns)
+      .Object();
 }
 
 // Formatting helpers for the figure tables.

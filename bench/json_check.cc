@@ -1,0 +1,240 @@
+// Tiny JSON validator for the benchmark trajectory files. Parses the whole
+// document with a recursive-descent grammar (objects, arrays, strings,
+// numbers, literals) and optionally asserts the presence of top-level keys:
+//
+//   bench_json_check FILE [--require KEY]...
+//
+// Exit 0 iff FILE is syntactically valid JSON (single top-level value) and
+// every --require KEY exists at the top level of the root object. Used by
+// scripts/bench.sh to guarantee BENCH_replay.json stays machine-readable.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  bool ParseDocument(std::vector<std::string>* top_keys) {
+    SkipWs();
+    if (!ParseValue(top_keys)) return false;
+    SkipWs();
+    return p_ == end_;  // no trailing garbage
+  }
+
+  std::size_t ErrorOffset(const char* begin) const {
+    return static_cast<std::size_t>(p_ - begin);
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end_ - p_) < n ||
+        std::strncmp(p_, lit, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            ++p_;
+            break;
+          case 'u': {
+            ++p_;
+            for (int i = 0; i < 4; ++i, ++p_) {
+              if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+                return false;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else if (static_cast<unsigned char>(*p_) < 0x20) {
+        return false;  // raw control character
+      } else {
+        if (out != nullptr) out->push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return false;
+    if (*p_ == '0') {
+      ++p_;
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return false;
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return false;
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    return p_ != start;
+  }
+
+  // top_keys, when non-null, collects the keys of THIS object (used only for
+  // the root).
+  bool ParseObject(std::vector<std::string>* top_keys) {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(top_keys != nullptr ? &key : nullptr)) return false;
+      if (top_keys != nullptr) top_keys->push_back(key);
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      if (!ParseValue(nullptr)) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      if (!ParseValue(nullptr)) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseValue(std::vector<std::string>* top_keys) {
+    SkipWs();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return ParseObject(top_keys);
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString(nullptr);
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [--require KEY]...\n", argv[0]);
+    return 2;
+  }
+  std::FILE* f = std::fopen(argv[1], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 1;
+  }
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  std::vector<std::string> top_keys;
+  Parser parser(data.data(), data.size());
+  if (!parser.ParseDocument(&top_keys)) {
+    std::fprintf(stderr, "%s: invalid JSON at byte %zu\n", argv[1],
+                 parser.ErrorOffset(data.data()));
+    return 1;
+  }
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--require") != 0) {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+    const std::string want = argv[i + 1];
+    bool found = false;
+    for (const std::string& k : top_keys) {
+      if (k == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "%s: missing required key \"%s\"\n", argv[1],
+                   want.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: valid JSON (%zu top-level keys)\n", argv[1],
+              top_keys.size());
+  return 0;
+}

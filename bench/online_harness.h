@@ -42,6 +42,10 @@ struct OnlineResult {
   std::vector<OnlinePeriod> periods;
   double total_write_tps = 0;
   double total_read_tps = 0;
+  // Whole-run allocation count (bench-binary-wide hook) and the replica's
+  // sampled apply-latency distribution.
+  std::uint64_t allocs = 0;
+  Histogram apply_latency;
 };
 
 inline OnlineResult RunOnlineInsertExperiment(const OnlineConfig& config) {
@@ -61,6 +65,7 @@ inline OnlineResult RunOnlineInsertExperiment(const OnlineConfig& config) {
   options.num_workers = config.workers;
   options.snapshot_interval = config.snapshot_interval;
   auto rep = core::MakeReplica(config.protocol, &backup_db, options, &lag);
+  AllocScope alloc_scope;
   rep->Start(&source);
   auto* base = dynamic_cast<replica::ReplicaBase*>(rep.get());
 
@@ -172,9 +177,11 @@ inline OnlineResult RunOnlineInsertExperiment(const OnlineConfig& config) {
   flusher.join();
   collector.Finish();
   rep->WaitUntilCaughtUp();
+  result.allocs = alloc_scope.Count();
   stop_readers.store(true, std::memory_order_release);
   for (auto& r : readers) r.join();
   rep->Stop();
+  if (base != nullptr) result.apply_latency = base->ApplyLatencySnapshot();
   return result;
 }
 

@@ -91,7 +91,7 @@ int main() {
       const storage::Version* v = src.ReadAt(r, applied);
       if (v == nullptr) continue;
       dst.EnsureRow(r);
-      dst.InstallCommitted(r, v->write_ts, v->data, v->deleted);
+      dst.InstallCommitted(r, v->write_ts, v->value(), v->deleted);
     }
     for (std::uint64_t n = 0; n < 1000; ++n) {
       const auto row = backup_a.index(orders).Lookup(n);

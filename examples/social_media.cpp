@@ -74,7 +74,7 @@ int main() {
         const auto* counter = backup.ReadKeyAt(kVideos, kHotVideo, ts);
         if (counter == nullptr) return;
         const std::uint64_t count =
-            workload::DecodeIntValue(counter->data);
+            workload::DecodeIntValue(counter->value());
         if (count < last_count) violation.store(true);  // counter regressed
         // Comments 1..count must all be visible; count+1 must not be.
         // (Spot-check the boundary: full scans every iteration are slow.)

@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Benchmark trajectory harness: runs the fig6 / fig9 / micro replay-hot-path
+# benches with --json output, merges the fragments into one trajectory file,
+# and validates it with bench_json_check.
+#
+# Usage: scripts/bench.sh [--quick] [build-dir]
+#   default: full-scale run, writes <repo>/BENCH_replay.json (committed).
+#   --quick: tiny-scale smoke run wired into scripts/check.sh; builds the
+#            harnesses, proves they still emit valid JSON, and writes
+#            <build>/BENCH_replay.quick.json (NOT the committed file, so a
+#            smoke run never clobbers real trajectory numbers).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+quick=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) build_dir=$arg ;;
+  esac
+done
+[ -n "$build_dir" ] || build_dir="$repo_root/build"
+
+if command -v nproc >/dev/null 2>&1; then jobs=$(nproc); else jobs=4; fi
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j "$jobs" --target \
+  bench_fig6_tpcc_opt bench_fig9_read_throughput \
+  bench_micro_replay_hotpath bench_json_check >/dev/null
+
+if [ "$quick" -eq 1 ]; then
+  scale=${C5_BENCH_SCALE:-0.01}
+  out="$build_dir/BENCH_replay.quick.json"
+else
+  scale=${C5_BENCH_SCALE:-1.0}
+  out="$repo_root/BENCH_replay.json"
+fi
+export C5_BENCH_SCALE="$scale"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench_micro_replay_hotpath (scale $scale)"
+"$build_dir/bench_micro_replay_hotpath" --json "$tmp/micro.json"
+echo "== bench_fig6_tpcc_opt (scale $scale)"
+"$build_dir/bench_fig6_tpcc_opt" --json "$tmp/fig6.json"
+echo "== bench_fig9_read_throughput (scale $scale)"
+"$build_dir/bench_fig9_read_throughput" --json "$tmp/fig9.json"
+
+# Merge the fragments into one trajectory document.
+{
+  printf '{\n"schema_version": 1,\n'
+  printf '"generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '"quick": %s,\n' "$([ "$quick" -eq 1 ] && echo true || echo false)"
+  printf '"scale": %s,\n' "$scale"
+  printf '"micro_replay_hotpath": '
+  cat "$tmp/micro.json"
+  printf ',\n"fig6": '
+  cat "$tmp/fig6.json"
+  printf ',\n"fig9": '
+  cat "$tmp/fig9.json"
+  printf '\n}\n'
+} > "$out"
+
+"$build_dir/bench_json_check" "$out" \
+  --require micro_replay_hotpath --require fig6 --require fig9
+echo "wrote $out"

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Tier-1 verification: configure, build, and run every test suite.
+# Tier-1 verification: configure, build, run every test suite, then smoke the
+# benchmark harnesses (tiny scale) to prove they still emit valid JSON.
 # Exits nonzero on the first failure. Usage: scripts/check.sh [build-dir]
 set -eu
 
@@ -15,3 +16,4 @@ fi
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+"$repo_root/scripts/bench.sh" --quick "$build_dir"

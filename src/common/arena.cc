@@ -1,0 +1,143 @@
+#include "common/arena.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/bits.h"
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#include <sanitizer/asan_interface.h>
+#define C5_ARENA_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define C5_ARENA_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define C5_ARENA_POISON(p, n) ((void)(p), (void)(n))
+#define C5_ARENA_UNPOISON(p, n) ((void)(p), (void)(n))
+#endif
+
+namespace c5 {
+
+namespace {
+
+std::size_t RoundUp8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+// Per-thread shard affinity: threads spread round-robin over shards and then
+// stick, so a steady worker set partitions the shards with no sharing.
+std::atomic<unsigned> g_shard_seed{0};
+thread_local unsigned tls_shard_seed = ~0u;
+
+}  // namespace
+
+SlabArena::SlabArena(int shards) {
+  const std::size_t n =
+      NextPow2(static_cast<std::size_t>(shards < 1 ? 1 : shards));
+  shard_mask_ = static_cast<int>(n - 1);
+  shards_ = std::vector<Shard>(n);
+}
+
+SlabArena::~SlabArena() {
+  // Caller guarantees no outstanding objects will be used again; reclaim the
+  // address space wholesale. Unpoison first: freeing a block with poisoned
+  // interior bytes trips ASan's allocator checks.
+  for (void* slab : all_slabs_) {
+    C5_ARENA_UNPOISON(slab, kSlabBytes);
+    std::free(slab);
+  }
+}
+
+std::size_t SlabArena::ShardIndex() const {
+  if (tls_shard_seed == ~0u) {
+    tls_shard_seed = g_shard_seed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_shard_seed & static_cast<unsigned>(shard_mask_);
+}
+
+SlabArena::SlabHeader* SlabArena::PopFreeOrNew() {
+  {
+    std::lock_guard<SpinLock> lock(free_mu_);
+    if (free_head_ != nullptr) {
+      SlabHeader* slab = free_head_;
+      free_head_ = slab->next_free;
+      slab->next_free = nullptr;
+      slab->bump = kHeaderBytes;
+      slab->live.store(1, std::memory_order_relaxed);  // current-slab ref
+      slabs_recycled_.fetch_add(1, std::memory_order_relaxed);
+      return slab;
+    }
+  }
+  void* mem = std::aligned_alloc(kSlabBytes, kSlabBytes);
+  if (mem == nullptr) return nullptr;
+  auto* slab = new (mem) SlabHeader();
+  slab->owner = this;
+  slab->live.store(1, std::memory_order_relaxed);
+  slab->bump = kHeaderBytes;
+  slab->next_free = nullptr;
+  C5_ARENA_POISON(static_cast<char*>(mem) + kHeaderBytes, kMaxAlloc);
+  {
+    std::lock_guard<SpinLock> lock(free_mu_);
+    all_slabs_.push_back(mem);
+  }
+  slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
+  return slab;
+}
+
+void* SlabArena::Allocate(std::size_t bytes) {
+  bytes = RoundUp8(bytes);
+  if (bytes == 0 || bytes > kMaxAlloc) return nullptr;
+  Shard& shard = shards_[ShardIndex()];
+  std::lock_guard<SpinLock> lock(shard.lock);
+  SlabHeader* slab = shard.current;
+  if (slab == nullptr || slab->bump + bytes > kSlabBytes) {
+    SlabHeader* fresh = PopFreeOrNew();
+    if (fresh == nullptr) return nullptr;
+    // Drop the current-slab reference of the slab being sealed; if all its
+    // objects were already released this recycles it immediately.
+    if (slab != nullptr) DropRef(slab);
+    shard.current = fresh;
+    slab = fresh;
+  }
+  void* p = reinterpret_cast<char*>(slab) + slab->bump;
+  slab->bump += static_cast<std::uint32_t>(bytes);
+  // Publication order does not matter: concurrent Release() of OTHER objects
+  // can drive `live` down, but the current-slab reference keeps it >= 1
+  // until this shard seals the slab, so it cannot be recycled under us.
+  slab->live.fetch_add(1, std::memory_order_relaxed);
+  C5_ARENA_UNPOISON(p, bytes);
+  return p;
+}
+
+void SlabArena::Release(void* ptr, std::size_t bytes) {
+  bytes = RoundUp8(bytes);
+  auto* slab = reinterpret_cast<SlabHeader*>(
+      reinterpret_cast<std::uintptr_t>(ptr) & ~(kSlabBytes - 1));
+  C5_ARENA_POISON(ptr, bytes);
+  DropRef(slab);
+}
+
+void SlabArena::DropRef(SlabHeader* slab) {
+  // acq_rel: releases the caller's writes to the object (so the next owner
+  // of the recycled slab cannot observe stale bytes) and acquires all prior
+  // releases when this is the final reference.
+  if (slab->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    slab->owner->Recycle(slab);
+  }
+}
+
+void SlabArena::Recycle(SlabHeader* slab) {
+  assert(slab->live.load(std::memory_order_relaxed) == 0);
+  std::lock_guard<SpinLock> lock(free_mu_);
+  slab->next_free = free_head_;
+  free_head_ = slab;
+}
+
+std::size_t SlabArena::SlabsFree() const {
+  std::lock_guard<SpinLock> lock(free_mu_);
+  std::size_t n = 0;
+  for (const SlabHeader* s = free_head_; s != nullptr; s = s->next_free) ++n;
+  return n;
+}
+
+}  // namespace c5

@@ -1,0 +1,116 @@
+// Epoch-aware slab arena for the replay hot path.
+//
+// Invariants (see docs/PERFORMANCE.md for the full design):
+//  * Slabs are 64 KiB blocks aligned to their own size, so Release() finds a
+//    block's slab header by masking the pointer — no per-object header.
+//  * Objects are bump-allocated; individual objects are never reused. A slab
+//    returns to the arena's freelist only when every object carved from it
+//    has been released AND it is no longer any shard's current slab (tracked
+//    by the `live` reference count, which includes one reference for being
+//    current). Whole-slab recycling is what makes retirement O(1) per object
+//    and allocation malloc-free in steady state.
+//  * Callers must delay Release() of a published object until no concurrent
+//    reader can hold a pointer to it (the storage layer routes frees through
+//    EpochManager). Unpublished objects may be released immediately.
+//  * Memory handed out by a destroyed arena is invalid: the arena frees all
+//    its slabs on destruction regardless of outstanding references.
+//
+// Under AddressSanitizer the arena poisons released objects and recycled
+// slabs, so use-after-retire inside a slab is caught just like a heap
+// use-after-free would be (the PR-1 GC race class stays detectable).
+
+#ifndef C5_COMMON_ARENA_H_
+#define C5_COMMON_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/spin_lock.h"
+
+namespace c5 {
+
+class SlabArena {
+ public:
+  static constexpr std::size_t kSlabShift = 16;  // 64 KiB slabs
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << kSlabShift;
+  // Slab header lives in the first cache line of the block.
+  static constexpr std::size_t kHeaderBytes = 64;
+  // Largest single allocation; bigger payloads take the caller's heap path.
+  static constexpr std::size_t kMaxAlloc = kSlabBytes - kHeaderBytes;
+
+  // `shards` independent bump cursors (rounded up to a power of two) so
+  // concurrent allocators — replay workers, primary engine threads — do not
+  // serialize on one spinlock. Each shard lock is held for a few
+  // instructions per allocation.
+  explicit SlabArena(int shards = 4);
+  ~SlabArena();
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  // Returns 8-aligned storage of `bytes` (rounded up to 8), or nullptr when
+  // bytes > kMaxAlloc or the system allocator fails. Thread-safe.
+  void* Allocate(std::size_t bytes);
+
+  // Releases storage obtained from Allocate(). `bytes` must be the size
+  // passed to Allocate. Static: the owning arena is recovered from the slab
+  // header, so deleters need not carry an arena pointer. Thread-safe,
+  // lock-free except when it recycles the slab.
+  static void Release(void* ptr, std::size_t bytes);
+
+  // ---- Statistics (relaxed; for tests and bench reporting) -----------------
+
+  // Slabs ever obtained from the system allocator.
+  std::uint64_t SlabsAllocated() const {
+    return slabs_allocated_.load(std::memory_order_relaxed);
+  }
+  // Times a fully-released slab was handed out again instead of malloc'ing.
+  std::uint64_t SlabsRecycled() const {
+    return slabs_recycled_.load(std::memory_order_relaxed);
+  }
+  // Slabs currently sitting in the freelist.
+  std::size_t SlabsFree() const;
+
+  std::size_t BytesReserved() const {
+    return SlabsAllocated() * kSlabBytes;
+  }
+
+ private:
+  struct SlabHeader {
+    SlabArena* owner;
+    // Outstanding allocations + 1 while the slab is some shard's current.
+    std::atomic<std::uint32_t> live;
+    // Next free byte offset from the slab base. Mutated only under the
+    // owning shard's lock (or the freelist lock during recycling, when no
+    // shard references the slab).
+    std::uint32_t bump;
+    SlabHeader* next_free;
+  };
+  static_assert(sizeof(SlabHeader) <= kHeaderBytes);
+
+  struct alignas(64) Shard {
+    SpinLock lock;
+    SlabHeader* current = nullptr;
+  };
+
+  static void DropRef(SlabHeader* slab);
+  void Recycle(SlabHeader* slab);
+  SlabHeader* PopFreeOrNew();
+  std::size_t ShardIndex() const;
+
+  int shard_mask_;
+  std::vector<Shard> shards_;
+
+  mutable SpinLock free_mu_;
+  SlabHeader* free_head_ = nullptr;
+  std::vector<void*> all_slabs_;  // for destruction
+
+  std::atomic<std::uint64_t> slabs_allocated_{0};
+  std::atomic<std::uint64_t> slabs_recycled_{0};
+};
+
+}  // namespace c5
+
+#endif  // C5_COMMON_ARENA_H_

@@ -1,0 +1,20 @@
+#ifndef C5_COMMON_BITS_H_
+#define C5_COMMON_BITS_H_
+
+#include <cstddef>
+
+namespace c5 {
+
+// Smallest power of two >= n (n = 0 or 1 -> 1). Shared by the open-addressing
+// containers and the slab arena so capacity rounding cannot diverge.
+// Caller guarantees n <= SIZE_MAX/2 + 1 (all in-tree uses are capacities far
+// below that).
+inline std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace c5
+
+#endif  // C5_COMMON_BITS_H_

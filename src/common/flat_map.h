@@ -1,0 +1,111 @@
+// Single-threaded open-addressing hash map from 64-bit keys to a trivially
+// movable value, built for the C5 scheduler's row -> last-write-timestamp
+// state (§7.2). The scheduler touches this map once per log record on one
+// thread, so the std::unordered_map it replaces paid a pointer chase plus
+// allocator traffic per insert; here a probe is a linear scan of a flat
+// slot array (the same scheme as HashIndex's shards, without the lock or
+// tombstones — the scheduler never erases).
+//
+// Keys are stored +1 so key 0 stays usable; key 2^64-1 is reserved (asserted)
+// — row names (table << 56 | row) never reach it.
+
+#ifndef C5_COMMON_FLAT_MAP_H_
+#define C5_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace c5 {
+
+template <typename V>
+class FlatMap {
+ public:
+  // `initial_capacity` is rounded up to a power of two. Pre-size to the
+  // expected working set (e.g. the row-id universe of the replayed log) to
+  // avoid rehash stalls mid-replay.
+  explicit FlatMap(std::size_t initial_capacity = 1024) {
+    slots_.resize(NextPow2(initial_capacity < 8 ? 8 : initial_capacity));
+  }
+
+  // Returns the value slot for `key`, default-constructing it on first use.
+  // References are invalidated only by an insert of a NEW key (rehash);
+  // re-accessing an existing key never rehashes.
+  V& operator[](std::uint64_t key) {
+    assert(key != ~std::uint64_t{0} && "max key is reserved");
+    const std::uint64_t stored = key + 1;
+    while (true) {
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t idx = Hash(stored) & mask;
+      while (true) {
+        Slot& s = slots_[idx];
+        if (s.key == stored) return s.value;
+        if (s.key == 0) break;
+        idx = (idx + 1) & mask;
+      }
+      // New key: grow first if the insert would cross the load factor, then
+      // re-probe (the target slot moves under rehash).
+      if ((size_ + 1) * 4 >= slots_.size() * 3) {  // 75% load factor
+        Grow();
+        continue;
+      }
+      Slot& s = slots_[idx];
+      s.key = stored;
+      s.value = V{};
+      ++size_;
+      return s.value;
+    }
+  }
+
+  const V* Find(std::uint64_t key) const {
+    if (key == ~std::uint64_t{0}) return nullptr;  // reserved, never stored
+    const std::uint64_t stored = key + 1;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = Hash(stored) & mask;
+    while (true) {
+      const Slot& s = slots_[idx];
+      if (s.key == stored) return &s.value;
+      if (s.key == 0) return nullptr;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;  // 0 = empty, else user key + 1
+    V value{};
+  };
+
+  // Fibonacci/murmur-style finalizer (same as HashIndex::HashKey).
+  static std::uint64_t Hash(std::uint64_t key) {
+    std::uint64_t h = key + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      std::size_t idx = Hash(s.key) & mask;
+      while (slots_[idx].key != 0) idx = (idx + 1) & mask;
+      slots_[idx] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace c5
+
+#endif  // C5_COMMON_FLAT_MAP_H_

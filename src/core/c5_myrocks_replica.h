@@ -43,6 +43,9 @@ class C5MyRocksReplica : public replica::ReplicaBase {
     // Simulated cost of taking a RocksDB snapshot while writers are blocked.
     std::chrono::microseconds snapshot_cost = std::chrono::microseconds(0);
     int gc_every = 0;
+    // Initial capacity of the scheduler's flat row -> last-write-ts map
+    // (see C5Replica::Options::scheduler_map_capacity).
+    std::size_t scheduler_map_capacity = std::size_t{1} << 16;
   };
 
   C5MyRocksReplica(storage::Database* db, Options options,

@@ -74,6 +74,10 @@ class C5Replica : public replica::ReplicaBase {
     // snapshot freshness for checkpoint recency.
     std::string checkpoint_path;
     int checkpoint_every = 0;
+    // Initial capacity of the scheduler's flat row -> last-write-ts map.
+    // Pre-size to the replayed log's row universe to avoid rehash stalls on
+    // the single scheduler thread mid-replay.
+    std::size_t scheduler_map_capacity = std::size_t{1} << 16;
   };
 
   C5Replica(storage::Database* db, Options options,

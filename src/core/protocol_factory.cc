@@ -43,6 +43,7 @@ std::unique_ptr<replica::Replica> MakeReplica(ProtocolKind kind,
       o.num_workers = options.num_workers;
       o.snapshot_interval = options.snapshot_interval;
       o.gc_every = options.gc_every;
+      o.scheduler_map_capacity = options.scheduler_map_capacity;
       return std::make_unique<C5Replica>(db, o, lag);
     }
     case ProtocolKind::kC5MyRocks: {
@@ -51,6 +52,7 @@ std::unique_ptr<replica::Replica> MakeReplica(ProtocolKind kind,
       o.snapshot_interval = options.snapshot_interval;
       o.snapshot_cost = options.snapshot_cost;
       o.gc_every = options.gc_every;
+      o.scheduler_map_capacity = options.scheduler_map_capacity;
       return std::make_unique<C5MyRocksReplica>(db, o, lag);
     }
     case ProtocolKind::kC5Queue:

@@ -33,6 +33,8 @@ struct ProtocolOptions {
       std::chrono::microseconds(200);
   std::chrono::microseconds snapshot_cost = std::chrono::microseconds(0);
   int gc_every = 0;  // C5 variants: GC every N snapshots (0 = off)
+  // C5 variants: initial capacity of the scheduler's flat row map.
+  std::size_t scheduler_map_capacity = std::size_t{1} << 16;
 };
 
 std::unique_ptr<replica::Replica> MakeReplica(

@@ -3,15 +3,9 @@
 #include <bit>
 #include <cassert>
 
-namespace c5::index {
+#include "common/bits.h"
 
-namespace {
-std::size_t NextPow2(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-}  // namespace
+namespace c5::index {
 
 HashIndex::HashIndex(std::size_t initial_capacity_per_shard, int shard_count) {
   shard_count_ = static_cast<int>(NextPow2(
@@ -27,15 +21,31 @@ HashIndex::HashIndex(std::size_t initial_capacity_per_shard, int shard_count) {
   }
 }
 
-void HashIndex::Shard::Grow() {
+void HashIndex::Shard::Grow() { RehashLocked(slots.size() * 2); }
+
+void HashIndex::Shard::RehashLocked(std::size_t new_capacity) {
   std::vector<Slot> old = std::move(slots);
-  slots.assign(old.size() * 2, Slot{});
+  slots.assign(new_capacity, Slot{});
   size = 0;
   occupied = 0;
   for (const Slot& s : old) {
     if (s.key != kEmpty && s.key != kTombstone) {
       InsertLocked(s.key, s.row, /*overwrite=*/false);
     }
+  }
+}
+
+void HashIndex::Reserve(std::size_t expected_keys) {
+  // Per-shard capacity such that the expected load stays under ~50%, well
+  // below the 75% Grow() trigger even with hash skew across shards.
+  const std::size_t per_shard =
+      (expected_keys + static_cast<std::size_t>(shard_count_) - 1) /
+      static_cast<std::size_t>(shard_count_);
+  const std::size_t target = NextPow2(per_shard < 4 ? 8 : per_shard * 2);
+  for (int i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<SpinLock> lock(shard.lock);
+    if (shard.slots.size() < target) shard.RehashLocked(target);
   }
 }
 

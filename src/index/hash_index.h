@@ -37,10 +37,25 @@ class HashIndex {
   // Inserts or overwrites.
   void Upsert(Key key, RowId row);
 
+  // Takes the shard's spinlock even though it only reads. This is
+  // deliberate, not an oversight: Grow() reallocates the shard's slot vector
+  // in place, so a lock-free reader could chase a dangling slots pointer
+  // mid-probe. Making reads lock-free would require epoch-protecting the
+  // slot arrays (retire-and-republish on grow), which buys nothing here: the
+  // lock is uncontended in the hot paths (replay workers only Upsert, and
+  // reads hash to 128 shards), and Reserve() lets workloads that know their
+  // key universe eliminate Grow() entirely — which is also what keeps the
+  // lock hold times at a handful of instructions.
   std::optional<RowId> Lookup(Key key) const;
 
   // Removes the entry. Returns false if absent.
   bool Erase(Key key);
+
+  // Grows every shard so ~`expected_keys` total entries fit below the load
+  // factor without any further Grow() (i.e. no rehash stalls mid-benchmark).
+  // Existing entries are preserved; never shrinks. Thread-safe, but meant
+  // for schema-setup time (it takes each shard lock in turn).
+  void Reserve(std::size_t expected_keys);
 
   std::size_t Size() const;
 
@@ -69,6 +84,7 @@ class HashIndex {
     std::size_t occupied = 0;   // live + tombstones
 
     void Grow();
+    void RehashLocked(std::size_t new_capacity);
     bool InsertLocked(std::uint64_t stored_key, RowId row, bool overwrite);
     std::optional<RowId> LookupLocked(std::uint64_t stored_key) const;
     bool EraseLocked(std::uint64_t stored_key);

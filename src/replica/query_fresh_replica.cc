@@ -146,7 +146,7 @@ Status QueryFreshReplica::ReadAtVisible(TableId table, Key key, Value* out) {
   InstantiateRow(table, *row, ts);
   const storage::Version* v = db_->table(table).ReadAt(*row, ts);
   if (v == nullptr || v->deleted) return Status::NotFound();
-  *out = v->data;
+  out->assign(v->value());
   return Status::Ok();
 }
 

@@ -17,8 +17,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
+#include "common/histogram.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "log/segment_source.h"
@@ -80,6 +82,22 @@ class ReplicaBase : public Replica {
     return visible_ts_.load(std::memory_order_acquire);
   }
 
+  // Apply-latency sampling: workers keep a private Histogram of sampled
+  // per-record install latencies (every kApplySampleEvery-th record) and
+  // merge it here when they exit; benches read the merged snapshot after
+  // WaitUntilCaughtUp. Protocols that do not sample simply never merge.
+  static constexpr std::uint64_t kApplySampleEvery = 64;
+
+  void MergeApplyLatency(const Histogram& h) {
+    std::lock_guard<std::mutex> lock(apply_latency_mu_);
+    apply_latency_.Merge(h);
+  }
+
+  Histogram ApplyLatencySnapshot() const {
+    std::lock_guard<std::mutex> lock(apply_latency_mu_);
+    return apply_latency_;
+  }
+
   // Executes a read-only point query against the current snapshot. Returns
   // kNotFound for keys absent (or deleted) at the snapshot. Thread-safe;
   // runs on the caller's thread ("read-only transactions are executed by a
@@ -93,7 +111,7 @@ class ReplicaBase : public Replica {
     stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
     const storage::Version* v = db_->ReadKeyAt(table, key, ts);
     if (v == nullptr || v->deleted) return Status::NotFound();
-    *out = v->data;
+    out->assign(v->value());
     return Status::Ok();
   }
 
@@ -154,6 +172,10 @@ class ReplicaBase : public Replica {
   ReplicaStats stats_;
   txn::ActiveTxnTracker readers_;
   std::atomic<Timestamp> visible_ts_{0};
+
+ private:
+  mutable std::mutex apply_latency_mu_;
+  Histogram apply_latency_;
 };
 
 }  // namespace c5::replica

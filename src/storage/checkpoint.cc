@@ -67,8 +67,8 @@ Status WriteCheckpoint(const Database& db, Timestamp ts,
         PutInt<std::uint64_t>(&table_body, v->write_ts);
         PutInt<std::uint8_t>(&table_body, v->deleted ? 1 : 0);
         PutInt<std::uint32_t>(&table_body,
-                              static_cast<std::uint32_t>(v->data.size()));
-        table_body.append(v->data);
+                              static_cast<std::uint32_t>(v->value().size()));
+        table_body.append(v->value());
         ++count;
       }
       PutInt<std::uint64_t>(&body, count);
@@ -161,10 +161,10 @@ Status LoadCheckpoint(Database* db, const std::string& path,
           !GetInt(&rd, &value_len) || rd.size() < value_len) {
         return Status::InvalidArgument("malformed checkpoint entry");
       }
-      Value value(rd.data(), value_len);
+      const std::string_view value = rd.substr(0, value_len);
       rd.remove_prefix(value_len);
       table.EnsureRow(row);
-      table.InstallCommitted(row, write_ts, std::move(value), deleted != 0);
+      table.InstallCommitted(row, write_ts, value, deleted != 0);
       index.Upsert(key, row);
     }
   }

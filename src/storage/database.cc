@@ -2,16 +2,16 @@
 
 namespace c5::storage {
 
-TableId Database::CreateTable(std::string name) {
+TableId Database::CreateTable(std::string name, std::size_t expected_keys) {
   tables_.push_back(std::make_unique<Table>(std::move(name)));
   indexes_.push_back(std::make_unique<index::HashIndex>());
+  if (expected_keys > 0) indexes_.back()->Reserve(expected_keys);
   return static_cast<TableId>(tables_.size() - 1);
 }
 
 std::size_t Database::CollectGarbage(Timestamp horizon) {
   std::size_t total = 0;
   for (auto& t : tables_) total += t->CollectGarbage(horizon, epochs_);
-  total += 0;
   epochs_.ReclaimSome();
   return total;
 }

@@ -29,7 +29,10 @@ class Database {
 
   // Creates a table (and its index); returns its id. Not thread-safe against
   // concurrent DDL (schema setup happens before execution starts).
-  TableId CreateTable(std::string name);
+  // `expected_keys` > 0 pre-sizes the index shards so the workload never
+  // pays a rehash stall mid-run (see HashIndex::Reserve); workloads with
+  // known cardinalities (TPC-C schema) should pass it.
+  TableId CreateTable(std::string name, std::size_t expected_keys = 0);
 
   Table& table(TableId id) { return *tables_[id]; }
   const Table& table(TableId id) const { return *tables_[id]; }
@@ -43,7 +46,8 @@ class Database {
   // Truncates all version chains below `horizon` across all tables and
   // reclaims eligible garbage. Callers guarantee no reader is at or below
   // horizon (e.g., horizon = snapshotter's current snapshot minus active
-  // reader margin).
+  // reader margin). Returns the number of rows whose chains were truncated
+  // (exact freed-version counts come from the epoch manager's reclaim).
   std::size_t CollectGarbage(Timestamp horizon);
 
   // Convenience read: resolve key through the index, then read at ts.

@@ -60,7 +60,16 @@ void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(retired_mu_);
-    retired_.push_back(RetiredItem{ptr, deleter, e});
+    retired_.push_back(RetiredItem{ptr, deleter, nullptr, e});
+  }
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochManager::RetireBatch(void* ptr, std::size_t (*deleter)(void*)) {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(RetiredItem{ptr, nullptr, deleter, e});
   }
   retired_count_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -92,9 +101,10 @@ std::size_t EpochManager::ReclaimSome() {
                    std::make_move_iterator(retired_.end()));
     retired_.erase(keep_end, retired_.end());
   }
-  for (const RetiredItem& item : to_free) item.deleter(item.ptr);
+  std::size_t freed = 0;
+  for (const RetiredItem& item : to_free) freed += Free(item);
   retired_count_.fetch_sub(to_free.size(), std::memory_order_relaxed);
-  return to_free.size();
+  return freed;
 }
 
 std::size_t EpochManager::ReclaimAllUnsafe() {
@@ -103,9 +113,10 @@ std::size_t EpochManager::ReclaimAllUnsafe() {
     std::lock_guard<std::mutex> lock(retired_mu_);
     to_free.swap(retired_);
   }
-  for (const RetiredItem& item : to_free) item.deleter(item.ptr);
+  std::size_t freed = 0;
+  for (const RetiredItem& item : to_free) freed += Free(item);
   retired_count_.fetch_sub(to_free.size(), std::memory_order_relaxed);
-  return to_free.size();
+  return freed;
 }
 
 }  // namespace c5::storage

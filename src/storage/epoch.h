@@ -54,13 +54,20 @@ class EpochManager {
   // critical section. `deleter` must be callable from any thread.
   void Retire(void* ptr, void (*deleter)(void*));
 
+  // Batched form: one retired item covers a whole linked structure (e.g. a
+  // truncated version chain). `deleter` frees everything reachable from
+  // `ptr` and returns how many objects it freed, so reclamation stats stay
+  // exact without the retiring thread ever walking the doomed structure.
+  void RetireBatch(void* ptr, std::size_t (*deleter)(void*));
+
   // Attempts to advance the global epoch and frees all eligible garbage.
-  // Returns the number of objects freed. Safe to call from any thread;
-  // internally serialized.
+  // Returns the number of objects freed (batch items count each object their
+  // deleter reports). Safe to call from any thread; internally serialized.
   std::size_t ReclaimSome();
 
   // Frees everything regardless of epochs. Only call when no thread can be
-  // inside a critical section (e.g., after joining all workers).
+  // inside a critical section (e.g., after joining all workers). Returns the
+  // number of objects freed, counted like ReclaimSome().
   std::size_t ReclaimAllUnsafe();
 
   std::uint64_t global_epoch() const {
@@ -85,9 +92,16 @@ class EpochManager {
 
   struct RetiredItem {
     void* ptr;
-    void (*deleter)(void*);
+    void (*deleter)(void*);                // exactly one of deleter /
+    std::size_t (*batch_deleter)(void*);   // batch_deleter is non-null
     std::uint64_t epoch;
   };
+
+  static std::size_t Free(const RetiredItem& item) {
+    if (item.batch_deleter != nullptr) return item.batch_deleter(item.ptr);
+    item.deleter(item.ptr);
+    return 1;
+  }
 
   int AcquireSlot();
   std::uint64_t MinActiveEpoch() const;

@@ -14,11 +14,17 @@ Table::Table(std::string name)
 }
 
 Table::~Table() {
+  // Frees every still-linked version: heap-origin blocks are returned to the
+  // allocator, slab-origin ones just drop their slab refcount — the arena
+  // member's destructor (which runs after this body) releases the slabs
+  // wholesale. Retired-but-unreclaimed versions were already freed by the
+  // owning EpochManager's destructor (Database destroys members in reverse
+  // declaration order, epochs first).
   for (std::size_t i = 0; i < kMaxChunks; ++i) {
     Chunk* chunk = chunks_[i].load(std::memory_order_relaxed);
     if (chunk == nullptr) continue;
     for (std::size_t r = 0; r < kChunkSize; ++r) {
-      DeleteVersionChain(chunk->rows[r].head.load(std::memory_order_relaxed));
+      FreeVersionChain(chunk->rows[r].head.load(std::memory_order_relaxed));
     }
     delete chunk;
   }
@@ -100,11 +106,10 @@ Timestamp Table::NewestVisibleTimestamp(RowId row) const {
   return v == nullptr ? kInvalidTimestamp : v->write_ts;
 }
 
-const Version* Table::InstallCommitted(RowId row, Timestamp ts, Value value,
-                                       bool deleted,
+const Version* Table::InstallCommitted(RowId row, Timestamp ts,
+                                       std::string_view value, bool deleted,
                                        bool allow_out_of_order) {
-  auto* v = new Version(ts, std::move(value), deleted);
-  v->SetStatus(VersionStatus::kCommitted);
+  Version* v = arena_.Create(ts, value, deleted, VersionStatus::kCommitted);
   RowEntry& entry = Entry(row);
   Version* head = entry.head.load(std::memory_order_relaxed);
   do {
@@ -118,7 +123,7 @@ const Version* Table::InstallCommitted(RowId row, Timestamp ts, Value value,
 }
 
 PrevInstall Table::TryInstallIfPrev(RowId row, Timestamp prev_ts,
-                                    Timestamp ts, const Value& value,
+                                    Timestamp ts, std::string_view value,
                                     bool deleted) {
   RowEntry& entry = Entry(row);
   Version* head = entry.head.load(std::memory_order_acquire);
@@ -128,8 +133,9 @@ PrevInstall Table::TryInstallIfPrev(RowId row, Timestamp prev_ts,
       head == nullptr ? kInvalidTimestamp : head->write_ts;
   if (head_ts >= ts) return PrevInstall::kAlreadyApplied;
   if (head_ts < prev_ts) return PrevInstall::kNotReady;
-  auto* v = new Version(ts, value, deleted);
-  v->SetStatus(VersionStatus::kCommitted);
+  // The value is threaded as a view up to this point: the single copy
+  // happens here, into the arena block.
+  Version* v = arena_.Create(ts, value, deleted, VersionStatus::kCommitted);
   v->next.store(head, std::memory_order_relaxed);
   if (entry.head.compare_exchange_strong(head, v,
                                          std::memory_order_acq_rel)) {
@@ -137,9 +143,14 @@ PrevInstall Table::TryInstallIfPrev(RowId row, Timestamp prev_ts,
   }
   // Raced with another install; the prev check will re-run. (With a correct
   // scheduler only one write per row is eligible at a time, so this is
-  // unreachable, but stay safe.)
-  delete v;
+  // unreachable, but stay safe.) Never published, so no epoch wait.
+  FreeVersion(v);
   return PrevInstall::kNotReady;
+}
+
+Version* Table::NewPendingVersion(Timestamp ts, std::string_view value,
+                                  bool deleted) {
+  return arena_.Create(ts, value, deleted, VersionStatus::kPending);
 }
 
 InstallResult Table::TryInstallPending(RowId row, Version* pending) {
@@ -173,7 +184,7 @@ void Table::AbortPending(RowId row, Version* v, EpochManager& epochs) {
   if (entry.head.compare_exchange_strong(expected,
                                          v->next.load(std::memory_order_acquire),
                                          std::memory_order_acq_rel)) {
-    epochs.Retire(v, DeleteVersion);
+    epochs.Retire(v, FreeVersionDeleter);
   }
   // Otherwise a newer version was installed above us; GC reclaims later.
 }
@@ -192,13 +203,10 @@ std::size_t Table::CollectRowGarbage(RowId row, Timestamp horizon,
   if (v == nullptr) return 0;
   Version* tail = v->next.exchange(nullptr, std::memory_order_acq_rel);
   if (tail == nullptr) return 0;
-  std::size_t n = 0;
-  for (Version* t = tail; t != nullptr;
-       t = t->next.load(std::memory_order_relaxed)) {
-    ++n;
-  }
-  epochs.Retire(tail, DeleteVersionChain);
-  return n;
+  // One batched retirement for the whole tail; the batch deleter counts the
+  // versions it frees, so nothing walks the dead chain here.
+  epochs.RetireBatch(tail, FreeVersionChain);
+  return 1;
 }
 
 std::size_t Table::CollectGarbage(Timestamp horizon, EpochManager& epochs) {

@@ -5,11 +5,13 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/spin_lock.h"
 #include "common/types.h"
 #include "storage/epoch.h"
 #include "storage/version.h"
+#include "storage/version_arena.h"
 
 namespace c5::storage {
 
@@ -93,6 +95,11 @@ class Table {
   Timestamp NewestVisibleTimestamp(RowId row) const;
 
   // ---- Write paths -----------------------------------------------------------
+  // All installs copy `value` exactly once, into a Version allocated from
+  // this table's slab arena (storage/version_arena.h) with the payload
+  // inlined — the replay hot path performs no heap allocation in steady
+  // state. Values are threaded as string_views until the copy, so callers
+  // (log records, engine write buffers) never pay an intermediate copy.
 
   // Unconditionally pushes a committed version at the head. The caller must
   // guarantee per-row ordering (2PL holds the row lock; replica protocols
@@ -101,7 +108,8 @@ class Table {
   // "unconstrained KuaFu" experiment, §7.3, where correctness is
   // intentionally sacrificed to measure scheduler ceilings).
   // Returns the installed version.
-  const Version* InstallCommitted(RowId row, Timestamp ts, Value value,
+  const Version* InstallCommitted(RowId row, Timestamp ts,
+                                  std::string_view value,
                                   bool deleted = false,
                                   bool allow_out_of_order = false);
 
@@ -117,7 +125,14 @@ class Table {
   // of state from a previous incarnation whose prev-chain positions were
   // already covered.
   PrevInstall TryInstallIfPrev(RowId row, Timestamp prev_ts, Timestamp ts,
-                               const Value& value, bool deleted = false);
+                               std::string_view value, bool deleted = false);
+
+  // Allocates a kPending version from this table's arena (MVTSO execution
+  // path; also the test hook for hand-built pending versions). If the
+  // version is never linked via TryInstallPending, release it with
+  // FreeVersion — never `delete`.
+  Version* NewPendingVersion(Timestamp ts, std::string_view value,
+                             bool deleted);
 
   // MVTSO: installs `pending` (status kPending) at the head after conflict
   // checks. On kOk the version is linked in; the caller later commits it
@@ -132,15 +147,22 @@ class Table {
   // ---- Garbage collection ----------------------------------------------------
 
   // Truncates row's chain below the newest committed version with
-  // write_ts <= horizon. Returns the number of versions retired.
+  // write_ts <= horizon, queueing the whole tail as ONE batched retirement.
+  // Returns 1 if a tail was truncated, 0 otherwise. The exact number of
+  // versions freed is reported by EpochManager::ReclaimSome() via the batch
+  // deleter — GC never walks the dead chain itself.
   std::size_t CollectRowGarbage(RowId row, Timestamp horizon,
                                 EpochManager& epochs);
 
-  // Runs CollectRowGarbage over all rows.
+  // Runs CollectRowGarbage over all rows; returns the number of rows whose
+  // chains were truncated.
   std::size_t CollectGarbage(Timestamp horizon, EpochManager& epochs);
 
   // Total versions currently reachable (diagnostic; O(rows + versions)).
   std::size_t CountVersionsApprox() const;
+
+  // The table's version allocator (stats / tests).
+  const VersionArena& arena() const { return arena_; }
 
  private:
   // 64Ki rows per chunk; chunks allocated on demand so tables grow without
@@ -168,6 +190,7 @@ class Table {
   std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
   std::atomic<RowId> next_row_id_{0};
   SpinLock grow_mu_;
+  VersionArena arena_;
 };
 
 }  // namespace c5::storage

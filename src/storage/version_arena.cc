@@ -1,0 +1,15 @@
+#include "storage/version_arena.h"
+
+namespace c5::storage {
+
+Version* VersionArena::Create(Timestamp ts, std::string_view value,
+                              bool is_delete, VersionStatus status) {
+  void* mem = slabs_.Allocate(sizeof(Version) + value.size());
+  if (mem == nullptr) {
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return Version::NewHeap(ts, value, is_delete, status);
+  }
+  return new (mem) Version(ts, value, is_delete, /*is_heap=*/false, status);
+}
+
+}  // namespace c5::storage

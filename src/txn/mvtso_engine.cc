@@ -65,7 +65,7 @@ class MvtsoEngine::MvtsoTxn : public Txn {
     reads_.push_back(ReadEntry{table, *row, v});
     if (v == nullptr || v->deleted) return Status::NotFound();
     const_cast<Version*>(v)->ObserveRead(ts_);
-    *out = v->data;
+    out->assign(v->value());
     return Status::Ok();
   }
 
@@ -177,10 +177,12 @@ class MvtsoEngine::MvtsoTxn : public Txn {
     std::vector<std::pair<BufferedWrite*, Version*>> installed;
     installed.reserve(final_writes.size());
     for (auto* w : final_writes) {
-      auto* v = new Version(ts_, w->value, w->op == OpType::kDelete);
+      // Allocated from the table's arena; the payload is copied once, here.
+      Version* v = db.table(w->table).NewPendingVersion(
+          ts_, w->value, w->op == OpType::kDelete);
       const InstallResult res = db.table(w->table).TryInstallPending(w->row, v);
       if (res != InstallResult::kOk) {
-        delete v;
+        FreeVersion(v);  // never linked, so no epoch wait
         AbortInstalled(installed);
         return Status::Aborted(res == InstallResult::kWriteConflict
                                    ? "write-write conflict"

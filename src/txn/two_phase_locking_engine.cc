@@ -53,7 +53,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     // Read committed: newest committed version, no lock (§6 setup).
     const Version* v = db.table(table).ReadLatestCommitted(*row);
     if (v == nullptr || v->deleted) return Status::NotFound();
-    *out = v->data;
+    out->assign(v->value());
     return Status::Ok();
   }
 
@@ -74,7 +74,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     if (!Lock(table, *row)) return Status::TimedOut("lock wait");
     const Version* v = db.table(table).ReadLatestCommitted(*row);
     if (v == nullptr || v->deleted) return Status::NotFound();
-    *out = v->data;
+    out->assign(v->value());
     return Status::Ok();
   }
 
@@ -194,7 +194,9 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     }
 
     for (auto* w : final_writes) {
-      db.table(w->table).InstallCommitted(w->row, lsn, std::move(w->value),
+      // The value is viewed, not moved: the single copy happens inside
+      // InstallCommitted, into the arena block.
+      db.table(w->table).InstallCommitted(w->row, lsn, w->value,
                                           w->op == OpType::kDelete);
     }
     ReleaseAll();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string_view>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -61,7 +62,7 @@ inline Value EncodeIntValue(std::uint64_t v) {
   return Value(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-inline std::uint64_t DecodeIntValue(const Value& value) {
+inline std::uint64_t DecodeIntValue(std::string_view value) {
   std::uint64_t v = 0;
   if (value.size() >= sizeof(v)) {
     __builtin_memcpy(&v, value.data(), sizeof(v));

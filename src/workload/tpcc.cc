@@ -24,15 +24,48 @@ void FillName(char* dst, std::size_t n, const char* prefix,
 
 }  // namespace
 
-void CreateTables(storage::Database* db) {
+namespace {
+
+void CreateTablesImpl(storage::Database* db,
+                      const std::uint64_t* expected /* nullable */) {
   const char* names[kNumTables] = {"warehouse", "district",   "customer",
                                    "history",   "new_order",  "order",
                                    "order_line", "item",      "stock"};
   for (TableId i = 0; i < kNumTables; ++i) {
-    const TableId id = db->CreateTable(names[i]);
+    const TableId id =
+        db->CreateTable(names[i], expected == nullptr ? 0 : expected[i]);
     (void)id;
     assert(id == i && "TPC-C tables must be created in TableIdx order");
   }
+}
+
+}  // namespace
+
+void CreateTables(storage::Database* db) {
+  // No pre-sizing: small-config tests and tools should not pay full-scale
+  // index reservations. Benchmarks pass their config to the overload below.
+  CreateTablesImpl(db, nullptr);
+}
+
+void CreateTables(storage::Database* db, const TpccConfig& config) {
+  const std::uint64_t w = config.warehouses;
+  const std::uint64_t d = w * config.districts_per_warehouse;
+  const std::uint64_t c = d * config.customers_per_district;
+  // Index cardinalities from the schema (loaded rows), plus headroom for the
+  // grown tables: history/new_order/order accrue one row per transaction and
+  // order_line ~10, so reserve a few benchmark-runs' worth above the load.
+  const std::uint64_t expected[kNumTables] = {
+      /*warehouse=*/w,
+      /*district=*/d,
+      /*customer=*/c,
+      /*history=*/c * 4,
+      /*new_order=*/c * 4,
+      /*order=*/c * 4,
+      /*order_line=*/c * 16,
+      /*item=*/config.items,
+      /*stock=*/w * config.items,
+  };
+  CreateTablesImpl(db, expected);
 }
 
 std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
@@ -501,7 +534,7 @@ Status RunStockLevelOnBackup(replica::ReplicaBase& replica, Rng& rng,
         [&db, ts](TableId t, Key k, Value* out) {
           const storage::Version* v = db.ReadKeyAt(t, k, ts);
           if (v == nullptr || v->deleted) return Status::NotFound();
-          *out = v->data;
+          out->assign(v->value());
           return Status::Ok();
         },
         config, w, d, threshold, low_stock);
@@ -516,7 +549,7 @@ bool CheckDistrictOrderInvariant(storage::Database& db, const TpccConfig& cfg,
   const auto guard = db.epochs().Enter();
   const storage::Version* dv = db.ReadKeyAt(kDistrict, DistrictKey(w, d), ts);
   if (dv == nullptr || dv->deleted) return false;
-  const DistrictRow dr = FromValue<DistrictRow>(dv->data);
+  const DistrictRow dr = FromValue<DistrictRow>(dv->value());
 
   // Every order id below d_next_o_id must exist at ts; the id at
   // d_next_o_id must not. (Orders are inserted in the same transaction that

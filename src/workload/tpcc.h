@@ -29,8 +29,14 @@ struct TpccConfig {
 };
 
 // Creates the nine TPC-C tables on `db` in TableIdx order. Call on both the
-// primary and backup databases before loading/replication.
+// primary and backup databases before loading/replication. The config
+// overload pre-sizes each table's index from the schema cardinalities so no
+// shard pays a Grow() rehash mid-benchmark (order/order-line sizes are
+// estimates that cover typical benchmark volumes; growth past them degrades
+// gracefully to the normal rehash path). The plain overload does NOT
+// pre-size — small-config tests should not pay full-scale reservations.
 void CreateTables(storage::Database* db);
+void CreateTables(storage::Database* db, const TpccConfig& config);
 
 // Populates warehouses, districts, customers, items, and stock through the
 // engine (so the backup can be populated by replication or by a second Load).

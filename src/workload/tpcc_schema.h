@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "common/types.h"
 
@@ -122,7 +123,8 @@ struct StockRow {
   char s_dist[24];  // one dist_xx slot; the spec's ten are elided
 };
 
-// POD <-> Value serialization.
+// POD <-> Value serialization. FromValue takes a view so version payloads
+// (Version::value()) deserialize without an intermediate string copy.
 template <typename Row>
 Value ToValue(const Row& row) {
   static_assert(std::is_trivially_copyable_v<Row>);
@@ -130,7 +132,7 @@ Value ToValue(const Row& row) {
 }
 
 template <typename Row>
-Row FromValue(const Value& value) {
+Row FromValue(std::string_view value) {
   static_assert(std::is_trivially_copyable_v<Row>);
   Row row;
   std::memcpy(&row, value.data(), sizeof(Row));

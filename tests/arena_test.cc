@@ -1,0 +1,215 @@
+// SlabArena / VersionArena coverage: slab recycling, reuse-after-retire
+// through the epoch manager, cross-epoch safety under concurrent readers,
+// and the heap-fallback path. Run under -DC5_SANITIZE=address these tests
+// also exercise the arena's poisoning (a use-after-retire inside a slab
+// faults like a heap use-after-free).
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/epoch.h"
+#include "storage/table.h"
+#include "storage/version.h"
+#include "storage/version_arena.h"
+
+namespace c5 {
+namespace {
+
+TEST(SlabArenaTest, AllocationsAreDistinctAndWritable) {
+  SlabArena arena;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(64);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i, 64);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int b = 0; b < 64; ++b) {
+      ASSERT_EQ(static_cast<unsigned char*>(ptrs[i])[b], i);
+    }
+  }
+  for (void* p : ptrs) SlabArena::Release(p, 64);
+}
+
+TEST(SlabArenaTest, OversizedAllocationReturnsNull) {
+  SlabArena arena;
+  EXPECT_EQ(arena.Allocate(SlabArena::kMaxAlloc + 1), nullptr);
+  EXPECT_EQ(arena.Allocate(0), nullptr);
+  void* p = arena.Allocate(SlabArena::kMaxAlloc);
+  ASSERT_NE(p, nullptr);
+  SlabArena::Release(p, SlabArena::kMaxAlloc);
+}
+
+TEST(SlabArenaTest, FullyReleasedSealedSlabIsRecycled) {
+  SlabArena arena(/*shards=*/1);
+  constexpr std::size_t kObj = 1024;
+  const std::size_t per_slab =
+      (SlabArena::kSlabBytes - SlabArena::kHeaderBytes) / kObj;
+
+  // Fill and seal several slabs, releasing everything as we go.
+  std::vector<void*> live;
+  for (std::size_t i = 0; i < per_slab * 4; ++i) {
+    void* p = arena.Allocate(kObj);
+    ASSERT_NE(p, nullptr);
+    live.push_back(p);
+  }
+  for (void* p : live) SlabArena::Release(p, kObj);
+  live.clear();
+
+  // Sealed slabs (all but the current one) are fully released -> recyclable.
+  const std::uint64_t allocated_before = arena.SlabsAllocated();
+  EXPECT_GE(allocated_before, 4u);
+  for (std::size_t i = 0; i < per_slab * 4; ++i) {
+    void* p = arena.Allocate(kObj);
+    ASSERT_NE(p, nullptr);
+    live.push_back(p);
+  }
+  // Steady state: the second wave reuses the first wave's slabs instead of
+  // growing the footprint linearly.
+  EXPECT_GE(arena.SlabsRecycled(), 3u);
+  EXPECT_LE(arena.SlabsAllocated(), allocated_before + 1);
+  for (void* p : live) SlabArena::Release(p, kObj);
+}
+
+TEST(SlabArenaTest, ConcurrentAllocateReleaseKeepsPayloadsIntact) {
+  SlabArena arena;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters && !failed.load(); ++i) {
+        const std::size_t n = 16 + (i % 7) * 24;
+        auto* p = static_cast<unsigned char*>(arena.Allocate(n));
+        if (p == nullptr) {
+          failed.store(true);
+          return;
+        }
+        std::memset(p, t * 16 + 1, n);
+        for (std::size_t b = 0; b < n; ++b) {
+          if (p[b] != t * 16 + 1) {
+            failed.store(true);
+            return;
+          }
+        }
+        SlabArena::Release(p, n);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(VersionArenaTest, CreateInlinesPayloadAndStatus) {
+  storage::VersionArena arena;
+  const std::string payload(64, 'p');
+  storage::Version* v = arena.Create(42, payload, /*is_delete=*/false,
+                                     storage::VersionStatus::kCommitted);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->write_ts, 42u);
+  EXPECT_EQ(v->value(), payload);
+  EXPECT_FALSE(v->heap);
+  EXPECT_EQ(v->Status(), storage::VersionStatus::kCommitted);
+  EXPECT_EQ(arena.HeapFallbacks(), 0u);
+  storage::FreeVersion(v);
+}
+
+TEST(VersionArenaTest, OversizedPayloadFallsBackToHeap) {
+  storage::VersionArena arena;
+  const std::string huge(SlabArena::kMaxAlloc + 1, 'h');
+  storage::Version* v = arena.Create(7, huge, /*is_delete=*/false,
+                                     storage::VersionStatus::kPending);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->heap);
+  EXPECT_EQ(v->value(), huge);
+  EXPECT_EQ(arena.HeapFallbacks(), 1u);
+  storage::FreeVersion(v);
+}
+
+TEST(VersionArenaTest, ReuseAfterRetireThroughEpochManager) {
+  // The steady-state loop the replay path runs: install, truncate via GC,
+  // reclaim past the grace period, repeat. The arena footprint must stay
+  // bounded by the live set, proving retired slabs really are reused.
+  storage::Table table("t");
+  storage::EpochManager epochs;
+  const RowId row = table.AllocateRow();
+  const std::string payload(64, 'x');
+  Timestamp ts = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      table.InstallCommitted(row, ++ts, payload);
+    }
+    table.CollectRowGarbage(row, ts - 1, epochs);
+    epochs.ReclaimSome();
+    epochs.ReclaimSome();
+  }
+  // 100k versions of ~96 bytes passed through; live set is ~2k versions
+  // (~4 slabs). Without slab reuse this would be ~150 slabs.
+  EXPECT_LT(table.arena().slabs().SlabsAllocated(), 24u);
+  EXPECT_GT(table.arena().slabs().SlabsRecycled(), 0u);
+}
+
+TEST(VersionArenaTest, CrossEpochSafetyUnderConcurrentReaders) {
+  // Readers traverse chains while GC retires tails; epoch reclamation delays
+  // slab release until readers exit. Under ASan, premature reuse of slab
+  // memory trips the arena poisoning.
+  storage::Table table("t");
+  storage::EpochManager epochs;
+  const RowId row = table.AllocateRow();
+  const std::string payload(48, 'r');
+  table.InstallCommitted(row, 1, payload);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto guard = epochs.Enter();
+        const storage::Version* v = table.ReadAt(row, kMaxTimestamp);
+        ASSERT_NE(v, nullptr);
+        ASSERT_EQ(v->value().size(), payload.size());
+        ASSERT_EQ(v->value()[0], 'r');
+      }
+    });
+  }
+  Timestamp ts = 1;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 50; ++i) table.InstallCommitted(row, ++ts, payload);
+    table.CollectRowGarbage(row, ts - 1, epochs);
+    epochs.ReclaimSome();
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  // Final trim at the full horizon (ts-1 above kept the horizon version AND
+  // the head), then drain the retirement queue.
+  table.CollectRowGarbage(row, ts, epochs);
+  epochs.ReclaimSome();
+  epochs.ReclaimSome();
+  EXPECT_EQ(table.CountVersionsApprox(), 1u);
+}
+
+TEST(EpochBatchTest, ReclaimReportsExactBatchCounts) {
+  // RetireBatch counts every object its deleter frees; Retire counts one.
+  storage::Table table("t");
+  storage::EpochManager epochs;
+  const RowId row = table.AllocateRow();
+  for (Timestamp ts = 1; ts <= 10; ++ts) {
+    table.InstallCommitted(row, ts, "v");
+  }
+  ASSERT_EQ(table.CollectRowGarbage(row, 10, epochs), 1u);  // one chain
+  // 9 versions below the newest committed at horizon 10 are in the batch.
+  EXPECT_EQ(epochs.ReclaimSome() + epochs.ReclaimSome(), 9u);
+  EXPECT_EQ(table.CountVersionsApprox(), 1u);
+}
+
+}  // namespace
+}  // namespace c5

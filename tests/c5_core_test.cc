@@ -122,7 +122,7 @@ TEST(C5SnapshotTest, VisibleTimestampIsAlwaysAPrefixCompleteReadPoint) {
     const storage::Version* v =
         backup.ReadKeyAt(run.table, workload::SyntheticWorkload::kHotKey, c);
     ASSERT_NE(v, nullptr);
-    EXPECT_EQ(v->data, last_hot_below_c->value)
+    EXPECT_EQ(v->value(), last_hot_below_c->value)
         << "state at sampled snapshot c=" << c
         << " does not match the log prefix";
   }

@@ -411,7 +411,7 @@ TEST(FailoverTest, PromotedBackupRunsTpcc) {
     const auto* v =
         backup.ReadKeyAt(kDistrict, DistrictKey(1, d), kMaxTimestamp);
     ASSERT_NE(v, nullptr);
-    total_orders += FromValue<DistrictRow>(v->data).d_next_o_id - 1;
+    total_orders += FromValue<DistrictRow>(v->value()).d_next_o_id - 1;
   }
   EXPECT_EQ(total_orders, committed_before + committed_after);
   EXPECT_EQ(backup.index(kOrder).Size(),

@@ -1,0 +1,131 @@
+// FlatMap coverage, mirroring hash_index_test.cc where the operations
+// overlap (no erase: the scheduler never removes entries).
+
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace c5 {
+namespace {
+
+TEST(FlatMapTest, InsertAndFind) {
+  FlatMap<Timestamp> map;
+  map[42] = 7;
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, FindMissingReturnsNull) {
+  FlatMap<Timestamp> map;
+  EXPECT_EQ(map.Find(99), nullptr);
+}
+
+TEST(FlatMapTest, OperatorIndexDefaultConstructsOnce) {
+  FlatMap<Timestamp> map;
+  EXPECT_EQ(map[5], 0u);  // first touch: default value
+  map[5] = 77;
+  EXPECT_EQ(map[5], 77u);  // second touch: same slot
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, KeyZeroIsUsable) {
+  // Key 0 collides with the internal empty encoding if mishandled.
+  FlatMap<Timestamp> map;
+  map[0] = 100;
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 100u);
+}
+
+TEST(FlatMapTest, LargeKeysAreUsable) {
+  FlatMap<Timestamp> map;
+  const std::uint64_t k = ~std::uint64_t{0} - 1;  // max supported key
+  map[k] = 5;
+  EXPECT_EQ(*map.Find(k), 5u);
+  // The reserved key (~0) is never stored; Find must not alias it onto the
+  // empty-slot encoding.
+  EXPECT_EQ(map.Find(~std::uint64_t{0}), nullptr);
+}
+
+TEST(FlatMapTest, ExistingKeyAccessNeverRehashes) {
+  // operator[] on a present key is a pure lookup: references stay valid even
+  // when the map sits exactly at the load-factor boundary.
+  FlatMap<Timestamp> map(8);
+  map[1] = 11;
+  Timestamp* ref = &map[1];
+  const std::size_t cap = map.capacity();
+  // Fill right up to (but not past) the grow trigger.
+  for (std::uint64_t k = 2; (map.size() + 1) * 4 < map.capacity() * 3; ++k) {
+    map[k] = k;
+  }
+  ASSERT_EQ(map.capacity(), cap);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(&map[1], ref);  // would rehash under the old grow-first order
+  }
+  EXPECT_EQ(*ref, 11u);
+}
+
+TEST(FlatMapTest, GrowPreservesEntries) {
+  FlatMap<Timestamp> map(8);
+  constexpr std::uint64_t kN = 10000;
+  for (std::uint64_t k = 0; k < kN; ++k) map[k] = k * 2;
+  EXPECT_EQ(map.size(), kN);
+  EXPECT_GE(map.capacity(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_NE(map.Find(k), nullptr);
+    ASSERT_EQ(*map.Find(k), k * 2);
+  }
+}
+
+TEST(FlatMapTest, PreSizedMapDoesNotRehash) {
+  FlatMap<Timestamp> map(1 << 12);
+  const std::size_t cap = map.capacity();
+  for (std::uint64_t k = 0; k < 3000; ++k) map[k] = k;  // 3000 < 75% of 4096
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMapTest, SchedulerRowNameKeysCluster) {
+  // The scheduler's keys are (table << 56 | row) with dense row ids —
+  // worst-case clustering for a weak hash. The finalizer must spread them.
+  FlatMap<Timestamp> map(8);
+  for (std::uint64_t table = 0; table < 4; ++table) {
+    for (std::uint64_t row = 0; row < 5000; ++row) {
+      map[(table << 56) | row] = table + row + 1;
+    }
+  }
+  EXPECT_EQ(map.size(), 20000u);
+  for (std::uint64_t table = 0; table < 4; ++table) {
+    for (std::uint64_t row = 0; row < 5000; ++row) {
+      ASSERT_EQ(*map.Find((table << 56) | row), table + row + 1);
+    }
+  }
+}
+
+TEST(FlatMapTest, MatchesReferenceMapUnderRandomOps) {
+  FlatMap<Timestamp> map(16);
+  std::unordered_map<std::uint64_t, Timestamp> ref;
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t k = rng.Uniform(2000);
+    if (rng.Uniform(2) == 0) {
+      map[k] = static_cast<Timestamp>(i);
+      ref[k] = static_cast<Timestamp>(i);
+    } else {
+      const Timestamp* got = map.Find(k);
+      const auto it = ref.find(k);
+      ASSERT_EQ(got != nullptr, it != ref.end());
+      if (got != nullptr) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace c5

@@ -167,7 +167,8 @@ TEST(HashIndexTest, ConcurrentReadersDuringInserts) {
   });
   std::vector<std::thread> readers;
   for (int t = 0; t < 4; ++t) {
-    readers.emplace_back([&] {
+    // NB: `t` by value — the loop variable dies before the readers do.
+    readers.emplace_back([&, t] {
       Rng rng(t);
       while (!stop.load()) {
         const Key k = rng.Uniform(100000);

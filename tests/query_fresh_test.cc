@@ -148,9 +148,9 @@ TEST(QueryFreshTest, FixedSnapshotReadsAreAtomic) {
         const auto* va = backup.table(table).ReadAt(*ra, ts);
         const auto* vb = backup.table(table).ReadAt(*rb, ts);
         const std::uint64_t a =
-            va == nullptr ? 0 : workload::DecodeIntValue(va->data);
+            va == nullptr ? 0 : workload::DecodeIntValue(va->value());
         const std::uint64_t b =
-            vb == nullptr ? 0 : workload::DecodeIntValue(vb->data);
+            vb == nullptr ? 0 : workload::DecodeIntValue(vb->value());
         if (a != b) violation.store(true);
         if (a < last_seen) violation.store(true);
         last_seen = a;

@@ -212,9 +212,9 @@ TEST_P(ReplicaParamTest, MonotonicPrefixConsistencyDuringReplay) {
         const auto* va = backup.ReadKeyAt(table, kA, ts);
         const auto* vb = backup.ReadKeyAt(table, kB, ts);
         const std::uint64_t a =
-            va == nullptr ? 0 : workload::DecodeIntValue(va->data);
+            va == nullptr ? 0 : workload::DecodeIntValue(va->value());
         const std::uint64_t b =
-            vb == nullptr ? 0 : workload::DecodeIntValue(vb->data);
+            vb == nullptr ? 0 : workload::DecodeIntValue(vb->value());
         if (a != b) violation.store(true);        // torn transaction
         if (a < last_seen) violation.store(true);  // regression
         last_seen = a;

@@ -35,7 +35,7 @@ TEST_F(TableTest, EnsureRowAcrossChunkBoundary) {
   table_.InstallCommitted(70000, 1, "x");
   const Version* v = table_.ReadLatestCommitted(70000);
   ASSERT_NE(v, nullptr);
-  EXPECT_EQ(v->data, "x");
+  EXPECT_EQ(v->value(), "x");
 }
 
 TEST_F(TableTest, EmptyRowReadsNull) {
@@ -52,11 +52,11 @@ TEST_F(TableTest, ReadAtSelectsByTimestamp) {
   table_.InstallCommitted(r, 30, "v30");
 
   EXPECT_EQ(table_.ReadAt(r, 5), nullptr);
-  EXPECT_EQ(table_.ReadAt(r, 10)->data, "v10");
-  EXPECT_EQ(table_.ReadAt(r, 19)->data, "v10");
-  EXPECT_EQ(table_.ReadAt(r, 20)->data, "v20");
-  EXPECT_EQ(table_.ReadAt(r, 29)->data, "v20");
-  EXPECT_EQ(table_.ReadAt(r, kMaxTimestamp)->data, "v30");
+  EXPECT_EQ(table_.ReadAt(r, 10)->value(), "v10");
+  EXPECT_EQ(table_.ReadAt(r, 19)->value(), "v10");
+  EXPECT_EQ(table_.ReadAt(r, 20)->value(), "v20");
+  EXPECT_EQ(table_.ReadAt(r, 29)->value(), "v20");
+  EXPECT_EQ(table_.ReadAt(r, kMaxTimestamp)->value(), "v30");
 }
 
 TEST_F(TableTest, TombstonesAreReturnedWithDeletedFlag) {
@@ -88,7 +88,7 @@ TEST_F(TableTest, TryInstallIfPrevRequiresPredecessorInPlace) {
   // Clean-replay case: head equals prev_ts exactly.
   EXPECT_EQ(table_.TryInstallIfPrev(r, 10, 20, "v20"),
             PrevInstall::kInstalled);
-  EXPECT_EQ(table_.ReadLatestCommitted(r)->data, "v20");
+  EXPECT_EQ(table_.ReadLatestCommitted(r)->value(), "v20");
 }
 
 TEST_F(TableTest, TryInstallIfPrevIsIdempotentUnderRedelivery) {
@@ -105,7 +105,7 @@ TEST_F(TableTest, TryInstallIfPrevIsIdempotentUnderRedelivery) {
             PrevInstall::kAlreadyApplied);
   EXPECT_EQ(table_.TryInstallIfPrev(r, 20, 20, "v20"),
             PrevInstall::kAlreadyApplied);
-  EXPECT_EQ(table_.ReadLatestCommitted(r)->data, "v20");
+  EXPECT_EQ(table_.ReadLatestCommitted(r)->value(), "v20");
   // Exactly one version per timestamp: the chain is 20 -> 10 -> null.
   const Version* v = table_.ReadLatestCommitted(r);
   ASSERT_NE(v, nullptr);
@@ -123,12 +123,12 @@ TEST_F(TableTest, TryInstallIfPrevResumesOverCoveredPredecessors) {
   table_.InstallCommitted(r, 20, "recovered");
   EXPECT_EQ(table_.TryInstallIfPrev(r, 10, 30, "v30"),
             PrevInstall::kInstalled);
-  EXPECT_EQ(table_.ReadLatestCommitted(r)->data, "v30");
+  EXPECT_EQ(table_.ReadLatestCommitted(r)->value(), "v30");
 }
 
 TEST_F(TableTest, PendingInstallAndCommit) {
   const RowId r = table_.AllocateRow();
-  auto* v = new Version(10, "pending", false);
+  Version* v = table_.NewPendingVersion(10, "pending", false);
   ASSERT_EQ(table_.TryInstallPending(r, v), InstallResult::kOk);
   // Not yet committed: a reader above 10 spins until resolution, so resolve
   // from another thread.
@@ -139,15 +139,15 @@ TEST_F(TableTest, PendingInstallAndCommit) {
   const Version* read = table_.ReadAt(r, 15);
   committer.join();
   ASSERT_NE(read, nullptr);
-  EXPECT_EQ(read->data, "pending");
+  EXPECT_EQ(read->value(), "pending");
 }
 
 TEST_F(TableTest, PendingInstallWriteConflict) {
   const RowId r = table_.AllocateRow();
   table_.InstallCommitted(r, 20, "newer");
-  auto* v = new Version(10, "older", false);
+  Version* v = table_.NewPendingVersion(10, "older", false);
   EXPECT_EQ(table_.TryInstallPending(r, v), InstallResult::kWriteConflict);
-  delete v;  // not linked on failure
+  FreeVersion(v);  // not linked on failure
 }
 
 TEST_F(TableTest, PendingInstallReadConflict) {
@@ -156,19 +156,19 @@ TEST_F(TableTest, PendingInstallReadConflict) {
   // A reader at ts 50 observed the base version.
   const_cast<Version*>(committed)->ObserveRead(50);
   // Installing at ts 30 would invalidate that read.
-  auto* v = new Version(30, "mid", false);
+  Version* v = table_.NewPendingVersion(30, "mid", false);
   EXPECT_EQ(table_.TryInstallPending(r, v), InstallResult::kReadConflict);
-  delete v;
+  FreeVersion(v);
 }
 
 TEST_F(TableTest, AbortedHeadIsUnlinked) {
   const RowId r = table_.AllocateRow();
   table_.InstallCommitted(r, 10, "base");
-  auto* v = new Version(20, "doomed", false);
+  Version* v = table_.NewPendingVersion(20, "doomed", false);
   ASSERT_EQ(table_.TryInstallPending(r, v), InstallResult::kOk);
   table_.AbortPending(r, v, epochs_);
   EXPECT_EQ(table_.HeadTimestamp(r), 10u);
-  EXPECT_EQ(table_.ReadLatestCommitted(r)->data, "base");
+  EXPECT_EQ(table_.ReadLatestCommitted(r)->value(), "base");
   epochs_.ReclaimSome();
   epochs_.ReclaimSome();
 }
@@ -176,14 +176,14 @@ TEST_F(TableTest, AbortedHeadIsUnlinked) {
 TEST_F(TableTest, AbortedMidChainIsSkippedByReaders) {
   const RowId r = table_.AllocateRow();
   table_.InstallCommitted(r, 10, "base");
-  auto* doomed = new Version(20, "doomed", false);
+  Version* doomed = table_.NewPendingVersion(20, "doomed", false);
   ASSERT_EQ(table_.TryInstallPending(r, doomed), InstallResult::kOk);
   // Another commit lands above before the abort.
   table_.InstallCommitted(r, 30, "top", false, /*allow_out_of_order=*/true);
   doomed->SetStatus(VersionStatus::kAborted);
 
-  EXPECT_EQ(table_.ReadAt(r, 25)->data, "base");   // skips aborted 20
-  EXPECT_EQ(table_.ReadAt(r, 35)->data, "top");
+  EXPECT_EQ(table_.ReadAt(r, 25)->value(), "base");   // skips aborted 20
+  EXPECT_EQ(table_.ReadAt(r, 35)->value(), "top");
   EXPECT_EQ(table_.NewestVisibleTimestamp(r), 30u);
 }
 
@@ -203,19 +203,21 @@ TEST_F(TableTest, GcTruncatesBelowHorizon) {
     table_.InstallCommitted(r, ts, "v" + std::to_string(ts));
   }
   // Horizon 55: newest committed <= 55 is ts 50; cut 10..40 (4 versions).
-  EXPECT_EQ(table_.CollectRowGarbage(r, 55, epochs_), 4u);
-  EXPECT_EQ(table_.ReadAt(r, 55)->data, "v50");
+  // The whole tail is one batched retirement (return value counts truncated
+  // chains); the exact freed count surfaces at reclaim time.
+  EXPECT_EQ(table_.CollectRowGarbage(r, 55, epochs_), 1u);
+  EXPECT_EQ(table_.ReadAt(r, 55)->value(), "v50");
   EXPECT_EQ(table_.ReadAt(r, 45), nullptr);  // older history gone
-  EXPECT_EQ(table_.ReadAt(r, kMaxTimestamp)->data, "v100");
-  epochs_.ReclaimSome();
-  epochs_.ReclaimSome();
+  EXPECT_EQ(table_.ReadAt(r, kMaxTimestamp)->value(), "v100");
+  EXPECT_EQ(epochs_.ReclaimSome() + epochs_.ReclaimSome(), 4u)
+      << "batched retirement must free exactly the truncated chain";
 }
 
 TEST_F(TableTest, GcPreservesNewestCommittedAtHorizon) {
   const RowId r = table_.AllocateRow();
   table_.InstallCommitted(r, 10, "only");
   EXPECT_EQ(table_.CollectRowGarbage(r, 100, epochs_), 0u);
-  EXPECT_EQ(table_.ReadAt(r, 100)->data, "only");
+  EXPECT_EQ(table_.ReadAt(r, 100)->value(), "only");
 }
 
 TEST_F(TableTest, GcNoopOnEmptyRow) {
@@ -230,6 +232,7 @@ TEST_F(TableTest, GcWholeTable) {
     table_.InstallCommitted(r, 20, "b");
   }
   EXPECT_EQ(table_.CountVersionsApprox(), 20u);
+  // Return value counts rows whose chains were truncated (one per row here).
   EXPECT_EQ(table_.CollectGarbage(50, epochs_), 10u);
   EXPECT_EQ(table_.CountVersionsApprox(), 10u);
 }
@@ -243,12 +246,12 @@ TEST_F(TableTest, ConcurrentPendingInstallsOnOneRowSerialize) {
   std::vector<std::thread> threads;
   for (int t = 1; t <= kThreads; ++t) {
     threads.emplace_back([&, t] {
-      auto* v = new Version(static_cast<Timestamp>(t), "x", false);
+      Version* v = table_.NewPendingVersion(static_cast<Timestamp>(t), "x", false);
       if (table_.TryInstallPending(r, v) == InstallResult::kOk) {
         v->SetStatus(VersionStatus::kCommitted);
         ok.fetch_add(1);
       } else {
-        delete v;
+        FreeVersion(v);
       }
     });
   }
@@ -279,7 +282,7 @@ TEST_F(TableTest, ConcurrentReadersDuringGc) {
         auto guard = epochs_.Enter();
         const Version* v = table_.ReadAt(r, kMaxTimestamp);
         ASSERT_NE(v, nullptr);
-        ASSERT_EQ(v->data, "1000");
+        ASSERT_EQ(v->value(), "1000");
       }
     });
   }
@@ -303,7 +306,7 @@ TEST(DatabaseTest, CreateTablesAndReadKeyAt) {
   const auto guard = db.epochs().Enter();
   const Version* v = db.ReadKeyAt(t, 7, 10);
   ASSERT_NE(v, nullptr);
-  EXPECT_EQ(v->data, "alice");
+  EXPECT_EQ(v->value(), "alice");
   EXPECT_EQ(db.ReadKeyAt(t, 7, 4), nullptr);
   EXPECT_EQ(db.ReadKeyAt(t, 8, 10), nullptr);
 }

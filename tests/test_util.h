@@ -42,7 +42,7 @@ inline std::uint64_t StateDigest(storage::Database& db, Timestamp ts) {
       mix(r);
       mix(v->deleted ? 1 : 0);
       std::uint64_t dh = 1469598103934665603ull;
-      for (const char c : v->data) {
+      for (const char c : v->value()) {
         dh = (dh ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
       }
       mix(dh);

@@ -57,7 +57,7 @@ TEST_F(TpccTest, LoadedRowsRoundTrip) {
   const auto guard = db_.epochs().Enter();
   const auto* v = db_.ReadKeyAt(kDistrict, DistrictKey(1, 1), kMaxTimestamp);
   ASSERT_NE(v, nullptr);
-  const DistrictRow dr = FromValue<DistrictRow>(v->data);
+  const DistrictRow dr = FromValue<DistrictRow>(v->value());
   EXPECT_EQ(dr.d_id, 1u);
   EXPECT_EQ(dr.d_w_id, 1u);
   EXPECT_EQ(dr.d_next_o_id, 1u);
@@ -79,7 +79,7 @@ TEST_F(TpccTest, NewOrderCommitsAndAllocatesOrderId) {
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     const auto* v = db_.ReadKeyAt(kDistrict, DistrictKey(1, d), kMaxTimestamp);
     ASSERT_NE(v, nullptr);
-    total_orders += FromValue<DistrictRow>(v->data).d_next_o_id - 1;
+    total_orders += FromValue<DistrictRow>(v->value()).d_next_o_id - 1;
   }
   EXPECT_EQ(total_orders, committed);
   EXPECT_EQ(db_.index(kOrder).Size(), committed);
@@ -95,7 +95,7 @@ TEST_F(TpccTest, NewOrderUpdatesStock) {
     for (std::uint32_t i = 1; i <= cfg_.items; ++i) {
       const auto* v = db_.ReadKeyAt(kStock, StockKey(1, i), kMaxTimestamp);
       ytd_before += static_cast<std::uint64_t>(
-          FromValue<StockRow>(v->data).s_ytd);
+          FromValue<StockRow>(v->value()).s_ytd);
     }
   }
   Status s;
@@ -108,7 +108,7 @@ TEST_F(TpccTest, NewOrderUpdatesStock) {
     for (std::uint32_t i = 1; i <= cfg_.items; ++i) {
       const auto* v = db_.ReadKeyAt(kStock, StockKey(1, i), kMaxTimestamp);
       ytd_after += static_cast<std::uint64_t>(
-          FromValue<StockRow>(v->data).s_ytd);
+          FromValue<StockRow>(v->value()).s_ytd);
     }
   }
   // Ordered quantities (5..15 items x 1..10 each) land in stock ytd.
@@ -125,12 +125,12 @@ TEST_F(TpccTest, PaymentUpdatesBalancesConsistently) {
   // == customer ytd_payment increases == history amounts.
   const auto guard = db_.epochs().Enter();
   const auto* wv = db_.ReadKeyAt(kWarehouse, WarehouseKey(1), kMaxTimestamp);
-  const double w_delta = FromValue<WarehouseRow>(wv->data).w_ytd - 300000.0;
+  const double w_delta = FromValue<WarehouseRow>(wv->value()).w_ytd - 300000.0;
 
   double d_delta = 0;
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     const auto* dv = db_.ReadKeyAt(kDistrict, DistrictKey(1, d), kMaxTimestamp);
-    d_delta += FromValue<DistrictRow>(dv->data).d_ytd - 30000.0;
+    d_delta += FromValue<DistrictRow>(dv->value()).d_ytd - 30000.0;
   }
   EXPECT_NEAR(w_delta, d_delta, 1e-6);
   EXPECT_GT(w_delta, 0);
@@ -152,7 +152,7 @@ TEST_F(TpccTest, OptimizedVariantsPreserveSemantics) {
   std::uint64_t total_orders = 0;
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     const auto* v = db_.ReadKeyAt(kDistrict, DistrictKey(1, d), kMaxTimestamp);
-    total_orders += FromValue<DistrictRow>(v->data).d_next_o_id - 1;
+    total_orders += FromValue<DistrictRow>(v->value()).d_next_o_id - 1;
   }
   EXPECT_EQ(total_orders, committed);
   EXPECT_TRUE(CheckDistrictOrderInvariant(db_, cfg_, 1, 1, kMaxTimestamp));
@@ -294,7 +294,7 @@ TEST_F(TpccFullMixTest, DeliveryConsumesOldestOrders) {
   const auto guard = db_.epochs().Enter();
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     const auto* dv = db_.ReadKeyAt(kDistrict, DistrictKey(1, d), kMaxTimestamp);
-    const DistrictRow dr = FromValue<DistrictRow>(dv->data);
+    const DistrictRow dr = FromValue<DistrictRow>(dv->value());
     EXPECT_EQ(dr.d_last_delivered + 1, dr.d_next_o_id);
     for (std::uint32_t o = 1; o < dr.d_next_o_id; ++o) {
       const auto* nv = db_.ReadKeyAt(kNewOrder, NewOrderKey(1, d, o),
@@ -302,7 +302,7 @@ TEST_F(TpccFullMixTest, DeliveryConsumesOldestOrders) {
       EXPECT_TRUE(nv == nullptr || nv->deleted);
       const auto* ov = db_.ReadKeyAt(kOrder, OrderKey(1, d, o), kMaxTimestamp);
       ASSERT_NE(ov, nullptr);
-      EXPECT_GT(FromValue<OrderRow>(ov->data).o_carrier_id, 0u);
+      EXPECT_GT(FromValue<OrderRow>(ov->value()).o_carrier_id, 0u);
     }
   }
 }
