@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 verification: configure, build, run every test suite, then smoke the
-# benchmark harnesses (tiny scale) to prove they still emit valid JSON.
+# Tier-1 verification: configure, build, run every test suite, smoke the
+# benchmark harnesses (tiny scale) to prove they still emit valid JSON, then
+# run the deterministic-simulation (DST) quick seed sweep under TSan (data
+# races in the replay pipelines) and ASan (epoch GC reclaiming a reachable
+# version, wire-decoder out-of-bounds reads). See docs/TESTING.md.
 # Exits nonzero on the first failure. Usage: scripts/check.sh [build-dir]
 set -eu
 
@@ -17,3 +20,20 @@ cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 "$repo_root/scripts/bench.sh" --quick "$build_dir"
+
+# Sanitizer lanes: only the DST harness and the wire fuzz loop are rebuilt
+# and run (the quick 16-seed list keeps each lane to seconds of test time).
+# Lane build trees derive from the caller's build dir so concurrent
+# invocations with distinct build dirs never race on shared trees.
+# A failing seed prints itself; replay it under the same lane with
+#   C5_DST_SEED=<n> <lane-build-dir>/dst_test
+tsan_dir="${build_dir}-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DC5_SANITIZE=thread >/dev/null
+cmake --build "$tsan_dir" -j "$jobs" --target dst_test
+C5_DST_SEED_COUNT=16 "$tsan_dir/dst_test"
+
+asan_dir="${build_dir}-asan"
+cmake -B "$asan_dir" -S "$repo_root" -DC5_SANITIZE=address >/dev/null
+cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test
+C5_DST_SEED_COUNT=16 "$asan_dir/dst_test"
+"$asan_dir/wire_test"

@@ -122,7 +122,11 @@ void C5MyRocksReplica::SchedulerLoop(log::SegmentSource* source) {
       log::LogRecord& rec = records[i];
       Timestamp& last = last_write_ts[RowName(rec.table, rec.row)];
       rec.prev_ts = last;
-      last = rec.commit_ts;
+      // Monotone, never rewound — see C5Replica::SchedulerLoop: a
+      // redelivered old segment must not reset the row's chain position or
+      // later writes get scheduled against a stale predecessor and the true
+      // predecessor's install is skipped, holing the row's history.
+      if (rec.commit_ts > last) last = rec.commit_ts;
 
       if (rec.last_in_txn) {
         // Dispatch the transaction in commit order (§5.1: the scheduler
@@ -134,7 +138,10 @@ void C5MyRocksReplica::SchedulerLoop(log::SegmentSource* source) {
       }
     }
     seg->MarkPreprocessed();
-    if (!seg->empty()) {
+    // Monotone: a redelivered old segment as the final delivery must not
+    // regress the watermark and pin the snapshot below end-of-log.
+    if (!seg->empty() &&
+        seg->MaxTimestamp() > watermark_.load(std::memory_order_relaxed)) {
       watermark_.store(seg->MaxTimestamp(), std::memory_order_release);
     }
   }
@@ -155,7 +162,11 @@ void C5MyRocksReplica::WorkerLoop(int idx) {
       const std::int64_t sample_t0 = sample ? MonotonicNowNanos() : 0;
       storage::Table& table = db_->table(rec.table);
       table.EnsureRow(rec.row);
-      if (rec.op == OpType::kInsert) {
+      // A row's first record can carry any op (coalesced insert+delete,
+      // update after an aborted insert); bind the index for every
+      // potentially row-creating record (see ReplicaBase::ApplyRecord).
+      if (rec.op != OpType::kUpdate ||
+          table.NewestVisibleTimestamp(rec.row) == kInvalidTimestamp) {
         db_->index(rec.table).Upsert(rec.key, rec.row);
       }
       // §5.2: while a snapshot is being taken, writes beyond the boundary n

@@ -44,16 +44,29 @@ void C5Replica::SchedulerLoop(log::SegmentSource* source) {
     for (log::LogRecord& rec : seg->records()) {
       Timestamp& last = last_write_ts[RowName(rec.table, rec.row)];
       rec.prev_ts = last;
-      last = rec.commit_ts;
+      // Monotone, never rewound: an at-least-once redelivery of an old
+      // segment would otherwise reset the row's chain position, and the
+      // NEXT new write would be scheduled against the stale predecessor —
+      // it can then install before the true predecessor, whose record the
+      // idempotence guard subsequently skips, leaving a permanent hole in
+      // the row's history. A redelivered record itself gets prev_ts >= its
+      // own timestamp, which resolves as kAlreadyApplied once the row
+      // catches up. (Found by the DST stale-duplicate schedule.)
+      if (rec.commit_ts > last) last = rec.commit_ts;
     }
     seg->MarkPreprocessed();
     // Hand the segment to its worker BEFORE publishing the watermark: an
     // idle worker that read the watermark and then found its queue empty may
     // publish that watermark as its c', which is only safe if every segment
-    // enqueued afterwards carries strictly larger timestamps.
+    // enqueued afterwards carries timestamps at or above the watermark.
     workers_[next_worker]->queue.Push(seg);
     next_worker = (next_worker + 1) % workers_.size();
-    if (!seg->empty()) {
+    // Monotone for the same reason as the scheduler map: a redelivered old
+    // segment must not regress the watermark (a regression as the FINAL
+    // delivery would pin the visible snapshot below end-of-log forever).
+    // Single writer, so load+store suffices.
+    if (!seg->empty() &&
+        seg->MaxTimestamp() > watermark_.load(std::memory_order_relaxed)) {
       watermark_.store(seg->MaxTimestamp(), std::memory_order_release);
     }
   }
@@ -146,7 +159,11 @@ void C5Replica::WorkerLoop(int idx) {
       // first sight so deferred retries only need the install.
       storage::Table& table = db_->table(rec.table);
       table.EnsureRow(rec.row);
-      if (rec.op == OpType::kInsert) {
+      // A row's first record can carry any op (coalesced insert+delete,
+      // update after an aborted insert); bind the index for every
+      // potentially row-creating record (see ReplicaBase::ApplyRecord).
+      if (rec.op != OpType::kUpdate ||
+          table.NewestVisibleTimestamp(rec.row) == kInvalidTimestamp) {
         db_->index(rec.table).Upsert(rec.key, rec.row);
       }
       bool applied;

@@ -1,6 +1,7 @@
 #ifndef C5_LOG_SEGMENT_SOURCE_H_
 #define C5_LOG_SEGMENT_SOURCE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -34,6 +35,26 @@ class OfflineSegmentSource : public SegmentSource {
 
  private:
   Log* log_;
+  std::size_t pos_ = 0;
+};
+
+// Delivers only the first `count` segments of a log: the prefix that
+// reached a backup before its primary (or shipping channel) failed.
+// Segments are transaction aligned, so any prefix of segments is a
+// transaction-aligned prefix. Used by the failover tests and by the DST
+// harness's promotion oracle.
+class PrefixSegmentSource : public SegmentSource {
+ public:
+  PrefixSegmentSource(Log* log, std::size_t count)
+      : log_(log), count_(std::min(count, log->NumSegments())) {}
+
+  LogSegment* Next() override {
+    return pos_ < count_ ? log_->segment(pos_++) : nullptr;
+  }
+
+ private:
+  Log* log_;
+  const std::size_t count_;
   std::size_t pos_ = 0;
 };
 

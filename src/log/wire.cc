@@ -21,13 +21,6 @@ bool GetInt(std::string_view* in, T* v) {
   return true;
 }
 
-constexpr std::size_t kHeaderBytes =
-    sizeof(std::uint32_t) +  // magic
-    sizeof(std::uint64_t) +  // base_seq
-    sizeof(std::uint32_t) +  // record_count
-    sizeof(std::uint32_t) +  // payload_len
-    sizeof(std::uint32_t);   // payload_crc32c
-
 }  // namespace
 
 void EncodeSegment(const LogSegment& segment, std::string* out) {
@@ -55,7 +48,7 @@ void EncodeSegment(const LogSegment& segment, std::string* out) {
 
 Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
                      std::unique_ptr<LogSegment>* out) {
-  if (bytes.size() < kHeaderBytes) {
+  if (bytes.size() < kSegmentHeaderBytes) {
     return Status::NotFound("end of stream");
   }
   std::string_view in = bytes;
@@ -106,7 +99,7 @@ Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
     return Status::InvalidArgument("trailing bytes in segment payload");
   }
 
-  *consumed = kHeaderBytes + payload_len;
+  *consumed = kSegmentHeaderBytes + payload_len;
   *out = std::move(segment);
   return Status::Ok();
 }

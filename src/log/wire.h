@@ -44,6 +44,19 @@ namespace c5::log {
 
 inline constexpr std::uint32_t kSegmentMagic = 0x47355343u;  // "C5SG"
 
+// Size of the segment frame header (everything before the payload). The
+// CRC covers ONLY the payload; of the header, any corruption of magic,
+// record_count, payload_len, or the CRC field itself is caught structurally,
+// while base_seq is deliberately unprotected (reassembly validates it
+// against the expected position). Exported so the DST wire-fault injector
+// and the fuzz tests target the right byte ranges by construction.
+inline constexpr std::size_t kSegmentHeaderBytes =
+    sizeof(std::uint32_t) +  // magic
+    sizeof(std::uint64_t) +  // base_seq
+    sizeof(std::uint32_t) +  // record_count
+    sizeof(std::uint32_t) +  // payload_len
+    sizeof(std::uint32_t);   // payload_crc32c
+
 // Maximum bytes a decoder will accept for one segment payload (a defense
 // against corrupt length fields, not a format limit).
 inline constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;

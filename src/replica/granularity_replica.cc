@@ -53,10 +53,14 @@ void GranularityReplica::Start(log::SegmentSource* source) {
 
 void GranularityReplica::SchedulerLoop(log::SegmentSource* source) {
   std::uint64_t seq = 0;
+  Timestamp final_boundary = 0;
   std::vector<KeyQueue*> batch;
   batch.reserve(kHandoffBatch);
   while (log::LogSegment* seg = source->Next()) {
     for (const log::LogRecord& rec : seg->records()) {
+      if (rec.last_in_txn && rec.commit_ts > final_boundary) {
+        final_boundary = rec.commit_ts;
+      }
       const std::uint64_t key = KeyFor(rec);
       auto& slot = queues_[key];
       if (slot == nullptr) slot = std::make_unique<KeyQueue>();
@@ -91,6 +95,7 @@ void GranularityReplica::SchedulerLoop(log::SegmentSource* source) {
     }
   }
   if (!batch.empty()) sched_queue_.Push(std::move(batch));
+  final_boundary_ts_.store(final_boundary, std::memory_order_release);
   final_record_count_.store(seq, std::memory_order_release);
   scheduler_done_.store(true, std::memory_order_release);
   if (outstanding_writes_.load(std::memory_order_acquire) == 0) {
@@ -180,6 +185,18 @@ void GranularityReplica::WaitUntilCaughtUp() {
   const std::uint64_t final_count =
       final_record_count_.load(std::memory_order_acquire);
   while (prefix_.watermark() < final_count) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // The contract (replica.h) is that the VISIBILITY watermark covers the
+  // whole log at return, not merely that every record was applied: the
+  // visibility thread publishes asynchronously after the tracker advances,
+  // so wait until the published snapshot reaches the last transaction
+  // boundary the scheduler saw. (Found by the DST harness under TSan
+  // timing: VisibleTimestamp() could still read a stale value — even 0 —
+  // right after the applied-count condition passed.)
+  const Timestamp final_boundary =
+      final_boundary_ts_.load(std::memory_order_acquire);
+  while (VisibleTimestamp() < final_boundary) {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }

@@ -120,6 +120,9 @@ class GranularityReplica : public ReplicaBase {
   std::atomic<bool> scheduler_done_{false};
   std::atomic<std::uint64_t> outstanding_writes_{0};
   std::atomic<std::uint64_t> final_record_count_{~std::uint64_t{0}};
+  // Largest transaction-boundary timestamp the scheduler enqueued; what the
+  // visibility watermark must reach before WaitUntilCaughtUp may return.
+  std::atomic<Timestamp> final_boundary_ts_{0};
   std::atomic<bool> all_applied_{false};
   std::atomic<bool> shutdown_{false};
 

@@ -29,6 +29,7 @@ void KuaFuReplica::SchedulerLoop(log::SegmentSource* source) {
   // edges chain all writers of the row in log order.
   std::unordered_map<std::uint64_t, TxnNode*> last_writer;
   std::uint64_t txn_index = 0;
+  Timestamp final_boundary = 0;
 
   TxnNode* open = nullptr;
   while (log::LogSegment* seg = source->Next()) {
@@ -44,6 +45,7 @@ void KuaFuReplica::SchedulerLoop(log::SegmentSource* source) {
       // Close the transaction: wire dependencies, then release the
       // scheduler's readiness hold.
       open->commit_ts = rec.commit_ts;
+      if (rec.commit_ts > final_boundary) final_boundary = rec.commit_ts;
       outstanding_txns_.fetch_add(1, std::memory_order_acq_rel);
       scheduled_txns_.fetch_add(1, std::memory_order_release);
       if (!options_.unconstrained) {
@@ -66,6 +68,7 @@ void KuaFuReplica::SchedulerLoop(log::SegmentSource* source) {
       open = nullptr;
     }
   }
+  final_boundary_ts_.store(final_boundary, std::memory_order_release);
   final_txn_count_.store(txn_index, std::memory_order_release);
   scheduler_done_.store(true, std::memory_order_release);
   if (outstanding_txns_.load(std::memory_order_acquire) == 0) {
@@ -81,7 +84,14 @@ void KuaFuReplica::WorkerLoop() {
     for (const log::LogRecord* rec : node->records) {
       storage::Table& table = db_->table(rec->table);
       table.EnsureRow(rec->row);
-      if (rec->op == OpType::kInsert) {
+      // One chain probe serves both the binding decision and the
+      // idempotence guard: same-row writers are serialized by the
+      // dependency edges, so `newest` cannot change between the two uses.
+      const Timestamp newest = table.NewestVisibleTimestamp(rec->row);
+      // A row's first record can carry any op (coalesced insert+delete,
+      // update after an aborted insert); bind the index for every
+      // potentially row-creating record (see ReplicaBase::ApplyRecord).
+      if (rec->op != OpType::kUpdate || newest == kInvalidTimestamp) {
         db_->index(rec->table).Upsert(rec->key, rec->row);
       }
       // Idempotency under at-least-once delivery / checkpoint resume: skip
@@ -92,7 +102,7 @@ void KuaFuReplica::WorkerLoop() {
         table.InstallCommitted(rec->row, rec->commit_ts, rec->value,
                                rec->op == OpType::kDelete,
                                /*allow_out_of_order=*/true);
-      } else if (table.NewestVisibleTimestamp(rec->row) < rec->commit_ts) {
+      } else if (newest < rec->commit_ts) {
         table.InstallCommitted(rec->row, rec->commit_ts, rec->value,
                                rec->op == OpType::kDelete);
       }
@@ -149,6 +159,17 @@ void KuaFuReplica::WaitUntilCaughtUp() {
   const std::uint64_t final_count =
       final_txn_count_.load(std::memory_order_acquire);
   while (prefix_.watermark() < final_count) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // The contract (replica.h) is that the VISIBILITY watermark covers the
+  // whole log at return, not merely that every transaction was applied:
+  // the visibility thread publishes asynchronously after the tracker
+  // advances, so wait until the published snapshot reaches the last
+  // transaction boundary the scheduler closed. (Found by the DST harness
+  // under TSan timing.)
+  const Timestamp final_boundary =
+      final_boundary_ts_.load(std::memory_order_acquire);
+  while (VisibleTimestamp() < final_boundary) {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }

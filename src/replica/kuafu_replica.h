@@ -110,6 +110,9 @@ class KuaFuReplica : public ReplicaBase {
   std::atomic<std::uint64_t> outstanding_txns_{0};
   std::atomic<std::uint64_t> scheduled_txns_{0};
   std::atomic<std::uint64_t> final_txn_count_{~std::uint64_t{0}};
+  // Largest transaction commit timestamp the scheduler closed; what the
+  // visibility watermark must reach before WaitUntilCaughtUp may return.
+  std::atomic<Timestamp> final_boundary_ts_{0};
   std::atomic<bool> all_applied_{false};
   std::atomic<bool> shutdown_{false};
 

@@ -67,7 +67,11 @@ class PrefixTracker {
       const std::size_t slot = w & mask_;
       const Timestamp ts = txn_ts_[slot].load(std::memory_order_relaxed);
       if (ts != kInvalidTimestamp) {
-        vis = ts;
+        // Running MAX, not last-walked: under at-least-once delivery a
+        // redelivered (stale) transaction can sit after newer ones in the
+        // applied prefix; its old timestamp is already covered and must not
+        // shadow the newest boundary in this walk (found by DST).
+        if (ts > vis) vis = ts;
         txn_ts_[slot].store(kInvalidTimestamp, std::memory_order_relaxed);
       }
       done_[slot].store(0, std::memory_order_relaxed);

@@ -61,12 +61,18 @@ void QueryFreshReplica::IngestLoop(log::SegmentSource* source) {
     for (const log::LogRecord& rec : seg->records()) {
       storage::Table& table = db_->table(rec.table);
       table.EnsureRow(rec.row);
+      RowState* state = row_maps_[rec.table]->GetOrCreate(rec.row);
       // Query Fresh maintains indirection eagerly so readers can resolve
-      // keys before any row data is instantiated.
-      if (rec.op == OpType::kInsert) {
+      // keys before any row data is instantiated. A row's first record can
+      // carry any op (coalesced insert+delete, update after an aborted
+      // insert), so the row's first pending record always binds; version
+      // chains are lazily built here, so "row has state" is "row has
+      // pending or applied records", not a chain probe
+      // (see ReplicaBase::ApplyRecord).
+      if (rec.op != OpType::kUpdate ||
+          state->appended.load(std::memory_order_relaxed) == 0) {
         db_->index(rec.table).Upsert(rec.key, rec.row);
       }
-      RowState* state = row_maps_[rec.table]->GetOrCreate(rec.row);
       PendingNode* node = arena_.New();
       node->rec = &rec;
       node->next = nullptr;

@@ -150,8 +150,22 @@ class ReplicaBase : public Replica {
   void ApplyRecord(const log::LogRecord& rec) {
     storage::Table& table = db_->table(rec.table);
     table.EnsureRow(rec.row);
-    if (rec.op == OpType::kInsert) db_->index(rec.table).Upsert(rec.key, rec.row);
-    if (table.NewestVisibleTimestamp(rec.row) < rec.commit_ts) {
+    // One chain probe serves both the binding decision and the idempotence
+    // guard: the caller guarantees per-row ordering, so `newest` cannot
+    // change between the two uses.
+    const Timestamp newest = table.NewestVisibleTimestamp(rec.row);
+    // Bind key -> row for every record that may CREATE the row, not just
+    // kInsert. A row's first logged record can carry any op: a transaction
+    // that inserts and deletes the same key coalesces to a single kDelete,
+    // and an ABORTED insert leaves the key in the primary's index so a
+    // later committed write ships as plain kUpdate. Binding updates only
+    // when the row has no committed state keeps the hot path (updates to
+    // existing rows) free of index writes. (Found by the DST
+    // logical-snapshot oracle.)
+    if (rec.op != OpType::kUpdate || newest == kInvalidTimestamp) {
+      db_->index(rec.table).Upsert(rec.key, rec.row);
+    }
+    if (newest < rec.commit_ts) {
       table.InstallCommitted(rec.row, rec.commit_ts, rec.value,
                              rec.op == OpType::kDelete);
     }

@@ -1,0 +1,542 @@
+#include "sim/dst_harness.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/protocol_factory.h"
+#include "ha/promotion.h"
+#include "ha/recovery.h"
+#include "log/log_collector.h"
+#include "log/segment_source.h"
+#include "sim/dst_oracle.h"
+#include "storage/checkpoint.h"
+#include "txn/mvtso_engine.h"
+#include "txn/two_phase_locking_engine.h"
+#include "workload/synthetic.h"
+
+namespace c5::sim {
+
+namespace {
+
+using core::MakeReplica;
+using core::ProtocolKind;
+using core::ProtocolOptions;
+
+// ---- Deterministic primary -------------------------------------------------
+
+struct DstPrimary {
+  storage::Database db;
+  TxnClock clock;
+  std::unique_ptr<log::PerThreadLogCollector> collector;
+  std::unique_ptr<txn::Engine> engine;
+  TableId table = 0;
+  log::Log log;
+};
+
+// One randomized mixed-operation transaction over a contended key space
+// (same shape as the property suite's RandomTxn: operation-level existence
+// errors fall back to the complementary operation, deletes churn rows).
+Status MixedTxn(txn::Txn& txn, TableId table, Rng& rng,
+                std::uint64_t keyspace) {
+  const int ops = 1 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < ops; ++i) {
+    const Key key = rng.Uniform(keyspace);
+    const Value value = workload::EncodeIntValue(rng.Next());
+    switch (rng.Uniform(4)) {
+      case 0: {
+        Status s = txn.Insert(table, key, value);
+        if (s.code() == StatusCode::kAlreadyExists) {
+          s = txn.Update(table, key, value);
+        }
+        if (!s.ok()) return s;
+        break;
+      }
+      case 1: {
+        Status s = txn.Update(table, key, value);
+        if (s.code() == StatusCode::kNotFound) {
+          s = txn.Insert(table, key, value);
+        }
+        if (!s.ok()) return s;
+        break;
+      }
+      case 2: {
+        const Status s = txn.Delete(table, key);
+        if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+        break;
+      }
+      default: {
+        const Status s = txn.Put(table, key, value);
+        if (!s.ok()) return s;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Executes the workload SERIALLY on the harness thread, round-robin across
+// per-client Rng streams. Serial execution (no retries, no interleaving)
+// makes the log — and therefore the whole scenario — a pure function of the
+// seed; concurrency is exercised on the replay side, where it belongs.
+void BuildPrimary(const DstPlan& plan, DstPrimary* p) {
+  p->collector =
+      std::make_unique<log::PerThreadLogCollector>(plan.segment_capacity);
+  if (plan.use_2pl) {
+    p->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
+        &p->db, p->collector.get(), &p->clock);
+  } else {
+    p->engine = std::make_unique<txn::MvtsoEngine>(&p->db, p->collector.get(),
+                                                   &p->clock);
+  }
+  p->table = p->db.CreateTable("dst", 1u << 12);
+
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(plan.clients));
+  for (int c = 0; c < plan.clients; ++c) {
+    rngs.emplace_back(plan.seed ^ 0xD57'0000'0003ull ^
+                      (static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull));
+  }
+  for (std::uint64_t t = 0; t < plan.txns_per_client; ++t) {
+    for (int c = 0; c < plan.clients; ++c) {
+      (void)p->engine->ExecuteWithRetry([&](txn::Txn& txn) {
+        return MixedTxn(txn, p->table, rngs[static_cast<std::size_t>(c)],
+                        plan.keyspace);
+      });
+    }
+  }
+  p->log = p->collector->Coalesce();
+}
+
+// ---- Live reader sampler ---------------------------------------------------
+
+// Runs read-only transactions against a replica while it replays: checks
+// snapshot-timestamp monotonicity (monotonic prefix consistency for a
+// session) and exercises the read path itself — Query Fresh's lazy
+// instantiation and the GC-vs-reader epoch protocol (the ASan/TSan lanes
+// turn latent races on this path into failures).
+class Sampler {
+ public:
+  Sampler(replica::ReplicaBase* base, TableId table, std::uint64_t keyspace,
+          std::uint64_t seed)
+      : thread_([this, base, table, keyspace, seed] {
+          Run(base, table, keyspace, seed);
+        }) {}
+
+  ~Sampler() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool monotonic() const {
+    return monotonic_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run(replica::ReplicaBase* base, TableId table, std::uint64_t keyspace,
+           std::uint64_t seed) {
+    Rng rng(seed);
+    Timestamp last = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      base->ReadOnlyTxn([&](Timestamp ts) {
+        if (ts < last) monotonic_.store(false, std::memory_order_relaxed);
+        last = ts;
+      });
+      Value v;
+      (void)base->ReadAtVisible(table, rng.Uniform(keyspace), &v);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> monotonic_{true};
+  std::thread thread_;
+};
+
+// ---- Report plumbing -------------------------------------------------------
+
+void Absorb(const DstChannel& ch, DstReport* report) {
+  const DstChannelStats& s = ch.stats();
+  report->wire.frames_shipped += s.frames_shipped;
+  report->wire.frames_corrupted += s.frames_corrupted;
+  report->wire.frames_truncated += s.frames_truncated;
+  report->wire.frames_duplicated += s.frames_duplicated;
+  report->wire.frames_delayed += s.frames_delayed;
+  report->wire.frames_rejected += s.frames_rejected;
+  report->wire.retransmits += s.retransmits;
+  report->wire.stale_dups_delivered += s.stale_dups_delivered;
+  report->wire.stale_dups_dropped += s.stale_dups_dropped;
+  report->wire.delivered_segments += s.delivered_segments;
+  report->schedule_digest =
+      (report->schedule_digest * 0x100000001b3ull) ^ ch.schedule_digest();
+}
+
+// Quartile prefix points (plus the final boundary) of the transaction
+// history — the deterministic timestamps every replica's state is checked
+// at. Multi-version storage retains history (GC off), so the checks run
+// post catch-up regardless of how fast replay outpaced the sampler.
+std::vector<Timestamp> CheckPoints(const std::vector<Timestamp>& boundaries) {
+  std::vector<Timestamp> out;
+  const std::size_t n = boundaries.size();
+  for (const std::size_t idx : {n / 4, n / 2, (3 * n) / 4, n - 1}) {
+    const Timestamp ts = boundaries[idx];
+    if (out.empty() || out.back() != ts) out.push_back(ts);
+  }
+  return out;
+}
+
+// `hole_lo`/`hole_hi` bound the recovery visibility hole of an in-place
+// crash restart: the dead incarnation's workers ran ahead of its published
+// checkpoint, and redelivery's idempotence guard skips those rows, so
+// historical states strictly inside (hole_lo, hole_hi) are legitimately not
+// prefix-exact (docs/TESTING.md). Zero/zero means no hole.
+void CheckReplicaState(const std::string& who, DstPrimary& primary,
+                       storage::Database& backup,
+                       Timestamp final_visible, bool gc_active,
+                       Timestamp hole_lo, Timestamp hole_hi,
+                       const std::vector<Timestamp>& boundaries,
+                       DstReport* report) {
+  auto fail = [&](std::string why) {
+    report->violations.push_back(who + ": " + std::move(why));
+  };
+  if (final_visible != primary.log.MaxTimestamp()) {
+    fail("final visibility watermark " + std::to_string(final_visible) +
+         " does not cover the log (max ts " +
+         std::to_string(primary.log.MaxTimestamp()) + ")");
+  }
+  if (StateDigest(backup, kMaxTimestamp) != report->primary_digest) {
+    fail("final state diverges from the primary");
+  }
+  std::string detail;
+  if (!ChainsStrictlyOrdered(backup, &detail)) {
+    fail("version chains: " + detail);
+  }
+  // Historical prefix checks need retained history; a replica that GC'd
+  // during replay legitimately truncated below its horizon, so only the
+  // final state is comparable there (ASan enforces the reclamation side).
+  if (gc_active) return;
+  const auto in_hole = [&](Timestamp ts) {
+    return ts > hole_lo && ts < hole_hi;
+  };
+  for (const Timestamp ts : CheckPoints(boundaries)) {
+    if (in_hole(ts)) continue;
+    if (StateDigest(backup, ts) != StateDigest(primary.db, ts)) {
+      fail("state at prefix boundary ts " + std::to_string(ts) +
+           " is not a prefix of the primary's history:" +
+           DiffStates(backup, primary.db, ts));
+    }
+  }
+  const Timestamp median = boundaries[boundaries.size() / 2];
+  for (const Timestamp ts : {median, boundaries.back()}) {
+    if (in_hole(ts)) continue;
+    if (!CheckLogicalSnapshotOracle(backup, primary.log, ts, &detail)) {
+      fail(detail);
+      break;
+    }
+  }
+}
+
+// Runs one replica incarnation over `source` with a live reader sampler
+// attached: start, drain, record the final visibility watermark, stop.
+// Appends a violation if the sampler observed a snapshot regression.
+Timestamp RunIncarnation(const DstPlan& plan, ProtocolKind kind,
+                         const ProtocolOptions& opts, storage::Database* db,
+                         log::SegmentSource* source, TableId table,
+                         std::uint64_t sampler_seed, const std::string& who,
+                         const char* phase, DstReport* report) {
+  auto replica = MakeReplica(kind, db, opts);
+  auto* base = dynamic_cast<replica::ReplicaBase*>(replica.get());
+  Sampler sampler(base, table, plan.keyspace, sampler_seed);
+  replica->Start(source);
+  replica->WaitUntilCaughtUp();
+  const Timestamp visible = replica->VisibleTimestamp();
+  replica->Stop();
+  sampler.StopAndJoin();
+  if (!sampler.monotonic()) {
+    report->violations.push_back(who + ": reader snapshot regressed " +
+                                 phase);
+  }
+  return visible;
+}
+
+// ---- Convergence run (with optional crash/restart) -------------------------
+
+void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
+                           bool allow_crash, DstPrimary& primary,
+                           const std::vector<Timestamp>& boundaries,
+                           std::uint64_t salt, const DstHooks& hooks,
+                           DstReport* report) {
+  const std::string who = std::string(core::ToString(kind)) + "[" +
+                          std::to_string(salt & 0xF) + "]";
+  auto fail = [&](std::string why) {
+    report->violations.push_back(who + ": " + std::move(why));
+  };
+
+  const bool gc_active =
+      plan.gc_every > 0 &&
+      (kind == ProtocolKind::kC5 || kind == ProtocolKind::kC5MyRocks);
+  ProtocolOptions opts;
+  opts.num_workers = plan.num_workers;
+  opts.snapshot_interval = std::chrono::microseconds(100);
+  opts.gc_every = plan.gc_every;
+
+  const std::size_t num_segs = primary.log.NumSegments();
+  // Channels outlive replicas AND state checks: lazy protocols keep
+  // pointers into delivered segments until destroyed.
+  DstChannel channel(&primary.log, 0, num_segs, plan, salt,
+                     hooks.drop_txn_segment);
+  Absorb(channel, report);
+  if (!channel.error().empty()) {
+    fail("channel: " + channel.error());
+    return;
+  }
+  if (channel.delivered().empty()) {
+    fail("channel delivered nothing");
+    return;
+  }
+
+  storage::Database backup;
+  backup.CreateTable("dst", 1u << 12);
+
+  const bool crash = allow_crash && plan.crash &&
+                     channel.delivered().size() >= 2;
+  std::unique_ptr<DstChannel> resume_channel;
+  storage::Database restored;  // checkpoint-file restart target
+  storage::Database* active_db = &backup;
+  Timestamp final_visible = 0;
+  Timestamp hole_lo = 0, hole_hi = 0;
+
+  if (crash) {
+    // Incarnation 1: loses its feed mid-replay (the crash injector), drains
+    // what it received, records its visibility checkpoint, and dies.
+    const std::size_t cut =
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   plan.crash_frac *
+                   static_cast<double>(channel.delivered().size())));
+    DstChannel::Source source = channel.MakeSource(
+        0, std::min(cut, channel.delivered().size() - 1));
+    const Timestamp checkpoint =
+        RunIncarnation(plan, kind, opts, &backup, &source, primary.table,
+                       plan.seed ^ salt, who, "before the crash", report);
+
+    // In-place restart keeps the dead incarnation's run-ahead writes;
+    // redelivery skips those rows' intermediate versions (idempotence
+    // guard), so states strictly between the checkpoint and the run-ahead
+    // mark are not prefix-exact. The checkpoint-FILE path below rebuilds
+    // state at exactly `checkpoint`, which erases the hole.
+    hole_lo = checkpoint;
+    hole_hi = MaxCommittedTimestamp(backup);
+
+    if (plan.crash_via_checkpoint_file) {
+      // Restart path B: surviving state is rebuilt from a checkpoint file
+      // (storage/checkpoint.h) in a fresh database, as a cold restart would.
+      const std::string path =
+          (std::filesystem::temp_directory_path() /
+           ("c5_dst_" + std::to_string(plan.seed) + "_" +
+            std::to_string(salt) + ".ckpt"))
+              .string();
+      const Status w = storage::WriteCheckpoint(backup, checkpoint, path);
+      if (!w.ok()) {
+        fail("checkpoint write failed: " + std::string(w.message()));
+        return;
+      }
+      restored.CreateTable("dst", 1u << 12);
+      Timestamp loaded_ts = 0;
+      const Status l = storage::LoadCheckpoint(&restored, path, &loaded_ts);
+      std::filesystem::remove(path);
+      if (!l.ok()) {
+        fail("checkpoint load failed: " + std::string(l.message()));
+        return;
+      }
+      if (loaded_ts != checkpoint) {
+        fail("checkpoint round trip changed the resume timestamp");
+        return;
+      }
+      active_db = &restored;
+      // The checkpoint file stores ONE version per row (the newest at or
+      // below `checkpoint`): the restored database reads exactly at and
+      // above the checkpoint, but history BELOW it is compressed away.
+      hole_lo = 0;
+      hole_hi = checkpoint;
+    }
+
+    // Incarnation 2: a fresh instance resumes from the checkpoint. The
+    // boundary segment is redelivered (through a fresh faulty channel);
+    // idempotent apply discards the overlap.
+    std::size_t resume_seg = 0;
+    while (resume_seg < num_segs &&
+           primary.log.segment(resume_seg)->MaxTimestamp() <= checkpoint) {
+      ++resume_seg;
+    }
+    if (resume_seg == num_segs) {
+      // The cut landed after every pristine segment (the tail of the
+      // delivered sequence was all stale duplicates): the dead incarnation
+      // had already caught up, so there is nothing to resume.
+      final_visible = checkpoint;
+    } else {
+      resume_channel = std::make_unique<DstChannel>(
+          &primary.log, resume_seg, num_segs, plan, salt ^ 0xC2A54ull,
+          hooks.drop_txn_segment);
+      Absorb(*resume_channel, report);
+      if (!resume_channel->error().empty()) {
+        fail("resume channel: " + resume_channel->error());
+        return;
+      }
+      DstChannel::Source resume_source = resume_channel->MakeSource();
+      final_visible = RunIncarnation(plan, kind, opts, active_db,
+                                     &resume_source, primary.table,
+                                     plan.seed ^ salt ^ 0xC2A54ull, who,
+                                     "after the restart", report);
+    }
+  } else {
+    DstChannel::Source source = channel.MakeSource();
+    final_visible =
+        RunIncarnation(plan, kind, opts, &backup, &source, primary.table,
+                       plan.seed ^ salt, who, "during replay", report);
+  }
+
+  if (hooks.gc_past_horizon) {
+    // Planted violation: a GC that ignores the reader/visibility horizon
+    // reclaims versions a prefix reader could still observe. The quartile
+    // prefix digests below must flag the loss.
+    active_db->CollectGarbage(primary.log.MaxTimestamp());
+  }
+
+  CheckReplicaState(who, primary, *active_db, final_visible, gc_active,
+                    hole_lo, hole_hi, boundaries, report);
+}
+
+// ---- Mid-replay promotion scenario -----------------------------------------
+
+void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
+                          DstReport* report) {
+  auto fail = [&](std::string why) {
+    report->violations.push_back("promotion: " + std::move(why));
+  };
+  const std::size_t num_segs = primary.log.NumSegments();
+  const std::size_t prefix = std::min(
+      num_segs,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(plan.promote_frac *
+                                      static_cast<double>(num_segs))));
+
+  DstChannel channel(&primary.log, 0, prefix, plan, 0x9E57ull);
+  Absorb(channel, report);
+  if (!channel.error().empty()) {
+    fail("channel: " + channel.error());
+    return;
+  }
+
+  // The victim replays the faulted prefix with readers attached, drains,
+  // and is promoted with transactions still outstanding above the prefix.
+  storage::Database victim;
+  victim.CreateTable("dst", 1u << 12);
+  ProtocolOptions opts;
+  opts.num_workers = plan.num_workers;
+  opts.snapshot_interval = std::chrono::microseconds(100);
+  DstChannel::Source source = channel.MakeSource();
+  const Timestamp applied = RunIncarnation(
+      plan, ProtocolKind::kC5, opts, &victim, &source, primary.table,
+      plan.seed ^ 0x9E57ull, "promotion", "before promotion", report);
+  if (applied == 0) {
+    fail("victim applied nothing before promotion");
+    return;
+  }
+
+  auto promoted =
+      ha::PromoteToPrimary(&victim, applied, plan.promote_engine);
+  Rng prng(plan.seed ^ 0xD57'0000'0004ull);
+  for (std::uint64_t i = 0; i < plan.promoted_txns; ++i) {
+    const Status s = promoted->engine->ExecuteWithRetry([&](txn::Txn& txn) {
+      return txn.Put(primary.table, 1'000'000 + i,
+                     workload::EncodeIntValue(prng.Next()));
+    });
+    if (!s.ok()) {
+      fail("promoted transaction failed: " + std::string(s.message()));
+      return;
+    }
+  }
+  log::Log new_log = promoted->collector.Coalesce();
+  std::string detail;
+  if (!LogWellFormed(new_log, &detail)) {
+    fail("promoted log: " + detail);
+  }
+  if (new_log.NumRecords() == 0) {
+    fail("promoted node logged nothing");
+    return;
+  }
+  if (new_log.segment(0)->MinTimestamp() <= applied) {
+    fail("promoted history does not extend the replicated prefix");
+  }
+
+  // Oracle: a single-thread replica replays the SAME prefix plus the
+  // promoted node's log, serially. Post-promotion state must match.
+  storage::Database oracle;
+  oracle.CreateTable("dst", 1u << 12);
+  log::PrefixSegmentSource prefix_source(&primary.log, prefix);
+  log::OfflineSegmentSource new_source(&new_log);
+  ha::ChainedSegmentSource chained({&prefix_source, &new_source});
+  auto replica = MakeReplica(ProtocolKind::kSingleThread, &oracle, {});
+  replica->Start(&chained);
+  replica->WaitUntilCaughtUp();
+  replica->Stop();
+
+  if (StateDigest(victim, kMaxTimestamp) !=
+      StateDigest(oracle, kMaxTimestamp)) {
+    fail("post-promotion state diverges from the single-thread oracle");
+  }
+}
+
+}  // namespace
+
+DstReport RunDst(std::uint64_t seed, const DstHooks& hooks) {
+  DstPlan plan = DstPlan::FromSeed(seed);
+  if (hooks.armed()) {
+    // Self-test mode: strip the stochastic scenarios so the planted
+    // violation is the only signal the checker can fire on.
+    plan.gc_every = 0;
+    plan.crash = false;
+    plan.promote = false;
+  }
+
+  DstReport report;
+  report.seed = seed;
+  report.plan = plan;
+  report.schedule_digest = 0xcbf29ce484222325ull;
+
+  DstPrimary primary;
+  BuildPrimary(plan, &primary);
+  report.log_records = primary.log.NumRecords();
+  report.log_txns = primary.log.CountTransactions();
+  std::string detail;
+  if (!LogWellFormed(primary.log, &detail)) {
+    report.violations.push_back("primary log: " + detail);
+    return report;
+  }
+  const std::vector<Timestamp> boundaries = TxnBoundaries(primary.log);
+  if (boundaries.empty()) {
+    report.violations.push_back("primary produced an empty history");
+    return report;
+  }
+  report.primary_digest = StateDigest(primary.db, kMaxTimestamp);
+
+  for (std::size_t i = 0; i < plan.replicas.size(); ++i) {
+    RunConvergenceReplica(plan, plan.replicas[i], /*allow_crash=*/i == 0,
+                          primary, boundaries, /*salt=*/0x100 + i, hooks,
+                          &report);
+  }
+  if (plan.promote) {
+    RunPromotionScenario(plan, primary, &report);
+  }
+  return report;
+}
+
+}  // namespace c5::sim

@@ -1,0 +1,76 @@
+// Deterministic fault-injection simulation harness (DST).
+//
+// One seed = one adversarial scenario: a seeded mixed-operation workload is
+// executed serially on a primary (MVTSO or 2PL — serial execution makes the
+// log a pure function of the seed), shipped through a DstChannel that
+// injects wire faults (corruption, torn tails, duplication, reordering —
+// see dst_channel.h), and replayed by a seed-chosen set of replica
+// protocols, optionally with a crash/restart of the first replica (resuming
+// from its visibility checkpoint, sometimes through a checkpoint-file round
+// trip) and a mid-replay promotion checked against a single-thread oracle.
+//
+// Invariants checked after every run (dst_oracle.h):
+//  1. Prefix consistency: the replica's state digested at every quartile
+//     transaction boundary (and at end-of-log) equals the primary's state
+//     at the same timestamp — the replica's visible history is a prefix of
+//     the primary's commit order.
+//  2. The final visibility watermark covers the whole delivered log.
+//  3. Per-row version chains are strictly ordered (idempotent apply never
+//     installs duplicates, under any redelivery schedule).
+//  4. Logical-snapshot oracle: reads at a prefix boundary match the §4.2
+//     write-sequence semantics materialized from the log alone.
+//  5. Monotonic prefix consistency for live readers: a sampler thread runs
+//     read-only transactions throughout and its snapshot timestamps never
+//     regress (and its reads — which drive Query Fresh's lazy instantiation
+//     and race against epoch GC — never touch reclaimed memory; the ASan
+//     lane enforces that part).
+//  6. Post-promotion state equals a single-thread oracle's replay of the
+//     same prefix plus the promoted node's log.
+//
+// Failures print the seed; rerunning with C5_DST_SEED=<seed> reproduces the
+// fault schedule bit for bit.
+
+#ifndef C5_SIM_DST_HARNESS_H_
+#define C5_SIM_DST_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/dst_channel.h"
+#include "sim/dst_plan.h"
+
+namespace c5::sim {
+
+// Self-test hooks: deliberately break an invariant so tests can prove the
+// checker catches it. RunDst normalizes the plan when a hook is armed
+// (GC/crash/promotion off) so the planted violation is the only signal.
+struct DstHooks {
+  // Silently drop the last transaction of this segment (clamped to the last
+  // segment; the channel renumbers base_seq so only state oracles can tell).
+  int drop_txn_segment = -1;
+  // After catch-up, run storage GC with a horizon ABOVE retained prefix
+  // boundaries — modeling a GC that ignores the reader horizon guard.
+  bool gc_past_horizon = false;
+
+  bool armed() const { return drop_txn_segment >= 0 || gc_past_horizon; }
+};
+
+struct DstReport {
+  std::uint64_t seed = 0;
+  DstPlan plan;
+  DstChannelStats wire;               // summed over every channel built
+  std::uint64_t schedule_digest = 0;  // mixed over every channel built
+  std::uint64_t primary_digest = 0;   // primary state at end of history
+  std::uint64_t log_records = 0;
+  std::uint64_t log_txns = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+DstReport RunDst(std::uint64_t seed, const DstHooks& hooks = {});
+
+}  // namespace c5::sim
+
+#endif  // C5_SIM_DST_HARNESS_H_

@@ -1,0 +1,263 @@
+#include "sim/dst_oracle.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "storage/logical_snapshot.h"
+#include "storage/table.h"
+
+namespace c5::sim {
+
+namespace {
+
+void MixInto(std::uint64_t* h, std::uint64_t v) {
+  *h ^= v;
+  *h *= 0x100000001b3ull;
+  *h ^= *h >> 29;
+}
+
+}  // namespace
+
+std::uint64_t StateDigest(storage::Database& db, Timestamp ts) {
+  const auto guard = db.epochs().Enter();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const storage::Table& table = db.table(t);
+    const RowId n = table.NumRows();
+    for (RowId r = 0; r < n; ++r) {
+      const storage::Version* v = table.ReadAt(r, ts);
+      if (v == nullptr) continue;
+      MixInto(&h, t);
+      MixInto(&h, r);
+      MixInto(&h, v->deleted ? 1 : 0);
+      std::uint64_t dh = 1469598103934665603ull;
+      for (const char c : v->value()) {
+        dh = (dh ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+      }
+      MixInto(&h, dh);
+    }
+  }
+  return h;
+}
+
+namespace {
+
+std::string DescribeVersion(const storage::Version* v) {
+  if (v == nullptr) return "absent";
+  if (v->deleted) return "tombstone@" + std::to_string(v->write_ts);
+  std::string s = "ts " + std::to_string(v->write_ts) + " [";
+  for (const char c : v->value()) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02x",
+                  static_cast<unsigned char>(c));
+    s += buf;
+    if (s.size() > 24) {
+      s += "..";
+      break;
+    }
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+std::string DiffStates(storage::Database& got, storage::Database& want,
+                       Timestamp ts, std::size_t max_rows) {
+  const auto guard_a = got.epochs().Enter();
+  const auto guard_b = want.epochs().Enter();
+  std::string out;
+  std::size_t shown = 0;
+  const TableId tables =
+      static_cast<TableId>(std::min(got.NumTables(), want.NumTables()));
+  for (TableId t = 0; t < tables && shown < max_rows; ++t) {
+    const storage::Table& ta = got.table(t);
+    const storage::Table& tb = want.table(t);
+    const RowId n = std::max(ta.NumRows(), tb.NumRows());
+    for (RowId r = 0; r < n && shown < max_rows; ++r) {
+      const storage::Version* va = r < ta.NumRows() ? ta.ReadAt(r, ts) : nullptr;
+      const storage::Version* vb = r < tb.NumRows() ? tb.ReadAt(r, ts) : nullptr;
+      // Mirror StateDigest's sensitivity exactly: presence, the deleted
+      // flag, and the value all count (a tombstone differs from an absent
+      // row — e.g. a dropped coalesced insert+delete).
+      if ((va == nullptr) == (vb == nullptr) &&
+          (va == nullptr ||
+           (va->deleted == vb->deleted && va->value() == vb->value()))) {
+        continue;
+      }
+      out += " {t" + std::to_string(t) + " r" + std::to_string(r) +
+             ": got " + DescribeVersion(va) + ", want " +
+             DescribeVersion(vb) + "}";
+      ++shown;
+    }
+  }
+  return out;
+}
+
+bool ChainsStrictlyOrdered(storage::Database& db, std::string* detail) {
+  const auto guard = db.epochs().Enter();
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const storage::Table& table = db.table(t);
+    const RowId n = table.NumRows();
+    for (RowId r = 0; r < n; ++r) {
+      Timestamp prev = kMaxTimestamp;
+      for (const storage::Version* v = table.ReadLatestCommitted(r);
+           v != nullptr; v = v->Next()) {
+        if (v->write_ts >= prev) {
+          if (detail != nullptr) {
+            *detail = "duplicate or out-of-order version on table " +
+                      std::to_string(t) + " row " + std::to_string(r) +
+                      " ts " + std::to_string(v->write_ts);
+          }
+          return false;
+        }
+        prev = v->write_ts;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Timestamp> TxnBoundaries(const log::Log& log) {
+  std::vector<Timestamp> out;
+  out.reserve(log.CountTransactions());
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    for (const log::LogRecord& rec : log.segment(s)->records()) {
+      if (rec.last_in_txn) out.push_back(rec.commit_ts);
+    }
+  }
+  return out;
+}
+
+bool LogWellFormed(const log::Log& log, std::string* detail) {
+  const auto fail = [detail](std::string why) {
+    if (detail != nullptr) *detail = std::move(why);
+    return false;
+  };
+  Timestamp prev_ts = 0;
+  std::uint64_t expect_base = log.NumSegments() > 0
+                                  ? log.segment(0)->base_seq()
+                                  : 0;
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    const log::LogSegment* seg = log.segment(s);
+    if (seg->empty()) return fail("empty segment " + std::to_string(s));
+    if (seg->base_seq() != expect_base) {
+      return fail("base_seq gap at segment " + std::to_string(s));
+    }
+    expect_base += seg->size();
+    if (!seg->records().back().last_in_txn) {
+      return fail("transaction spans segment " + std::to_string(s));
+    }
+    Timestamp open_txn = kInvalidTimestamp;
+    for (const log::LogRecord& rec : seg->records()) {
+      if (rec.commit_ts < prev_ts) {
+        return fail("timestamps regress in segment " + std::to_string(s));
+      }
+      prev_ts = rec.commit_ts;
+      if (open_txn != kInvalidTimestamp && rec.commit_ts != open_txn) {
+        return fail("interleaved transactions in segment " +
+                    std::to_string(s));
+      }
+      open_txn = rec.last_in_txn ? kInvalidTimestamp : rec.commit_ts;
+    }
+  }
+  return true;
+}
+
+Timestamp MaxCommittedTimestamp(storage::Database& db) {
+  const auto guard = db.epochs().Enter();
+  Timestamp max_ts = 0;
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const storage::Table& table = db.table(t);
+    const RowId n = table.NumRows();
+    for (RowId r = 0; r < n; ++r) {
+      const storage::Version* v = table.ReadLatestCommitted(r);
+      if (v != nullptr && v->write_ts > max_ts) max_ts = v->write_ts;
+    }
+  }
+  return max_ts;
+}
+
+bool CheckLogicalSnapshotOracle(storage::Database& db, const log::Log& log,
+                                Timestamp ts, std::string* detail) {
+  // Keys that ever map to a second row id are invisible to historical
+  // index reads (see header); collect them over the WHOLE log, not just
+  // the prefix — the re-insert may happen after `ts`.
+  std::map<std::pair<TableId, Key>, RowId> row_of;
+  std::set<std::pair<TableId, Key>> multi_row;
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    for (const log::LogRecord& rec : log.segment(s)->records()) {
+      const auto [it, inserted] =
+          row_of.try_emplace({rec.table, rec.key}, rec.row);
+      if (!inserted && it->second != rec.row) {
+        multi_row.insert({rec.table, rec.key});
+      }
+    }
+  }
+
+  storage::LogicalSnapshot snap = storage::LogicalSnapshot::NewSnapshot();
+  std::set<std::pair<TableId, Key>> keys;
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    for (const log::LogRecord& rec : log.segment(s)->records()) {
+      if (rec.commit_ts > ts) continue;
+      if (!multi_row.contains({rec.table, rec.key})) {
+        keys.emplace(rec.table, rec.key);
+      }
+      switch (rec.op) {
+        case OpType::kInsert:
+          snap.Insert(rec.table, rec.key, rec.value);
+          break;
+        case OpType::kUpdate:
+          snap.Update(rec.table, rec.key, rec.value);
+          break;
+        case OpType::kDelete:
+          snap.Delete(rec.table, rec.key);
+          break;
+      }
+    }
+  }
+
+  const auto guard = db.epochs().Enter();
+  for (const auto& [table, key] : keys) {
+    const auto expect = snap.Read(table, key);
+    const storage::Version* v = db.ReadKeyAt(table, key, ts);
+    const bool db_live = v != nullptr && !v->deleted;
+    if (expect.has_value() != db_live ||
+        (db_live && *expect != v->value())) {
+      if (detail != nullptr) {
+        *detail = "logical snapshot mismatch at ts " + std::to_string(ts) +
+                  " table " + std::to_string(table) + " key " +
+                  std::to_string(key) + ": log prefix says " +
+                  (expect.has_value() ? "live" : "absent") +
+                  ", database says " + (db_live ? "live" : "absent") +
+                  "; log history:";
+        for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+          for (const log::LogRecord& rec : log.segment(s)->records()) {
+            if (rec.table != table || rec.key != key) continue;
+            *detail += " " + std::to_string(rec.commit_ts) +
+                       (rec.op == OpType::kDelete
+                            ? "D"
+                            : rec.op == OpType::kInsert ? "I" : "U") +
+                       "r" + std::to_string(rec.row);
+          }
+        }
+        *detail += "; db chain:";
+        const auto row = db.index(table).Lookup(key);
+        if (!row.has_value()) {
+          *detail += " (key not in index)";
+        } else {
+          for (const storage::Version* c =
+                   db.table(table).ReadLatestCommitted(*row);
+               c != nullptr; c = c->Next()) {
+            *detail += " " + std::to_string(c->write_ts) +
+                       (c->deleted ? "D" : "");
+          }
+        }
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace c5::sim

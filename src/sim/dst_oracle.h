@@ -1,0 +1,76 @@
+// State oracles for the DST harness (and for tests, via tests/test_util.h).
+//
+// The oracles are deliberately interleaving-independent: they interrogate
+// only committed multi-version state and the log, so they hold for any
+// thread schedule — what the harness controls deterministically is the
+// fault schedule, and what these functions check is that no fault schedule
+// can make a replica's visible state diverge from a prefix of the primary's
+// history.
+
+#ifndef C5_SIM_DST_ORACLE_H_
+#define C5_SIM_DST_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "log/log_segment.h"
+#include "storage/database.h"
+
+namespace c5::sim {
+
+// Digest of a database's committed state at `ts`: fold of every row's
+// (table, row, deleted, data) into one hash. Primary and backup assign
+// identical row ids (the log dictates them), so equal digests mean equal
+// states. Timestamps are intentionally excluded: MVTSO and 2PL assign
+// different timestamps to the same logical history.
+std::uint64_t StateDigest(storage::Database& db, Timestamp ts);
+
+// Human-readable diff of the two databases' states at `ts`: up to
+// `max_rows` differing (table, row) entries with both sides' values.
+// Empty when the states agree. Used to annotate digest-mismatch
+// violations so a failing seed explains itself.
+std::string DiffStates(storage::Database& got, storage::Database& want,
+                       Timestamp ts, std::size_t max_rows = 4);
+
+// True iff every row's version chain is strictly descending in write_ts
+// (no duplicate or out-of-order versions — the invariant idempotent apply
+// must preserve under redelivery). On failure, *detail names the row.
+bool ChainsStrictlyOrdered(storage::Database& db, std::string* detail);
+
+// Commit timestamps of every transaction boundary (last_in_txn record) in
+// log order. Any of these is a valid prefix point to digest at.
+std::vector<Timestamp> TxnBoundaries(const log::Log& log);
+
+// Structural log sanity: segments non-empty, transactions contiguous, never
+// spanning segments, timestamps non-decreasing, base_seq contiguous.
+bool LogWellFormed(const log::Log& log, std::string* detail);
+
+// Largest committed write timestamp present anywhere in the database. After
+// a crash, this is the dead incarnation's run-ahead high-water mark: workers
+// may have applied writes above the published visibility checkpoint, and
+// redelivery's idempotence guard will skip those rows' intermediate
+// versions, so historical states strictly between the checkpoint and this
+// mark are not prefix-exact (see docs/TESTING.md).
+Timestamp MaxCommittedTimestamp(storage::Database& db);
+
+// The §4.2 logical-snapshot oracle: materializes the log prefix with
+// commit_ts <= ts through storage::LogicalSnapshot (the paper's Table 2
+// semantics — a snapshot IS a sequence of writes) and compares every key it
+// mentions against `db` read at `ts`. Catches divergence that a digest
+// comparison against the primary would also catch, but attributes it to a
+// key, and — unlike the digest — needs no primary, only the log.
+//
+// Keys whose records span more than one row id anywhere in the log (a
+// delete followed by a re-insert allocates a fresh row) are skipped: the
+// single-valued index resolves such keys to their newest row on primary and
+// backup alike, so index-based historical reads cannot see the old row —
+// an artifact of reading the past through the present index, not a replica
+// divergence.
+bool CheckLogicalSnapshotOracle(storage::Database& db, const log::Log& log,
+                                Timestamp ts, std::string* detail);
+
+}  // namespace c5::sim
+
+#endif  // C5_SIM_DST_ORACLE_H_

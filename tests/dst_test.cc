@@ -1,0 +1,155 @@
+// Deterministic fault-injection simulation (DST) sweeps.
+//
+// Every test prints the seed on failure; rerun a single scenario with
+//   C5_DST_SEED=<n> ./dst_test
+// The sweep size is 64 seeds by default; C5_DST_SEED_COUNT overrides it
+// (the sanitizer lanes in scripts/check.sh run a quick 16-seed list).
+
+#include "sim/dst_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace c5::sim {
+namespace {
+
+std::string Describe(const DstReport& r) {
+  std::ostringstream os;
+  os << "seed " << r.seed << ": " << r.log_txns << " txns, "
+     << r.log_records << " records; wire: " << r.wire.frames_shipped
+     << " frames (" << r.wire.frames_corrupted << " corrupted, "
+     << r.wire.frames_truncated << " truncated, "
+     << r.wire.frames_duplicated << " duplicated, " << r.wire.frames_delayed
+     << " delayed, " << r.wire.frames_rejected << " rejected, "
+     << r.wire.retransmits << " retransmits, "
+     << r.wire.stale_dups_delivered << " stale dups delivered); "
+     << (r.plan.crash ? "crash " : "") << (r.plan.promote ? "promote " : "")
+     << (r.plan.gc_every > 0 ? "gc " : "") << (r.plan.use_2pl ? "2pl" : "mvtso");
+  for (const std::string& v : r.violations) os << "\n  VIOLATION: " << v;
+  os << "\n  replay: C5_DST_SEED=" << r.seed << " ./dst_test";
+  return os.str();
+}
+
+std::vector<std::uint64_t> SweepSeeds() {
+  if (const char* one = std::getenv("C5_DST_SEED")) {
+    return {std::strtoull(one, nullptr, 10)};
+  }
+  std::uint64_t count = 64;
+  if (const char* n = std::getenv("C5_DST_SEED_COUNT")) {
+    count = std::strtoull(n, nullptr, 10);
+    if (count == 0) count = 1;
+  }
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::uint64_t s = 1; s <= count; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+TEST(DstTest, SeedSweepHoldsAllInvariants) {
+  const std::vector<std::uint64_t> seeds = SweepSeeds();
+  DstChannelStats total;
+  std::uint64_t crashes = 0, promotions = 0, gc_runs = 0;
+  for (const std::uint64_t seed : seeds) {
+    const DstReport r = RunDst(seed);
+    EXPECT_TRUE(r.ok()) << Describe(r);
+    total.frames_corrupted += r.wire.frames_corrupted;
+    total.frames_truncated += r.wire.frames_truncated;
+    total.frames_duplicated += r.wire.frames_duplicated;
+    total.frames_delayed += r.wire.frames_delayed;
+    total.frames_rejected += r.wire.frames_rejected;
+    total.retransmits += r.wire.retransmits;
+    total.stale_dups_delivered += r.wire.stale_dups_delivered;
+    crashes += r.plan.crash ? 1 : 0;
+    promotions += r.plan.promote ? 1 : 0;
+    gc_runs += r.plan.gc_every > 0 ? 1 : 0;
+  }
+  if (seeds.size() >= 16) {
+    // The sweep must actually exercise every fault class — a plan change
+    // that silently zeroes a probability should fail here, not rot.
+    EXPECT_GT(total.frames_corrupted, 0u);
+    EXPECT_GT(total.frames_truncated, 0u);
+    EXPECT_GT(total.frames_duplicated, 0u);
+    EXPECT_GT(total.frames_delayed, 0u);
+    EXPECT_GT(total.frames_rejected, 0u);
+    EXPECT_EQ(total.frames_rejected, total.retransmits);
+    EXPECT_GT(total.stale_dups_delivered, 0u);
+    EXPECT_GT(crashes, 0u);
+    EXPECT_GT(promotions, 0u);
+    EXPECT_GT(gc_runs, 0u);
+  }
+}
+
+TEST(DstTest, SameSeedReplaysBitForBit) {
+  const DstReport a = RunDst(424242);
+  const DstReport b = RunDst(424242);
+  EXPECT_EQ(a.schedule_digest, b.schedule_digest)
+      << "fault schedule not a pure function of the seed";
+  EXPECT_EQ(a.primary_digest, b.primary_digest)
+      << "workload not a pure function of the seed";
+  EXPECT_EQ(a.log_records, b.log_records);
+  EXPECT_EQ(a.log_txns, b.log_txns);
+  EXPECT_EQ(a.wire.frames_shipped, b.wire.frames_shipped);
+  EXPECT_EQ(a.wire.frames_rejected, b.wire.frames_rejected);
+  EXPECT_EQ(a.wire.delivered_segments, b.wire.delivered_segments);
+  EXPECT_TRUE(a.ok()) << Describe(a);
+  EXPECT_TRUE(b.ok()) << Describe(b);
+}
+
+// The harness must be able to catch a real prefix violation: a transaction
+// silently dropped from the stream (re-framed as a VALID segment with
+// contiguous base_seq, so only the state oracles can notice).
+TEST(DstTest, PlantedDroppedTransactionIsCaught) {
+  DstHooks hooks;
+  hooks.drop_txn_segment = 1 << 20;  // clamped to the last segment
+  const DstReport r = RunDst(7, hooks);
+  ASSERT_FALSE(r.ok())
+      << "checker missed a silently dropped transaction; " << Describe(r);
+  bool state_flagged = false;
+  for (const std::string& v : r.violations) {
+    if (v.find("diverges") != std::string::npos ||
+        v.find("prefix") != std::string::npos) {
+      state_flagged = true;
+    }
+  }
+  EXPECT_TRUE(state_flagged) << Describe(r);
+}
+
+// ... and a GC that ignores the reader/visibility horizon: reclaiming
+// history a prefix reader could still observe must trip the quartile
+// prefix digests.
+TEST(DstTest, PlantedGcPastHorizonIsCaught) {
+  DstHooks hooks;
+  hooks.gc_past_horizon = true;
+  const DstReport r = RunDst(11, hooks);
+  ASSERT_FALSE(r.ok())
+      << "checker missed GC past the reader horizon; " << Describe(r);
+  bool boundary_flagged = false;
+  for (const std::string& v : r.violations) {
+    if (v.find("prefix boundary") != std::string::npos) {
+      boundary_flagged = true;
+    }
+  }
+  EXPECT_TRUE(boundary_flagged) << Describe(r);
+}
+
+// Sanity on the hook plumbing itself: an unarmed hook set — including a
+// non-default sentinel that is still below the armed threshold — must
+// change nothing relative to a plain run (armed hooks normalize the plan,
+// so accidental arming would show up as a digest difference here).
+TEST(DstTest, UnarmedHooksAreInert) {
+  DstHooks unarmed;
+  unarmed.drop_txn_segment = -7;  // any negative value is unarmed
+  ASSERT_FALSE(unarmed.armed());
+  const DstReport plain = RunDst(5);
+  const DstReport hooked = RunDst(5, unarmed);
+  EXPECT_EQ(plain.schedule_digest, hooked.schedule_digest);
+  EXPECT_EQ(plain.primary_digest, hooked.primary_digest);
+  EXPECT_EQ(plain.violations.size(), hooked.violations.size());
+}
+
+}  // namespace
+}  // namespace c5::sim

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 #include <unordered_map>
 
 #include "common/rng.h"
@@ -109,7 +111,7 @@ TEST(FlatMapTest, SchedulerRowNameKeysCluster) {
 TEST(FlatMapTest, MatchesReferenceMapUnderRandomOps) {
   FlatMap<Timestamp> map(16);
   std::unordered_map<std::uint64_t, Timestamp> ref;
-  Rng rng(77);
+  Rng rng(test::TestSeed(77));
   for (int i = 0; i < 50000; ++i) {
     const std::uint64_t k = rng.Uniform(2000);
     if (rng.Uniform(2) == 0) {

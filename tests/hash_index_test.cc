@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 #include <atomic>
 #include <thread>
 #include <unordered_map>
@@ -95,7 +97,7 @@ TEST(HashIndexTest, ProbeAcrossTombstonesFindsDeepEntries) {
 TEST(HashIndexTest, MatchesReferenceMapUnderRandomOps) {
   HashIndex idx(16, 4);
   std::unordered_map<Key, RowId> ref;
-  Rng rng(77);
+  Rng rng(test::TestSeed(77));
   for (int i = 0; i < 50000; ++i) {
     const Key k = rng.Uniform(2000);
     switch (rng.Uniform(3)) {
@@ -166,10 +168,11 @@ TEST(HashIndexTest, ConcurrentReadersDuringInserts) {
     for (Key k = 0; k < 100000; ++k) idx.Insert(k, k);
   });
   std::vector<std::thread> readers;
+  const std::uint64_t base_seed = test::TestSeed(91);  // main thread only
   for (int t = 0; t < 4; ++t) {
     // NB: `t` by value — the loop variable dies before the readers do.
     readers.emplace_back([&, t] {
-      Rng rng(t);
+      Rng rng(base_seed + t);
       while (!stop.load()) {
         const Key k = rng.Uniform(100000);
         const auto v = idx.Lookup(k);

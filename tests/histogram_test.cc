@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 #include "common/rng.h"
 
 namespace c5 {
@@ -47,7 +49,7 @@ TEST(HistogramTest, MeanIsExact) {
 
 TEST(HistogramTest, QuantilesAreOrdered) {
   Histogram h;
-  Rng rng(7);
+  Rng rng(test::TestSeed(7));
   for (int i = 0; i < 10000; ++i) h.Record(rng.Uniform(1'000'000));
   const auto q25 = h.Quantile(0.25);
   const auto q50 = h.Quantile(0.50);

@@ -57,8 +57,9 @@ TEST_P(OnlineReplicationTest, LivePrimaryStreamsToReplicaWithReaders) {
   // Read-only clients hammering the backup during replication.
   std::atomic<bool> stop_readers{false};
   std::atomic<std::uint64_t> reads{0};
+  const std::uint64_t reader_seed = test::TestSeed(5);  // main thread only
   std::thread reader([&] {
-    Rng rng(5);
+    Rng rng(reader_seed);
     while (!stop_readers.load()) {
       Value v;
       (void)base->ReadAtVisible(table, workload::SyntheticWorkload::kHotKey,
@@ -104,7 +105,8 @@ TEST_P(OnlineReplicationTest, LivePrimaryStreamsToReplicaWithReaders) {
           last_ts.store(my_ts, std::memory_order_relaxed);
         }
         return s;
-      });
+      },
+      test::TestSeed(1));
   EXPECT_GT(result.committed, 100u);
 
   stop_flusher.store(true);
@@ -165,7 +167,8 @@ TEST(OnlineTpccTest, TwoPhaseLockingPrimaryStreamsTpccToC5) {
         return rng.Uniform(2) == 0
                    ? workload::tpcc::RunNewOrder(engine, rng, cfg, 1)
                    : workload::tpcc::RunPayment(engine, rng, cfg, 1);
-      });
+      },
+      test::TestSeed(1));
   EXPECT_GT(result.committed, 0u);
   collector.Finish();
   rep->WaitUntilCaughtUp();
@@ -200,7 +203,8 @@ TEST(GcIntegrationTest, PrimaryGcDuringHotWorkload) {
       4, std::chrono::milliseconds(300), 0,
       [&](std::uint32_t client, Rng& rng) {
         return wl.RunTxn(engine, rng, client, &seqs[client]);
-      });
+      },
+      test::TestSeed(1));
   stop.store(true);
   gc.join();
   EXPECT_GT(result.committed, 100u);

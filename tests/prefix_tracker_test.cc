@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -112,7 +114,7 @@ TEST(PrefixTrackerTest, RandomCompletionOrderReachesFullPrefix) {
   constexpr std::uint64_t kN = 512;  // within ring capacity: any order works
   std::vector<std::uint64_t> order(kN);
   for (std::uint64_t i = 0; i < kN; ++i) order[i] = i;
-  Rng rng(3);
+  Rng rng(test::TestSeed(3));
   for (std::uint64_t i = kN - 1; i > 0; --i) {
     std::swap(order[i], order[rng.Uniform(i + 1)]);
   }

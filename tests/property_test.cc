@@ -111,9 +111,10 @@ class RandomWorkloadTest
 
 TEST_P(RandomWorkloadTest, ConvergesOnMixedOperations) {
   const auto [kind, use_2pl, seed] = GetParam();
-  auto run = RunRandomPrimary(use_2pl, static_cast<std::uint64_t>(seed),
-                              /*keyspace=*/64, /*clients=*/4,
-                              /*txns_per_client=*/200);
+  auto run = RunRandomPrimary(
+      use_2pl, test::TestSeed(static_cast<std::uint64_t>(seed)),
+      /*keyspace=*/64, /*clients=*/4,
+      /*txns_per_client=*/200);
   ASSERT_TRUE(test::LogIsWellFormed(run.log));
   ASSERT_GT(run.log.NumRecords(), 0u);
 
@@ -156,6 +157,42 @@ INSTANTIATE_TEST_SUITE_P(
       name += "_s" + std::to_string(std::get<2>(info.param));
       return name;
     });
+
+// Cross-engine oracle: the same seeded workload executed SERIALLY (one
+// client, so the transaction sequence — including every fallback decision —
+// is a pure function of the seed) on MVTSO and on 2PL must produce the
+// identical final table state, and a single-thread replay of each engine's
+// log must land on that state again. Commit timestamps legitimately differ
+// between the engines; StateDigest deliberately excludes them.
+TEST(CrossEngineOracleTest, MvtsoTplAndSingleThreadReplayAgree) {
+  const std::uint64_t seed = test::TestSeed(2024);
+  auto mvtso = RunRandomPrimary(/*use_2pl=*/false, seed, /*keyspace=*/64,
+                                /*clients=*/1, /*txns_per_client=*/400);
+  auto tpl = RunRandomPrimary(/*use_2pl=*/true, seed, /*keyspace=*/64,
+                              /*clients=*/1, /*txns_per_client=*/400);
+  ASSERT_GT(mvtso.log.NumRecords(), 0u);
+  ASSERT_EQ(mvtso.log.NumRecords(), tpl.log.NumRecords())
+      << "serial execution must log the same write sequence on both engines";
+
+  const std::uint64_t want =
+      test::StateDigest(mvtso.primary->db, kMaxTimestamp);
+  EXPECT_EQ(want, test::StateDigest(tpl.primary->db, kMaxTimestamp))
+      << "MVTSO and 2PL diverged on the same serial workload, seed " << seed;
+
+  for (log::Log* log : {&mvtso.log, &tpl.log}) {
+    storage::Database backup;
+    workload::SyntheticWorkload::CreateTable(&backup);
+    log->ResetReplayState();
+    log::OfflineSegmentSource source(log);
+    auto replica =
+        MakeReplica(ProtocolKind::kSingleThread, &backup, ProtocolOptions{});
+    replica->Start(&source);
+    replica->WaitUntilCaughtUp();
+    replica->Stop();
+    EXPECT_EQ(want, test::StateDigest(backup, kMaxTimestamp))
+        << "single-thread replay diverged, seed " << seed;
+  }
+}
 
 // Delivery-fault injection: the same convergence property must hold when
 // segments arrive with jitter and a mid-replay stall, and MPC (pair

@@ -1,9 +1,15 @@
 #ifndef C5_TESTS_TEST_UTIL_H_
 #define C5_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +17,7 @@
 #include "common/rng.h"
 #include "log/log_collector.h"
 #include "log/log_segment.h"
+#include "sim/dst_oracle.h"
 #include "storage/database.h"
 #include "txn/mvtso_engine.h"
 #include "txn/two_phase_locking_engine.h"
@@ -20,35 +27,83 @@
 
 namespace c5::test {
 
+namespace internal {
+
+// Collects every RNG seed a test requested through TestSeed() and prints
+// them when the test fails, so any randomized failure is reproducible.
+class SeedListener : public ::testing::EmptyTestEventListener {
+ public:
+  static SeedListener& Instance() {
+    static SeedListener* listener = [] {
+      auto* l = new SeedListener();  // owned by gtest after Append
+      ::testing::UnitTest::GetInstance()->listeners().Append(l);
+      return l;
+    }();
+    return *listener;
+  }
+
+  void Note(std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(seeds_.begin(), seeds_.end(), seed) == seeds_.end()) {
+      seeds_.push_back(seed);
+    }
+  }
+
+  void OnTestStart(const ::testing::TestInfo&) override { Clear(); }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (info.result()->Failed() && !seeds_.empty()) {
+      std::fprintf(stderr,
+                   "[  SEEDS   ] %s.%s used RNG seed%s", info.test_suite_name(),
+                   info.name(), seeds_.size() == 1 ? "" : "s");
+      for (const std::uint64_t s : seeds_) {
+        std::fprintf(stderr, " %llu", static_cast<unsigned long long>(s));
+      }
+      const char* env = std::getenv("C5_TEST_SEED");
+      std::fprintf(stderr,
+                   "; rerun with C5_TEST_SEED=%s to reproduce\n",
+                   env == nullptr ? "0" : env);
+    }
+    seeds_.clear();
+  }
+
+ private:
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    seeds_.clear();
+  }
+
+  std::mutex mu_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace internal
+
+// The seed for a randomized test: `default_seed` normally; C5_TEST_SEED=<n>
+// (n != 0) PERTURBS every seed deterministically instead of replacing it, so
+// tests that draw several distinct seeds keep them distinct and any run —
+// default or perturbed — is reproduced exactly by rerunning with the same
+// C5_TEST_SEED value (0 / unset = the defaults). Every seed returned here is
+// printed if the test fails, together with the C5_TEST_SEED value to rerun
+// with.
+inline std::uint64_t TestSeed(std::uint64_t default_seed) {
+  std::uint64_t seed = default_seed;
+  if (const char* env = std::getenv("C5_TEST_SEED")) {
+    const std::uint64_t n = std::strtoull(env, nullptr, 10);
+    if (n != 0) seed = default_seed ^ (n * 0x9E3779B97F4A7C15ull);
+  }
+  internal::SeedListener::Instance().Note(seed);
+  return seed;
+}
+
 // Digest of a database's committed state at `ts`: fold of every row's
 // (table, row, deleted, data) into one hash. Primary and backup assign
 // identical row ids (the log dictates them), so equal digests mean equal
-// states.
+// states. (Shared with the DST harness, whose invariant checker uses the
+// same oracle — see src/sim/dst_oracle.h.)
 inline std::uint64_t StateDigest(storage::Database& db, Timestamp ts) {
-  const auto guard = db.epochs().Enter();
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ull;
-    h ^= h >> 29;
-  };
-  for (TableId t = 0; t < db.NumTables(); ++t) {
-    const storage::Table& table = db.table(t);
-    const RowId n = table.NumRows();
-    for (RowId r = 0; r < n; ++r) {
-      const storage::Version* v = table.ReadAt(r, ts);
-      if (v == nullptr) continue;
-      mix(t);
-      mix(r);
-      mix(v->deleted ? 1 : 0);
-      std::uint64_t dh = 1469598103934665603ull;
-      for (const char c : v->value()) {
-        dh = (dh ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
-      }
-      mix(dh);
-    }
-  }
-  return h;
+  return sim::StateDigest(db, ts);
 }
 
 // A primary world: database + clock + collector + engine.
@@ -85,7 +140,9 @@ struct SyntheticRun {
 inline SyntheticRun RunSyntheticPrimary(bool adversarial, int clients,
                                         std::uint64_t txns_per_client,
                                         std::uint32_t inserts_per_txn = 4,
-                                        bool use_2pl = false) {
+                                        bool use_2pl = false,
+                                        std::uint64_t seed = 0) {
+  if (seed == 0) seed = TestSeed(1);
   SyntheticRun run;
   run.primary = use_2pl ? Primary::Tpl() : Primary::Mvtso();
   run.table = workload::SyntheticWorkload::CreateTable(&run.primary->db);
@@ -101,30 +158,17 @@ inline SyntheticRun RunSyntheticPrimary(bool adversarial, int clients,
       clients, std::chrono::milliseconds(0), txns_per_client,
       [&](std::uint32_t client, Rng& rng) {
         return wl.RunTxn(*run.primary->engine, rng, client, &seqs[client]);
-      });
+      },
+      seed);
   run.log = run.primary->collector->Coalesce();
   return run;
 }
 
 // Asserts structural log sanity: timestamps non-decreasing, transactions
-// contiguous and never spanning segments.
+// contiguous and never spanning segments, base_seq contiguous. (Delegates
+// to the DST harness's oracle so the two checkers cannot drift.)
 inline bool LogIsWellFormed(const log::Log& log) {
-  Timestamp prev_ts = 0;
-  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
-    const log::LogSegment* seg = log.segment(s);
-    if (seg->empty()) return false;
-    if (!seg->records().back().last_in_txn) return false;  // txn spans segs
-    Timestamp open_txn = kInvalidTimestamp;
-    for (const log::LogRecord& rec : seg->records()) {
-      if (rec.commit_ts < prev_ts) return false;
-      prev_ts = rec.commit_ts;
-      if (open_txn != kInvalidTimestamp && rec.commit_ts != open_txn) {
-        return false;  // interleaved transactions
-      }
-      open_txn = rec.last_in_txn ? kInvalidTimestamp : rec.commit_ts;
-    }
-  }
-  return true;
+  return sim::LogWellFormed(log, nullptr);
 }
 
 }  // namespace c5::test

@@ -64,7 +64,7 @@ TEST_F(TpccTest, LoadedRowsRoundTrip) {
 }
 
 TEST_F(TpccTest, NewOrderCommitsAndAllocatesOrderId) {
-  Rng rng(1);
+  Rng rng(test::TestSeed(1));
   std::uint64_t committed = 0;
   for (int i = 0; i < 50; ++i) {
     const Status s = RunNewOrder(engine_, rng, cfg_, 1);
@@ -88,7 +88,7 @@ TEST_F(TpccTest, NewOrderCommitsAndAllocatesOrderId) {
 
 TEST_F(TpccTest, NewOrderUpdatesStock) {
   // Force a deterministic single order and verify stock changes.
-  Rng rng(2);
+  Rng rng(test::TestSeed(2));
   std::uint64_t ytd_before = 0, ytd_after = 0;
   {
     const auto guard = db_.epochs().Enter();
@@ -117,7 +117,7 @@ TEST_F(TpccTest, NewOrderUpdatesStock) {
 }
 
 TEST_F(TpccTest, PaymentUpdatesBalancesConsistently) {
-  Rng rng(3);
+  Rng rng(test::TestSeed(3));
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(RunPayment(engine_, rng, cfg_, 1).ok());
   }
@@ -140,7 +140,7 @@ TEST_F(TpccTest, PaymentUpdatesBalancesConsistently) {
 TEST_F(TpccTest, OptimizedVariantsPreserveSemantics) {
   // The §6.1 op reordering must not change the effects, only the op order.
   cfg_.optimized = true;
-  Rng rng(4);
+  Rng rng(test::TestSeed(4));
   std::uint64_t committed = 0;
   for (int i = 0; i < 30; ++i) {
     const Status s = RunNewOrder(engine_, rng, cfg_, 1);
@@ -163,7 +163,8 @@ TEST_F(TpccTest, ConcurrentNewOrdersNeverSkipOrLoseOrderIds) {
                 [this](std::uint32_t client, Rng& rng) {
                   (void)client;
                   return RunNewOrder(engine_, rng, cfg_, 1);
-                });
+                },
+                test::TestSeed(1));
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     EXPECT_TRUE(CheckDistrictOrderInvariant(db_, cfg_, 1, d, kMaxTimestamp))
         << "district " << d;
@@ -179,7 +180,8 @@ TEST_F(TpccTest, MixReplicatesAndInvariantHoldsAtBackupSnapshots) {
                   return rng.Uniform(2) == 0
                              ? RunNewOrder(engine_, rng, cfg_, 1)
                              : RunPayment(engine_, rng, cfg_, 1);
-                });
+                },
+                test::TestSeed(1));
   log::Log log = run_log();
   ASSERT_TRUE(test::LogIsWellFormed(log));
 
@@ -212,7 +214,8 @@ TEST_F(TpccTest, TwoPhaseLockingRunsTheSameWorkload) {
                   (void)client;
                   return rng.Uniform(2) == 0 ? RunNewOrder(eng, rng, cfg_, 1)
                                              : RunPayment(eng, rng, cfg_, 1);
-                });
+                },
+                test::TestSeed(1));
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     EXPECT_TRUE(CheckDistrictOrderInvariant(db2, cfg_, 1, d, kMaxTimestamp))
         << "district " << d;
@@ -277,7 +280,7 @@ class TpccFullMixTest : public ::testing::Test {
 };
 
 TEST_F(TpccFullMixTest, DeliveryConsumesOldestOrders) {
-  Rng rng(11);
+  Rng rng(test::TestSeed(11));
   std::uint64_t orders = 0;
   for (int i = 0; i < 30; ++i) {
     if (RunNewOrder(engine_, rng, cfg_, 1).ok()) ++orders;
@@ -308,14 +311,14 @@ TEST_F(TpccFullMixTest, DeliveryConsumesOldestOrders) {
 }
 
 TEST_F(TpccFullMixTest, DeliveryOnEmptyWarehouseDeliversNothing) {
-  Rng rng(12);
+  Rng rng(test::TestSeed(12));
   std::uint32_t delivered = 99;
   ASSERT_TRUE(RunDelivery(engine_, rng, cfg_, 1, &delivered).ok());
   EXPECT_EQ(delivered, 0u);
 }
 
 TEST_F(TpccFullMixTest, OrderStatusAndStockLevelRun) {
-  Rng rng(13);
+  Rng rng(test::TestSeed(13));
   for (int i = 0; i < 20; ++i) (void)RunNewOrder(engine_, rng, cfg_, 1);
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(RunOrderStatus(engine_, rng, cfg_, 1).ok());
@@ -339,7 +342,8 @@ TEST_F(TpccFullMixTest, FullFiveTransactionMixPreservesInvariants) {
                   if (roll < 96) return RunOrderStatus(engine_, rng, cfg_, 1);
                   std::uint32_t low = 0;
                   return RunStockLevel(engine_, rng, cfg_, 1, &low);
-                });
+                },
+                test::TestSeed(1));
   for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
     EXPECT_TRUE(CheckDistrictOrderInvariant(db_, cfg_, 1, d, kMaxTimestamp))
         << "district " << d;
@@ -347,7 +351,7 @@ TEST_F(TpccFullMixTest, FullFiveTransactionMixPreservesInvariants) {
 }
 
 TEST_F(TpccFullMixTest, FullMixReplicatesAndStockLevelRunsOnBackup) {
-  Rng rng(14);
+  Rng rng(test::TestSeed(14));
   RunClosedLoop(4, std::chrono::milliseconds(0), 40,
                 [this](std::uint32_t client, Rng& rng2) {
                   (void)client;
@@ -356,7 +360,8 @@ TEST_F(TpccFullMixTest, FullMixReplicatesAndStockLevelRunsOnBackup) {
                   if (roll < 90) return RunPayment(engine_, rng2, cfg_, 1);
                   std::uint32_t d = 0;
                   return RunDelivery(engine_, rng2, cfg_, 1, &d);
-                });
+                },
+                test::TestSeed(1));
   log::Log log = collector_.Coalesce();
   storage::Database backup;
   CreateTables(&backup);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -116,6 +117,112 @@ TEST(WireTest, DetectsEverySingleBitFlipInHeaderAndPayload) {
       ASSERT_LT(byte, 12u) << "undetected corruption at byte " << byte;
       EXPECT_NE(decoded->base_seq(), seg.base_seq());
     }
+  }
+}
+
+// Fuzz-style exhaustive corruption: flip EVERY bit of EVERY byte of a valid
+// frame. Decode must either fail cleanly or — for the CRC-uncovered
+// base_seq field — succeed with only base_seq changed. No outcome may read
+// out of bounds or otherwise invoke UB (the ASan lane in scripts/check.sh
+// runs this loop with instrumentation).
+TEST(WireTest, EveryBitFlipRejectsOrIsBaseSeqOnly) {
+  const auto seg_ptr = MakeSegment(3, 6);
+  std::string bytes;
+  EncodeSegment(*seg_ptr, &bytes);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      std::size_t consumed = 0;
+      std::unique_ptr<LogSegment> decoded;
+      const Status s = DecodeSegment(corrupt, &consumed, &decoded);
+      if (!s.ok()) continue;
+      ASSERT_GE(byte, 4u) << "corrupt magic accepted (byte " << byte << ")";
+      ASSERT_LT(byte, 12u) << "undetected payload/CRC corruption at byte "
+                           << byte << " bit " << bit;
+      EXPECT_NE(decoded->base_seq(), seg_ptr->base_seq());
+      ASSERT_EQ(decoded->size(), seg_ptr->size());
+      for (std::size_t i = 0; i < decoded->size(); ++i) {
+        EXPECT_EQ(decoded->record(i).value, seg_ptr->record(i).value);
+      }
+    }
+  }
+}
+
+// Hostile frames with a VALID CRC: the checksum covers the payload, so a
+// malicious/buggy sender can still ship internally inconsistent frames.
+// The decoder's structural validation — not the CRC — must reject each one
+// without reading out of bounds.
+TEST(WireTest, ValidCrcHostileStructureIsRejected) {
+  // Helper: frame up an arbitrary payload with a correct header + CRC.
+  const auto frame = [](std::uint64_t base_seq, std::uint32_t record_count,
+                        const std::string& payload) {
+    std::string out;
+    const auto put32 = [&out](std::uint32_t v) {
+      out.append(reinterpret_cast<const char*>(&v), 4);
+    };
+    const auto put64 = [&out](std::uint64_t v) {
+      out.append(reinterpret_cast<const char*>(&v), 8);
+    };
+    put32(log::kSegmentMagic);
+    put64(base_seq);
+    put32(record_count);
+    put32(static_cast<std::uint32_t>(payload.size()));
+    put32(Crc32c(payload.data(), payload.size()));
+    out += payload;
+    return out;
+  };
+  const auto reject = [](const std::string& bytes, const char* what) {
+    std::size_t consumed = 0;
+    std::unique_ptr<LogSegment> decoded;
+    const Status s = DecodeSegment(bytes, &consumed, &decoded);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << what;
+  };
+
+  // Record-layout offsets, derived from the format documented in wire.h:
+  // table u32, op u8, last_in_txn u8, row u64, key u64, commit_ts u64,
+  // value_len u32, value bytes.
+  constexpr std::size_t kOpOffset = sizeof(std::uint32_t);
+  constexpr std::size_t kValueLenOffset =
+      sizeof(std::uint32_t) + 2 * sizeof(std::uint8_t) +
+      3 * sizeof(std::uint64_t);
+  // payload_len sits after magic (u32) + base_seq (u64) + record_count (u32).
+  constexpr std::size_t kPayloadLenOffset =
+      2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+  // One well-formed record payload to mutate.
+  std::string rec;
+  {
+    const auto seg = MakeSegment(0, 1);
+    std::string full;
+    EncodeSegment(*seg, &full);
+    rec = full.substr(log::kSegmentHeaderBytes);
+  }
+
+  // record_count larger than the records present: decoder must hit the
+  // payload end, not read past it.
+  reject(frame(0, 1000, rec), "record_count overruns payload");
+  // record_count smaller: trailing bytes must be rejected, not ignored.
+  reject(frame(0, 0, rec), "trailing bytes accepted");
+  // value_len pointing far past the payload (valid CRC over the lie).
+  {
+    std::string lie = rec;
+    const std::uint32_t huge = 0x7FFFFFFF;
+    std::memcpy(lie.data() + kValueLenOffset, &huge, sizeof(huge));
+    reject(frame(0, 1, lie), "value_len overruns payload");
+  }
+  // Unknown op code with a valid CRC.
+  {
+    std::string lie = rec;
+    lie[kOpOffset] = 7;
+    reject(frame(0, 1, lie), "unknown op accepted");
+  }
+  // Payload length field beyond the hard cap.
+  {
+    std::string bytes = frame(0, 1, rec);
+    const std::uint32_t huge = (300u << 20);
+    std::memcpy(bytes.data() + kPayloadLenOffset, &huge, sizeof(huge));
+    reject(bytes, "implausible payload length accepted");
   }
 }
 
