@@ -1,5 +1,7 @@
 // Extension bench: failover time as a function of replication lag at the
-// moment the primary dies.
+// moment the primary dies — measured through the public c5::BackupNode
+// façade (restart + promotion are the API's recovery paths, not hand-wired
+// protocol internals).
 //
 // §8's availability argument quantified: when the primary fails, the backup
 // must drain everything it has received before it can be promoted (the
@@ -11,12 +13,13 @@
 //
 // Method: deliver the first (1-f) fraction of an adversarial log normally;
 // the remaining fraction is "in flight" when the primary dies. Failover
-// time = drain the in-flight suffix + ha::PromoteToPrimary. Sweep f.
+// time = drain the in-flight suffix (BackupNode::Restart + the resume
+// source) + BackupNode::Promote. Sweep f.
 
 #include <cstdio>
 
+#include "api/cluster.h"
 #include "bench/bench_util.h"
-#include "ha/promotion.h"
 #include "ha/recovery.h"
 #include "log/segment_source.h"
 #include "workload/synthetic.h"
@@ -32,8 +35,10 @@ struct FailoverResult {
 
 FailoverResult RunFailover(core::ProtocolKind kind, log::Log& log,
                            double backlog_fraction) {
-  storage::Database backup;
-  const TableId table = workload::SyntheticWorkload::CreateTable(&backup);
+  BackupNode node({.protocol = kind,
+                   .protocol_options = {
+                       .num_workers = bench::DefaultWorkers()}});
+  const TableId table = node.CreateTable("kv");
   log.ResetReplayState();
 
   const std::size_t total = log.NumSegments();
@@ -42,23 +47,13 @@ FailoverResult RunFailover(core::ProtocolKind kind, log::Log& log,
 
   FailoverResult result;
   // Phase 1 (before the failure): replay the already-delivered prefix.
-  Timestamp checkpoint = 0;
   {
-    struct Partial : log::SegmentSource {
-      log::Log* log;
-      std::size_t count, pos = 0;
-      Partial(log::Log* l, std::size_t c) : log(l), count(c) {}
-      log::LogSegment* Next() override {
-        return pos < count ? log->segment(pos++) : nullptr;
-      }
-    } prefix(&log, delivered);
-    auto rep = core::MakeReplica(kind, &backup,
-                                 {.num_workers = bench::DefaultWorkers()});
-    rep->Start(&prefix);
-    rep->WaitUntilCaughtUp();
-    checkpoint = rep->VisibleTimestamp();
-    rep->Stop();
+    log::PrefixSegmentSource prefix(&log, delivered);
+    node.Start(&prefix);
+    node.WaitUntilCaughtUp();
+    node.Stop();
   }
+  const Timestamp checkpoint = node.VisibleTimestamp();
 
   // Count the backlog (transactions in the undelivered suffix).
   for (std::size_t s = delivered; s < total; ++s) {
@@ -72,17 +67,12 @@ FailoverResult RunFailover(core::ProtocolKind kind, log::Log& log,
   Stopwatch drain;
   {
     ha::ResumeSegmentSource resume(&log, checkpoint);
-    auto rep = core::MakeReplica(kind, &backup,
-                                 {.num_workers = bench::DefaultWorkers()});
-    rep->Start(&resume);
-    rep->WaitUntilCaughtUp();
+    node.Restart(&resume);
+    node.WaitUntilCaughtUp();
     result.drain_ms = drain.ElapsedSeconds() * 1e3;
-    const Timestamp applied = rep->VisibleTimestamp();
-    rep->Stop();
 
     Stopwatch promote;
-    auto promoted =
-        ha::PromoteToPrimary(&backup, applied, ha::EngineKind::kMvtso);
+    auto promoted = node.Promote(ha::EngineKind::kMvtso);
     // One probe transaction proves the promoted node serves writes.
     (void)promoted->engine->ExecuteWithRetry([&](txn::Txn& txn) {
       return txn.Put(table, 999999, workload::EncodeIntValue(1));

@@ -1,8 +1,10 @@
-// Extension bench: session-consistent reads across a backup fleet (§2.3).
+// Extension bench: session-consistent reads across a backup fleet (§2.3),
+// constructed through the c5::Cluster façade.
 //
-// Three backups replay the same log with different injected shipping delays
-// (fast / medium / slow), so their visibility frontiers spread. Client
-// sessions read through the session layer under each routing policy:
+// One cluster per policy: three C5 backups behind staggered injected
+// shipping delays (fast / medium / slow), so their visibility frontiers
+// spread while they drain the primary's hot-counter log. Client sessions
+// read through the session layer under each routing policy:
 //
 //   sticky        - pinned backup (Terry et al. [55] sticky sessions)
 //   token-routed  - client-tracked metadata, rotate across eligible backups
@@ -20,9 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/cluster.h"
 #include "bench/bench_util.h"
-#include "log/segment_source.h"
-#include "replica/session.h"
 #include "workload/synthetic.h"
 
 namespace c5 {
@@ -39,50 +40,29 @@ struct FleetResult {
       std::vector<std::uint64_t>(kBackups, 0);
 };
 
-log::Log CopyLog(const log::Log& log) {
-  log::Log out;
-  std::uint64_t seq = 0;
-  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
-    auto seg = std::make_unique<log::LogSegment>(seq);
-    for (const auto& rec : log.segment(s)->records()) {
-      log::LogRecord copy = rec;
-      copy.prev_ts = kInvalidTimestamp;
-      seg->Append(copy);
-    }
-    seq += seg->size();
-    out.AppendSegment(std::move(seg));
-  }
-  return out;
-}
-
 // policy < 0 means the tokenless round-robin control.
-FleetResult RunFleet(const log::Log& base_log, TableId table, Key hot_key,
-                     int policy) {
-  // Three private copies of the log, replayed with different delays.
-  std::vector<log::Log> logs;
-  logs.reserve(kBackups);
-  for (int b = 0; b < kBackups; ++b) logs.push_back(CopyLog(base_log));
+FleetResult RunFleet(std::uint64_t txns, Key hot_key, int policy) {
+  // Three C5 backups at staggered per-segment shipping delays.
+  ClusterOptions options;
+  options.WithEngine(ha::EngineKind::kMvtso)
+      .WithWorkers(2)
+      .WithSegmentRecords(256)
+      .AddBackup({.protocol = core::ProtocolKind::kC5})
+      .AddBackup({.protocol = core::ProtocolKind::kC5,
+                  .ship_delay = std::chrono::microseconds(300)})
+      .AddBackup({.protocol = core::ProtocolKind::kC5,
+                  .ship_delay = std::chrono::microseconds(900)});
+  Cluster cluster(options);
+  const TableId table = cluster.CreateTable("kv");
+  cluster.Start();
 
-  std::vector<std::unique_ptr<storage::Database>> dbs;
-  std::vector<std::unique_ptr<log::OfflineSegmentSource>> inners;
-  std::vector<std::unique_ptr<log::DelayedSegmentSource>> sources;
-  std::vector<std::unique_ptr<replica::Replica>> reps;
-  replica::BackupSet set;
-  const int delays_us[kBackups] = {0, 300, 900};
-  for (int b = 0; b < kBackups; ++b) {
-    dbs.push_back(std::make_unique<storage::Database>());
-    workload::SyntheticWorkload::CreateTable(dbs.back().get());
-    inners.push_back(
-        std::make_unique<log::OfflineSegmentSource>(&logs[b]));
-    const int delay = delays_us[b];
-    sources.push_back(std::make_unique<log::DelayedSegmentSource>(
-        inners.back().get(),
-        [delay](std::size_t) { return std::chrono::microseconds(delay); }));
-    reps.push_back(core::MakeReplica(core::ProtocolKind::kC5,
-                                     dbs.back().get(), {.num_workers = 2}));
-    set.Add(dynamic_cast<replica::ReplicaBase*>(reps.back().get()));
+  // The hot-counter log: every transaction bumps one counter.
+  for (std::uint64_t n = 0; n < txns; ++n) {
+    (void)cluster.ExecuteWithRetry([&](txn::Txn& txn) {
+      return txn.Put(table, hot_key, workload::EncodeIntValue(n));
+    });
   }
-  for (int b = 0; b < kBackups; ++b) reps[b]->Start(sources[b].get());
+  cluster.StopPrimary();  // the fleet now drains at its injected delays
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total_reads{0};
@@ -97,9 +77,9 @@ FleetResult RunFleet(const log::Log& base_log, TableId table, Key hot_key,
       Value v;
       std::uint64_t reads = 0;
       if (policy >= 0) {
-        replica::ClientSession session(
-            &set, {.policy = static_cast<replica::RoutingPolicy>(policy),
-                   .sticky_index = static_cast<std::size_t>(i % kBackups)});
+        auto session = cluster.OpenSession(
+            {.policy = static_cast<replica::RoutingPolicy>(policy),
+             .sticky_index = static_cast<std::size_t>(i % kBackups)});
         while (!stop.load(std::memory_order_acquire)) {
           (void)session.Read(table, hot_key, &v);
           ++reads;
@@ -117,8 +97,7 @@ FleetResult RunFleet(const log::Log& base_log, TableId table, Key hot_key,
         std::size_t next = static_cast<std::size_t>(i) % kBackups;
         std::vector<std::uint64_t> mine(kBackups, 0);
         while (!stop.load(std::memory_order_acquire)) {
-          auto* b = dynamic_cast<replica::ReplicaBase*>(reps[next].get());
-          if (b->ReadAtVisible(table, hot_key, &v).ok()) {
+          if (cluster.OpenSnapshot(next).Get(table, hot_key, &v).ok()) {
             const std::uint64_t n = workload::DecodeIntValue(v);
             if (n < last_seen) ++regressions;
             last_seen = n;
@@ -136,11 +115,11 @@ FleetResult RunFleet(const log::Log& base_log, TableId table, Key hot_key,
   }
 
   Stopwatch sw;
-  for (int b = 0; b < kBackups; ++b) reps[b]->WaitUntilCaughtUp();
+  cluster.WaitForBackups();
   const double secs = sw.ElapsedSeconds();
   stop.store(true, std::memory_order_release);
   for (auto& c : clients) c.join();
-  for (auto& r : reps) r->Stop();
+  cluster.Shutdown();
 
   FleetResult result;
   result.reads_per_sec =
@@ -158,26 +137,17 @@ int main() {
   c5::bench::InitBenchRuntime();
   c5::bench::PrintHeader(
       "Session routing across a 3-backup fleet at staggered lag\n"
-      "(hot counter incremented by every txn; 8 client sessions)");
+      "(hot counter incremented by every txn; 8 client sessions; fleet "
+      "built by c5::Cluster)");
 
-  // Build the hot-counter log once.
-  auto primary = c5::bench::OfflinePrimary::Mvtso();
-  const c5::TableId table =
-      c5::workload::SyntheticWorkload::CreateTable(&primary->db);
   constexpr c5::Key kCounter = 3;
   const std::uint64_t txns = c5::bench::Scaled(20000);
-  for (std::uint64_t n = 0; n < txns; ++n) {
-    (void)primary->engine->ExecuteWithRetry([&](c5::txn::Txn& txn) {
-      return txn.Put(table, kCounter, c5::workload::EncodeIntValue(n));
-    });
-  }
-  c5::log::Log log = primary->collector.Coalesce();
 
   c5::bench::PrintRow("%-14s %12s %8s %12s %22s", "policy", "reads/s",
                       "waits", "regressions", "reads/backup (f/m/s)");
   const char* names[] = {"sticky", "token-routed", "freshest"};
   for (int p = 0; p < 3; ++p) {
-    const auto r = c5::RunFleet(log, table, kCounter, p);
+    const auto r = c5::RunFleet(txns, kCounter, p);
     c5::bench::PrintRow(
         "%-14s %12.0f %8llu %12s %7.0f%%/%4.0f%%/%4.0f%%", names[p],
         r.reads_per_sec, static_cast<unsigned long long>(r.waits), "0*",
@@ -194,7 +164,7 @@ int main() {
                                            r.reads_per_backup[1] +
                                            r.reads_per_backup[2]));
   }
-  const auto control = c5::RunFleet(log, table, kCounter, -1);
+  const auto control = c5::RunFleet(txns, kCounter, -1);
   c5::bench::PrintRow(
       "%-14s %12.0f %8s %12llu %7.0f%%/%4.0f%%/%4.0f%%", "no-token(ctrl)",
       control.reads_per_sec, "-",

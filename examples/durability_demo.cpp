@@ -1,8 +1,10 @@
 // Durability walkthrough: the log's life beyond memory. A primary's
-// segments are archived to disk in the CRC-framed wire format; the backup
-// checkpoints its state at a consistent snapshot; then the "machine
-// reboots" — a fresh process loads the checkpoint and resumes the archived
-// log from the checkpoint timestamp instead of replaying history from zero.
+// segments are archived to disk in the CRC-framed wire format; the backup —
+// a standalone c5::BackupNode — checkpoints its state at a consistent
+// snapshot; then the "machine reboots": a fresh node loads the checkpoint
+// and resumes the archived log from the checkpoint timestamp instead of
+// replaying history from zero, reading at the checkpoint the moment it
+// starts (the recovery visibility contract).
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/durability_demo
@@ -10,14 +12,9 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "common/clock.h"
-#include "core/c5_replica.h"
+#include "api/cluster.h"
 #include "ha/recovery.h"
-#include "log/log_collector.h"
 #include "log/log_file.h"
-#include "log/segment_source.h"
-#include "storage/checkpoint.h"
-#include "storage/database.h"
 #include "txn/mvtso_engine.h"
 
 using namespace c5;
@@ -56,58 +53,50 @@ int main() {
   // its visible snapshot, then the process dies.
   Timestamp ckpt_ts = 0;
   {
-    storage::Database backup;
-    backup.CreateTable("events");
-    struct Partial : log::SegmentSource {
-      log::Log* log;
-      std::size_t count, pos = 0;
-      Partial(log::Log* l, std::size_t c) : log(l), count(c) {}
-      log::LogSegment* Next() override {
-        return pos < count ? log->segment(pos++) : nullptr;
-      }
-    } prefix(&log, log.NumSegments() * 3 / 5);
-    core::C5Replica replica(&backup,
-                            core::C5Replica::Options{.num_workers = 2});
-    replica.Start(&prefix);
-    replica.WaitUntilCaughtUp();
-    ckpt_ts = replica.VisibleTimestamp();
-    if (!storage::WriteCheckpoint(backup, ckpt_ts, ckpt_path).ok()) return 1;
-    replica.Stop();
+    BackupNode node({.protocol = core::ProtocolKind::kC5,
+                     .protocol_options = {.num_workers = 2}});
+    node.CreateTable("events");
+    log::PrefixSegmentSource prefix(&log, log.NumSegments() * 3 / 5);
+    node.Start(&prefix);
+    node.WaitUntilCaughtUp();
+    ckpt_ts = node.VisibleTimestamp();
+    if (!node.WriteCheckpoint(ckpt_path).ok()) return 1;
+    node.Stop();
     std::printf("backup checkpointed at ts=%llu, then CRASHED\n",
                 static_cast<unsigned long long>(ckpt_ts));
   }  // all in-memory backup state destroyed here
 
   // --- Second incarnation: recover = checkpoint + archive tail.
-  storage::Database backup;
-  backup.CreateTable("events");
-  Timestamp resume_ts = 0;
-  if (!storage::LoadCheckpoint(&backup, ckpt_path, &resume_ts).ok()) {
-    return 1;
-  }
+  BackupNode node({.protocol = core::ProtocolKind::kC5,
+                   .protocol_options = {.num_workers = 2}});
+  node.CreateTable("events");
+  if (!node.RestoreFromCheckpoint(ckpt_path).ok()) return 1;
   log::ReadLogResult archive;
   if (!log::ReadLogFile(archive_path, &archive).ok()) return 1;
   std::printf("recovered checkpoint (ts=%llu) + archive (%zu segments, "
               "clean_end=%s)\n",
-              static_cast<unsigned long long>(resume_ts),
+              static_cast<unsigned long long>(node.restored_timestamp()),
               archive.log.NumSegments(), archive.clean_end ? "yes" : "no");
 
-  ha::ResumeSegmentSource resume(&archive.log, resume_ts);
-  core::C5Replica replica(&backup,
-                          core::C5Replica::Options{.num_workers = 2});
-  replica.Start(&resume);
-  replica.WaitUntilCaughtUp();
+  ha::ResumeSegmentSource resume(&archive.log, node.restored_timestamp());
+  node.Start(&resume);
+  // Readable at the checkpoint immediately — before replay finishes.
+  std::printf("visible right after restart: ts=%llu (the checkpoint)\n",
+              static_cast<unsigned long long>(node.VisibleTimestamp()));
+  node.WaitUntilCaughtUp();
   std::printf("resumed: skipped %zu fully-covered segments, caught up to "
               "ts=%llu\n",
               resume.skipped(),
-              static_cast<unsigned long long>(replica.VisibleTimestamp()));
+              static_cast<unsigned long long>(node.VisibleTimestamp()));
 
+  Snapshot snap = node.OpenSnapshot();
   Value v;
-  const bool first_ok = replica.ReadAtVisible(events, 0, &v).ok();
-  const bool last_ok = replica.ReadAtVisible(events, 4999, &v).ok();
+  const bool first_ok = snap.Get(events, 0, &v).ok();
+  const bool last_ok = snap.Get(events, 4999, &v).ok();
   std::printf("read event 0: %s; read event 4999: %s -> %s\n",
               first_ok ? "ok" : "MISSING", last_ok ? "ok" : "MISSING",
               last_ok ? v.c_str() : "-");
-  replica.Stop();
+  node.Stop();
 
   std::filesystem::remove(archive_path);
   std::filesystem::remove(ckpt_path);

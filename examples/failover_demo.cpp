@@ -1,69 +1,48 @@
-// Failover walkthrough: a primary streams its log to a C5 backup; the
-// primary "dies" mid-stream; the backup drains what it received, gets
-// promoted (ha::PromoteToPrimary), and keeps serving reads AND writes. A
-// second backup then re-points at the promoted node and follows the
-// combined history (ha::ChainedSegmentSource).
+// Failover walkthrough, entirely through the c5::Cluster façade: a primary
+// streams its log to two C5 backups; the primary "dies" mid-stream; backup
+// A drains what it received and is promoted behind the same Cluster object
+// — which keeps serving reads AND writes. CatchUpSurvivors then re-points
+// the surviving backup B at the promoted node's log, so it follows the
+// combined pre- and post-failover history.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/failover_demo
 
 #include <cstdio>
 
-#include "common/clock.h"
-#include "core/c5_replica.h"
-#include "ha/promotion.h"
-#include "ha/recovery.h"
-#include "log/log_collector.h"
-#include "log/segment_source.h"
-#include "storage/database.h"
-#include "txn/mvtso_engine.h"
+#include "api/cluster.h"
 
 using namespace c5;
 
 int main() {
-  // --- The original primary, streaming its log.
-  storage::Database primary;
-  const TableId orders = primary.CreateTable("orders");
-
-  TxnClock clock;
-  log::OnlineLogCollector collector;
-  txn::MvtsoEngine engine(&primary, &collector, &clock);
-  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
-
-  // --- Backup A: a C5 replica consuming the stream.
-  storage::Database backup_a;
-  backup_a.CreateTable("orders");
-  log::ChannelSegmentSource source_a(&collector.channel());
-  core::C5Replica replica_a(&backup_a,
-                            core::C5Replica::Options{.num_workers = 2});
-  replica_a.Start(&source_a);
+  Cluster cluster(ClusterOptions{}
+                      .WithEngine(ha::EngineKind::kMvtso)
+                      .WithBackups(2, core::ProtocolKind::kC5)
+                      .WithWorkers(2));
+  const TableId orders = cluster.CreateTable("orders");
+  cluster.Start();
 
   // The primary commits orders 0..999, then crashes.
   for (std::uint64_t n = 0; n < 1000; ++n) {
-    (void)engine.ExecuteWithRetry([&](txn::Txn& txn) {
+    (void)cluster.ExecuteWithRetry([&](txn::Txn& txn) {
       return txn.Put(orders, n, "order-" + std::to_string(n));
     });
   }
+  cluster.StopPrimary();  // nothing more will arrive on the channels
   std::printf("primary committed 1000 orders, then DIED.\n");
-  collector.Finish();  // the channel closes: nothing more will arrive
 
-  // --- Failover step 1: drain everything that reached the backup.
-  replica_a.WaitUntilCaughtUp();
-  const Timestamp applied = replica_a.VisibleTimestamp();
-  replica_a.Stop();
-  std::printf("backup A drained its log; applied watermark ts=%llu\n",
-              static_cast<unsigned long long>(applied));
+  // --- Failover: drain the fleet, promote backup A. Its clock continues
+  // above every replicated commit, so new writes extend the same history.
+  if (!cluster.Promote(0).ok()) return 1;
+  std::printf("backup A drained (watermark ts=%llu) and was promoted (%s)\n",
+              static_cast<unsigned long long>(
+                  cluster.backup(0).VisibleTimestamp()),
+              cluster.engine().name().c_str());
 
-  // --- Failover step 2: promote backup A. Its clock continues above every
-  // replicated commit, so new writes extend the same history.
-  auto promoted =
-      ha::PromoteToPrimary(&backup_a, applied, ha::EngineKind::kMvtso);
-  std::printf("backup A promoted to primary (%s engine)\n",
-              promoted->engine->name().c_str());
-
-  // Old data is readable, and new writes commit.
+  // Old data is readable through the SAME Execute surface, and new writes
+  // commit.
   for (std::uint64_t n = 1000; n < 1100; ++n) {
-    (void)promoted->engine->ExecuteWithRetry([&](txn::Txn& txn) {
+    (void)cluster.ExecuteWithRetry([&](txn::Txn& txn) {
       Value old_order;
       const Status st = txn.Read(orders, n - 1000, &old_order);
       if (!st.ok()) return st;  // read replicated state
@@ -72,47 +51,20 @@ int main() {
   }
   std::printf("promoted primary committed 100 post-failover orders\n");
 
-  // --- A new backup B joins after the failover. It bootstraps the way
-  // deployments do: a physical snapshot of the promoted node's state at the
-  // applied watermark, then the promoted node's log tail from there on.
-  // (A backup that already held the old log prefix would instead use
-  // ha::ResumeSegmentSource + ha::ChainedSegmentSource — see
-  // tests/failover_test.cc's LaggingSurvivorResumesIntoNewHistory.)
-  log::Log new_log = promoted->collector.Coalesce();
+  // --- Survivor B follows the promoted node's history: its clone restarts
+  // in place over the new log; the combined history becomes visible.
+  if (!cluster.CatchUpSurvivors().ok()) return 1;
 
-  storage::Database backup_b;
-  backup_b.CreateTable("orders");
-  // Physical bootstrap: copy backup A's rows at the applied watermark.
-  {
-    const auto guard_a = backup_a.epochs().Enter();
-    storage::Table& src = backup_a.table(orders);
-    storage::Table& dst = backup_b.table(orders);
-    for (RowId r = 0; r < src.NumRows(); ++r) {
-      const storage::Version* v = src.ReadAt(r, applied);
-      if (v == nullptr) continue;
-      dst.EnsureRow(r);
-      dst.InstallCommitted(r, v->write_ts, v->value(), v->deleted);
-    }
-    for (std::uint64_t n = 0; n < 1000; ++n) {
-      const auto row = backup_a.index(orders).Lookup(n);
-      if (row.has_value()) backup_b.index(orders).Upsert(n, *row);
-    }
-  }
-  log::OfflineSegmentSource tail(&new_log);
-  core::C5Replica replica_b(&backup_b,
-                            core::C5Replica::Options{.num_workers = 2});
-  replica_b.Start(&tail);
-  replica_b.WaitUntilCaughtUp();
-
+  Snapshot snap = cluster.OpenSnapshot(1);
   Value v;
-  const bool old_ok = replica_b.ReadAtVisible(orders, 42, &v).ok();
+  const bool old_ok = snap.Get(orders, 42, &v).ok();
   std::printf("backup B read pre-failover order 42: %s (%s)\n",
               old_ok ? v.c_str() : "-", old_ok ? "ok" : "MISSING");
-  const bool new_ok = replica_b.ReadAtVisible(orders, 1042, &v).ok();
+  const bool new_ok = snap.Get(orders, 1042, &v).ok();
   std::printf("backup B read post-failover order 1042: %s (%s)\n",
               new_ok ? v.c_str() : "-", new_ok ? "ok" : "MISSING");
   std::printf("backup B snapshot ts=%llu follows the promoted history\n",
-              static_cast<unsigned long long>(replica_b.VisibleTimestamp()));
-  replica_b.Stop();
+              static_cast<unsigned long long>(snap.timestamp()));
+  cluster.Shutdown();
   return (old_ok && new_ok) ? 0 : 1;
 }

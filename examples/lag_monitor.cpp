@@ -2,19 +2,20 @@
 // transaction updates one hot row) against an online 2PL primary twice —
 // once replicated through KuaFu (transaction granularity) and once through
 // C5 — printing instantaneous lag twice per second. The KuaFu run visibly
-// accumulates lag; the C5 run stays flat (§3 vs §4).
+// accumulates lag; the C5 run stays flat (§3 vs §4). Each run is one
+// c5::Cluster with a lag tracker attached to its backup.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/lag_monitor
+//
+// C5_EXAMPLE_SECONDS overrides the per-protocol run time (default 4).
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
-#include "common/clock.h"
-#include "core/protocol_factory.h"
-#include "log/log_collector.h"
-#include "log/segment_source.h"
-#include "replica/lag_tracker.h"
-#include "storage/database.h"
-#include "txn/two_phase_locking_engine.h"
+#include "api/cluster.h"
 #include "workload/runner.h"
 #include "workload/synthetic.h"
 
@@ -22,37 +23,34 @@ using namespace c5;
 
 namespace {
 
-void RunOnce(core::ProtocolKind kind, int seconds) {
-  storage::Database primary, backup;
-  const TableId table = workload::SyntheticWorkload::CreateTable(&primary);
-  workload::SyntheticWorkload::CreateTable(&backup);
+int RunSeconds() {
+  if (const char* s = std::getenv("C5_EXAMPLE_SECONDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 4;
+}
 
-  TxnClock clock;
-  log::OnlineLogCollector collector(256);
-  txn::TwoPhaseLockingEngine engine(&primary, &collector, &clock);
-  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+void RunOnce(core::ProtocolKind kind, int seconds) {
+  replica::LagTracker lag(/*sample_every=*/16);
+  ClusterOptions options;
+  options.WithEngine(ha::EngineKind::kTwoPhaseLocking)
+      .WithWorkers(4)
+      .WithSegmentRecords(256)
+      .AddBackup({.protocol = kind, .lag = &lag});
+  Cluster cluster(options);
+  const TableId table =
+      cluster.CreateTable("synthetic", /*expected_keys=*/1 << 16);
+  cluster.Start();
 
   workload::SyntheticWorkload wl(table, {.inserts_per_txn = 16,
                                          .adversarial = true});
-  if (!wl.LoadHotRow(engine).ok()) return;
-  collector.Flush();
-
-  replica::LagTracker lag(/*sample_every=*/16);
-  log::ChannelSegmentSource source(&collector.channel());
-  auto rep = core::MakeReplica(kind, &backup,
-                               core::ProtocolOptions{.num_workers = 4}, &lag);
-  rep->Start(&source);
-
-  std::atomic<bool> stop{false};
-  std::thread flusher([&] {
-    while (!stop.load()) {
-      collector.Flush();
-      std::this_thread::sleep_for(std::chrono::microseconds(500));
-    }
-  });
+  if (!wl.LoadHotRow(cluster.engine()).ok()) return;
+  cluster.Flush();
 
   std::printf("\n--- protocol: %s ---\n", core::ToString(kind));
   std::printf("%8s %12s %14s\n", "t(s)", "lag(ms)", "pending txns");
+  std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> commits{0};
   std::vector<std::thread> writers;
   std::vector<std::uint64_t> seqs(4, 0);
@@ -60,8 +58,8 @@ void RunOnce(core::ProtocolKind kind, int seconds) {
     writers.emplace_back([&, c] {
       Rng rng(c);
       while (!stop.load()) {
-        if (wl.RunTxn(engine, rng, c, &seqs[c]).ok()) {
-          lag.RecordCommit(clock.Latest());
+        if (wl.RunTxn(cluster.engine(), rng, c, &seqs[c]).ok()) {
+          lag.RecordCommit(cluster.clock().Latest());
           commits.fetch_add(1);
         }
       }
@@ -77,18 +75,18 @@ void RunOnce(core::ProtocolKind kind, int seconds) {
   }
   stop.store(true);
   for (auto& w : writers) w.join();
-  flusher.join();
-  collector.Finish();
-  rep->WaitUntilCaughtUp();
-  rep->Stop();
+  cluster.StopPrimary();
+  cluster.WaitForBackups();
   std::printf("committed %llu txns; final lag 0 (caught up)\n",
               static_cast<unsigned long long>(commits.load()));
+  cluster.Shutdown();
 }
 
 }  // namespace
 
 int main() {
-  RunOnce(core::ProtocolKind::kKuaFu, /*seconds=*/4);
-  RunOnce(core::ProtocolKind::kC5, /*seconds=*/4);
+  const int seconds = RunSeconds();
+  RunOnce(core::ProtocolKind::kKuaFu, seconds);
+  RunOnce(core::ProtocolKind::kC5, seconds);
   return 0;
 }

@@ -1,50 +1,36 @@
-// Quickstart: a primary database executing transactions, an asynchronous
-// backup running C5's cloned concurrency control, and a read-only query
-// against the backup's monotonic-prefix-consistent snapshot.
+// Quickstart: the c5::Cluster façade — a primary executing transactions, an
+// asynchronous backup running C5's cloned concurrency control, and the
+// Snapshot read surface (point get, multi-get, ordered scan) over the
+// backup's monotonic-prefix-consistent state.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "common/clock.h"
-#include "core/c5_replica.h"
-#include "log/log_collector.h"
-#include "log/segment_source.h"
-#include "storage/database.h"
-#include "txn/mvtso_engine.h"
+#include "api/cluster.h"
 
 using namespace c5;
 
 int main() {
-  // --- Primary: an in-memory multi-version database with MVTSO concurrency
-  // control, logging committed writes for replication.
-  storage::Database primary;
-  const TableId accounts = primary.CreateTable("accounts");
-
-  TxnClock clock;
-  log::OnlineLogCollector log_collector;
-  txn::MvtsoEngine engine(&primary, &log_collector, &clock);
-  // Online log sequencing needs a release horizon from the engine.
-  log_collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
-
-  // --- Backup: same schema, C5 replica consuming the shipped log.
-  storage::Database backup;
-  backup.CreateTable("accounts");
-
-  log::ChannelSegmentSource source(&log_collector.channel());
-  core::C5Replica replica(&backup, core::C5Replica::Options{.num_workers = 2});
-  replica.Start(&source);
+  // --- One object owns the whole deployment: an MVTSO primary, log
+  // shipping, and a C5 backup with 2 apply workers.
+  Cluster cluster(ClusterOptions{}
+                      .WithEngine(ha::EngineKind::kMvtso)
+                      .WithBackups(1, core::ProtocolKind::kC5)
+                      .WithWorkers(2));
+  const TableId accounts = cluster.CreateTable("accounts");
+  cluster.Start();
 
   // --- Execute read-write transactions on the primary.
-  Status s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+  Status s = cluster.ExecuteWithRetry([&](txn::Txn& txn) {
     Status st = txn.Insert(accounts, /*key=*/1, "alice:100");
     if (!st.ok()) return st;
     return txn.Insert(accounts, /*key=*/2, "bob:50");
   });
   std::printf("insert txn: %s\n", s.ToString().c_str());
 
-  s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+  s = cluster.ExecuteWithRetry([&](txn::Txn& txn) {
     // Transfer: read-modify-write both rows atomically.
     Value a, b;
     Status st = txn.ReadForUpdate(accounts, 1, &a);
@@ -57,22 +43,34 @@ int main() {
   });
   std::printf("transfer txn: %s\n", s.ToString().c_str());
 
-  // --- Ship the log and wait for the backup to catch up.
-  log_collector.Finish();
-  replica.WaitUntilCaughtUp();
+  // --- The primary retires; the backup drains the shipped log.
+  cluster.StopPrimary();
+  cluster.WaitForBackups();
 
-  // --- Read-only transactions on the backup observe a consistent snapshot.
+  // --- Read-only transactions on the backup: one Snapshot handle pins one
+  // consistent state for any number of reads.
+  Snapshot snap = cluster.OpenSnapshot();
   Value v;
-  if (replica.ReadAtVisible(accounts, 1, &v).ok()) {
-    std::printf("backup read key 1 -> %s\n", v.c_str());
+  if (snap.Get(accounts, 1, &v).ok()) {
+    std::printf("backup get key 1   -> %s\n", v.c_str());
   }
-  if (replica.ReadAtVisible(accounts, 2, &v).ok()) {
-    std::printf("backup read key 2 -> %s\n", v.c_str());
+  std::vector<Value> values;
+  const auto statuses = snap.MultiGet(accounts, {1, 2, 3}, &values);
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    std::printf("backup multiget[%zu] -> %s\n", i,
+                statuses[i].ok() ? values[i].c_str() : "(absent)");
   }
+  std::printf("backup scan [0, 10):");
+  for (auto it = snap.Scan(accounts, 0, 10); it.Valid(); it.Next()) {
+    std::printf(" %llu=%.*s", static_cast<unsigned long long>(it.key()),
+                static_cast<int>(it.value().size()), it.value().data());
+  }
+  std::printf("\n");
+
   std::printf("backup applied %llu writes, snapshot ts=%llu, lag bounded.\n",
               static_cast<unsigned long long>(
-                  replica.stats().applied_writes.load()),
-              static_cast<unsigned long long>(replica.VisibleTimestamp()));
-  replica.Stop();
+                  cluster.backup(0).reader().stats().applied_writes.load()),
+              static_cast<unsigned long long>(snap.timestamp()));
+  cluster.Shutdown();
   return 0;
 }

@@ -4,21 +4,16 @@
 // Many users comment on the same hot video concurrently — the exact pattern
 // that produced unbounded lag at Meta (§8, live videos).
 //
-// This example runs that workload against a live primary, replicates it
-// through C5, and verifies monotonic prefix consistency on the backup while
-// replication is in flight: at every snapshot, the video's counter equals
+// This example runs that workload through a c5::Cluster — MVTSO primary, C5
+// backup — and verifies monotonic prefix consistency on the backup while
+// replication is in flight: at every Snapshot, the video's counter equals
 // the number of visible comments, and neither ever goes backwards.
 
 #include <atomic>
 #include <cstdio>
 #include <thread>
 
-#include "common/clock.h"
-#include "core/c5_replica.h"
-#include "log/log_collector.h"
-#include "log/segment_source.h"
-#include "storage/database.h"
-#include "txn/mvtso_engine.h"
+#include "api/cluster.h"
 #include "workload/runner.h"
 #include "workload/synthetic.h"
 
@@ -37,68 +32,50 @@ Key CommentKey(std::uint32_t user, std::uint64_t n) {
 }  // namespace
 
 int main() {
-  storage::Database primary, backup;
-  primary.CreateTable("videos");
-  primary.CreateTable("comments");
-  backup.CreateTable("videos");
-  backup.CreateTable("comments");
-
-  TxnClock clock;
-  log::OnlineLogCollector collector;
-  txn::MvtsoEngine engine(&primary, &collector, &clock);
-  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+  Cluster cluster(ClusterOptions{}
+                      .WithEngine(ha::EngineKind::kMvtso)
+                      .WithBackups(1, core::ProtocolKind::kC5)
+                      .WithWorkers(2)
+                      .WithSnapshotInterval(std::chrono::microseconds(200)));
+  cluster.CreateTable("videos");
+  cluster.CreateTable("comments");
+  cluster.Start();
 
   // Seed the hot video with a zero comment counter.
-  Status s = engine.ExecuteWithRetry([](txn::Txn& txn) {
+  Status s = cluster.ExecuteWithRetry([](txn::Txn& txn) {
     return txn.Insert(kVideos, kHotVideo, workload::EncodeIntValue(0));
   });
   if (!s.ok()) return 1;
-  collector.Flush();
-
-  log::ChannelSegmentSource source(&collector.channel());
-  core::C5Replica replica(&backup, core::C5Replica::Options{
-                                       .num_workers = 2,
-                                       .snapshot_interval =
-                                           std::chrono::microseconds(200)});
-  replica.Start(&source);
+  cluster.Flush();
 
   // MPC checker on the backup, running during replication: the counter must
-  // equal the number of visible comments and both must be monotonic.
+  // equal the number of visible comments and both must be monotonic. Every
+  // iteration reads at ONE Snapshot — counter and comments from the same
+  // consistent state.
   std::atomic<bool> stop{false};
   std::atomic<bool> violation{false};
   std::atomic<std::uint64_t> checks{0};
   std::thread checker([&] {
     std::uint64_t last_count = 0;
     while (!stop.load()) {
-      replica.ReadOnlyTxn([&](Timestamp ts) {
-        const auto* counter = backup.ReadKeyAt(kVideos, kHotVideo, ts);
-        if (counter == nullptr) return;
-        const std::uint64_t count =
-            workload::DecodeIntValue(counter->value());
-        if (count < last_count) violation.store(true);  // counter regressed
-        // Comments 1..count must all be visible; count+1 must not be.
-        // (Spot-check the boundary: full scans every iteration are slow.)
-        if (count > 0) {
-          bool found = false;
-          for (std::uint32_t u = 0; u < 4 && !found; ++u) {
-            // comment n was written by SOME user; check via per-user keys.
-            const auto* c = backup.ReadKeyAt(kComments, CommentKey(u, count), ts);
-            found = c != nullptr && !c->deleted;
-          }
-          if (!found) violation.store(true);  // counter ahead of comments
+      const Snapshot snap = cluster.OpenSnapshot();
+      Value cv;
+      if (!snap.Get(kVideos, kHotVideo, &cv).ok()) continue;
+      const std::uint64_t count = workload::DecodeIntValue(cv);
+      if (count < last_count) violation.store(true);  // counter regressed
+      // Comments 1..count must all be visible; count+1 must not be.
+      // (Spot-check the boundary: full scans every iteration are slow.)
+      if (count > 0) {
+        bool found = false;
+        for (std::uint32_t u = 0; u < 4 && !found; ++u) {
+          // comment n was written by SOME user; check via per-user keys.
+          Value dummy;
+          found = snap.Get(kComments, CommentKey(u, count), &dummy).ok();
         }
-        last_count = count;
-        checks.fetch_add(1);
-      });
-    }
-  });
-
-  // Flusher for prompt shipping.
-  std::atomic<bool> stop_flusher{false};
-  std::thread flusher([&] {
-    while (!stop_flusher.load()) {
-      collector.Flush();
-      std::this_thread::sleep_for(std::chrono::microseconds(500));
+        if (!found) violation.store(true);  // counter ahead of comments
+      }
+      last_count = count;
+      checks.fetch_add(1);
     }
   });
 
@@ -107,7 +84,7 @@ int main() {
       4, std::chrono::milliseconds(1000), 0,
       [&](std::uint32_t user, Rng& rng) {
         (void)rng;
-        return engine.ExecuteWithRetry([user](txn::Txn& txn) {
+        return cluster.ExecuteWithRetry([user](txn::Txn& txn) {
           // Read the counter, insert the comment row for position n+1, then
           // increment the counter — one atomic transaction (§2.1).
           Value v;
@@ -121,17 +98,15 @@ int main() {
         });
       });
 
-  stop_flusher.store(true);
-  flusher.join();
-  collector.Finish();
-  replica.WaitUntilCaughtUp();
+  cluster.StopPrimary();
+  cluster.WaitForBackups();
   stop.store(true);
   checker.join();
 
   // Final check: primary and backup agree on the counter.
   Value v;
   std::uint64_t final_count = 0;
-  if (replica.ReadAtVisible(kVideos, kHotVideo, &v).ok()) {
+  if (cluster.OpenSnapshot().Get(kVideos, kHotVideo, &v).ok()) {
     final_count = workload::DecodeIntValue(v);
   }
   std::printf("comments posted:        %llu\n",
@@ -142,6 +117,6 @@ int main() {
               static_cast<unsigned long long>(checks.load()));
   std::printf("MPC violations:         %s\n",
               violation.load() ? "VIOLATED" : "none");
-  replica.Stop();
+  cluster.Shutdown();
   return violation.load() || final_count != result.committed ? 1 : 0;
 }

@@ -21,19 +21,22 @@ cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 "$repo_root/scripts/bench.sh" --quick "$build_dir"
 
-# Sanitizer lanes: only the DST harness and the wire fuzz loop are rebuilt
-# and run (the quick 16-seed list keeps each lane to seconds of test time).
+# Sanitizer lanes: the DST harness, the wire fuzz loop, and the public-API
+# cluster suite are rebuilt and run (the quick 16-seed list keeps each lane
+# to seconds of test time).
 # Lane build trees derive from the caller's build dir so concurrent
 # invocations with distinct build dirs never race on shared trees.
 # A failing seed prints itself; replay it under the same lane with
 #   C5_DST_SEED=<n> <lane-build-dir>/dst_test
 tsan_dir="${build_dir}-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DC5_SANITIZE=thread >/dev/null
-cmake --build "$tsan_dir" -j "$jobs" --target dst_test
+cmake --build "$tsan_dir" -j "$jobs" --target dst_test cluster_test
 C5_DST_SEED_COUNT=16 "$tsan_dir/dst_test"
+"$tsan_dir/cluster_test"
 
 asan_dir="${build_dir}-asan"
 cmake -B "$asan_dir" -S "$repo_root" -DC5_SANITIZE=address >/dev/null
-cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test
+cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test cluster_test
 C5_DST_SEED_COUNT=16 "$asan_dir/dst_test"
 "$asan_dir/wire_test"
+"$asan_dir/cluster_test"

@@ -1,0 +1,368 @@
+#include "api/cluster.h"
+
+#include <cassert>
+
+#include "storage/checkpoint.h"
+#include "txn/mvtso_engine.h"
+#include "txn/two_phase_locking_engine.h"
+
+namespace c5 {
+
+namespace {
+
+// Fans one committed transaction out to every backup's shipping collector.
+// Each backup needs a PRIVATE record stream: C5 schedulers preprocess
+// prev_ts in place on delivered segments, so segments cannot be shared.
+class TeeCollector : public log::LogCollector {
+ public:
+  explicit TeeCollector(std::vector<log::OnlineLogCollector*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void LogCommit(std::vector<log::LogRecord>&& records) override {
+    if (sinks_.empty()) return;
+    for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
+      std::vector<log::LogRecord> copy = records;
+      sinks_[i]->LogCommit(std::move(copy));
+    }
+    sinks_.back()->LogCommit(std::move(records));
+  }
+
+ private:
+  std::vector<log::OnlineLogCollector*> sinks_;
+};
+
+// Private copy of a log (fresh segments, prev_ts cleared for
+// re-preprocessing). Used to feed the promoted primary's history to each
+// survivor: replicas mutate delivered segments, so they never share one.
+std::unique_ptr<log::Log> CopyLog(const log::Log& log) {
+  auto out = std::make_unique<log::Log>();
+  std::uint64_t seq = 0;
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    auto seg = std::make_unique<log::LogSegment>(seq);
+    for (const log::LogRecord& rec : log.segment(s)->records()) {
+      log::LogRecord copy = rec;
+      copy.prev_ts = kInvalidTimestamp;
+      seg->Append(copy);
+    }
+    seq += seg->size();
+    out->AppendSegment(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- BackupNode -------------------------------------------------------------
+
+BackupNode::BackupNode(BackupOptions options) : options_(options) {
+  MakeProtocol();
+}
+
+BackupNode::~BackupNode() { Stop(); }
+
+void BackupNode::MakeProtocol() {
+  replica_ = core::MakeReplica(options_.protocol, &db_,
+                               options_.protocol_options, options_.lag);
+  base_ = dynamic_cast<replica::ReplicaBase*>(replica_.get());
+  assert(base_ != nullptr &&
+         "every protocol in this repository derives ReplicaBase");
+}
+
+TableId BackupNode::CreateTable(std::string name, std::size_t expected_keys) {
+  return db_.CreateTable(std::move(name), expected_keys);
+}
+
+Status BackupNode::RestoreFromCheckpoint(const std::string& path) {
+  if (started_) {
+    return Status::InvalidArgument("restore must precede Start");
+  }
+  return storage::LoadCheckpoint(&db_, path, &restored_ts_);
+}
+
+void BackupNode::Start(log::SegmentSource* source) {
+  if (restored_ts_ > 0) {
+    // A restored database reads at the checkpoint immediately; its
+    // inherited high-water mark IS the checkpoint (one version per row at
+    // or below it), so the window is empty and only the resume point
+    // matters.
+    base_->SetRecoveryWindow(restored_ts_, db_.MaxCommittedTimestamp());
+  }
+  started_ = true;
+  replica_->Start(source);
+}
+
+void BackupNode::Restart(log::SegmentSource* source) {
+  const Timestamp resume =
+      started_ ? base_->VisibleTimestamp() : restored_ts_;
+  replica_->Stop();
+  // The surviving database may hold run-ahead writes above `resume` from
+  // workers of the dead incarnation; until replay covers them again, the
+  // states in between are not prefix-consistent and must stay unreadable.
+  const Timestamp inherited = db_.MaxCommittedTimestamp();
+  MakeProtocol();
+  base_->SetRecoveryWindow(resume, inherited);
+  started_ = true;
+  replica_->Start(source);
+}
+
+void BackupNode::WaitUntilCaughtUp() {
+  if (started_) replica_->WaitUntilCaughtUp();
+}
+
+void BackupNode::Stop() {
+  if (replica_ != nullptr) replica_->Stop();
+}
+
+Timestamp BackupNode::VisibleTimestamp() const {
+  return base_->VisibleTimestamp();
+}
+
+Status BackupNode::WriteCheckpoint(const std::string& path) {
+  return storage::WriteCheckpoint(db_, VisibleTimestamp(), path);
+}
+
+std::unique_ptr<ha::PromotedPrimary> BackupNode::Promote(ha::EngineKind kind) {
+  Stop();
+  return ha::PromoteToPrimary(&db_, VisibleTimestamp(), kind);
+}
+
+replica::ReplicaBase& BackupNode::reader() { return *base_; }
+const replica::ReplicaBase& BackupNode::reader() const { return *base_; }
+
+// ---- Cluster ----------------------------------------------------------------
+
+struct Cluster::Shipping {
+  explicit Shipping(std::size_t segment_records)
+      : collector(segment_records) {}
+
+  log::OnlineLogCollector collector;
+  std::unique_ptr<log::ChannelSegmentSource> channel_source;
+  std::unique_ptr<log::DelayedSegmentSource> delayed;
+  log::SegmentSource* source = nullptr;  // what the backup consumes
+};
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {}
+
+Cluster::~Cluster() { Shutdown(); }
+
+std::vector<ClusterOptions::BackupSpec> Cluster::ResolvedSpecs() const {
+  if (!options_.backups.empty()) return options_.backups;
+  std::vector<ClusterOptions::BackupSpec> specs(options_.num_backups);
+  for (auto& s : specs) s.protocol = options_.backup_protocol;
+  return specs;
+}
+
+TableId Cluster::CreateTable(std::string name, std::size_t expected_keys) {
+  assert(!started_ && "schema setup precedes Start (DDL is out of scope)");
+  schema_.emplace_back(name, expected_keys);
+  return primary_db_.CreateTable(std::move(name), expected_keys);
+}
+
+void Cluster::Start() {
+  if (started_) return;
+  started_ = true;
+
+  const auto specs = ResolvedSpecs();
+
+  // Shipping lanes first (the engine's collector tees into them).
+  std::vector<log::OnlineLogCollector*> sinks;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    shipping_.push_back(std::make_unique<Shipping>(options_.segment_records));
+    sinks.push_back(&shipping_.back()->collector);
+  }
+  tee_ = std::make_unique<TeeCollector>(std::move(sinks));
+
+  // Primary engine. Online sequencing needs the engine's release horizon —
+  // the smallest timestamp any in-flight transaction could still commit
+  // with — on every lane.
+  std::function<Timestamp()> horizon;
+  switch (options_.engine) {
+    case ha::EngineKind::kMvtso: {
+      auto e = std::make_unique<txn::MvtsoEngine>(&primary_db_, tee_.get(),
+                                                  &clock_);
+      horizon = [eng = e.get()] { return eng->LogHorizon(); };
+      engine_ = std::move(e);
+      break;
+    }
+    case ha::EngineKind::kTwoPhaseLocking: {
+      auto e = std::make_unique<txn::TwoPhaseLockingEngine>(
+          &primary_db_, tee_.get(), &clock_);
+      horizon = [eng = e.get()] { return eng->LogHorizon(); };
+      engine_ = std::move(e);
+      break;
+    }
+  }
+  for (auto& lane : shipping_) lane->collector.SetReleaseHorizon(horizon);
+
+  // The fleet: one node per spec, schema mirrored (table ids match by
+  // creation order), each consuming its own channel.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    BackupOptions bo;
+    bo.protocol = specs[i].protocol;
+    bo.protocol_options = options_.protocol;
+    bo.lag = specs[i].lag;
+    nodes_.push_back(std::make_unique<BackupNode>(bo));
+    for (const auto& [name, expected] : schema_) {
+      nodes_.back()->CreateTable(name, expected);
+    }
+    Shipping& lane = *shipping_[i];
+    lane.channel_source =
+        std::make_unique<log::ChannelSegmentSource>(&lane.collector.channel());
+    lane.source = lane.channel_source.get();
+    if (specs[i].ship_delay.count() > 0) {
+      const auto delay = specs[i].ship_delay;
+      lane.delayed = std::make_unique<log::DelayedSegmentSource>(
+          lane.channel_source.get(),
+          [delay](std::size_t) { return delay; });
+      lane.source = lane.delayed.get();
+    }
+    nodes_.back()->Start(lane.source);
+    set_.Add(&nodes_.back()->reader());
+  }
+  promoted_index_ = nodes_.size();
+
+  if (options_.flush_interval.count() > 0 && !shipping_.empty()) {
+    flusher_ = std::thread([this] {
+      while (!stop_flusher_.load(std::memory_order_acquire)) {
+        for (auto& lane : shipping_) lane->collector.Flush();
+        std::this_thread::sleep_for(options_.flush_interval);
+      }
+    });
+  }
+}
+
+Status Cluster::RunOnPrimary(const txn::TxnFn& fn, Timestamp* commit_ts,
+                             bool retry) {
+  txn::Engine* e = promoted_ != nullptr ? promoted_->engine.get()
+                                        : engine_.get();
+  if (e == nullptr) return Status::Internal("cluster not started");
+  if (promoted_ == nullptr && primary_stopped_) {
+    return Status::Internal("primary stopped; promote a backup first");
+  }
+  if (commit_ts == nullptr) {
+    return retry ? e->ExecuteWithRetry(fn) : e->Execute(fn);
+  }
+  // Capture the transaction's own timestamp from the attempt that commits.
+  // MVTSO: timestamp() is the commit timestamp, and it is guaranteed to be
+  // LOGGED — which matters for liveness: concurrently aborted writers
+  // consume higher clock values that never reach the log, so reporting
+  // clock.Latest() could hand out a session token no backup can ever
+  // cover. 2PL assigns its LSN only at commit (timestamp() reads
+  // kInvalidTimestamp in the body); there clock.Latest() IS a live upper
+  // bound, because LSNs are drawn exclusively by committing write
+  // transactions, every one of which is logged.
+  Timestamp attempt_ts = kInvalidTimestamp;
+  const txn::TxnFn wrapped = [&fn, &attempt_ts](txn::Txn& txn) {
+    const Status s = fn(txn);
+    attempt_ts = txn.timestamp();
+    return s;
+  };
+  const Status s = retry ? e->ExecuteWithRetry(wrapped) : e->Execute(wrapped);
+  if (s.ok()) {
+    *commit_ts = attempt_ts != kInvalidTimestamp
+                     ? attempt_ts
+                     : (promoted_ != nullptr ? promoted_->clock.Latest()
+                                             : clock_.Latest());
+  }
+  return s;
+}
+
+Status Cluster::Execute(const txn::TxnFn& fn, Timestamp* commit_ts) {
+  return RunOnPrimary(fn, commit_ts, /*retry=*/false);
+}
+
+Status Cluster::ExecuteWithRetry(const txn::TxnFn& fn, Timestamp* commit_ts) {
+  return RunOnPrimary(fn, commit_ts, /*retry=*/true);
+}
+
+void Cluster::Flush() {
+  for (auto& lane : shipping_) lane->collector.Flush();
+}
+
+replica::ClientSession Cluster::OpenSession() {
+  replica::ClientSession::Options o;
+  o.policy = options_.routing;
+  o.wait_timeout = options_.session_wait_timeout;
+  return OpenSession(o);
+}
+
+replica::ClientSession Cluster::OpenSession(
+    replica::ClientSession::Options options) {
+  return replica::ClientSession(&set_, options);
+}
+
+void Cluster::StopPrimary() {
+  if (!started_ || primary_stopped_) return;
+  primary_stopped_ = true;
+  stop_flusher_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) flusher_.join();
+  for (auto& lane : shipping_) lane->collector.Finish();
+}
+
+void Cluster::WaitForBackups() {
+  StopPrimary();
+  for (auto& node : nodes_) node->WaitUntilCaughtUp();
+  backups_drained_ = true;
+}
+
+Status Cluster::Promote(std::size_t backup_index) {
+  if (backup_index >= nodes_.size()) {
+    return Status::InvalidArgument("no such backup");
+  }
+  if (promoted_ != nullptr) {
+    return Status::InvalidArgument("a backup is already promoted");
+  }
+  // §9's synchronization step: the candidate (and, for a consistent fleet,
+  // everyone else) drains what it received before the switch.
+  WaitForBackups();
+  for (auto& node : nodes_) node->Stop();
+  promoted_ = nodes_[backup_index]->Promote(options_.engine);
+  promoted_index_ = backup_index;
+  return Status::Ok();
+}
+
+Status Cluster::CatchUpSurvivors() {
+  if (promoted_ == nullptr) {
+    return Status::InvalidArgument("nothing promoted");
+  }
+  log::Log delta = promoted_->collector.Coalesce();
+  if (delta.NumSegments() == 0) return Status::Ok();
+  // Each survivor restarts its clone in place over a private copy of the
+  // promoted history; the promoted node's clock was seeded above every
+  // replicated commit, so the concatenated history is well formed and the
+  // restart's recovery window is empty.
+  std::vector<BackupNode*> restarted;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == promoted_index_) continue;
+    survivor_logs_.push_back(CopyLog(delta));
+    survivor_sources_.push_back(
+        std::make_unique<log::OfflineSegmentSource>(survivor_logs_.back().get()));
+    nodes_[i]->Restart(survivor_sources_.back().get());
+    // Restart replaced the node's ReplicaBase; re-point the session fleet
+    // at the new incarnation (the old pointer is dead).
+    set_.Assign(i, &nodes_[i]->reader());
+    restarted.push_back(nodes_[i].get());
+  }
+  for (BackupNode* node : restarted) {
+    node->WaitUntilCaughtUp();
+    node->Stop();
+  }
+  return Status::Ok();
+}
+
+void Cluster::Shutdown() {
+  if (!started_) return;
+  StopPrimary();
+  if (promoted_ == nullptr) WaitForBackups();
+  for (auto& node : nodes_) node->Stop();
+}
+
+txn::Engine& Cluster::engine() {
+  return promoted_ != nullptr ? *promoted_->engine : *engine_;
+}
+
+TxnClock& Cluster::clock() {
+  return promoted_ != nullptr ? promoted_->clock : clock_;
+}
+
+}  // namespace c5

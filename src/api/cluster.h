@@ -1,0 +1,348 @@
+// c5::Cluster — the embedded-server façade over the paper's deployment
+// model (§2): ONE primary executing read-write transactions, its log
+// shipped to a fleet of backups running cloned concurrency control, each
+// serving monotonic-prefix-consistent reads, with checkpoint/restart and
+// failover promotion behind the same object.
+//
+//   ClusterOptions options;
+//   options.WithEngine(ha::EngineKind::kMvtso).WithBackups(2);
+//   Cluster cluster(options);
+//   TableId t = cluster.CreateTable("accounts");
+//   cluster.Start();
+//   Timestamp commit;
+//   cluster.Execute([&](txn::Txn& txn) { return txn.Put(t, 1, "v"); },
+//                   &commit);
+//   auto session = cluster.OpenSession();
+//   session.OnWrite(commit);
+//   Value v;
+//   session.Read(t, 1, &v);              // read-your-writes across backups
+//   Snapshot snap = cluster.OpenSnapshot();
+//   for (auto it = snap.Scan(t, 0, 100); it.Valid(); it.Next()) ...
+//   cluster.Shutdown();
+//
+// Lifecycle:
+//
+//   CreateTable*  ->  Start  ->  Execute* / reads  ->  [StopPrimary]
+//        ->  WaitForBackups  ->  [Promote -> Execute* -> CatchUpSurvivors]
+//        ->  Shutdown
+//
+// Reads never block writes: every backup read runs on a Snapshot handle
+// (api/snapshot.h) at the backup's visible timestamp; ClientSession
+// (replica/session.h) adds the cross-backup session guarantees.
+//
+// BackupNode, the per-node half of the façade, is also usable standalone —
+// a backup bound to an arbitrary log::SegmentSource — which is how the DST
+// harness, recovery demos, and benches construct replicas without
+// hand-wiring protocol internals.
+
+#ifndef C5_API_CLUSTER_H_
+#define C5_API_CLUSTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/snapshot.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/protocol_factory.h"
+#include "ha/promotion.h"
+#include "log/log_collector.h"
+#include "log/segment_source.h"
+#include "replica/lag_tracker.h"
+#include "replica/session.h"
+#include "storage/database.h"
+#include "txn/txn.h"
+
+namespace c5 {
+
+// ---- BackupNode -------------------------------------------------------------
+
+struct BackupOptions {
+  core::ProtocolKind protocol = core::ProtocolKind::kC5;
+  core::ProtocolOptions protocol_options{};
+  replica::LagTracker* lag = nullptr;
+};
+
+// One backup: its database, the cloned concurrency control protocol
+// replaying the log into it, the Snapshot read surface, and restart
+// bookkeeping (the recovery visibility window is armed automatically).
+class BackupNode {
+ public:
+  explicit BackupNode(BackupOptions options = {});
+  ~BackupNode();
+
+  BackupNode(const BackupNode&) = delete;
+  BackupNode& operator=(const BackupNode&) = delete;
+
+  // Schema setup; call before Start (table ids must mirror the primary's
+  // creation order — the log addresses tables by id).
+  TableId CreateTable(std::string name, std::size_t expected_keys = 0);
+
+  // Rebuilds the database from a checkpoint file (storage/checkpoint.h).
+  // Call after CreateTable and before the first Start; the node then reads
+  // at the checkpoint timestamp immediately and resumes the log from there
+  // (pair with ha::ResumeSegmentSource over the archived log).
+  Status RestoreFromCheckpoint(const std::string& path);
+
+  // The checkpoint timestamp loaded by RestoreFromCheckpoint (0: none).
+  Timestamp restored_timestamp() const { return restored_ts_; }
+
+  // Starts the protocol over `source` (which must outlive the node: lazy
+  // protocols keep pointers into delivered segments).
+  void Start(log::SegmentSource* source);
+
+  // Crash recovery: builds a FRESH protocol instance over the surviving
+  // database and resumes from `source` (redeliver at least everything above
+  // VisibleTimestamp(); at-least-once overlap is discarded idempotently).
+  // Arms the recovery visibility window: readers stay at the dead
+  // incarnation's last published snapshot until the re-applied watermark
+  // covers every run-ahead write it left behind, so the non-prefix states in
+  // between are never observable (replica::ReplicaBase::SetRecoveryWindow).
+  // Implies Stop() of the previous incarnation — and DESTROYS it: any
+  // ReplicaBase* previously taken from reader() (e.g. in a BackupSet) is
+  // dead and must be re-pointed at the new reader() (BackupSet::Assign;
+  // Cluster::CatchUpSurvivors does this for its session fleet).
+  void Restart(log::SegmentSource* source);
+
+  void WaitUntilCaughtUp();
+  void Stop();
+
+  // The read surface. Snapshots must not outlive the node.
+  Snapshot OpenSnapshot() { return reader().OpenSnapshot(); }
+  Timestamp VisibleTimestamp() const;
+
+  // Writes a checkpoint of the current visible snapshot to `path`.
+  Status WriteCheckpoint(const std::string& path);
+
+  // Promotes this caught-up, stopped node to primary (§9): a fresh engine
+  // over the backup's database whose clock continues above every applied
+  // commit. Implies Stop(). The node's read surface stays valid (reads see
+  // the pre-promotion snapshot; the promoted engine's writes are read
+  // through ITS database directly or by re-replication).
+  std::unique_ptr<ha::PromotedPrimary> Promote(ha::EngineKind kind);
+
+  replica::ReplicaBase& reader();
+  const replica::ReplicaBase& reader() const;
+  replica::Replica& replica() { return *replica_; }
+  storage::Database& db() { return db_; }
+  const BackupOptions& options() const { return options_; }
+
+ private:
+  void MakeProtocol();
+
+  BackupOptions options_;
+  storage::Database db_;
+  std::unique_ptr<replica::Replica> replica_;
+  replica::ReplicaBase* base_ = nullptr;
+  Timestamp restored_ts_ = 0;  // checkpoint restore point (0: none)
+  bool started_ = false;
+};
+
+// ---- ClusterOptions ---------------------------------------------------------
+
+// Builder-style options for Cluster. The per-backup replication knobs of
+// core::ProtocolOptions are absorbed here; per-backup overrides (protocol
+// kind, injected shipping delay, lag tracker) go through AddBackup.
+struct ClusterOptions {
+  // Primary concurrency control engine.
+  ha::EngineKind engine = ha::EngineKind::kMvtso;
+
+  // Homogeneous fleet shorthand (ignored once AddBackup was called).
+  std::size_t num_backups = 1;
+  core::ProtocolKind backup_protocol = core::ProtocolKind::kC5;
+
+  // Replication knobs applied to every backup (absorbs
+  // core::ProtocolOptions).
+  core::ProtocolOptions protocol{.num_workers = 2};
+
+  // Log shipping: records per shipped segment, and how often the background
+  // flusher closes a partial segment so lag excludes batching delay
+  // (zero: no flusher thread; segments ship only when full or on Flush()).
+  std::size_t segment_records = 1024;
+  std::chrono::microseconds flush_interval{500};
+
+  // Session defaults for OpenSession().
+  replica::RoutingPolicy routing = replica::RoutingPolicy::kTokenRouted;
+  std::chrono::milliseconds session_wait_timeout{0};
+
+  // Per-backup spec for heterogeneous fleets.
+  struct BackupSpec {
+    core::ProtocolKind protocol = core::ProtocolKind::kC5;
+    // Injected per-segment delivery delay (lag experiments: a congested
+    // link, a distant region).
+    std::chrono::microseconds ship_delay{0};
+    replica::LagTracker* lag = nullptr;
+  };
+  std::vector<BackupSpec> backups;
+
+  ClusterOptions& WithEngine(ha::EngineKind k) {
+    engine = k;
+    return *this;
+  }
+  ClusterOptions& WithBackups(std::size_t n, core::ProtocolKind kind =
+                                                 core::ProtocolKind::kC5) {
+    num_backups = n;
+    backup_protocol = kind;
+    return *this;
+  }
+  ClusterOptions& AddBackup(BackupSpec spec) {
+    backups.push_back(spec);
+    return *this;
+  }
+  ClusterOptions& WithWorkers(int n) {
+    protocol.num_workers = n;
+    return *this;
+  }
+  ClusterOptions& WithSnapshotInterval(std::chrono::microseconds us) {
+    protocol.snapshot_interval = us;
+    return *this;
+  }
+  ClusterOptions& WithGcEvery(int n) {
+    protocol.gc_every = n;
+    return *this;
+  }
+  ClusterOptions& WithSegmentRecords(std::size_t n) {
+    segment_records = n;
+    return *this;
+  }
+  ClusterOptions& WithFlushInterval(std::chrono::microseconds us) {
+    flush_interval = us;
+    return *this;
+  }
+  ClusterOptions& WithRouting(replica::RoutingPolicy p) {
+    routing = p;
+    return *this;
+  }
+  ClusterOptions& WithSessionWaitTimeout(std::chrono::milliseconds ms) {
+    session_wait_timeout = ms;
+    return *this;
+  }
+};
+
+// ---- Cluster ----------------------------------------------------------------
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Schema setup (primary + every backup). Call before Start.
+  TableId CreateTable(std::string name, std::size_t expected_keys = 0);
+
+  // Brings the cluster up: primary engine, one shipping channel per backup,
+  // backup protocol threads, background flusher.
+  void Start();
+
+  // ---- Write path (primary) ----
+  // One attempt / retry-loop execution of a read-write transaction on the
+  // current primary (the promoted node after Promote). On commit,
+  // *commit_ts (optional) receives a timestamp covering the transaction's
+  // writes — the committed transaction's own timestamp where the engine
+  // exposes it (MVTSO), else a live upper bound (2PL's commit LSN clock) —
+  // suitable for ClientSession::OnWrite. Meaningful for transactions that
+  // WROTE: a read-only transaction's timestamp may lie above everything
+  // logged, so don't feed it to OnWrite (there is nothing to read back).
+  Status Execute(const txn::TxnFn& fn, Timestamp* commit_ts = nullptr);
+  Status ExecuteWithRetry(const txn::TxnFn& fn, Timestamp* commit_ts = nullptr);
+
+  // Ships any open partial segments now (the flusher also does this
+  // periodically when flush_interval > 0).
+  void Flush();
+
+  // ---- Read path (backups) ----
+  std::size_t num_backups() const { return nodes_.size(); }
+  BackupNode& backup(std::size_t i) { return *nodes_[i]; }
+  Snapshot OpenSnapshot(std::size_t backup_index = 0) {
+    return nodes_[backup_index]->OpenSnapshot();
+  }
+  // A session with the §2.3 guarantees (monotonic reads, read-your-writes)
+  // across the whole fleet. Sessions are single-client objects; they must
+  // not outlive the Cluster.
+  replica::ClientSession OpenSession();
+  replica::ClientSession OpenSession(replica::ClientSession::Options options);
+  const replica::BackupSet& backup_set() const { return set_; }
+
+  // ---- Failure / failover ----
+  // The primary "dies": shipping channels close after the in-flight tail.
+  // Idempotent. Execute fails after this (until Promote installs a new
+  // primary).
+  void StopPrimary();
+
+  // Drains every backup to the end of its delivered log (implies
+  // StopPrimary — with a live primary there is no "end"). After this every
+  // backup's visible snapshot covers everything shipped.
+  void WaitForBackups();
+
+  // Promotes backup `backup_index` to primary (§9): drains the fleet, stops
+  // it, and installs a fresh engine over the chosen backup's database whose
+  // commits extend the replicated history. Execute then routes to the
+  // promoted engine. Surviving backups stay readable at their final
+  // pre-failover snapshot until CatchUpSurvivors feeds them the new log.
+  Status Promote(std::size_t backup_index);
+
+  // Replays everything the promoted primary has committed so far onto the
+  // surviving backups (their clones restart in place and the combined
+  // old+new history becomes visible). Callable repeatedly; each call ships
+  // the delta since the last.
+  Status CatchUpSurvivors();
+
+  // Index of the promoted backup, or num_backups() if none.
+  std::size_t promoted_index() const { return promoted_index_; }
+
+  // Drains and stops everything. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // Escape hatches for diagnostics and integration with lower layers.
+  txn::Engine& engine();
+  TxnClock& clock();
+  storage::Database& primary_db() { return primary_db_; }
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  struct Shipping;  // per-backup collector + source chain
+
+  std::vector<ClusterOptions::BackupSpec> ResolvedSpecs() const;
+  Status RunOnPrimary(const txn::TxnFn& fn, Timestamp* commit_ts, bool retry);
+
+  ClusterOptions options_;
+  std::vector<std::pair<std::string, std::size_t>> schema_;
+
+  // Primary.
+  storage::Database primary_db_;
+  TxnClock clock_;
+  std::unique_ptr<txn::Engine> engine_;
+  std::unique_ptr<log::LogCollector> tee_;
+  std::vector<std::unique_ptr<Shipping>> shipping_;
+
+  // Failover logs/sources are declared BEFORE the fleet: sources must
+  // outlive the nodes started over them (BackupNode::Start's contract —
+  // lazy protocols keep pointers into delivered segments), and members
+  // destroy in reverse declaration order.
+  std::unique_ptr<ha::PromotedPrimary> promoted_;
+  std::size_t promoted_index_ = 0;
+  std::vector<std::unique_ptr<log::Log>> survivor_logs_;
+  std::vector<std::unique_ptr<log::SegmentSource>> survivor_sources_;
+
+  // Fleet.
+  std::vector<std::unique_ptr<BackupNode>> nodes_;
+  replica::BackupSet set_;
+
+  std::thread flusher_;
+  std::atomic<bool> stop_flusher_{false};
+  bool started_ = false;
+  bool primary_stopped_ = false;
+  bool backups_drained_ = false;
+};
+
+}  // namespace c5
+
+#endif  // C5_API_CLUSTER_H_

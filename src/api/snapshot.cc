@@ -1,0 +1,89 @@
+#include "api/snapshot.h"
+
+namespace c5 {
+
+Snapshot::Snapshot(replica::ReplicaBase* replica)
+    : replica_(replica),
+      guard_(&replica->db().epochs()),
+      scope_(&replica->readers_) {
+  // Pin AFTER registering (the tracker holds the conservative floor until
+  // Set), so GC can never compute a horizon above this snapshot between
+  // timestamp assignment and registration.
+  ts_ = replica_->VisibleTimestamp();
+  scope_.Set(ts_);
+  replica_->stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
+}
+
+const storage::Version* Snapshot::ReadVersion(TableId table, Key key) const {
+  const auto row = replica_->db().index(table).Lookup(key);
+  if (!row.has_value()) return nullptr;
+  replica_->PrepareRowRead(table, *row, ts_);
+  return replica_->db().table(table).ReadAt(*row, ts_);
+}
+
+Status Snapshot::Get(TableId table, Key key, Value* out) const {
+  const storage::Version* v = ReadVersion(table, key);
+  if (v == nullptr || v->deleted) return Status::NotFound();
+  out->assign(v->value());
+  return Status::Ok();
+}
+
+std::vector<Status> Snapshot::MultiGet(TableId table,
+                                       const std::vector<Key>& keys,
+                                       std::vector<Value>* out) const {
+  std::vector<Status> statuses;
+  statuses.reserve(keys.size());
+  out->assign(keys.size(), Value());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const storage::Version* v = ReadVersion(table, keys[i]);
+    if (v == nullptr || v->deleted) {
+      statuses.push_back(Status::NotFound());
+    } else {
+      (*out)[i].assign(v->value());
+      statuses.push_back(Status::Ok());
+    }
+  }
+  return statuses;
+}
+
+Snapshot::Iterator::Iterator(const Snapshot* snap, TableId table,
+                             std::vector<std::pair<Key, RowId>> entries)
+    : snap_(snap), table_(table), entries_(std::move(entries)) {
+  Settle();
+}
+
+void Snapshot::Iterator::Settle() {
+  storage::Database& db = snap_->replica_->db();
+  storage::Table& tbl = db.table(table_);
+  for (; pos_ < entries_.size(); ++pos_) {
+    const auto& [key, row] = entries_[pos_];
+    (void)key;
+    snap_->replica_->PrepareRowRead(table_, row, snap_->ts_);
+    const storage::Version* v = tbl.ReadAt(row, snap_->ts_);
+    if (v != nullptr && !v->deleted) {
+      value_ = v->value();
+      return;
+    }
+  }
+  value_ = {};
+}
+
+Snapshot::Iterator Snapshot::Scan(TableId table, Key lo, Key hi) const {
+  // The hash index is unordered, so the range is collected and sorted up
+  // front; versions are resolved lazily as the iterator advances. Index
+  // entries bound concurrently with the scan may or may not appear — either
+  // way their versions lie above ts_ and would be skipped.
+  std::vector<std::pair<Key, RowId>> entries;
+  replica_->db().index(table).CollectRange(lo, hi, &entries);
+  return Iterator(this, table, std::move(entries));
+}
+
+}  // namespace c5
+
+namespace c5::replica {
+
+Status ReplicaBase::ReadAtVisible(TableId table, Key key, Value* out) {
+  return OpenSnapshot().Get(table, key, out);
+}
+
+}  // namespace c5::replica

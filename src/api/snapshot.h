@@ -1,0 +1,127 @@
+// c5::Snapshot — the public read surface over a backup replica.
+//
+// A Snapshot is an RAII read-only transaction: opening one
+//  (1) enters the database's epoch critical section (GC cannot reclaim any
+//      version the snapshot might traverse),
+//  (2) registers the reader with the replica's active-reader tracker (the
+//      GC horizon respects the pinned timestamp), and
+//  (3) pins the replica's visible timestamp.
+// Every read through the handle observes exactly that
+// monotonic-prefix-consistent state, however long the handle lives and
+// however far the replica advances meanwhile.
+//
+// Reads: Get (point), MultiGet (batch at one snapshot), Scan (ordered
+// iterator over a key range). Scan values are zero-copy string_views into
+// version payloads, valid while the Snapshot is open.
+//
+// Lazy protocols hook in through ReplicaBase::PrepareRowRead: Query Fresh
+// materializes a row's pending redo list the first time a snapshot read
+// touches the row, so deferred-execution cost is charged to the reader —
+// on this path, exactly as §9 describes.
+//
+// Lifetime: a Snapshot must not outlive its replica, and iterators must not
+// outlive their Snapshot. Snapshots are neither copyable nor movable — they
+// are scoped RAII handles returned through guaranteed copy elision
+// (`Snapshot s = replica.OpenSnapshot();` works; storing them in containers
+// does not). Opening one is allocation-free: point reads through
+// ReadAtVisible stay off the heap, preserving the replay/read hot-path
+// discipline (docs/PERFORMANCE.md). Open handles hold back garbage
+// collection — scope them tightly on GC-enabled replicas.
+
+#ifndef C5_API_SNAPSHOT_H_
+#define C5_API_SNAPSHOT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "replica/replica.h"
+#include "storage/epoch.h"
+#include "txn/active_txn_tracker.h"
+
+namespace c5 {
+
+class Snapshot {
+ public:
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+  Snapshot(Snapshot&&) = delete;
+  Snapshot& operator=(Snapshot&&) = delete;
+
+  // The pinned visible timestamp all reads observe.
+  Timestamp timestamp() const { return ts_; }
+
+  // Point read. kNotFound when the key is absent or deleted at the snapshot.
+  Status Get(TableId table, Key key, Value* out) const;
+
+  // Batch point read at the same snapshot. out->at(i) is valid iff the
+  // returned statuses[i].ok(); a kNotFound entry is a successful "absent".
+  std::vector<Status> MultiGet(TableId table, const std::vector<Key>& keys,
+                               std::vector<Value>* out) const;
+
+  // Ordered iterator over the live keys of `table` in [lo, hi), ascending.
+  // Keys deleted (or never written) at the snapshot are skipped. The
+  // iterator borrows the Snapshot; advance with Next() while Valid().
+  //
+  //   for (auto it = snap.Scan(t, lo, hi); it.Valid(); it.Next())
+  //     use(it.key(), it.value());
+  class Iterator {
+   public:
+    bool Valid() const { return pos_ < entries_.size(); }
+    Key key() const { return entries_[pos_].first; }
+    // View into the version payload; valid while the Snapshot is open.
+    std::string_view value() const { return value_; }
+    void Next() {
+      ++pos_;
+      Settle();
+    }
+
+   private:
+    friend class Snapshot;
+    Iterator(const Snapshot* snap, TableId table,
+             std::vector<std::pair<Key, RowId>> entries);
+    // Skips forward to the next entry with a live version at the snapshot.
+    void Settle();
+
+    const Snapshot* snap_;
+    TableId table_;
+    std::vector<std::pair<Key, RowId>> entries_;
+    std::size_t pos_ = 0;
+    std::string_view value_;
+  };
+
+  Iterator Scan(TableId table, Key lo, Key hi) const;
+
+ private:
+  friend class replica::ReplicaBase;
+
+  explicit Snapshot(replica::ReplicaBase* replica);
+
+  // Resolves key -> live version at ts_ through the replica's index,
+  // running the lazy-instantiation hook first. nullptr when absent;
+  // tombstones are returned (callers check deleted).
+  const storage::Version* ReadVersion(TableId table, Key key) const;
+
+  replica::ReplicaBase* replica_;
+  // Inline registration slots — opening a snapshot allocates nothing.
+  storage::EpochManager::Guard guard_;
+  txn::ActiveTxnTracker::Scope scope_;
+  Timestamp ts_ = 0;
+};
+
+}  // namespace c5
+
+namespace c5::replica {
+
+inline c5::Snapshot ReplicaBase::OpenSnapshot() { return c5::Snapshot(this); }
+
+template <typename Fn>
+void ReplicaBase::ReadOnlyTxn(Fn&& fn) {
+  const c5::Snapshot snap = OpenSnapshot();
+  fn(snap);
+}
+
+}  // namespace c5::replica
+
+#endif  // C5_API_SNAPSHOT_H_

@@ -161,10 +161,12 @@ void C5Replica::WorkerLoop(int idx) {
       table.EnsureRow(rec.row);
       // A row's first record can carry any op (coalesced insert+delete,
       // update after an aborted insert); bind the index for every
-      // potentially row-creating record (see ReplicaBase::ApplyRecord).
+      // potentially row-creating record, timestamp-aware so parallel
+      // workers converge on the newest row when a key's row id changes
+      // (see ReplicaBase::ApplyRecord).
       if (rec.op != OpType::kUpdate ||
           table.NewestVisibleTimestamp(rec.row) == kInvalidTimestamp) {
-        db_->index(rec.table).Upsert(rec.key, rec.row);
+        db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
       }
       bool applied;
       if ((apply_tick++ & (kApplySampleEvery - 1)) == 0) {

@@ -1,5 +1,6 @@
 #include "index/hash_index.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -30,7 +31,7 @@ void HashIndex::Shard::RehashLocked(std::size_t new_capacity) {
   occupied = 0;
   for (const Slot& s : old) {
     if (s.key != kEmpty && s.key != kTombstone) {
-      InsertLocked(s.key, s.row, /*overwrite=*/false);
+      InsertLocked(s.key, s.row, s.ts, Mode::kKeepExisting);
     }
   }
 }
@@ -50,7 +51,7 @@ void HashIndex::Reserve(std::size_t expected_keys) {
 }
 
 bool HashIndex::Shard::InsertLocked(std::uint64_t stored_key, RowId row,
-                                    bool overwrite) {
+                                    Timestamp ts, Mode mode) {
   if ((occupied + 1) * 4 >= slots.size() * 3) Grow();  // 75% load factor
   const std::size_t mask = slots.size() - 1;
   std::size_t idx = HashIndex::HashKey(stored_key) & mask;
@@ -58,8 +59,17 @@ bool HashIndex::Shard::InsertLocked(std::uint64_t stored_key, RowId row,
   while (true) {
     Slot& s = slots[idx];
     if (s.key == stored_key) {
-      if (!overwrite) return false;
+      switch (mode) {
+        case Mode::kKeepExisting:
+          return false;
+        case Mode::kOverwrite:
+          break;
+        case Mode::kIfNewer:
+          if (ts < s.ts) return false;
+          break;
+      }
       s.row = row;
+      s.ts = ts;
       return true;
     }
     if (s.key == kTombstone && first_tombstone == slots.size()) {
@@ -71,6 +81,7 @@ bool HashIndex::Shard::InsertLocked(std::uint64_t stored_key, RowId row,
       const bool reused_tombstone = first_tombstone != slots.size();
       target.key = stored_key;
       target.row = row;
+      target.ts = ts;
       ++size;
       if (!reused_tombstone) ++occupied;
       return true;
@@ -79,14 +90,14 @@ bool HashIndex::Shard::InsertLocked(std::uint64_t stored_key, RowId row,
   }
 }
 
-std::optional<RowId> HashIndex::Shard::LookupLocked(
+const HashIndex::Shard::Slot* HashIndex::Shard::FindLocked(
     std::uint64_t stored_key) const {
   const std::size_t mask = slots.size() - 1;
   std::size_t idx = HashIndex::HashKey(stored_key) & mask;
   while (true) {
     const Slot& s = slots[idx];
-    if (s.key == stored_key) return s.row;
-    if (s.key == kEmpty) return std::nullopt;
+    if (s.key == stored_key) return &s;
+    if (s.key == kEmpty) return nullptr;
     idx = (idx + 1) & mask;
   }
 }
@@ -99,6 +110,7 @@ bool HashIndex::Shard::EraseLocked(std::uint64_t stored_key) {
     if (s.key == stored_key) {
       s.key = kTombstone;
       s.row = kInvalidRowId;
+      s.ts = 0;
       --size;
       return true;
     }
@@ -110,19 +122,36 @@ bool HashIndex::Shard::EraseLocked(std::uint64_t stored_key) {
 bool HashIndex::Insert(Key key, RowId row) {
   Shard& shard = ShardFor(key);
   std::lock_guard<SpinLock> lock(shard.lock);
-  return shard.InsertLocked(key + 2, row, /*overwrite=*/false);
+  return shard.InsertLocked(key + 2, row, 0, Shard::Mode::kKeepExisting);
 }
 
 void HashIndex::Upsert(Key key, RowId row) {
   Shard& shard = ShardFor(key);
   std::lock_guard<SpinLock> lock(shard.lock);
-  shard.InsertLocked(key + 2, row, /*overwrite=*/true);
+  shard.InsertLocked(key + 2, row, 0, Shard::Mode::kOverwrite);
+}
+
+bool HashIndex::UpsertIfNewer(Key key, RowId row, Timestamp ts) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> lock(shard.lock);
+  return shard.InsertLocked(key + 2, row, ts, Shard::Mode::kIfNewer);
 }
 
 std::optional<RowId> HashIndex::Lookup(Key key) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<SpinLock> lock(shard.lock);
-  return shard.LookupLocked(key + 2);
+  const Shard::Slot* s = shard.FindLocked(key + 2);
+  if (s == nullptr) return std::nullopt;
+  return s->row;
+}
+
+std::optional<std::pair<RowId, Timestamp>> HashIndex::LookupWithTs(
+    Key key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> lock(shard.lock);
+  const Shard::Slot* s = shard.FindLocked(key + 2);
+  if (s == nullptr) return std::nullopt;
+  return std::make_pair(s->row, s->ts);
 }
 
 bool HashIndex::Erase(Key key) {
@@ -131,16 +160,33 @@ bool HashIndex::Erase(Key key) {
   return shard.EraseLocked(key + 2);
 }
 
-void HashIndex::ForEach(const std::function<void(Key, RowId)>& fn) const {
+void HashIndex::ForEach(
+    const std::function<void(Key, RowId, Timestamp)>& fn) const {
   for (int i = 0; i < shard_count_; ++i) {
     const Shard& shard = shards_[i];
     std::lock_guard<SpinLock> lock(shard.lock);
     for (const Shard::Slot& slot : shard.slots) {
       if (slot.key != Shard::kEmpty && slot.key != Shard::kTombstone) {
-        fn(slot.key - 2, slot.row);
+        fn(slot.key - 2, slot.row, slot.ts);
       }
     }
   }
+}
+
+void HashIndex::CollectRange(Key lo, Key hi,
+                             std::vector<std::pair<Key, RowId>>* out) const {
+  for (int i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<SpinLock> lock(shard.lock);
+    for (const Shard::Slot& slot : shard.slots) {
+      if (slot.key == Shard::kEmpty || slot.key == Shard::kTombstone) {
+        continue;
+      }
+      const Key key = slot.key - 2;
+      if (key >= lo && key < hi) out->emplace_back(key, slot.row);
+    }
+  }
+  std::sort(out->begin(), out->end());
 }
 
 std::size_t HashIndex::Size() const {

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/spin_lock.h"
@@ -17,6 +18,14 @@ namespace c5::index {
 // ids ("externally meaningful keys are mapped to row IDs through indices",
 // §7.1). Sharded open-addressing tables with per-shard spinlocks: lookups and
 // inserts touch exactly one shard, so throughput scales with shard count.
+//
+// Each binding carries the commit timestamp of the record that created it.
+// Backup apply paths bind through UpsertIfNewer, so for a key whose row id
+// changes over its history (a delete followed by a re-insert allocates a
+// fresh row) the index converges to the NEWEST row regardless of the order
+// in which parallel workers apply the old-row and new-row records — apply
+// order is not commit order across rows (timestamp-aware index binding;
+// found by the DST logical-snapshot oracle).
 //
 // Deleted rows keep their index entry: a read at an old snapshot timestamp
 // must still resolve the key to the row and then observe the tombstone (or
@@ -34,8 +43,17 @@ class HashIndex {
   // key is already present.
   bool Insert(Key key, RowId row);
 
-  // Inserts or overwrites.
+  // Inserts or overwrites unconditionally (binding timestamp resets to 0).
+  // Primary-side paths use this: engines bind under per-key mutual exclusion,
+  // so apply order IS commit order there.
   void Upsert(Key key, RowId row);
+
+  // Timestamp-aware upsert: binds key -> row only if `ts` is at or above the
+  // existing binding's timestamp (absent keys always bind). Returns true if
+  // the binding was installed or refreshed. Backup apply paths use this so
+  // that concurrent workers applying records for different incarnations of
+  // the same key converge to the newest row.
+  bool UpsertIfNewer(Key key, RowId row, Timestamp ts);
 
   // Takes the shard's spinlock even though it only reads. This is
   // deliberate, not an oversight: Grow() reallocates the shard's slot vector
@@ -48,6 +66,10 @@ class HashIndex {
   // lock hold times at a handful of instructions.
   std::optional<RowId> Lookup(Key key) const;
 
+  // Lookup that also reports the binding's timestamp (0 for bindings made
+  // with plain Upsert/Insert). Used by checkpointing and the DST oracle.
+  std::optional<std::pair<RowId, Timestamp>> LookupWithTs(Key key) const;
+
   // Removes the entry. Returns false if absent.
   bool Erase(Key key);
 
@@ -59,11 +81,21 @@ class HashIndex {
 
   std::size_t Size() const;
 
-  // Visits every (key, row) entry, one shard at a time under that shard's
-  // lock. `fn` must not call back into the index. Entries inserted or
-  // erased concurrently may or may not be visited (checkpointers call this
-  // on quiesced backups, where the index is stable).
-  void ForEach(const std::function<void(Key, RowId)>& fn) const;
+  // Visits every (key, row, binding_ts) entry, one shard at a time under
+  // that shard's lock. `fn` must not call back into the index. Entries
+  // inserted or erased concurrently may or may not be visited
+  // (checkpointers call this on quiesced backups, where the index is
+  // stable).
+  void ForEach(const std::function<void(Key, RowId, Timestamp)>& fn) const;
+
+  // Collects every entry with lo <= key < hi into *out, sorted by key
+  // ascending. The hash index has no key order, so this visits every shard
+  // (one lock at a time) and sorts: O(entries + matches log matches). This
+  // is the backing primitive for Snapshot::Scan — adequate for an embedded
+  // read surface; an ordered secondary index would replace it if range reads
+  // ever become a hot path.
+  void CollectRange(Key lo, Key hi,
+                    std::vector<std::pair<Key, RowId>>* out) const;
 
  private:
   // Open-addressing table with linear probing and tombstones. Slot states
@@ -76,7 +108,11 @@ class HashIndex {
     struct Slot {
       std::uint64_t key = kEmpty;  // kEmpty, kTombstone, or user key + 2
       RowId row = kInvalidRowId;
+      Timestamp ts = 0;  // binding timestamp (0: bound without one)
     };
+
+    // Overwrite policy for InsertLocked.
+    enum class Mode { kKeepExisting, kOverwrite, kIfNewer };
 
     mutable SpinLock lock;
     std::vector<Slot> slots;
@@ -85,8 +121,9 @@ class HashIndex {
 
     void Grow();
     void RehashLocked(std::size_t new_capacity);
-    bool InsertLocked(std::uint64_t stored_key, RowId row, bool overwrite);
-    std::optional<RowId> LookupLocked(std::uint64_t stored_key) const;
+    bool InsertLocked(std::uint64_t stored_key, RowId row, Timestamp ts,
+                      Mode mode);
+    const Slot* FindLocked(std::uint64_t stored_key) const;
     bool EraseLocked(std::uint64_t stored_key);
   };
 

@@ -71,7 +71,7 @@ void QueryFreshReplica::IngestLoop(log::SegmentSource* source) {
       // (see ReplicaBase::ApplyRecord).
       if (rec.op != OpType::kUpdate ||
           state->appended.load(std::memory_order_relaxed) == 0) {
-        db_->index(rec.table).Upsert(rec.key, rec.row);
+        db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
       }
       PendingNode* node = arena_.New();
       node->rec = &rec;
@@ -139,21 +139,13 @@ void QueryFreshReplica::InstantiateRow(TableId table, RowId row,
   }
 }
 
-Status QueryFreshReplica::ReadAtVisible(TableId table, Key key, Value* out) {
-  const auto guard = db_->epochs().Enter();
-  txn::ActiveTxnTracker::Scope scope(&readers_);
-  const Timestamp ts = VisibleTimestamp();
-  scope.Set(ts);
-  stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
-  const auto row = db_->index(table).Lookup(key);
-  if (!row.has_value()) return Status::NotFound();
+void QueryFreshReplica::PrepareRowRead(TableId table, RowId row,
+                                       Timestamp ts) {
   // The deferred execution the paper's lazy f_b definition charges to the
-  // protocol happens here, on the reader's critical path.
-  InstantiateRow(table, *row, ts);
-  const storage::Version* v = db_->table(table).ReadAt(*row, ts);
-  if (v == nullptr || v->deleted) return Status::NotFound();
-  out->assign(v->value());
-  return Status::Ok();
+  // protocol happens here, on the reader's critical path: every Snapshot
+  // read (Get / MultiGet / Scan) funnels through this hook before touching
+  // the row's version chain.
+  InstantiateRow(table, row, ts);
 }
 
 void QueryFreshReplica::InstantiateAll(Timestamp ts) {

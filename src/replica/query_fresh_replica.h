@@ -45,10 +45,11 @@ namespace c5::replica {
 //    advances at transaction boundaries as soon as records are indexed —
 //    ingest never executes writes, which is why Query Fresh "keeps up" on
 //    ingest by construction.
-//  * Read path: ReadAtVisible resolves the key, drains the row's pending
-//    redo list up to the snapshot timestamp (installing committed versions
-//    in log order), then reads normally. Instantiation work is charged to
-//    the reader.
+//  * Read path: every Snapshot read resolves the key, then (through the
+//    PrepareRowRead hook Snapshot materialization calls) drains the row's
+//    pending redo list up to the snapshot timestamp — installing committed
+//    versions in log order — before reading normally. Instantiation work is
+//    charged to the reader.
 //  * WaitUntilCaughtUp additionally drains every pending redo list so that
 //    offline replays converge to the primary's exact state (used by the
 //    convergence tests and by state digests).
@@ -70,17 +71,15 @@ class QueryFreshReplica : public ReplicaBase {
   void Stop() override;
   std::string name() const override { return "query-fresh"; }
 
-  // Lazy read: drains the row's pending redo list up to the visible
-  // timestamp before reading. The deferred-execution latency the paper's
-  // f_b definition charges to lazy protocols is incurred here.
-  Status ReadAtVisible(TableId table, Key key, Value* out) override;
-
   // Instantiates (replays) all of `row`'s pending writes with commit
   // timestamps <= ts. Exposed so multi-key read-only transactions can
   // pre-instantiate their read sets. The caller must hold an epoch guard
   // for this database (ReadOnlyTxn provides one), as installs read the
   // row's version chain.
   void InstantiateRow(TableId table, RowId row, Timestamp ts);
+
+  // Lazy-instantiation hook for the Snapshot read surface (replica.h).
+  void PrepareRowRead(TableId table, RowId row, Timestamp ts) override;
 
   // Total log records indexed but not yet executed (the deferred backlog).
   std::uint64_t PendingBacklog() const {

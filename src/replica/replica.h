@@ -10,6 +10,14 @@
 //  * ApplyRecord is idempotent: at-least-once log delivery (checkpoint
 //    resume, source restart) must not install duplicate versions or skew
 //    the applied-write/transaction counters used for caught-up accounting.
+//  * After SetRecoveryWindow, no snapshot inside the window is ever
+//    published: a restarted replica's readers can never observe the
+//    non-prefix states left by a dead incarnation's run-ahead writes.
+//
+// The read surface (point get, multi-get, ordered scan) is c5::Snapshot
+// (api/snapshot.h), an RAII handle combining the epoch guard, reader
+// registration, and the pinned visible timestamp. ReadAtVisible and
+// ReadOnlyTxn below are thin wrappers over it.
 
 #ifndef C5_REPLICA_REPLICA_H_
 #define C5_REPLICA_REPLICA_H_
@@ -26,6 +34,10 @@
 #include "log/segment_source.h"
 #include "storage/database.h"
 #include "txn/active_txn_tracker.h"
+
+namespace c5 {
+class Snapshot;  // api/snapshot.h
+}  // namespace c5
 
 namespace c5::replica {
 
@@ -69,8 +81,8 @@ class Replica {
   virtual std::string name() const = 0;
 };
 
-// Shared plumbing: visibility watermark, read-only transaction execution,
-// reader registration for GC horizons.
+// Shared plumbing: visibility watermark, snapshot read surface, reader
+// registration for GC horizons, the recovery visibility window.
 class ReplicaBase : public Replica {
  public:
   explicit ReplicaBase(storage::Database* db) : db_(db) {}
@@ -98,34 +110,24 @@ class ReplicaBase : public Replica {
     return apply_latency_;
   }
 
-  // Executes a read-only point query against the current snapshot. Returns
-  // kNotFound for keys absent (or deleted) at the snapshot. Thread-safe;
-  // runs on the caller's thread ("read-only transactions are executed by a
-  // separate set of threads", §4). Virtual because lazy protocols (Query
-  // Fresh, §9) do deferred row instantiation on this path.
-  virtual Status ReadAtVisible(TableId table, Key key, Value* out) {
-    const auto guard = db_->epochs().Enter();
-    txn::ActiveTxnTracker::Scope scope(&readers_);
-    const Timestamp ts = VisibleTimestamp();
-    scope.Set(ts);
-    stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
-    const storage::Version* v = db_->ReadKeyAt(table, key, ts);
-    if (v == nullptr || v->deleted) return Status::NotFound();
-    out->assign(v->value());
-    return Status::Ok();
-  }
+  // ---- Read surface ---------------------------------------------------------
+
+  // Opens a read snapshot at the current visible timestamp: an RAII handle
+  // holding the epoch guard and the reader registration (GcHorizon respects
+  // it) and offering Get / MultiGet / Scan. Thread-safe; any number of
+  // snapshots may be open concurrently ("read-only transactions are executed
+  // by a separate set of threads", §4). Defined in api/snapshot.h.
+  c5::Snapshot OpenSnapshot();
+
+  // Point-read convenience: OpenSnapshot().Get(...). Returns kNotFound for
+  // keys absent (or deleted) at the snapshot. Defined in api/snapshot.cc.
+  Status ReadAtVisible(TableId table, Key key, Value* out);
 
   // Multi-key read-only transaction at one stable snapshot. `fn` receives
-  // the snapshot timestamp and a reader callback.
+  // the open c5::Snapshot. Callers include api/snapshot.h (which defines
+  // this template after the Snapshot class).
   template <typename Fn>
-  void ReadOnlyTxn(Fn&& fn) {
-    const auto guard = db_->epochs().Enter();
-    txn::ActiveTxnTracker::Scope scope(&readers_);
-    const Timestamp ts = VisibleTimestamp();
-    scope.Set(ts);
-    stats_.read_only_txns.fetch_add(1, std::memory_order_relaxed);
-    fn(ts);
-  }
+  void ReadOnlyTxn(Fn&& fn);
 
   // Safe GC horizon for the backup: nothing at or below min(active reader
   // snapshots, current snapshot) may lose its newest-committed-below version.
@@ -136,6 +138,47 @@ class ReplicaBase : public Replica {
                                 ? visible
                                 : std::min(readers, visible);
     return bound == 0 ? 0 : bound - 1;
+  }
+
+  // ---- Recovery visibility window -------------------------------------------
+
+  // Arms the recovery visibility window of a replica restarting on top of
+  // surviving state (in-place restart or checkpoint restore). `resume_ts` is
+  // the dead incarnation's last published snapshot (its visibility
+  // checkpoint) — a prefix-consistent point, published immediately so
+  // readers resume there instead of at zero. `inherited_max` is the largest
+  // committed timestamp anywhere in the inherited database
+  // (storage::Database::MaxCommittedTimestamp()): the dead incarnation's
+  // workers may have run ahead of resume_ts, and redelivery's idempotence
+  // guard skips those rows' intermediate versions, so states strictly inside
+  // (resume_ts, inherited_max) are not prefix-consistent. PublishVisible
+  // suppresses every snapshot below inherited_max, so no reader can ever
+  // observe the window; it closes when the re-applied watermark covers
+  // inherited_max. Call before Start().
+  void SetRecoveryWindow(Timestamp resume_ts, Timestamp inherited_max) {
+    recovery_resume_.store(resume_ts, std::memory_order_release);
+    recovery_floor_.store(std::max(resume_ts, inherited_max),
+                          std::memory_order_release);
+    Timestamp cur = visible_ts_.load(std::memory_order_relaxed);
+    while (cur < resume_ts && !visible_ts_.compare_exchange_weak(
+                                  cur, resume_ts, std::memory_order_acq_rel)) {
+    }
+  }
+
+  // The window's bounds: (resume, floor]. Both zero when never armed.
+  Timestamp RecoveryResume() const {
+    return recovery_resume_.load(std::memory_order_acquire);
+  }
+  Timestamp RecoveryFloor() const {
+    return recovery_floor_.load(std::memory_order_acquire);
+  }
+
+  // True once the published snapshot covers the inherited high-water mark
+  // (trivially true when no window was armed). WaitUntilCaughtUp() implies
+  // this as long as the resumed log extends past the inherited state —
+  // which at-least-once redelivery guarantees.
+  bool RecoveryWindowClosed() const {
+    return VisibleTimestamp() >= RecoveryFloor();
   }
 
  protected:
@@ -161,9 +204,12 @@ class ReplicaBase : public Replica {
     // later committed write ships as plain kUpdate. Binding updates only
     // when the row has no committed state keeps the hot path (updates to
     // existing rows) free of index writes. (Found by the DST
-    // logical-snapshot oracle.)
+    // logical-snapshot oracle.) The binding is timestamp-aware: when a
+    // key's row id changes (delete + re-insert allocates a fresh row),
+    // parallel application of the old-row and new-row creating records
+    // must converge to the newest row, whatever order they land in.
     if (rec.op != OpType::kUpdate || newest == kInvalidTimestamp) {
-      db_->index(rec.table).Upsert(rec.key, rec.row);
+      db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
     }
     if (newest < rec.commit_ts) {
       table.InstallCommitted(rec.row, rec.commit_ts, rec.value,
@@ -175,17 +221,36 @@ class ReplicaBase : public Replica {
     }
   }
 
+  // Lazy-protocol hook, called by the Snapshot read paths with the resolved
+  // row before its version chain is read. Query Fresh (§9) materializes the
+  // row's pending redo list here; eager protocols inherit the no-op. The
+  // caller holds an epoch guard (the Snapshot's).
+  virtual void PrepareRowRead(TableId table, RowId row, Timestamp ts) {
+    (void)table;
+    (void)row;
+    (void)ts;
+  }
+
   void PublishVisible(Timestamp ts) {
+    // Recovery window: snapshots strictly inside (resume, floor) would
+    // expose the dead incarnation's non-prefix run-ahead states; hold the
+    // published snapshot at the resume point until the re-applied watermark
+    // covers the inherited high-water mark.
+    if (ts < recovery_floor_.load(std::memory_order_acquire)) return;
     Timestamp cur = visible_ts_.load(std::memory_order_relaxed);
     while (cur < ts && !visible_ts_.compare_exchange_weak(
                            cur, ts, std::memory_order_acq_rel)) {
     }
   }
 
+  friend class ::c5::Snapshot;
+
   storage::Database* db_;
   ReplicaStats stats_;
   txn::ActiveTxnTracker readers_;
   std::atomic<Timestamp> visible_ts_{0};
+  std::atomic<Timestamp> recovery_floor_{0};
+  std::atomic<Timestamp> recovery_resume_{0};
 
  private:
   mutable std::mutex apply_latency_mu_;

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "api/snapshot.h"
 #include "common/clock.h"
 
 namespace c5::replica {
@@ -58,8 +59,7 @@ ReplicaBase* ClientSession::PickBackup() {
   return nullptr;
 }
 
-Status ClientSession::Read(TableId table, Key key, Value* out) {
-  ++stats_.reads;
+ReplicaBase* ClientSession::AcquireBackup(Status* status) {
   const Stopwatch waited;
   ReplicaBase* backup = PickBackup();
   if (backup == nullptr) ++stats_.waits;
@@ -68,27 +68,71 @@ Status ClientSession::Read(TableId table, Key key, Value* out) {
         waited.ElapsedNanos() >
             options_.wait_timeout.count() * 1'000'000LL) {
       ++stats_.timeouts;
-      return Status::TimedOut("no backup covers the session token");
+      *status = Status::TimedOut("no backup covers the session token");
+      return nullptr;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(50));
     backup = PickBackup();
   }
+  *status = Status::Ok();
+  return backup;
+}
 
-  const Status s = backup->ReadAtVisible(table, key, out);
-
-  // Advance the token to at least the snapshot the read used. The backup's
-  // visibility is monotonic, so its value AFTER the read is >= the snapshot
-  // ReadAtVisible pinned; using it keeps the invariant (and is merely
-  // conservative when the backup advanced mid-read).
-  token_ = std::max(token_, backup->VisibleTimestamp());
-
+void ClientSession::AfterRead(ReplicaBase* backup, Timestamp snapshot_ts) {
+  // Advance the token to (at least) the snapshot the read used: the next
+  // read can never observe an older state, whichever backup serves it.
+  token_ = std::max(token_, snapshot_ts);
   for (std::size_t i = 0; i < backups_->size(); ++i) {
     if (backups_->at(i) == backup) {
       ++stats_.reads_per_backup[i];
       break;
     }
   }
+}
+
+Status ClientSession::Read(TableId table, Key key, Value* out) {
+  ++stats_.reads;
+  Status route;
+  ReplicaBase* backup = AcquireBackup(&route);
+  if (backup == nullptr) return route;
+  // The snapshot pins the backup's visibility AT OR ABOVE the eligibility
+  // check (visibility is monotonic), so the token invariant holds even when
+  // the backup advanced between routing and the read.
+  const c5::Snapshot snap = backup->OpenSnapshot();
+  const Status s = snap.Get(table, key, out);
+  AfterRead(backup, snap.timestamp());
   return s;
+}
+
+std::vector<Status> ClientSession::MultiGet(TableId table,
+                                            const std::vector<Key>& keys,
+                                            std::vector<Value>* out) {
+  ++stats_.reads;
+  Status route;
+  ReplicaBase* backup = AcquireBackup(&route);
+  if (backup == nullptr) {
+    out->assign(keys.size(), Value());
+    return std::vector<Status>(keys.size(), route);
+  }
+  const c5::Snapshot snap = backup->OpenSnapshot();
+  std::vector<Status> statuses = snap.MultiGet(table, keys, out);
+  AfterRead(backup, snap.timestamp());
+  return statuses;
+}
+
+Status ClientSession::Scan(TableId table, Key lo, Key hi,
+                           std::vector<std::pair<Key, Value>>* out) {
+  ++stats_.reads;
+  out->clear();
+  Status route;
+  ReplicaBase* backup = AcquireBackup(&route);
+  if (backup == nullptr) return route;
+  const c5::Snapshot snap = backup->OpenSnapshot();
+  for (auto it = snap.Scan(table, lo, hi); it.Valid(); it.Next()) {
+    out->emplace_back(it.key(), Value(it.value()));
+  }
+  AfterRead(backup, snap.timestamp());
+  return Status::Ok();
 }
 
 }  // namespace c5::replica

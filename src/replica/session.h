@@ -5,11 +5,16 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
 #include "replica/replica.h"
+
+namespace c5 {
+class Snapshot;  // api/snapshot.h
+}  // namespace c5
 
 namespace c5::replica {
 
@@ -41,6 +46,13 @@ class BackupSet {
   std::size_t size() const { return backups_.size(); }
   ReplicaBase* at(std::size_t i) const { return backups_[i]; }
 
+  // Re-points slot `i` after a backup was rebuilt in place (a BackupNode
+  // restart replaces its ReplicaBase; the dead one must not stay
+  // reachable). Like Add, not synchronized against concurrent readers:
+  // callers quiesce sessions first (Cluster does this during failover,
+  // when no primary is serving anyway).
+  void Assign(std::size_t i, ReplicaBase* backup) { backups_[i] = backup; }
+
   // The largest visibility timestamp across the set (diagnostics).
   Timestamp MaxVisible() const {
     Timestamp m = 0;
@@ -66,6 +78,10 @@ class BackupSet {
 // session token, and the token advances to (at least) the snapshot each
 // read used. Sessions are single-client objects; each client thread owns
 // its own.
+//
+// Every read — point Read, MultiGet, ordered Scan — runs on a c5::Snapshot
+// (api/snapshot.h) opened on the routed backup, so a batch or range
+// observes ONE stable monotonic-prefix-consistent state, not a per-key mix.
 class ClientSession {
  public:
   struct Options {
@@ -101,6 +117,19 @@ class ClientSession {
   // is a successful outcome (key absent at the snapshot).
   Status Read(TableId table, Key key, Value* out);
 
+  // Session-consistent batch read: every key is read at ONE snapshot (on
+  // one routed backup) covering the session token. statuses[i] is kNotFound
+  // for keys absent at that snapshot; a routing timeout fails every entry
+  // with kTimedOut.
+  std::vector<Status> MultiGet(TableId table, const std::vector<Key>& keys,
+                               std::vector<Value>* out);
+
+  // Session-consistent ordered range read over [lo, hi): the live keys and
+  // values at one routed snapshot covering the token, ascending. Returns
+  // kTimedOut when routing finds no eligible backup in time.
+  Status Scan(TableId table, Key lo, Key hi,
+              std::vector<std::pair<Key, Value>>* out);
+
   // The session's consistency token: no future read will observe a snapshot
   // below it.
   Timestamp token() const { return token_; }
@@ -109,6 +138,14 @@ class ClientSession {
  private:
   // Returns an eligible backup for the current token, or nullptr if none.
   ReplicaBase* PickBackup();
+
+  // Routing loop shared by every read: waits for an eligible backup (or
+  // times out -> nullptr with *status = kTimedOut).
+  ReplicaBase* AcquireBackup(Status* status);
+
+  // Advances the token past the snapshot a read used and charges the read
+  // to the backup's distribution stats.
+  void AfterRead(ReplicaBase* backup, Timestamp snapshot_ts);
 
   const BackupSet* backups_;
   Options options_;

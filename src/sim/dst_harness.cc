@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "api/cluster.h"
+#include "api/snapshot.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "core/protocol_factory.h"
@@ -15,7 +17,6 @@
 #include "log/log_collector.h"
 #include "log/segment_source.h"
 #include "sim/dst_oracle.h"
-#include "storage/checkpoint.h"
 #include "txn/mvtso_engine.h"
 #include "txn/two_phase_locking_engine.h"
 #include "workload/synthetic.h"
@@ -24,7 +25,6 @@ namespace c5::sim {
 
 namespace {
 
-using core::MakeReplica;
 using core::ProtocolKind;
 using core::ProtocolOptions;
 
@@ -115,11 +115,13 @@ void BuildPrimary(const DstPlan& plan, DstPrimary* p) {
 
 // ---- Live reader sampler ---------------------------------------------------
 
-// Runs read-only transactions against a replica while it replays: checks
+// Runs Snapshot reads against a replica while it replays: checks
 // snapshot-timestamp monotonicity (monotonic prefix consistency for a
-// session) and exercises the read path itself — Query Fresh's lazy
-// instantiation and the GC-vs-reader epoch protocol (the ASan/TSan lanes
-// turn latent races on this path into failures).
+// session), that no snapshot lands inside an armed recovery visibility
+// window, that ordered scans return strictly ascending keys, and exercises
+// the read path itself — Query Fresh's lazy instantiation and the
+// GC-vs-reader epoch protocol (the ASan/TSan lanes turn latent races on
+// this path into failures).
 class Sampler {
  public:
   Sampler(replica::ReplicaBase* base, TableId table, std::uint64_t keyspace,
@@ -138,25 +140,58 @@ class Sampler {
   bool monotonic() const {
     return monotonic_.load(std::memory_order_acquire);
   }
+  bool outside_window() const {
+    return outside_window_.load(std::memory_order_acquire);
+  }
+  bool scans_ordered() const {
+    return scans_ordered_.load(std::memory_order_acquire);
+  }
 
  private:
   void Run(replica::ReplicaBase* base, TableId table, std::uint64_t keyspace,
            std::uint64_t seed) {
     Rng rng(seed);
     Timestamp last = 0;
+    std::uint64_t iter = 0;
     while (!stop_.load(std::memory_order_acquire)) {
-      base->ReadOnlyTxn([&](Timestamp ts) {
+      {
+        const c5::Snapshot snap = base->OpenSnapshot();
+        const Timestamp ts = snap.timestamp();
         if (ts < last) monotonic_.store(false, std::memory_order_relaxed);
         last = ts;
-      });
-      Value v;
-      (void)base->ReadAtVisible(table, rng.Uniform(keyspace), &v);
+        // A published snapshot strictly inside the recovery window would
+        // expose the dead incarnation's non-prefix run-ahead states.
+        if (ts > base->RecoveryResume() && ts < base->RecoveryFloor()) {
+          outside_window_.store(false, std::memory_order_relaxed);
+        }
+        Value v;
+        (void)snap.Get(table, rng.Uniform(keyspace), &v);
+        if ((iter++ & 3) == 0) {
+          // Ordered range read over a random band; full value checking is
+          // the post-catch-up scan oracle's job — here the invariant is
+          // ordering under concurrent replay (plus ASan/TSan coverage of
+          // the iterator's version-chain walks).
+          const Key lo = rng.Uniform(keyspace);
+          Key prev_key = 0;
+          bool first = true;
+          for (auto it = snap.Scan(table, lo, lo + keyspace / 4); it.Valid();
+               it.Next()) {
+            if (!first && it.key() <= prev_key) {
+              scans_ordered_.store(false, std::memory_order_relaxed);
+            }
+            prev_key = it.key();
+            first = false;
+          }
+        }
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> monotonic_{true};
+  std::atomic<bool> outside_window_{true};
+  std::atomic<bool> scans_ordered_{true};
   std::thread thread_;
 };
 
@@ -192,20 +227,24 @@ std::vector<Timestamp> CheckPoints(const std::vector<Timestamp>& boundaries) {
   return out;
 }
 
-// `hole_lo`/`hole_hi` bound the recovery visibility hole of an in-place
-// crash restart: the dead incarnation's workers ran ahead of its published
-// checkpoint, and redelivery's idempotence guard skips those rows, so
-// historical states strictly inside (hole_lo, hole_hi) are legitimately not
-// prefix-exact (docs/TESTING.md). Zero/zero means no hole.
+// Post-catch-up state checks for one replica. The node's own declared
+// recovery window (resume, floor) bounds the historical states an in-place
+// restart legitimately cannot reproduce — the dead incarnation's run-ahead
+// rows keep permanent holes in that range, which is exactly why the
+// visibility contract makes the range unreadable (no snapshot is ever
+// published inside it; the sampler and the window-closed assert enforce
+// that side). `history_floor` bounds checkpoint-file compression: a
+// restored database stores one version per row, so history BELOW the
+// checkpoint is gone by construction.
 void CheckReplicaState(const std::string& who, DstPrimary& primary,
-                       storage::Database& backup,
-                       Timestamp final_visible, bool gc_active,
-                       Timestamp hole_lo, Timestamp hole_hi,
+                       c5::BackupNode& node, Timestamp final_visible,
+                       bool gc_active, Timestamp history_floor,
                        const std::vector<Timestamp>& boundaries,
                        DstReport* report) {
   auto fail = [&](std::string why) {
     report->violations.push_back(who + ": " + std::move(why));
   };
+  storage::Database& backup = node.db();
   if (final_visible != primary.log.MaxTimestamp()) {
     fail("final visibility watermark " + std::to_string(final_visible) +
          " does not cover the log (max ts " +
@@ -218,15 +257,29 @@ void CheckReplicaState(const std::string& who, DstPrimary& primary,
   if (!ChainsStrictlyOrdered(backup, &detail)) {
     fail("version chains: " + detail);
   }
+
+  // Range-scan oracle over the final snapshot: Scan must agree with the log
+  // materialization under bound-row semantics (dst_oracle.h).
+  {
+    const c5::Snapshot snap = node.reader().OpenSnapshot();
+    if (!CheckScanOracle(snap, primary.table, primary.log,
+                         report->plan.keyspace, &detail)) {
+      fail(detail);
+    }
+    ++report->scan_checks;
+  }
+
   // Historical prefix checks need retained history; a replica that GC'd
   // during replay legitimately truncated below its horizon, so only the
   // final state is comparable there (ASan enforces the reclamation side).
   if (gc_active) return;
-  const auto in_hole = [&](Timestamp ts) {
-    return ts > hole_lo && ts < hole_hi;
+  const Timestamp window_lo = node.reader().RecoveryResume();
+  const Timestamp window_hi = node.reader().RecoveryFloor();
+  const auto unreadable = [&](Timestamp ts) {
+    return ts < history_floor || (ts > window_lo && ts < window_hi);
   };
   for (const Timestamp ts : CheckPoints(boundaries)) {
-    if (in_hole(ts)) continue;
+    if (unreadable(ts)) continue;
     if (StateDigest(backup, ts) != StateDigest(primary.db, ts)) {
       fail("state at prefix boundary ts " + std::to_string(ts) +
            " is not a prefix of the primary's history:" +
@@ -235,7 +288,7 @@ void CheckReplicaState(const std::string& who, DstPrimary& primary,
   }
   const Timestamp median = boundaries[boundaries.size() / 2];
   for (const Timestamp ts : {median, boundaries.back()}) {
-    if (in_hole(ts)) continue;
+    if (unreadable(ts)) continue;
     if (!CheckLogicalSnapshotOracle(backup, primary.log, ts, &detail)) {
       fail(detail);
       break;
@@ -244,23 +297,35 @@ void CheckReplicaState(const std::string& who, DstPrimary& primary,
 }
 
 // Runs one replica incarnation over `source` with a live reader sampler
-// attached: start, drain, record the final visibility watermark, stop.
-// Appends a violation if the sampler observed a snapshot regression.
-Timestamp RunIncarnation(const DstPlan& plan, ProtocolKind kind,
-                         const ProtocolOptions& opts, storage::Database* db,
-                         log::SegmentSource* source, TableId table,
-                         std::uint64_t sampler_seed, const std::string& who,
-                         const char* phase, DstReport* report) {
-  auto replica = MakeReplica(kind, db, opts);
-  auto* base = dynamic_cast<replica::ReplicaBase*>(replica.get());
-  Sampler sampler(base, table, plan.keyspace, sampler_seed);
-  replica->Start(source);
-  replica->WaitUntilCaughtUp();
-  const Timestamp visible = replica->VisibleTimestamp();
-  replica->Stop();
+// attached: (re)start, drain, record the final visibility watermark, stop.
+// Appends violations for sampler-observed breaches (snapshot regression,
+// recovery-window exposure, scan ordering).
+Timestamp RunIncarnation(c5::BackupNode& node, const DstPlan& plan,
+                         log::SegmentSource* source, bool restart,
+                         TableId table, std::uint64_t sampler_seed,
+                         const std::string& who, const char* phase,
+                         DstReport* report) {
+  if (restart) {
+    node.Restart(source);
+  } else {
+    node.Start(source);
+  }
+  Sampler sampler(&node.reader(), table, plan.keyspace, sampler_seed);
+  node.WaitUntilCaughtUp();
+  const Timestamp visible = node.VisibleTimestamp();
+  node.Stop();
   sampler.StopAndJoin();
   if (!sampler.monotonic()) {
     report->violations.push_back(who + ": reader snapshot regressed " +
+                                 phase);
+  }
+  if (!sampler.outside_window()) {
+    report->violations.push_back(
+        who + ": reader observed a snapshot inside the recovery window " +
+        phase);
+  }
+  if (!sampler.scans_ordered()) {
+    report->violations.push_back(who + ": scan returned out-of-order keys " +
                                  phase);
   }
   return visible;
@@ -282,10 +347,12 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
   const bool gc_active =
       plan.gc_every > 0 &&
       (kind == ProtocolKind::kC5 || kind == ProtocolKind::kC5MyRocks);
-  ProtocolOptions opts;
-  opts.num_workers = plan.num_workers;
-  opts.snapshot_interval = std::chrono::microseconds(100);
-  opts.gc_every = plan.gc_every;
+  c5::BackupOptions node_options;
+  node_options.protocol = kind;
+  node_options.protocol_options.num_workers = plan.num_workers;
+  node_options.protocol_options.snapshot_interval =
+      std::chrono::microseconds(100);
+  node_options.protocol_options.gc_every = plan.gc_every;
 
   const std::size_t num_segs = primary.log.NumSegments();
   // Channels outlive replicas AND state checks: lazy protocols keep
@@ -302,16 +369,14 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
     return;
   }
 
-  storage::Database backup;
-  backup.CreateTable("dst", 1u << 12);
+  auto node = std::make_unique<c5::BackupNode>(node_options);
+  node->CreateTable("dst", 1u << 12);
 
   const bool crash = allow_crash && plan.crash &&
                      channel.delivered().size() >= 2;
   std::unique_ptr<DstChannel> resume_channel;
-  storage::Database restored;  // checkpoint-file restart target
-  storage::Database* active_db = &backup;
   Timestamp final_visible = 0;
-  Timestamp hole_lo = 0, hole_hi = 0;
+  Timestamp history_floor = 0;  // checkpoint-file compression bound
 
   if (crash) {
     // Incarnation 1: loses its feed mid-replay (the crash injector), drains
@@ -324,53 +389,47 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
     DstChannel::Source source = channel.MakeSource(
         0, std::min(cut, channel.delivered().size() - 1));
     const Timestamp checkpoint =
-        RunIncarnation(plan, kind, opts, &backup, &source, primary.table,
+        RunIncarnation(*node, plan, &source, /*restart=*/false, primary.table,
                        plan.seed ^ salt, who, "before the crash", report);
-
-    // In-place restart keeps the dead incarnation's run-ahead writes;
-    // redelivery skips those rows' intermediate versions (idempotence
-    // guard), so states strictly between the checkpoint and the run-ahead
-    // mark are not prefix-exact. The checkpoint-FILE path below rebuilds
-    // state at exactly `checkpoint`, which erases the hole.
-    hole_lo = checkpoint;
-    hole_hi = MaxCommittedTimestamp(backup);
 
     if (plan.crash_via_checkpoint_file) {
       // Restart path B: surviving state is rebuilt from a checkpoint file
-      // (storage/checkpoint.h) in a fresh database, as a cold restart would.
+      // (storage/checkpoint.h) in a fresh node, as a cold restart would.
       const std::string path =
           (std::filesystem::temp_directory_path() /
            ("c5_dst_" + std::to_string(plan.seed) + "_" +
             std::to_string(salt) + ".ckpt"))
               .string();
-      const Status w = storage::WriteCheckpoint(backup, checkpoint, path);
+      const Status w = node->WriteCheckpoint(path);
       if (!w.ok()) {
         fail("checkpoint write failed: " + std::string(w.message()));
         return;
       }
-      restored.CreateTable("dst", 1u << 12);
-      Timestamp loaded_ts = 0;
-      const Status l = storage::LoadCheckpoint(&restored, path, &loaded_ts);
+      auto restored = std::make_unique<c5::BackupNode>(node_options);
+      restored->CreateTable("dst", 1u << 12);
+      const Status l = restored->RestoreFromCheckpoint(path);
       std::filesystem::remove(path);
       if (!l.ok()) {
         fail("checkpoint load failed: " + std::string(l.message()));
         return;
       }
-      if (loaded_ts != checkpoint) {
+      if (restored->restored_timestamp() != checkpoint) {
         fail("checkpoint round trip changed the resume timestamp");
         return;
       }
-      active_db = &restored;
+      node = std::move(restored);
       // The checkpoint file stores ONE version per row (the newest at or
       // below `checkpoint`): the restored database reads exactly at and
       // above the checkpoint, but history BELOW it is compressed away.
-      hole_lo = 0;
-      hole_hi = checkpoint;
+      history_floor = checkpoint;
     }
 
-    // Incarnation 2: a fresh instance resumes from the checkpoint. The
-    // boundary segment is redelivered (through a fresh faulty channel);
-    // idempotent apply discards the overlap.
+    // Incarnation 2: resume from the checkpoint. The boundary segment is
+    // redelivered (through a fresh faulty channel); idempotent apply
+    // discards the overlap. An in-place restart arms the recovery
+    // visibility window (BackupNode::Restart) over the dead incarnation's
+    // run-ahead writes; a checkpoint-file restart has an empty window (the
+    // restored state IS the checkpoint).
     std::size_t resume_seg = 0;
     while (resume_seg < num_segs &&
            primary.log.segment(resume_seg)->MaxTimestamp() <= checkpoint) {
@@ -379,7 +438,18 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
     if (resume_seg == num_segs) {
       // The cut landed after every pristine segment (the tail of the
       // delivered sequence was all stale duplicates): the dead incarnation
-      // had already caught up, so there is nothing to resume.
+      // had already caught up, so there is nothing to resume. A
+      // checkpoint-FILE restart still must START its restored node over
+      // the empty tail — Start is what publishes the checkpoint timestamp
+      // (otherwise the node reads at 0 and every post-run oracle below
+      // would vacuously check an empty snapshot).
+      if (plan.crash_via_checkpoint_file) {
+        log::Log empty_tail;
+        log::OfflineSegmentSource none(&empty_tail);
+        node->Start(&none);
+        node->WaitUntilCaughtUp();
+        node->Stop();
+      }
       final_visible = checkpoint;
     } else {
       resume_channel = std::make_unique<DstChannel>(
@@ -391,15 +461,25 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
         return;
       }
       DstChannel::Source resume_source = resume_channel->MakeSource();
-      final_visible = RunIncarnation(plan, kind, opts, active_db,
-                                     &resume_source, primary.table,
+      const bool in_place = !plan.crash_via_checkpoint_file;
+      final_visible = RunIncarnation(*node, plan, &resume_source, in_place,
+                                     primary.table,
                                      plan.seed ^ salt ^ 0xC2A54ull, who,
                                      "after the restart", report);
+      ++report->crash_restarts;
+      if (node->reader().RecoveryWindowClosed()) {
+        ++report->recovery_windows_closed;
+      } else {
+        fail("recovery window (" +
+             std::to_string(node->reader().RecoveryResume()) + ", " +
+             std::to_string(node->reader().RecoveryFloor()) +
+             ") still open after catch-up");
+      }
     }
   } else {
     DstChannel::Source source = channel.MakeSource();
     final_visible =
-        RunIncarnation(plan, kind, opts, &backup, &source, primary.table,
+        RunIncarnation(*node, plan, &source, /*restart=*/false, primary.table,
                        plan.seed ^ salt, who, "during replay", report);
   }
 
@@ -407,11 +487,11 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
     // Planted violation: a GC that ignores the reader/visibility horizon
     // reclaims versions a prefix reader could still observe. The quartile
     // prefix digests below must flag the loss.
-    active_db->CollectGarbage(primary.log.MaxTimestamp());
+    node->db().CollectGarbage(primary.log.MaxTimestamp());
   }
 
-  CheckReplicaState(who, primary, *active_db, final_visible, gc_active,
-                    hole_lo, hole_hi, boundaries, report);
+  CheckReplicaState(who, primary, *node, final_visible, gc_active,
+                    history_floor, boundaries, report);
 }
 
 // ---- Mid-replay promotion scenario -----------------------------------------
@@ -437,22 +517,23 @@ void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
 
   // The victim replays the faulted prefix with readers attached, drains,
   // and is promoted with transactions still outstanding above the prefix.
-  storage::Database victim;
+  c5::BackupOptions victim_options;
+  victim_options.protocol = ProtocolKind::kC5;
+  victim_options.protocol_options.num_workers = plan.num_workers;
+  victim_options.protocol_options.snapshot_interval =
+      std::chrono::microseconds(100);
+  c5::BackupNode victim(victim_options);
   victim.CreateTable("dst", 1u << 12);
-  ProtocolOptions opts;
-  opts.num_workers = plan.num_workers;
-  opts.snapshot_interval = std::chrono::microseconds(100);
   DstChannel::Source source = channel.MakeSource();
   const Timestamp applied = RunIncarnation(
-      plan, ProtocolKind::kC5, opts, &victim, &source, primary.table,
+      victim, plan, &source, /*restart=*/false, primary.table,
       plan.seed ^ 0x9E57ull, "promotion", "before promotion", report);
   if (applied == 0) {
     fail("victim applied nothing before promotion");
     return;
   }
 
-  auto promoted =
-      ha::PromoteToPrimary(&victim, applied, plan.promote_engine);
+  auto promoted = victim.Promote(plan.promote_engine);
   Rng prng(plan.seed ^ 0xD57'0000'0004ull);
   for (std::uint64_t i = 0; i < plan.promoted_txns; ++i) {
     const Status s = promoted->engine->ExecuteWithRetry([&](txn::Txn& txn) {
@@ -479,18 +560,17 @@ void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
 
   // Oracle: a single-thread replica replays the SAME prefix plus the
   // promoted node's log, serially. Post-promotion state must match.
-  storage::Database oracle;
+  c5::BackupNode oracle({.protocol = ProtocolKind::kSingleThread});
   oracle.CreateTable("dst", 1u << 12);
   log::PrefixSegmentSource prefix_source(&primary.log, prefix);
   log::OfflineSegmentSource new_source(&new_log);
   ha::ChainedSegmentSource chained({&prefix_source, &new_source});
-  auto replica = MakeReplica(ProtocolKind::kSingleThread, &oracle, {});
-  replica->Start(&chained);
-  replica->WaitUntilCaughtUp();
-  replica->Stop();
+  oracle.Start(&chained);
+  oracle.WaitUntilCaughtUp();
+  oracle.Stop();
 
-  if (StateDigest(victim, kMaxTimestamp) !=
-      StateDigest(oracle, kMaxTimestamp)) {
+  if (StateDigest(victim.db(), kMaxTimestamp) !=
+      StateDigest(oracle.db(), kMaxTimestamp)) {
     fail("post-promotion state diverges from the single-thread oracle");
   }
 }

@@ -8,6 +8,9 @@
 // protocols, optionally with a crash/restart of the first replica (resuming
 // from its visibility checkpoint, sometimes through a checkpoint-file round
 // trip) and a mid-replay promotion checked against a single-thread oracle.
+// Replicas are constructed and read exclusively through the public API
+// surface (c5::BackupNode + c5::Snapshot), so the harness also exercises
+// what applications actually call.
 //
 // Invariants checked after every run (dst_oracle.h):
 //  1. Prefix consistency: the replica's state digested at every quartile
@@ -18,14 +21,22 @@
 //  3. Per-row version chains are strictly ordered (idempotent apply never
 //     installs duplicates, under any redelivery schedule).
 //  4. Logical-snapshot oracle: reads at a prefix boundary match the §4.2
-//     write-sequence semantics materialized from the log alone.
+//     write-sequence semantics materialized from the log alone — including
+//     keys whose row id changed (timestamp-aware index binding).
 //  5. Monotonic prefix consistency for live readers: a sampler thread runs
-//     read-only transactions throughout and its snapshot timestamps never
-//     regress (and its reads — which drive Query Fresh's lazy instantiation
-//     and race against epoch GC — never touch reclaimed memory; the ASan
+//     Snapshot reads (point gets and ordered scans) throughout; its
+//     snapshot timestamps never regress, scans return strictly ascending
+//     keys, and its reads — which drive Query Fresh's lazy instantiation
+//     and race against epoch GC — never touch reclaimed memory (the ASan
 //     lane enforces that part).
 //  6. Post-promotion state equals a single-thread oracle's replay of the
 //     same prefix plus the promoted node's log.
+//  7. Recovery visibility window: a replica restarted on surviving state
+//     never publishes a snapshot inside its window (no reader can observe
+//     the dead incarnation's run-ahead states), and the window is CLOSED
+//     once the restarted replica is caught up.
+//  8. Scan oracle: ordered range reads over the final snapshot match the
+//     log materialization (range digests, not just point keys).
 //
 // Failures print the seed; rerunning with C5_DST_SEED=<seed> reproduces the
 // fault schedule bit for bit.
@@ -64,6 +75,13 @@ struct DstReport {
   std::uint64_t primary_digest = 0;   // primary state at end of history
   std::uint64_t log_records = 0;
   std::uint64_t log_txns = 0;
+  // Recovery-window accounting: how many crash/restart incarnations ran,
+  // and how many of their windows were closed at catch-up. dst_test asserts
+  // these are equal across the sweep (and nonzero overall).
+  std::uint64_t crash_restarts = 0;
+  std::uint64_t recovery_windows_closed = 0;
+  // Range-scan oracle executions (one per convergence replica).
+  std::uint64_t scan_checks = 0;
   std::vector<std::string> violations;
 
   bool ok() const { return violations.empty(); }

@@ -1,7 +1,7 @@
 #include "sim/dst_oracle.h"
 
 #include <map>
-#include <set>
+#include <optional>
 #include <utility>
 
 #include "storage/logical_snapshot.h"
@@ -58,6 +58,50 @@ std::string DescribeVersion(const storage::Version* v) {
     }
   }
   return s + "]";
+}
+
+// What an index read at `ts` must observe for every key the log mentions,
+// under the timestamp-aware single-valued index semantics:
+//  * bound_row — the row of the key's newest record over the WHOLE log
+//    (HashIndex::UpsertIfNewer converges there whatever order parallel
+//    workers apply the records in);
+//  * value — last-writer-wins over the prefix commit_ts <= ts RESTRICTED to
+//    bound_row (older row incarnations are unreachable through the present
+//    index); nullopt when absent or deleted there.
+struct KeyExpect {
+  RowId bound_row = kInvalidRowId;
+  Timestamp bound_ts = 0;
+  std::optional<Value> value;
+};
+
+std::map<std::pair<TableId, Key>, KeyExpect> MaterializeByBoundRow(
+    const log::Log& log, Timestamp ts) {
+  std::map<std::pair<TableId, Key>, KeyExpect> out;
+  // Pass 1: bound rows. Iterating in log order with >= makes the latest
+  // record win (commit timestamps are non-decreasing in log order).
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    for (const log::LogRecord& rec : log.segment(s)->records()) {
+      KeyExpect& e = out[{rec.table, rec.key}];
+      if (rec.commit_ts >= e.bound_ts) {
+        e.bound_ts = rec.commit_ts;
+        e.bound_row = rec.row;
+      }
+    }
+  }
+  // Pass 2: materialize the visible prefix of each bound row.
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    for (const log::LogRecord& rec : log.segment(s)->records()) {
+      if (rec.commit_ts > ts) continue;
+      KeyExpect& e = out[{rec.table, rec.key}];
+      if (rec.row != e.bound_row) continue;
+      if (rec.op == OpType::kDelete) {
+        e.value.reset();
+      } else {
+        e.value = rec.value;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -164,71 +208,38 @@ bool LogWellFormed(const log::Log& log, std::string* detail) {
   return true;
 }
 
-Timestamp MaxCommittedTimestamp(storage::Database& db) {
-  const auto guard = db.epochs().Enter();
-  Timestamp max_ts = 0;
-  for (TableId t = 0; t < db.NumTables(); ++t) {
-    const storage::Table& table = db.table(t);
-    const RowId n = table.NumRows();
-    for (RowId r = 0; r < n; ++r) {
-      const storage::Version* v = table.ReadLatestCommitted(r);
-      if (v != nullptr && v->write_ts > max_ts) max_ts = v->write_ts;
-    }
-  }
-  return max_ts;
-}
-
 bool CheckLogicalSnapshotOracle(storage::Database& db, const log::Log& log,
                                 Timestamp ts, std::string* detail) {
-  // Keys that ever map to a second row id are invisible to historical
-  // index reads (see header); collect them over the WHOLE log, not just
-  // the prefix — the re-insert may happen after `ts`.
-  std::map<std::pair<TableId, Key>, RowId> row_of;
-  std::set<std::pair<TableId, Key>> multi_row;
-  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
-    for (const log::LogRecord& rec : log.segment(s)->records()) {
-      const auto [it, inserted] =
-          row_of.try_emplace({rec.table, rec.key}, rec.row);
-      if (!inserted && it->second != rec.row) {
-        multi_row.insert({rec.table, rec.key});
-      }
-    }
-  }
-
-  storage::LogicalSnapshot snap = storage::LogicalSnapshot::NewSnapshot();
-  std::set<std::pair<TableId, Key>> keys;
-  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
-    for (const log::LogRecord& rec : log.segment(s)->records()) {
-      if (rec.commit_ts > ts) continue;
-      if (!multi_row.contains({rec.table, rec.key})) {
-        keys.emplace(rec.table, rec.key);
-      }
-      switch (rec.op) {
-        case OpType::kInsert:
-          snap.Insert(rec.table, rec.key, rec.value);
-          break;
-        case OpType::kUpdate:
-          snap.Update(rec.table, rec.key, rec.value);
-          break;
-        case OpType::kDelete:
-          snap.Delete(rec.table, rec.key);
-          break;
-      }
-    }
-  }
+  const auto expectations = MaterializeByBoundRow(log, ts);
 
   const auto guard = db.epochs().Enter();
-  for (const auto& [table, key] : keys) {
-    const auto expect = snap.Read(table, key);
+  for (const auto& [tk, expect] : expectations) {
+    const auto& [table, key] = tk;
+    // The index must have converged to the newest row for the key — the
+    // timestamp-aware binding invariant (the database is caught up to the
+    // whole log when the oracle runs, so the binding is final).
+    const auto bound = db.index(table).Lookup(key);
+    if (!bound.has_value() || *bound != expect.bound_row) {
+      if (detail != nullptr) {
+        *detail = "index binding mismatch at table " + std::to_string(table) +
+                  " key " + std::to_string(key) + ": bound to " +
+                  (bound.has_value() ? "row " + std::to_string(*bound)
+                                     : std::string("nothing")) +
+                  ", newest record is on row " +
+                  std::to_string(expect.bound_row) + " (ts " +
+                  std::to_string(expect.bound_ts) + ")";
+      }
+      return false;
+    }
     const storage::Version* v = db.ReadKeyAt(table, key, ts);
     const bool db_live = v != nullptr && !v->deleted;
-    if (expect.has_value() != db_live ||
-        (db_live && *expect != v->value())) {
+    if (expect.value.has_value() != db_live ||
+        (db_live && *expect.value != v->value())) {
       if (detail != nullptr) {
         *detail = "logical snapshot mismatch at ts " + std::to_string(ts) +
                   " table " + std::to_string(table) + " key " +
                   std::to_string(key) + ": log prefix says " +
-                  (expect.has_value() ? "live" : "absent") +
+                  (expect.value.has_value() ? "live" : "absent") +
                   ", database says " + (db_live ? "live" : "absent") +
                   "; log history:";
         for (std::size_t s = 0; s < log.NumSegments(); ++s) {
@@ -242,19 +253,72 @@ bool CheckLogicalSnapshotOracle(storage::Database& db, const log::Log& log,
           }
         }
         *detail += "; db chain:";
-        const auto row = db.index(table).Lookup(key);
-        if (!row.has_value()) {
-          *detail += " (key not in index)";
-        } else {
-          for (const storage::Version* c =
-                   db.table(table).ReadLatestCommitted(*row);
-               c != nullptr; c = c->Next()) {
-            *detail += " " + std::to_string(c->write_ts) +
-                       (c->deleted ? "D" : "");
-          }
+        for (const storage::Version* c =
+                 db.table(table).ReadLatestCommitted(expect.bound_row);
+             c != nullptr; c = c->Next()) {
+          *detail += " " + std::to_string(c->write_ts) +
+                     (c->deleted ? "D" : "");
         }
       }
       return false;
+    }
+  }
+  return true;
+}
+
+bool CheckScanOracle(const Snapshot& snap, TableId table, const log::Log& log,
+                     std::uint64_t keyspace, std::string* detail) {
+  const Timestamp ts = snap.timestamp();
+  const auto expectations = MaterializeByBoundRow(log, ts);
+
+  const auto fail = [&](Key lo, Key hi, std::string why) {
+    if (detail != nullptr) {
+      *detail = "scan oracle [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + ") at ts " + std::to_string(ts) + ": " +
+                std::move(why);
+    }
+    return false;
+  };
+
+  // Three deterministic sub-ranges: whole space, a middle band, a narrow
+  // band (exercises empty-result and boundary-straddling scans too).
+  const std::pair<Key, Key> ranges[] = {
+      {0, keyspace},
+      {keyspace / 4, (3 * keyspace) / 4},
+      {keyspace / 2, keyspace / 2 + std::max<std::uint64_t>(1, keyspace / 8)},
+  };
+  for (const auto& [lo, hi] : ranges) {
+    // Expected: the live keys in [lo, hi), ascending (the map is ordered).
+    std::vector<std::pair<Key, Value>> want;
+    for (const auto& [tk, expect] : expectations) {
+      if (tk.first != table) continue;
+      if (tk.second < lo || tk.second >= hi) continue;
+      if (expect.value.has_value()) want.emplace_back(tk.second, *expect.value);
+    }
+    auto it = snap.Scan(table, lo, hi);
+    std::size_t i = 0;
+    for (; it.Valid(); it.Next(), ++i) {
+      if (i >= want.size()) {
+        return fail(lo, hi,
+                    "extra key " + std::to_string(it.key()) +
+                        " beyond the " + std::to_string(want.size()) +
+                        " expected");
+      }
+      if (it.key() != want[i].first) {
+        return fail(lo, hi,
+                    "position " + std::to_string(i) + " returned key " +
+                        std::to_string(it.key()) + ", want " +
+                        std::to_string(want[i].first));
+      }
+      if (it.value() != want[i].second) {
+        return fail(lo, hi,
+                    "key " + std::to_string(it.key()) + " value mismatch");
+      }
+    }
+    if (i != want.size()) {
+      return fail(lo, hi,
+                  "scan ended after " + std::to_string(i) + " keys, want " +
+                      std::to_string(want.size()));
     }
   }
   return true;

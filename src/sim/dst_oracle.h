@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/snapshot.h"
 #include "common/types.h"
 #include "log/log_segment.h"
 #include "storage/database.h"
@@ -47,14 +48,6 @@ std::vector<Timestamp> TxnBoundaries(const log::Log& log);
 // spanning segments, timestamps non-decreasing, base_seq contiguous.
 bool LogWellFormed(const log::Log& log, std::string* detail);
 
-// Largest committed write timestamp present anywhere in the database. After
-// a crash, this is the dead incarnation's run-ahead high-water mark: workers
-// may have applied writes above the published visibility checkpoint, and
-// redelivery's idempotence guard will skip those rows' intermediate
-// versions, so historical states strictly between the checkpoint and this
-// mark are not prefix-exact (see docs/TESTING.md).
-Timestamp MaxCommittedTimestamp(storage::Database& db);
-
 // The §4.2 logical-snapshot oracle: materializes the log prefix with
 // commit_ts <= ts through storage::LogicalSnapshot (the paper's Table 2
 // semantics — a snapshot IS a sequence of writes) and compares every key it
@@ -62,14 +55,25 @@ Timestamp MaxCommittedTimestamp(storage::Database& db);
 // comparison against the primary would also catch, but attributes it to a
 // key, and — unlike the digest — needs no primary, only the log.
 //
-// Keys whose records span more than one row id anywhere in the log (a
-// delete followed by a re-insert allocates a fresh row) are skipped: the
-// single-valued index resolves such keys to their newest row on primary and
-// backup alike, so index-based historical reads cannot see the old row —
-// an artifact of reading the past through the present index, not a replica
-// divergence.
+// Keys whose records span more than one row id (a delete followed by a
+// re-insert allocates a fresh row) are fully checked: the single-valued,
+// timestamp-aware index (HashIndex::UpsertIfNewer) must bind such a key to
+// the row of its NEWEST record over the whole log — the oracle asserts that
+// binding — and an index read at `ts` then observes exactly the bound row's
+// history, so the expectation is the log prefix restricted to that row
+// (records of older incarnations are unreachable through the present
+// index, on primary and backup alike).
 bool CheckLogicalSnapshotOracle(storage::Database& db, const log::Log& log,
                                 Timestamp ts, std::string* detail);
+
+// Range-scan oracle for the Snapshot read surface: Snapshot::Scan over
+// deterministic sub-ranges of [0, keyspace) must return exactly the live
+// (key, value) sequence, ascending, that the log materialized at the
+// snapshot's timestamp yields under the same bound-row semantics as the
+// point oracle. Catches ordering bugs, dropped/duplicated keys, and
+// tombstones leaking into scans — none of which point gets exercise.
+bool CheckScanOracle(const Snapshot& snap, TableId table, const log::Log& log,
+                     std::uint64_t keyspace, std::string* detail);
 
 }  // namespace c5::sim
 

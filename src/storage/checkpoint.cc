@@ -50,20 +50,28 @@ Status WriteCheckpoint(const Database& db, Timestamp ts,
     const auto guard = epochs.Enter();
     for (TableId t = 0; t < db.NumTables(); ++t) {
       PutInt<std::uint32_t>(&body, t);
-      // Collect the live (key, row) entries at ts via the index; the index
-      // keeps entries for deleted rows, so tombstones are captured too.
-      std::vector<std::pair<Key, RowId>> entries;
-      db.index(t).ForEach(
-          [&entries](Key key, RowId row) { entries.emplace_back(key, row); });
+      // Collect the live (key, row, binding-ts) entries at ts via the index;
+      // the index keeps entries for deleted rows, so tombstones are captured
+      // too.
+      struct Entry {
+        Key key;
+        RowId row;
+        Timestamp bind_ts;
+      };
+      std::vector<Entry> entries;
+      db.index(t).ForEach([&entries](Key key, RowId row, Timestamp bind_ts) {
+        entries.push_back({key, row, bind_ts});
+      });
       // Count entries with a version at ts first (absent rows are elided).
       std::string table_body;
       std::uint64_t count = 0;
       const Table& table = db.table(t);
-      for (const auto& [key, row] : entries) {
+      for (const auto& [key, row, bind_ts] : entries) {
         const Version* v = table.ReadAt(row, ts);
         if (v == nullptr) continue;
         PutInt<std::uint64_t>(&table_body, key);
         PutInt<std::uint64_t>(&table_body, row);
+        PutInt<std::uint64_t>(&table_body, bind_ts);
         PutInt<std::uint64_t>(&table_body, v->write_ts);
         PutInt<std::uint8_t>(&table_body, v->deleted ? 1 : 0);
         PutInt<std::uint32_t>(&table_body,
@@ -153,10 +161,10 @@ Status LoadCheckpoint(Database* db, const std::string& path,
     Table& table = db->table(table_id);
     index::HashIndex& index = db->index(table_id);
     for (std::uint64_t i = 0; i < count; ++i) {
-      std::uint64_t key = 0, row = 0, write_ts = 0;
+      std::uint64_t key = 0, row = 0, bind_ts = 0, write_ts = 0;
       std::uint8_t deleted = 0;
       std::uint32_t value_len = 0;
-      if (!GetInt(&rd, &key) || !GetInt(&rd, &row) ||
+      if (!GetInt(&rd, &key) || !GetInt(&rd, &row) || !GetInt(&rd, &bind_ts) ||
           !GetInt(&rd, &write_ts) || !GetInt(&rd, &deleted) ||
           !GetInt(&rd, &value_len) || rd.size() < value_len) {
         return Status::InvalidArgument("malformed checkpoint entry");
@@ -165,7 +173,7 @@ Status LoadCheckpoint(Database* db, const std::string& path,
       rd.remove_prefix(value_len);
       table.EnsureRow(row);
       table.InstallCommitted(row, write_ts, value, deleted != 0);
-      index.Upsert(key, row);
+      index.UpsertIfNewer(key, row, bind_ts);
     }
   }
   if (!rd.empty()) {

@@ -26,16 +26,23 @@ namespace c5::storage {
 // File layout (little-endian):
 //   u32 magic 'C5CP'   u64 checkpoint_ts   u32 table_count
 //   per table: u32 table_id  u64 entry_count
-//     per entry: u64 key  u64 row  u64 write_ts  u8 deleted
+//     per entry: u64 key  u64 row  u64 bind_ts  u64 write_ts  u8 deleted
 //                u32 value_len  [value]
 //   u32 crc32c over everything after the magic
 //
 // Rows are addressed by key through each table's index; write_ts is the
 // version's original commit timestamp, so a loaded checkpoint is
 // indistinguishable from a replica that applied the prefix normally (the
-// resume path's idempotency checks keep working).
+// resume path's idempotency checks keep working). bind_ts is the index
+// binding's timestamp (index::HashIndex::UpsertIfNewer): persisting it keeps
+// bindings newest-ts-wins across a restart, so a key whose row id changed
+// (delete + re-insert) cannot be rebound to a dead row by redelivered
+// old-row records after recovery.
 
-inline constexpr std::uint32_t kCheckpointMagic = 0x50433543u;  // "C5CP"
+// "C5C2": bumped from "C5CP" when the entry layout gained bind_ts — a file
+// from the old format must fail with "bad checkpoint magic", not be
+// misparsed (the CRC covers bytes, not semantics).
+inline constexpr std::uint32_t kCheckpointMagic = 0x32433543u;
 
 // Writes a checkpoint of `db` at snapshot `ts` to `path` (atomically:
 // written to a temp file, fsynced, renamed). The caller must hold no

@@ -22,4 +22,17 @@ const Version* Database::ReadKeyAt(TableId tid, Key key, Timestamp ts) const {
   return tables_[tid]->ReadAt(*row, ts);
 }
 
+Timestamp Database::MaxCommittedTimestamp() {
+  const auto guard = epochs_.Enter();
+  Timestamp max_ts = 0;
+  for (auto& t : tables_) {
+    const RowId n = t->NumRows();
+    for (RowId r = 0; r < n; ++r) {
+      const Version* v = t->ReadLatestCommitted(r);
+      if (v != nullptr && v->write_ts > max_ts) max_ts = v->write_ts;
+    }
+  }
+  return max_ts;
+}
+
 }  // namespace c5::storage

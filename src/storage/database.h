@@ -55,6 +55,13 @@ class Database {
   // deleted flag via the returned version).
   const Version* ReadKeyAt(TableId tid, Key key, Timestamp ts) const;
 
+  // Largest committed write timestamp anywhere in the database
+  // (O(rows); takes an epoch guard internally). After a crash this is the
+  // dead incarnation's run-ahead high-water mark — the upper bound of the
+  // recovery visibility window a restarted replica must close before
+  // publishing snapshots (replica::ReplicaBase::SetRecoveryWindow).
+  Timestamp MaxCommittedTimestamp();
+
  private:
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::unique_ptr<index::HashIndex>> indexes_;

@@ -28,6 +28,19 @@ std::optional<Value> LogicalSnapshot::Read(TableId table, Key row) const {
   return it->second;
 }
 
+std::vector<std::pair<Key, Value>> LogicalSnapshot::ReadRange(TableId table,
+                                                              Key lo,
+                                                              Key hi) const {
+  std::vector<std::pair<Key, Value>> out;
+  // state_ is ordered by (table, key), so the range is one contiguous walk.
+  for (auto it = state_.lower_bound(std::make_pair(table, lo));
+       it != state_.end() && it->first.first == table && it->first.second < hi;
+       ++it) {
+    if (it->second.has_value()) out.emplace_back(it->first.second, *it->second);
+  }
+  return out;
+}
+
 bool LogicalSnapshot::StateEquals(const LogicalSnapshot& other) const {
   // Compare over the union of touched rows.
   for (const auto& [key, value] : state_) {

@@ -46,6 +46,17 @@ class LogicalSnapshot {
   // last write was a delete.
   std::optional<Value> Read(TableId table, Key row) const;
 
+  // Range form of Read: every live (key, value) of `table` with
+  // lo <= key < hi, sorted by key ascending. Deleted and never-written
+  // keys are absent. Note: this materializes pure last-writer-wins write
+  // sequences (Table 2 semantics); a physical Snapshot::Scan additionally
+  // reads through the single-valued index, so for keys whose ROW ID
+  // changed mid-history the two agree only at end-of-history (the DST
+  // scan oracle models that with bound-row materialization,
+  // sim/dst_oracle.cc).
+  std::vector<std::pair<Key, Value>> ReadRange(TableId table, Key lo,
+                                               Key hi) const;
+
   // Table 2 write operations. Insert/Update are distinguished only for log
   // fidelity; both set the row's value.
   void Insert(TableId table, Key row, Value value) {

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <set>
 
+#include "api/snapshot.h"
+
 namespace c5::workload::tpcc {
 
 namespace {
@@ -24,16 +26,50 @@ void FillName(char* dst, std::size_t n, const char* prefix,
 
 }  // namespace
 
+std::array<TableSpec, kNumTables> TableSpecs(const TpccConfig* config) {
+  std::array<TableSpec, kNumTables> specs = {{
+      {"warehouse", 0},
+      {"district", 0},
+      {"customer", 0},
+      {"history", 0},
+      {"new_order", 0},
+      {"order", 0},
+      {"order_line", 0},
+      {"item", 0},
+      {"stock", 0},
+  }};
+  if (config != nullptr) {
+    const std::uint64_t w = config->warehouses;
+    const std::uint64_t d = w * config->districts_per_warehouse;
+    const std::uint64_t c = d * config->customers_per_district;
+    // Index cardinalities from the schema (loaded rows), plus headroom for
+    // the grown tables: history/new_order/order accrue one row per
+    // transaction and order_line ~10, so reserve a few benchmark-runs'
+    // worth above the load.
+    const std::uint64_t expected[kNumTables] = {
+        /*warehouse=*/w,
+        /*district=*/d,
+        /*customer=*/c,
+        /*history=*/c * 4,
+        /*new_order=*/c * 4,
+        /*order=*/c * 4,
+        /*order_line=*/c * 16,
+        /*item=*/config->items,
+        /*stock=*/w * config->items,
+    };
+    for (TableId i = 0; i < kNumTables; ++i) {
+      specs[i].expected_keys = expected[i];
+    }
+  }
+  return specs;
+}
+
 namespace {
 
-void CreateTablesImpl(storage::Database* db,
-                      const std::uint64_t* expected /* nullable */) {
-  const char* names[kNumTables] = {"warehouse", "district",   "customer",
-                                   "history",   "new_order",  "order",
-                                   "order_line", "item",      "stock"};
+void CreateTablesImpl(storage::Database* db, const TpccConfig* config) {
+  const auto specs = TableSpecs(config);
   for (TableId i = 0; i < kNumTables; ++i) {
-    const TableId id =
-        db->CreateTable(names[i], expected == nullptr ? 0 : expected[i]);
+    const TableId id = db->CreateTable(specs[i].name, specs[i].expected_keys);
     (void)id;
     assert(id == i && "TPC-C tables must be created in TableIdx order");
   }
@@ -48,24 +84,7 @@ void CreateTables(storage::Database* db) {
 }
 
 void CreateTables(storage::Database* db, const TpccConfig& config) {
-  const std::uint64_t w = config.warehouses;
-  const std::uint64_t d = w * config.districts_per_warehouse;
-  const std::uint64_t c = d * config.customers_per_district;
-  // Index cardinalities from the schema (loaded rows), plus headroom for the
-  // grown tables: history/new_order/order accrue one row per transaction and
-  // order_line ~10, so reserve a few benchmark-runs' worth above the load.
-  const std::uint64_t expected[kNumTables] = {
-      /*warehouse=*/w,
-      /*district=*/d,
-      /*customer=*/c,
-      /*history=*/c * 4,
-      /*new_order=*/c * 4,
-      /*order=*/c * 4,
-      /*order_line=*/c * 16,
-      /*item=*/config.items,
-      /*stock=*/w * config.items,
-  };
-  CreateTablesImpl(db, expected);
+  CreateTablesImpl(db, &config);
 }
 
 std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
@@ -528,15 +547,12 @@ Status RunStockLevelOnBackup(replica::ReplicaBase& replica, Rng& rng,
   const std::uint32_t threshold =
       static_cast<std::uint32_t>(rng.UniformRange(10, 20));
   Status result = Status::Ok();
-  replica.ReadOnlyTxn([&](Timestamp ts) {
-    storage::Database& db = replica.db();
+  // One Snapshot = one stable read point for the whole query; Get also runs
+  // lazy protocols' deferred instantiation, so Query Fresh backups pay
+  // their §9 read-path cost here too.
+  replica.ReadOnlyTxn([&](const c5::Snapshot& snap) {
     result = StockLevelBody(
-        [&db, ts](TableId t, Key k, Value* out) {
-          const storage::Version* v = db.ReadKeyAt(t, k, ts);
-          if (v == nullptr || v->deleted) return Status::NotFound();
-          out->assign(v->value());
-          return Status::Ok();
-        },
+        [&snap](TableId t, Key k, Value* out) { return snap.Get(t, k, out); },
         config, w, d, threshold, low_stock);
   });
   return result;

@@ -1,6 +1,7 @@
 #ifndef C5_WORKLOAD_TPCC_H_
 #define C5_WORKLOAD_TPCC_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
@@ -37,6 +38,16 @@ struct TpccConfig {
 // pre-size — small-config tests should not pay full-scale reservations.
 void CreateTables(storage::Database* db);
 void CreateTables(storage::Database* db, const TpccConfig& config);
+
+// The schema as (name, pre-sizing hint) pairs in TableIdx order, for
+// mirroring through any surface that owns schema creation — e.g.
+// c5::Cluster::CreateTable, which propagates it to every backup. Pass
+// nullptr to skip pre-sizing (the plain CreateTables behaviour).
+struct TableSpec {
+  const char* name;
+  std::uint64_t expected_keys;
+};
+std::array<TableSpec, kNumTables> TableSpecs(const TpccConfig* config);
 
 // Populates warehouses, districts, customers, items, and stock through the
 // engine (so the backup can be populated by replication or by a second Load).

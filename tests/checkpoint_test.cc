@@ -79,6 +79,39 @@ TEST(CheckpointTest, CapturesTombstones) {
   std::filesystem::remove(path);
 }
 
+TEST(CheckpointTest, PersistsBindingTimestamps) {
+  // A key whose row id changed (delete + re-insert): the checkpointed index
+  // binding must carry its timestamp, so post-restore redelivery of the
+  // OLD row's records cannot rebind the key to the dead row.
+  storage::Database db;
+  const TableId table = db.CreateTable("kv");
+  db.table(table).EnsureRow(0);
+  db.table(table).EnsureRow(1);
+  // Row 0: created at ts 10, deleted at ts 20. Row 1: re-insert at ts 30.
+  db.table(table).InstallCommitted(0, 10, "old");
+  db.table(table).InstallCommitted(0, 20, "", /*deleted=*/true);
+  db.table(table).InstallCommitted(1, 30, "new");
+  db.index(table).UpsertIfNewer(/*key=*/7, /*row=*/0, /*ts=*/10);
+  db.index(table).UpsertIfNewer(/*key=*/7, /*row=*/1, /*ts=*/30);
+
+  const std::string path = TempPath("c5_ckpt_binding_ts.ckpt");
+  ASSERT_TRUE(storage::WriteCheckpoint(db, kMaxTimestamp, path).ok());
+  storage::Database restored;
+  restored.CreateTable("kv");
+  Timestamp ts = 0;
+  ASSERT_TRUE(storage::LoadCheckpoint(&restored, path, &ts).ok());
+
+  const auto binding = restored.index(table).LookupWithTs(7);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->first, 1u);
+  EXPECT_EQ(binding->second, 30u);
+  // Redelivered old-row creating record (at-least-once delivery after the
+  // restore) must lose against the persisted newest-ts binding.
+  EXPECT_FALSE(restored.index(table).UpsertIfNewer(7, 0, 10));
+  EXPECT_EQ(*restored.index(table).Lookup(7), 1u);
+  std::filesystem::remove(path);
+}
+
 TEST(CheckpointTest, CorruptionIsDetected) {
   auto run = test::RunSyntheticPrimary(false, 2, 50);
   const std::string path = TempPath("c5_ckpt_corrupt.ckpt");

@@ -1,0 +1,352 @@
+// The c5::Cluster public façade: bring-up, the Snapshot read surface (Get /
+// MultiGet / Scan) checked against a single-thread oracle replica in the
+// same fleet, session guarantees across backups, failover promotion through
+// the façade, and BackupNode's recovery visibility window.
+
+#include "api/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ha/recovery.h"
+#include "log/segment_source.h"
+#include "tests/test_util.h"
+#include "workload/synthetic.h"
+
+namespace c5 {
+namespace {
+
+Status PutInt(Cluster& cluster, TableId table, Key key, std::uint64_t n,
+              Timestamp* commit_ts = nullptr) {
+  return cluster.ExecuteWithRetry(
+      [&](txn::Txn& txn) {
+        return txn.Put(table, key, workload::EncodeIntValue(n));
+      },
+      commit_ts);
+}
+
+TEST(ClusterTest, BringUpExecuteAndPointReads) {
+  Cluster cluster(ClusterOptions{}
+                      .WithEngine(ha::EngineKind::kMvtso)
+                      .WithBackups(1, core::ProtocolKind::kC5)
+                      .WithWorkers(2));
+  const TableId t = cluster.CreateTable("kv");
+  cluster.Start();
+
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(PutInt(cluster, t, k, k * 10).ok());
+  }
+  cluster.StopPrimary();
+  cluster.WaitForBackups();
+
+  const Snapshot snap = cluster.OpenSnapshot();
+  Value v;
+  ASSERT_TRUE(snap.Get(t, 42, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 420u);
+  EXPECT_EQ(snap.Get(t, 100, &v).code(), StatusCode::kNotFound);
+
+  std::vector<Value> values;
+  const auto statuses = snap.MultiGet(t, {1, 2, 999}, &values);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_EQ(statuses[2].code(), StatusCode::kNotFound);
+  EXPECT_EQ(workload::DecodeIntValue(values[0]), 10u);
+  EXPECT_EQ(workload::DecodeIntValue(values[1]), 20u);
+  cluster.Shutdown();
+}
+
+TEST(ClusterTest, ScanIsOrderedHalfOpenAndSkipsDeleted) {
+  Cluster cluster(ClusterOptions{}.WithBackups(1).WithWorkers(2));
+  const TableId t = cluster.CreateTable("kv");
+  cluster.Start();
+
+  for (const std::uint64_t k : {9, 3, 27, 12, 18, 6}) {
+    ASSERT_TRUE(PutInt(cluster, t, k, k).ok());
+  }
+  ASSERT_TRUE(cluster
+                  .ExecuteWithRetry(
+                      [&](txn::Txn& txn) { return txn.Delete(t, 12); })
+                  .ok());
+  cluster.StopPrimary();
+  cluster.WaitForBackups();
+
+  const Snapshot snap = cluster.OpenSnapshot();
+  std::vector<Key> got;
+  for (auto it = snap.Scan(t, 3, 27); it.Valid(); it.Next()) {
+    got.push_back(it.key());
+    EXPECT_EQ(workload::DecodeIntValue(Value(it.value())), it.key());
+  }
+  // [3, 27): 27 excluded, 12 deleted, ascending order.
+  EXPECT_EQ(got, (std::vector<Key>{3, 6, 9, 18}));
+
+  // Empty range and absent band behave.
+  auto empty = snap.Scan(t, 100, 200);
+  EXPECT_FALSE(empty.Valid());
+  cluster.Shutdown();
+}
+
+// A heterogeneous fleet replays the same mixed workload; the parallel C5
+// backup's read surface must agree with the single-thread oracle backup's,
+// key by key and range by range.
+TEST(ClusterTest, SnapshotReadsMatchSingleThreadOracleAcrossFleet) {
+  constexpr std::uint64_t kKeyspace = 64;
+  ClusterOptions options;
+  options.WithEngine(ha::EngineKind::kMvtso)
+      .WithWorkers(4)
+      .AddBackup({.protocol = core::ProtocolKind::kC5})
+      .AddBackup({.protocol = core::ProtocolKind::kSingleThread});
+  Cluster cluster(options);
+  const TableId t = cluster.CreateTable("kv");
+  cluster.Start();
+
+  Rng rng(test::TestSeed(99));
+  for (int txn_i = 0; txn_i < 500; ++txn_i) {
+    (void)cluster.ExecuteWithRetry([&](txn::Txn& txn) {
+      const Key key = rng.Uniform(kKeyspace);
+      switch (rng.Uniform(3)) {
+        case 0: {
+          const Status s = txn.Delete(t, key);
+          return s.code() == StatusCode::kNotFound ? Status::Ok() : s;
+        }
+        default:
+          return txn.Put(t, key, workload::EncodeIntValue(rng.Next()));
+      }
+    });
+  }
+  cluster.StopPrimary();
+  cluster.WaitForBackups();
+
+  const Snapshot c5_snap = cluster.OpenSnapshot(0);
+  const Snapshot oracle_snap = cluster.OpenSnapshot(1);
+  EXPECT_EQ(c5_snap.timestamp(), oracle_snap.timestamp());
+  for (Key k = 0; k < kKeyspace; ++k) {
+    Value a, b;
+    const Status sa = c5_snap.Get(t, k, &a);
+    const Status sb = oracle_snap.Get(t, k, &b);
+    EXPECT_EQ(sa.code(), sb.code()) << "key " << k;
+    if (sa.ok() && sb.ok()) {
+      EXPECT_EQ(a, b) << "key " << k;
+    }
+  }
+  // Range reads agree too (the scan surface, not just point gets).
+  std::vector<std::pair<Key, Value>> got, want;
+  for (auto it = c5_snap.Scan(t, 0, kKeyspace); it.Valid(); it.Next()) {
+    got.emplace_back(it.key(), Value(it.value()));
+  }
+  for (auto it = oracle_snap.Scan(t, 0, kKeyspace); it.Valid(); it.Next()) {
+    want.emplace_back(it.key(), Value(it.value()));
+  }
+  EXPECT_EQ(got, want);
+  cluster.Shutdown();
+}
+
+TEST(ClusterTest, SnapshotPinsItsStateWhileTheBackupAdvances) {
+  Cluster cluster(ClusterOptions{}.WithBackups(1).WithWorkers(2));
+  const TableId t = cluster.CreateTable("kv");
+  cluster.Start();
+
+  Timestamp first_commit = 0;
+  ASSERT_TRUE(PutInt(cluster, t, 7, 1, &first_commit).ok());
+  cluster.Flush();
+  while (cluster.backup(0).VisibleTimestamp() < first_commit) {
+  }
+
+  const Snapshot pinned = cluster.OpenSnapshot();
+  Value v;
+  ASSERT_TRUE(pinned.Get(t, 7, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 1u);
+
+  Timestamp second_commit = 0;
+  ASSERT_TRUE(PutInt(cluster, t, 7, 2, &second_commit).ok());
+  cluster.Flush();
+  while (cluster.backup(0).VisibleTimestamp() < second_commit) {
+  }
+
+  // The old handle still reads the old state; a new handle sees the new.
+  ASSERT_TRUE(pinned.Get(t, 7, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 1u);
+  const Snapshot fresh = cluster.OpenSnapshot();
+  ASSERT_TRUE(fresh.Get(t, 7, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 2u);
+  EXPECT_GT(fresh.timestamp(), pinned.timestamp());
+  cluster.Shutdown();
+}
+
+TEST(ClusterTest, SessionReadsAcrossBackupsHonorTheToken) {
+  // SLOW backup sits behind a shipping delay; a session whose token covers
+  // the client's last write must route around it — and batch/range session
+  // reads land on one covering snapshot.
+  ClusterOptions options;
+  options.WithWorkers(2)
+      .WithSegmentRecords(32)
+      .AddBackup({.protocol = core::ProtocolKind::kC5})
+      .AddBackup({.protocol = core::ProtocolKind::kC5,
+                  .ship_delay = std::chrono::microseconds(5000)});
+  Cluster cluster(options);
+  const TableId t = cluster.CreateTable("kv");
+  cluster.Start();
+
+  Timestamp last_commit = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(PutInt(cluster, t, k, k, &last_commit).ok());
+  }
+  cluster.Flush();
+
+  auto session = cluster.OpenSession();
+  session.OnWrite(last_commit);
+  Value v;
+  ASSERT_TRUE(session.Read(t, 199, &v).ok());  // read-your-writes
+  EXPECT_EQ(workload::DecodeIntValue(v), 199u);
+  EXPECT_GE(session.token(), last_commit);
+
+  std::vector<Value> values;
+  const auto statuses = session.MultiGet(t, {0, 100, 199}, &values);
+  for (const Status& s : statuses) EXPECT_TRUE(s.ok());
+
+  std::vector<std::pair<Key, Value>> page;
+  ASSERT_TRUE(session.Scan(t, 190, 200, &page).ok());
+  ASSERT_EQ(page.size(), 10u);
+  EXPECT_EQ(page.front().first, 190u);
+  EXPECT_EQ(page.back().first, 199u);
+
+  // Every read was served by a backup covering the token — which the
+  // laggard cannot have been at first read.
+  EXPECT_GT(session.stats().reads_per_backup[0], 0u);
+  cluster.Shutdown();
+}
+
+TEST(ClusterTest, PromotionThroughTheFacadeExtendsHistory) {
+  Cluster cluster(ClusterOptions{}
+                      .WithBackups(2, core::ProtocolKind::kC5)
+                      .WithWorkers(2));
+  const TableId t = cluster.CreateTable("orders");
+  cluster.Start();
+
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(PutInt(cluster, t, k, k).ok());
+  }
+  cluster.StopPrimary();
+  // Execute without a primary fails loudly rather than hanging.
+  EXPECT_FALSE(PutInt(cluster, t, 1, 1).ok());
+
+  ASSERT_TRUE(cluster.Promote(0).ok());
+  EXPECT_EQ(cluster.promoted_index(), 0u);
+  EXPECT_FALSE(cluster.Promote(1).ok()) << "double promotion must fail";
+
+  // The promoted node serves reads of replicated state and new writes
+  // through the same Execute surface.
+  Timestamp post_commit = 0;
+  for (std::uint64_t k = 300; k < 350; ++k) {
+    ASSERT_TRUE(cluster
+                    .ExecuteWithRetry(
+                        [&](txn::Txn& txn) {
+                          Value old;
+                          const Status st = txn.Read(t, k - 300, &old);
+                          if (!st.ok()) return st;
+                          return txn.Put(t, k,
+                                         workload::EncodeIntValue(k));
+                        },
+                        &post_commit)
+                    .ok());
+  }
+  const Timestamp pre_failover = cluster.backup(1).VisibleTimestamp();
+  EXPECT_GT(post_commit, pre_failover)
+      << "promoted commits must extend the replicated history";
+
+  // The survivor follows the combined history.
+  ASSERT_TRUE(cluster.CatchUpSurvivors().ok());
+  const Snapshot snap = cluster.OpenSnapshot(1);
+  Value v;
+  ASSERT_TRUE(snap.Get(t, 42, &v).ok());
+  ASSERT_TRUE(snap.Get(t, 342, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 342u);
+  EXPECT_EQ(test::StateDigest(cluster.backup(1).db(), kMaxTimestamp),
+            test::StateDigest(cluster.backup(0).db(), kMaxTimestamp))
+      << "survivor diverged from the promoted node";
+
+  // Sessions opened against the fleet AFTER the survivor restart must read
+  // through the survivor's NEW incarnation (CatchUpSurvivors re-points the
+  // BackupSet; the old ReplicaBase is destroyed by Restart).
+  auto session = cluster.OpenSession();
+  session.OnWrite(post_commit);
+  ASSERT_TRUE(session.Read(t, 342, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 342u);
+  cluster.Shutdown();
+}
+
+// BackupNode (the standalone half of the façade): an in-place restart arms
+// the recovery visibility window — readers resume at the dead incarnation's
+// checkpoint, never see a snapshot inside the window, and the window closes
+// at catch-up.
+TEST(ClusterTest, BackupNodeRestartArmsAndClosesRecoveryWindow) {
+  auto run = test::RunSyntheticPrimary(/*adversarial=*/true, /*clients=*/2,
+                                       /*txns_per_client=*/200);
+  const TableId t = 0;
+
+  BackupNode node({.protocol = core::ProtocolKind::kC5,
+                   .protocol_options = {.num_workers = 2}});
+  node.CreateTable("kv");
+
+  // Incarnation 1: half the log, then the process "dies".
+  run.log.ResetReplayState();
+  log::PrefixSegmentSource prefix(&run.log, run.log.NumSegments() / 2);
+  node.Start(&prefix);
+  node.WaitUntilCaughtUp();
+  node.Stop();
+  const Timestamp checkpoint = node.VisibleTimestamp();
+  ASSERT_GT(checkpoint, 0u);
+
+  // Incarnation 2: resume over the full log (idempotent redelivery).
+  run.log.ResetReplayState();
+  ha::ResumeSegmentSource resume(&run.log, checkpoint);
+  node.Restart(&resume);
+  EXPECT_EQ(node.reader().RecoveryResume(), checkpoint);
+  EXPECT_GE(node.reader().RecoveryFloor(), checkpoint);
+  EXPECT_GE(node.VisibleTimestamp(), checkpoint)
+      << "restart must resume readers at the checkpoint, not at zero";
+  node.WaitUntilCaughtUp();
+  node.Stop();
+  EXPECT_TRUE(node.reader().RecoveryWindowClosed());
+  EXPECT_EQ(node.VisibleTimestamp(), run.log.MaxTimestamp());
+  EXPECT_EQ(test::StateDigest(node.db(), kMaxTimestamp),
+            test::StateDigest(run.primary->db, kMaxTimestamp));
+
+  Value v;
+  EXPECT_TRUE(node.OpenSnapshot()
+                  .Get(t, workload::SyntheticWorkload::kHotKey, &v)
+                  .ok());
+}
+
+// Explicit unit check of the PublishVisible suppression contract.
+TEST(ClusterTest, RecoveryWindowSuppressesInteriorSnapshots) {
+  storage::Database db;
+  class Probe : public replica::ReplicaBase {
+   public:
+    explicit Probe(storage::Database* db) : ReplicaBase(db) {}
+    void Start(log::SegmentSource*) override {}
+    void WaitUntilCaughtUp() override {}
+    void Stop() override {}
+    std::string name() const override { return "probe"; }
+    void Publish(Timestamp ts) { PublishVisible(ts); }
+  } probe(&db);
+
+  probe.SetRecoveryWindow(/*resume_ts=*/10, /*inherited_max=*/50);
+  EXPECT_EQ(probe.VisibleTimestamp(), 10u);  // readers resume here
+  EXPECT_FALSE(probe.RecoveryWindowClosed());
+  probe.Publish(30);  // inside the window: suppressed
+  EXPECT_EQ(probe.VisibleTimestamp(), 10u);
+  probe.Publish(49);  // still inside
+  EXPECT_EQ(probe.VisibleTimestamp(), 10u);
+  probe.Publish(50);  // covers the inherited high-water mark: closes
+  EXPECT_EQ(probe.VisibleTimestamp(), 50u);
+  EXPECT_TRUE(probe.RecoveryWindowClosed());
+  probe.Publish(60);
+  EXPECT_EQ(probe.VisibleTimestamp(), 60u);
+}
+
+}  // namespace
+}  // namespace c5

@@ -53,6 +53,7 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
   const std::vector<std::uint64_t> seeds = SweepSeeds();
   DstChannelStats total;
   std::uint64_t crashes = 0, promotions = 0, gc_runs = 0;
+  std::uint64_t restarts = 0, windows_closed = 0, scan_checks = 0;
   for (const std::uint64_t seed : seeds) {
     const DstReport r = RunDst(seed);
     EXPECT_TRUE(r.ok()) << Describe(r);
@@ -66,7 +67,14 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
     crashes += r.plan.crash ? 1 : 0;
     promotions += r.plan.promote ? 1 : 0;
     gc_runs += r.plan.gc_every > 0 ? 1 : 0;
+    restarts += r.crash_restarts;
+    windows_closed += r.recovery_windows_closed;
+    scan_checks += r.scan_checks;
   }
+  // Every crash/restart incarnation must end with its recovery visibility
+  // window CLOSED: a restarted replica may never leave readers pinned below
+  // the inherited high-water mark once it has caught up.
+  EXPECT_EQ(restarts, windows_closed);
   if (seeds.size() >= 16) {
     // The sweep must actually exercise every fault class — a plan change
     // that silently zeroes a probability should fail here, not rot.
@@ -80,6 +88,10 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
     EXPECT_GT(crashes, 0u);
     EXPECT_GT(promotions, 0u);
     EXPECT_GT(gc_runs, 0u);
+    // The sweep must actually exercise the recovery window and the
+    // range-scan oracle (one scan check per convergence replica).
+    EXPECT_GT(restarts, 0u);
+    EXPECT_GT(scan_checks, 0u);
   }
 }
 

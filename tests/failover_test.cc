@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/snapshot.h"
 #include "core/protocol_factory.h"
 #include "ha/promotion.h"
 #include "ha/recovery.h"
@@ -368,9 +369,11 @@ TEST(FailoverTest, PromotionDuringActiveReplayMatchesOracle) {
   std::thread readers([&] {
     Timestamp last = 0;
     while (!stop.load(std::memory_order_acquire)) {
-      base->ReadOnlyTxn([&](Timestamp ts) {
-        if (ts < last) monotonic.store(false, std::memory_order_relaxed);
-        last = ts;
+      base->ReadOnlyTxn([&](const c5::Snapshot& snap) {
+        if (snap.timestamp() < last) {
+          monotonic.store(false, std::memory_order_relaxed);
+        }
+        last = snap.timestamp();
       });
       Value v;
       (void)base->ReadAtVisible(table, workload::SyntheticWorkload::kHotKey,

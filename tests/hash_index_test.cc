@@ -41,6 +41,73 @@ TEST(HashIndexTest, UpsertOverwrites) {
   EXPECT_EQ(idx.Size(), 1u);
 }
 
+TEST(HashIndexTest, UpsertIfNewerKeepsNewestBinding) {
+  HashIndex idx;
+  // Apply order != commit order across rows: the newest-ts binding must win
+  // regardless of arrival order.
+  EXPECT_TRUE(idx.UpsertIfNewer(1, /*row=*/50, /*ts=*/90));
+  EXPECT_FALSE(idx.UpsertIfNewer(1, /*row=*/10, /*ts=*/40));  // stale loses
+  EXPECT_EQ(*idx.Lookup(1), 50u);
+  EXPECT_TRUE(idx.UpsertIfNewer(1, /*row=*/60, /*ts=*/120));  // newer wins
+  EXPECT_EQ(*idx.Lookup(1), 60u);
+  // Equal timestamps rebind (last writer at the same ts wins — within one
+  // transaction the per-key write is unique, so this is a tie-break only
+  // tests exercise).
+  EXPECT_TRUE(idx.UpsertIfNewer(1, /*row=*/61, /*ts=*/120));
+  EXPECT_EQ(*idx.Lookup(1), 61u);
+  const auto with_ts = idx.LookupWithTs(1);
+  ASSERT_TRUE(with_ts.has_value());
+  EXPECT_EQ(with_ts->first, 61u);
+  EXPECT_EQ(with_ts->second, 120u);
+}
+
+TEST(HashIndexTest, UpsertIfNewerConvergesUnderConcurrentApply) {
+  // Two workers apply the old-row and new-row creating records of the same
+  // key in opposite orders; every key must end bound to the newest row.
+  HashIndex idx;
+  constexpr Key kKeys = 512;
+  std::thread old_rows([&idx] {
+    for (Key k = 0; k < kKeys; ++k) idx.UpsertIfNewer(k, k, /*ts=*/100 + k);
+  });
+  std::thread new_rows([&idx] {
+    for (Key k = kKeys; k-- > 0;) {
+      idx.UpsertIfNewer(k, 10000 + k, /*ts=*/5000 + k);
+    }
+  });
+  old_rows.join();
+  new_rows.join();
+  for (Key k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(idx.Lookup(k).has_value());
+    EXPECT_EQ(*idx.Lookup(k), 10000 + k) << "key " << k;
+  }
+}
+
+TEST(HashIndexTest, GrowPreservesBindingTimestamps) {
+  HashIndex idx(/*initial_capacity_per_shard=*/8, /*shard_count=*/1);
+  for (Key k = 0; k < 256; ++k) {
+    idx.UpsertIfNewer(k, k, /*ts=*/1000 + k);
+  }
+  // Post-grow, a stale rebind must still lose: timestamps survived rehash.
+  for (Key k = 0; k < 256; ++k) {
+    EXPECT_FALSE(idx.UpsertIfNewer(k, 9999, /*ts=*/5)) << "key " << k;
+    EXPECT_EQ(*idx.Lookup(k), k);
+  }
+}
+
+TEST(HashIndexTest, CollectRangeSortsAndFilters) {
+  HashIndex idx;
+  for (const Key k : {40, 7, 99, 12, 55, 3, 70}) {
+    idx.Upsert(static_cast<Key>(k), static_cast<RowId>(k * 10));
+  }
+  std::vector<std::pair<Key, RowId>> out;
+  idx.CollectRange(7, 70, &out);  // [7, 70): excludes 3, 70, 99
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], (std::pair<Key, RowId>{7, 70}));
+  EXPECT_EQ(out[1], (std::pair<Key, RowId>{12, 120}));
+  EXPECT_EQ(out[2], (std::pair<Key, RowId>{40, 400}));
+  EXPECT_EQ(out[3], (std::pair<Key, RowId>{55, 550}));
+}
+
 TEST(HashIndexTest, KeysZeroAndOneAreUsable) {
   // Raw keys 0 and 1 collide with internal sentinel encodings if mishandled.
   HashIndex idx;

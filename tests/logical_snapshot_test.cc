@@ -38,6 +38,24 @@ TEST(LogicalSnapshotTest, DeleteHidesRow) {
   EXPECT_FALSE(s.Read(0, 1).has_value());
 }
 
+TEST(LogicalSnapshotTest, ReadRangeIsSortedHalfOpenAndSkipsDeleted) {
+  LogicalSnapshot s;
+  s.Insert(0, 9, "a");
+  s.Insert(0, 3, "b");
+  s.Insert(0, 27, "c");
+  s.Insert(0, 12, "d");
+  s.Insert(1, 10, "other-table");
+  s.Delete(0, 12);
+
+  const auto range = s.ReadRange(0, 3, 27);  // [3, 27): excludes 27 and 12
+  ASSERT_EQ(range.size(), 2u);
+  EXPECT_EQ(range[0], (std::pair<Key, Value>{3, "b"}));
+  EXPECT_EQ(range[1], (std::pair<Key, Value>{9, "a"}));
+  EXPECT_TRUE(s.ReadRange(0, 100, 200).empty());
+  // Tables are disjoint key spaces.
+  ASSERT_EQ(s.ReadRange(1, 0, 100).size(), 1u);
+}
+
 TEST(LogicalSnapshotTest, TablesAreIndependent) {
   LogicalSnapshot s;
   s.Insert(0, 1, "t0");

@@ -10,6 +10,7 @@
 #include <thread>
 #include <tuple>
 
+#include "api/snapshot.h"
 #include "core/protocol_factory.h"
 #include "log/segment_source.h"
 #include "tests/test_util.h"
@@ -247,18 +248,20 @@ TEST_P(FaultInjectionTest, ConvergesAndHoldsMpcUnderJitterAndStall) {
   std::thread reader([&] {
     std::uint64_t last_seen = 0;
     Timestamp last_ts = 0;
-    const bool lazy = kind == ProtocolKind::kQueryFresh;
     while (!stop.load(std::memory_order_acquire)) {
-      base->ReadOnlyTxn([&](Timestamp ts) {
+      // Snapshot reads work for every protocol, lazy ones included: Get
+      // runs Query Fresh's deferred instantiation through the
+      // PrepareRowRead hook.
+      base->ReadOnlyTxn([&](const c5::Snapshot& snap) {
+        const Timestamp ts = snap.timestamp();
         if (ts < last_ts) violation.store(true);
         last_ts = ts;
-        if (ts == 0 || lazy) return;  // lazy: raw reads are not its API
-        const auto* va = backup.ReadKeyAt(table, kA, ts);
-        const auto* vb = backup.ReadKeyAt(table, kB, ts);
+        if (ts == 0) return;
+        Value va, vb;
         const std::uint64_t a =
-            va == nullptr ? 0 : workload::DecodeIntValue(va->value());
+            snap.Get(table, kA, &va).ok() ? workload::DecodeIntValue(va) : 0;
         const std::uint64_t b =
-            vb == nullptr ? 0 : workload::DecodeIntValue(vb->value());
+            snap.Get(table, kB, &vb).ok() ? workload::DecodeIntValue(vb) : 0;
         if (a != b) violation.store(true);
         if (a < last_seen) violation.store(true);
         last_seen = a;

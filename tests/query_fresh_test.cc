@@ -4,6 +4,7 @@
 // (Generic convergence/MPC coverage lives in replica_test.cc, where Query
 // Fresh runs in the parameterized suite with every other protocol.)
 
+#include "api/snapshot.h"
 #include "replica/query_fresh_replica.h"
 
 #include <gtest/gtest.h>
@@ -138,19 +139,15 @@ TEST(QueryFreshTest, FixedSnapshotReadsAreAtomic) {
   std::thread reader([&] {
     std::uint64_t last_seen = 0;
     while (!stop.load(std::memory_order_acquire)) {
-      replica.ReadOnlyTxn([&](Timestamp ts) {
-        if (ts == 0) return;
-        const auto ra = backup.index(table).Lookup(kA);
-        const auto rb = backup.index(table).Lookup(kB);
-        if (!ra.has_value() || !rb.has_value()) return;
-        replica.InstantiateRow(table, *ra, ts);
-        replica.InstantiateRow(table, *rb, ts);
-        const auto* va = backup.table(table).ReadAt(*ra, ts);
-        const auto* vb = backup.table(table).ReadAt(*rb, ts);
+      // Snapshot::Get drains each row's pending redo list through the
+      // PrepareRowRead hook before reading — the multi-key lazy read path.
+      replica.ReadOnlyTxn([&](const c5::Snapshot& snap) {
+        if (snap.timestamp() == 0) return;
+        Value va, vb;
         const std::uint64_t a =
-            va == nullptr ? 0 : workload::DecodeIntValue(va->value());
+            snap.Get(table, kA, &va).ok() ? workload::DecodeIntValue(va) : 0;
         const std::uint64_t b =
-            vb == nullptr ? 0 : workload::DecodeIntValue(vb->value());
+            snap.Get(table, kB, &vb).ok() ? workload::DecodeIntValue(vb) : 0;
         if (a != b) violation.store(true);
         if (a < last_seen) violation.store(true);
         last_seen = a;

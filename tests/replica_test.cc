@@ -8,6 +8,7 @@
 #include <atomic>
 #include <thread>
 
+#include "api/snapshot.h"
 #include "core/protocol_factory.h"
 #include "log/segment_source.h"
 #include "tests/test_util.h"
@@ -157,15 +158,9 @@ TEST_P(ReplicaParamTest, ReadAtVisibleFindsReplicatedRows) {
 // (transactional atomicity) and (b) the value sequence each reader observes
 // is non-decreasing (monotonicity).
 TEST_P(ReplicaParamTest, MonotonicPrefixConsistencyDuringReplay) {
-  if (kind() == ProtocolKind::kQueryFresh) {
-    // Query Fresh provides MPC only through its read API, which lazily
-    // instantiates the read set at the snapshot timestamp; raw reads of the
-    // backup's physical state (what this test's reader does) can observe
-    // torn states because execution is deferred. That is precisely the §9
-    // trade-off; the protocol-correct read path is verified in
-    // query_fresh_test.cc (FixedSnapshotReadsAreAtomic).
-    GTEST_SKIP() << "lazy protocol: MPC holds only via its read API";
-  }
+  // Every protocol — lazy ones included — is read through the Snapshot
+  // surface, which funnels Query Fresh's deferred instantiation through
+  // PrepareRowRead; MPC must therefore hold uniformly.
   // Build a paired-write log on an MVTSO primary.
   auto primary = test::Primary::Mvtso();
   const TableId table =
@@ -205,16 +200,16 @@ TEST_P(ReplicaParamTest, MonotonicPrefixConsistencyDuringReplay) {
     std::uint64_t last_seen = 0;
     Timestamp last_ts = 0;
     while (!stop.load(std::memory_order_acquire)) {
-      base->ReadOnlyTxn([&](Timestamp ts) {
+      base->ReadOnlyTxn([&](const c5::Snapshot& snap) {
+        const Timestamp ts = snap.timestamp();
         if (ts < last_ts) violation.store(true);  // snapshot went backwards
         last_ts = ts;
         if (ts == 0) return;
-        const auto* va = backup.ReadKeyAt(table, kA, ts);
-        const auto* vb = backup.ReadKeyAt(table, kB, ts);
+        Value va, vb;
         const std::uint64_t a =
-            va == nullptr ? 0 : workload::DecodeIntValue(va->value());
+            snap.Get(table, kA, &va).ok() ? workload::DecodeIntValue(va) : 0;
         const std::uint64_t b =
-            vb == nullptr ? 0 : workload::DecodeIntValue(vb->value());
+            snap.Get(table, kB, &vb).ok() ? workload::DecodeIntValue(vb) : 0;
         if (a != b) violation.store(true);        // torn transaction
         if (a < last_seen) violation.store(true);  // regression
         last_seen = a;
