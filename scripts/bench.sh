@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # Benchmark trajectory harness: runs the fig6 / fig9 / micro replay-hot-path
 # benches with --json output, merges the fragments into one trajectory file,
-# and validates it with bench_json_check.
+# and validates it with bench_json_check. Also runs the shard_scaling bench
+# into its own trajectory file (BENCH_shards.json: aggregate C5 apply
+# throughput across 1 -> 4 independent shard groups).
 #
 # Usage: scripts/bench.sh [--quick] [build-dir]
-#   default: full-scale run, writes <repo>/BENCH_replay.json (committed).
+#   default: full-scale run, writes <repo>/BENCH_replay.json and
+#            <repo>/BENCH_shards.json (committed).
 #   --quick: tiny-scale smoke run wired into scripts/check.sh; builds the
 #            harnesses, proves they still emit valid JSON, and writes
-#            <build>/BENCH_replay.quick.json (NOT the committed file, so a
+#            <build>/BENCH_*.quick.json (NOT the committed files, so a
 #            smoke run never clobbers real trajectory numbers).
 set -eu
 
@@ -27,14 +30,18 @@ if command -v nproc >/dev/null 2>&1; then jobs=$(nproc); else jobs=4; fi
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" -j "$jobs" --target \
   bench_fig6_tpcc_opt bench_fig9_read_throughput \
-  bench_micro_replay_hotpath bench_json_check >/dev/null
+  bench_micro_replay_hotpath bench_shard_scaling bench_json_check >/dev/null
 
 if [ "$quick" -eq 1 ]; then
   scale=${C5_BENCH_SCALE:-0.01}
   out="$build_dir/BENCH_replay.quick.json"
+  out_shards="$build_dir/BENCH_shards.quick.json"
+  shard_flags="--quick"
 else
   scale=${C5_BENCH_SCALE:-1.0}
   out="$repo_root/BENCH_replay.json"
+  out_shards="$repo_root/BENCH_shards.json"
+  shard_flags=""
 fi
 export C5_BENCH_SCALE="$scale"
 
@@ -66,3 +73,18 @@ echo "== bench_fig9_read_throughput (scale $scale)"
 "$build_dir/bench_json_check" "$out" \
   --require micro_replay_hotpath --require fig6 --require fig9
 echo "wrote $out"
+
+# Shard-group scaling trajectory (its own file: the experiment tracks the
+# sharded façade, not the single-group replay hot path).
+echo "== bench_shard_scaling${shard_flags:+ (quick)}"
+"$build_dir/bench_shard_scaling" $shard_flags --json "$tmp/shards.json"
+{
+  printf '{\n"schema_version": 1,\n'
+  printf '"generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '"quick": %s,\n' "$([ "$quick" -eq 1 ] && echo true || echo false)"
+  printf '"shard_scaling": '
+  cat "$tmp/shards.json"
+  printf '\n}\n'
+} > "$out_shards"
+"$build_dir/bench_json_check" "$out_shards" --require shard_scaling
+echo "wrote $out_shards"

@@ -21,9 +21,11 @@ cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 "$repo_root/scripts/bench.sh" --quick "$build_dir"
 
-# Sanitizer lanes: the DST harness, the wire fuzz loop, and the public-API
-# cluster suite are rebuilt and run (the quick 16-seed list keeps each lane
-# to seconds of test time).
+# Sanitizer lanes: the DST harness (both the classic sweep and the sharded
+# 16-seed sweep with its cross-shard router oracle — dst_test runs both),
+# the wire fuzz loop, and the public-API cluster suite (including the
+# ShardedCluster tests) are rebuilt and run (the quick 16-seed list keeps
+# each lane to seconds of test time).
 # Lane build trees derive from the caller's build dir so concurrent
 # invocations with distinct build dirs never race on shared trees.
 # A failing seed prints itself; replay it under the same lane with

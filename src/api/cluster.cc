@@ -8,64 +8,28 @@
 
 namespace c5 {
 
-namespace {
-
-// Fans one committed transaction out to every backup's shipping collector.
-// Each backup needs a PRIVATE record stream: C5 schedulers preprocess
-// prev_ts in place on delivered segments, so segments cannot be shared.
-class TeeCollector : public log::LogCollector {
- public:
-  explicit TeeCollector(std::vector<log::OnlineLogCollector*> sinks)
-      : sinks_(std::move(sinks)) {}
-
-  void LogCommit(std::vector<log::LogRecord>&& records) override {
-    if (sinks_.empty()) return;
-    for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
-      std::vector<log::LogRecord> copy = records;
-      sinks_[i]->LogCommit(std::move(copy));
-    }
-    sinks_.back()->LogCommit(std::move(records));
-  }
-
- private:
-  std::vector<log::OnlineLogCollector*> sinks_;
-};
-
-// Private copy of a log (fresh segments, prev_ts cleared for
-// re-preprocessing). Used to feed the promoted primary's history to each
-// survivor: replicas mutate delivered segments, so they never share one.
-std::unique_ptr<log::Log> CopyLog(const log::Log& log) {
-  auto out = std::make_unique<log::Log>();
-  std::uint64_t seq = 0;
-  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
-    auto seg = std::make_unique<log::LogSegment>(seq);
-    for (const log::LogRecord& rec : log.segment(s)->records()) {
-      log::LogRecord copy = rec;
-      copy.prev_ts = kInvalidTimestamp;
-      seg->Append(copy);
-    }
-    seq += seg->size();
-    out->AppendSegment(std::move(seg));
-  }
-  return out;
-}
-
-}  // namespace
-
 // ---- BackupNode -------------------------------------------------------------
 
-BackupNode::BackupNode(BackupOptions options) : options_(options) {
+BackupNode::BackupNode(BackupOptions options) : options_(std::move(options)) {
   MakeProtocol();
 }
 
 BackupNode::~BackupNode() { Stop(); }
 
 void BackupNode::MakeProtocol() {
-  replica_ = core::MakeReplica(options_.protocol, &db_,
-                               options_.protocol_options, options_.lag);
+  // The node id names the NODE, not the incarnation: every protocol rebuilt
+  // by Restart carries the same instance id, so multi-shard failure output
+  // stays attributable across crash/restart cycles.
+  core::ProtocolOptions po = options_.protocol_options;
+  if (po.instance_id.empty()) po.instance_id = options_.id;
+  replica_ = core::MakeReplica(options_.protocol, &db_, po, options_.lag);
   base_ = dynamic_cast<replica::ReplicaBase*>(replica_.get());
   assert(base_ != nullptr &&
          "every protocol in this repository derives ReplicaBase");
+}
+
+std::string BackupNode::id() const {
+  return options_.id.empty() ? core::ToString(options_.protocol) : options_.id;
 }
 
 TableId BackupNode::CreateTable(std::string name, std::size_t expected_keys) {
@@ -165,12 +129,12 @@ void Cluster::Start() {
   const auto specs = ResolvedSpecs();
 
   // Shipping lanes first (the engine's collector tees into them).
-  std::vector<log::OnlineLogCollector*> sinks;
+  std::vector<log::LogCollector*> sinks;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     shipping_.push_back(std::make_unique<Shipping>(options_.segment_records));
     sinks.push_back(&shipping_.back()->collector);
   }
-  tee_ = std::make_unique<TeeCollector>(std::move(sinks));
+  tee_ = std::make_unique<log::TeeCollector>(std::move(sinks));
 
   // Primary engine. Online sequencing needs the engine's release horizon —
   // the smallest timestamp any in-flight transaction could still commit
@@ -201,7 +165,8 @@ void Cluster::Start() {
     bo.protocol = specs[i].protocol;
     bo.protocol_options = options_.protocol;
     bo.lag = specs[i].lag;
-    nodes_.push_back(std::make_unique<BackupNode>(bo));
+    bo.id = options_.id + "/backup" + std::to_string(i);
+    nodes_.push_back(std::make_unique<BackupNode>(std::move(bo)));
     for (const auto& [name, expected] : schema_) {
       nodes_.back()->CreateTable(name, expected);
     }
@@ -334,7 +299,7 @@ Status Cluster::CatchUpSurvivors() {
   std::vector<BackupNode*> restarted;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (i == promoted_index_) continue;
-    survivor_logs_.push_back(CopyLog(delta));
+    survivor_logs_.push_back(log::CopyLog(delta));
     survivor_sources_.push_back(
         std::make_unique<log::OfflineSegmentSource>(survivor_logs_.back().get()));
     nodes_[i]->Restart(survivor_sources_.back().get());

@@ -67,6 +67,12 @@ struct BackupOptions {
   core::ProtocolKind protocol = core::ProtocolKind::kC5;
   core::ProtocolOptions protocol_options{};
   replica::LagTracker* lag = nullptr;
+  // Stable node id ("shard0/backup1"): threaded into the protocol's
+  // ReplicaBase::instance_id() so logs and DST failure output can attribute
+  // a divergence to this node across restarts (Restart builds a FRESH
+  // ReplicaBase, but the id — identity of the node, not the incarnation —
+  // survives). Empty: the protocol name stands in.
+  std::string id;
 };
 
 // One backup: its database, the cloned concurrency control protocol
@@ -133,6 +139,10 @@ class BackupNode {
   storage::Database& db() { return db_; }
   const BackupOptions& options() const { return options_; }
 
+  // The node's stable id (BackupOptions::id, or the protocol name when none
+  // was assigned). Survives Restart.
+  std::string id() const;
+
  private:
   void MakeProtocol();
 
@@ -152,6 +162,11 @@ class BackupNode {
 struct ClusterOptions {
   // Primary concurrency control engine.
   ha::EngineKind engine = ha::EngineKind::kMvtso;
+
+  // Stable group id. Each backup node inherits "<id>/backup<i>" as its own
+  // id; ShardedCluster names its groups "shard<i>" so a fleet-wide failure
+  // report pins the exact replica ("shard2/backup0").
+  std::string id = "cluster";
 
   // Homogeneous fleet shorthand (ignored once AddBackup was called).
   std::size_t num_backups = 1;
@@ -183,6 +198,10 @@ struct ClusterOptions {
 
   ClusterOptions& WithEngine(ha::EngineKind k) {
     engine = k;
+    return *this;
+  }
+  ClusterOptions& WithId(std::string group_id) {
+    id = std::move(group_id);
     return *this;
   }
   ClusterOptions& WithBackups(std::size_t n, core::ProtocolKind kind =
@@ -261,8 +280,28 @@ class Cluster {
   // ---- Read path (backups) ----
   std::size_t num_backups() const { return nodes_.size(); }
   BackupNode& backup(std::size_t i) { return *nodes_[i]; }
-  Snapshot OpenSnapshot(std::size_t backup_index = 0) {
+  Snapshot OpenSnapshot(std::size_t backup_index) {
     return nodes_[backup_index]->OpenSnapshot();
+  }
+  // Index-less open routes through default_read_backup(), so a caller that
+  // does not pick a node never lands on a promoted one's frozen reader.
+  Snapshot OpenSnapshot() {
+    return nodes_[default_read_backup()]->OpenSnapshot();
+  }
+  // The backup a default (index-less) read should land on: backup 0, unless
+  // that node was PROMOTED — a promoted node's reader stays pinned at the
+  // pre-promotion snapshot (its engine's new commits publish through
+  // re-replication, not through its own read surface), so reads prefer a
+  // surviving backup, which CatchUpSurvivors keeps current.
+  //
+  // KNOWN HOLE: a SINGLE-backup cluster whose only node was promoted has no
+  // live backup read surface at all — this returns the promoted node and
+  // reads serve the frozen pre-promotion snapshot (correct but permanently
+  // stale) until a new backup is replicated in. Size fleets that must stay
+  // readable through failover with >= 2 backups.
+  std::size_t default_read_backup() const {
+    if (promoted_ == nullptr || nodes_.size() < 2) return 0;
+    return promoted_index_ == 0 ? 1 : 0;
   }
   // A session with the §2.3 guarantees (monotonic reads, read-your-writes)
   // across the whole fleet. Sessions are single-client objects; they must
@@ -305,6 +344,13 @@ class Cluster {
   txn::Engine& engine();
   TxnClock& clock();
   storage::Database& primary_db() { return primary_db_; }
+  // The database the CURRENT primary executes over: the original primary's,
+  // or — after Promote — the promoted backup's (whose engine commits new
+  // writes there). Audits of primary-side state must use this, or they miss
+  // everything written after a failover.
+  storage::Database& current_primary_db() {
+    return promoted_ != nullptr ? nodes_[promoted_index_]->db() : primary_db_;
+  }
   const ClusterOptions& options() const { return options_; }
 
  private:

@@ -1,0 +1,370 @@
+#include "api/sharded_cluster.h"
+
+#include <cassert>
+
+namespace c5 {
+
+namespace {
+
+// K-way merge of per-shard ascending slices into one ascending sequence.
+// Shards own disjoint keys, so no tie-breaking or dedup is needed. The
+// linear best-head scan is O(shards) per element — fine for the handful of
+// shard groups a fleet runs.
+void MergeAscending(std::vector<std::vector<std::pair<Key, Value>>>* parts,
+                    std::vector<std::pair<Key, Value>>* out) {
+  std::size_t total = 0;
+  for (const auto& part : *parts) total += part.size();
+  out->reserve(out->size() + total);
+  std::vector<std::size_t> pos(parts->size(), 0);
+  for (;;) {
+    std::size_t best = parts->size();
+    for (std::size_t i = 0; i < parts->size(); ++i) {
+      if (pos[i] >= (*parts)[i].size()) continue;
+      if (best == parts->size() ||
+          (*parts)[i][pos[i]].first < (*parts)[best][pos[best]].first) {
+        best = i;
+      }
+    }
+    if (best == parts->size()) return;
+    out->push_back(std::move((*parts)[best][pos[best]++]));
+  }
+}
+
+// Scatter-gather skeleton shared by the cluster-level and session MultiGet:
+// group key POSITIONS by owning shard, run one per-shard batch read, gather
+// results back into the caller's order. `read_shard(s, keys, *values)`
+// performs the per-shard read and returns its statuses.
+template <typename ShardRead>
+std::vector<Status> ScatterGather(const ShardRouter& router, TableId table,
+                                  const std::vector<Key>& keys,
+                                  std::vector<Value>* out,
+                                  const ShardRead& read_shard) {
+  std::vector<Status> statuses(keys.size(), Status::Ok());
+  out->assign(keys.size(), Value());
+  const auto groups = router.GroupByShard(table, keys);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    std::vector<Key> shard_keys;
+    shard_keys.reserve(groups[s].size());
+    for (const std::size_t i : groups[s]) shard_keys.push_back(keys[i]);
+    std::vector<Value> shard_values;
+    const std::vector<Status> shard_statuses =
+        read_shard(s, shard_keys, &shard_values);
+    for (std::size_t j = 0; j < groups[s].size(); ++j) {
+      statuses[groups[s][j]] = shard_statuses[j];
+      if (shard_statuses[j].ok()) (*out)[groups[s][j]] = shard_values[j];
+    }
+  }
+  return statuses;
+}
+
+}  // namespace
+
+namespace {
+
+// Release-build normalization (mirrors ShardRouter's own clamp): a 0-shard
+// fleet would pass routing — the router clamps to 1 — and then index an
+// empty shards_ vector.
+ShardedClusterOptions Normalize(ShardedClusterOptions options) {
+  assert(options.num_shards >= 1 && "a fleet has at least one shard group");
+  if (options.num_shards == 0) options.num_shards = 1;
+  return options;
+}
+
+}  // namespace
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions options)
+    : options_(Normalize(std::move(options))),
+      router_(options_.num_shards, options_.router_seed) {
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    ClusterOptions group = options_.shard;
+    group.id = options_.id_prefix + std::to_string(i);
+    shards_.push_back(std::make_unique<Cluster>(std::move(group)));
+  }
+}
+
+ShardedCluster::~ShardedCluster() { Shutdown(); }
+
+TableId ShardedCluster::CreateTable(std::string name,
+                                    std::size_t expected_keys,
+                                    ShardRouter::PartitionFn partition) {
+  assert(!started_ && "schema setup precedes Start (DDL is out of scope)");
+  // Table ids match across shards by creation order — the façade creates on
+  // every shard, so they cannot drift.
+  TableId id = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const TableId got = shards_[i]->CreateTable(name, expected_keys);
+    if (i == 0) {
+      id = got;
+    } else {
+      assert(got == id && "shard schemas diverged");
+      (void)got;
+    }
+  }
+  if (partition != nullptr) router_.SetPartitionKey(id, std::move(partition));
+  return id;
+}
+
+void ShardedCluster::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& shard : shards_) shard->Start();
+}
+
+// ---- Write path -------------------------------------------------------------
+
+Status ShardedCluster::Execute(TableId table, Key routing_key,
+                               const txn::TxnFn& fn, Timestamp* commit_ts) {
+  return shards_[router_.ShardOf(table, routing_key)]->Execute(fn, commit_ts);
+}
+
+Status ShardedCluster::ExecuteWithRetry(TableId table, Key routing_key,
+                                        const txn::TxnFn& fn,
+                                        Timestamp* commit_ts) {
+  return shards_[router_.ShardOf(table, routing_key)]->ExecuteWithRetry(
+      fn, commit_ts);
+}
+
+Status ShardedCluster::ExecuteOnShard(std::size_t shard_index,
+                                      const txn::TxnFn& fn,
+                                      Timestamp* commit_ts) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  return shards_[shard_index]->Execute(fn, commit_ts);
+}
+
+Status ShardedCluster::ExecuteOnShardWithRetry(std::size_t shard_index,
+                                               const txn::TxnFn& fn,
+                                               Timestamp* commit_ts) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  return shards_[shard_index]->ExecuteWithRetry(fn, commit_ts);
+}
+
+void ShardedCluster::Flush() {
+  for (auto& shard : shards_) shard->Flush();
+}
+
+// ---- Read path --------------------------------------------------------------
+
+Status ShardedCluster::Get(TableId table, Key key, Value* out) {
+  const std::size_t routed = router_.ShardOf(table, key);
+  {
+    Cluster& shard = *shards_[routed];
+    const Snapshot snap = shard.OpenSnapshot(shard.default_read_backup());
+    const Status s = snap.Get(table, key, out);
+    if (s.code() != StatusCode::kNotFound || router_.IsPartitioned(table)) {
+      return s;
+    }
+  }
+  // Unpartitioned table: the router is not authoritative, so a miss on the
+  // hash-routed shard probes the rest — a replicated catalog hits on the
+  // first probe, a shard-local stream wherever its writer lives.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s == routed) continue;
+    Cluster& shard = *shards_[s];
+    const Snapshot snap = shard.OpenSnapshot(shard.default_read_backup());
+    const Status st = snap.Get(table, key, out);
+    if (st.code() != StatusCode::kNotFound) return st;
+  }
+  return Status::NotFound("key absent on every shard");
+}
+
+std::vector<Status> ShardedCluster::MultiGet(TableId table,
+                                             const std::vector<Key>& keys,
+                                             std::vector<Value>* out) {
+  if (!router_.IsPartitioned(table)) {
+    // Unpartitioned: per-key probe (see Get). No single-snapshot guarantee
+    // across keys — there is no shard whose snapshot covers them all.
+    std::vector<Status> statuses;
+    statuses.reserve(keys.size());
+    out->assign(keys.size(), Value());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      statuses.push_back(Get(table, keys[i], &(*out)[i]));
+    }
+    return statuses;
+  }
+  return ScatterGather(
+      router_, table, keys, out,
+      [&](std::size_t s, const std::vector<Key>& shard_keys,
+          std::vector<Value>* values) {
+        // One snapshot per shard: the whole sub-batch reads one
+        // monotonic-prefix-consistent state of that shard.
+        const Snapshot snap =
+            shards_[s]->OpenSnapshot(shards_[s]->default_read_backup());
+        return snap.MultiGet(table, shard_keys, values);
+      });
+}
+
+Status ShardedCluster::Scan(TableId table, Key lo, Key hi,
+                            std::vector<std::pair<Key, Value>>* out) {
+  out->clear();
+  if (!router_.IsPartitioned(table)) {
+    // The exact-merge contract needs disjoint per-shard key ownership,
+    // which unpartitioned tables do not have (a replicated catalog holds
+    // every key everywhere; a shard-local stream can reuse key values).
+    // Scan each shard(i) directly instead.
+    return Status::InvalidArgument(
+        "cross-shard scan over an unpartitioned table is not defined");
+  }
+  std::vector<std::vector<std::pair<Key, Value>>> parts(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Snapshot snap =
+        shards_[s]->OpenSnapshot(shards_[s]->default_read_backup());
+    for (auto it = snap.Scan(table, lo, hi); it.Valid(); it.Next()) {
+      parts[s].emplace_back(it.key(), Value(it.value()));
+    }
+  }
+  MergeAscending(&parts, out);
+  return Status::Ok();
+}
+
+// ---- Sessions ---------------------------------------------------------------
+
+ShardedCluster::Session::Session(ShardedCluster* owner) : owner_(owner) {
+  sessions_.reserve(owner_->shards_.size());
+  for (auto& shard : owner_->shards_) {
+    replica::ClientSession::Options o;
+    o.policy = shard->options().routing;
+    o.wait_timeout = shard->options().session_wait_timeout;
+    sessions_.push_back(
+        std::make_unique<replica::ClientSession>(&shard->backup_set(), o));
+  }
+}
+
+ShardedCluster::Session ShardedCluster::OpenSession() {
+  return Session(this);
+}
+
+void ShardedCluster::Session::OnWrite(TableId table, Key key,
+                                      Timestamp commit_ts) {
+  sessions_[owner_->router_.ShardOf(table, key)]->OnWrite(commit_ts);
+}
+
+void ShardedCluster::Session::OnWriteToShard(std::size_t shard_index,
+                                             Timestamp commit_ts) {
+  assert(shard_index < sessions_.size() && "no such shard");
+  if (shard_index >= sessions_.size()) return;  // release-build safety
+  sessions_[shard_index]->OnWrite(commit_ts);
+}
+
+Status ShardedCluster::Session::Read(TableId table, Key key, Value* out) {
+  const ShardRouter& router = owner_->router_;
+  const std::size_t routed = router.ShardOf(table, key);
+  const Status s = sessions_[routed]->Read(table, key, out);
+  if (s.code() != StatusCode::kNotFound || router.IsPartitioned(table)) {
+    return s;
+  }
+  // Unpartitioned table: probe the remaining shards (see ShardedCluster::Get).
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (i == routed) continue;
+    const Status st = sessions_[i]->Read(table, key, out);
+    if (st.code() != StatusCode::kNotFound) return st;
+  }
+  return Status::NotFound("key absent on every shard");
+}
+
+std::vector<Status> ShardedCluster::Session::MultiGet(
+    TableId table, const std::vector<Key>& keys, std::vector<Value>* out) {
+  if (!owner_->router_.IsPartitioned(table)) {
+    std::vector<Status> statuses;
+    statuses.reserve(keys.size());
+    out->assign(keys.size(), Value());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      statuses.push_back(Read(table, keys[i], &(*out)[i]));
+    }
+    return statuses;
+  }
+  return ScatterGather(
+      owner_->router_, table, keys, out,
+      [&](std::size_t s, const std::vector<Key>& shard_keys,
+          std::vector<Value>* values) {
+        return sessions_[s]->MultiGet(table, shard_keys, values);
+      });
+}
+
+Status ShardedCluster::Session::Scan(TableId table, Key lo, Key hi,
+                                     std::vector<std::pair<Key, Value>>* out) {
+  out->clear();
+  if (!owner_->router_.IsPartitioned(table)) {
+    return Status::InvalidArgument(
+        "cross-shard scan over an unpartitioned table is not defined");
+  }
+  std::vector<std::vector<std::pair<Key, Value>>> parts(sessions_.size());
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    const Status st = sessions_[s]->Scan(table, lo, hi, &parts[s]);
+    if (!st.ok()) return st;  // a routing timeout fails the whole range
+  }
+  MergeAscending(&parts, out);
+  return Status::Ok();
+}
+
+Timestamp ShardedCluster::Session::token(std::size_t shard_index) const {
+  assert(shard_index < sessions_.size() && "no such shard");
+  if (shard_index >= sessions_.size()) return 0;  // release-build safety
+  return sessions_[shard_index]->token();
+}
+
+// ---- Per-shard failover -----------------------------------------------------
+
+Status ShardedCluster::StopPrimary(std::size_t shard_index) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  shards_[shard_index]->StopPrimary();
+  return Status::Ok();
+}
+
+void ShardedCluster::WaitForBackups() {
+  for (auto& shard : shards_) shard->WaitForBackups();
+}
+
+Status ShardedCluster::Promote(std::size_t shard_index,
+                               std::size_t backup_index) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  return shards_[shard_index]->Promote(backup_index);
+}
+
+Status ShardedCluster::CatchUpSurvivors(std::size_t shard_index) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  return shards_[shard_index]->CatchUpSurvivors();
+}
+
+void ShardedCluster::Shutdown() {
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+// ---- Diagnostics ------------------------------------------------------------
+
+std::vector<std::string> ShardedCluster::VerifyPlacement() {
+  std::vector<std::string> violations;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    // The CURRENT primary's database — after a promotion, the promoted
+    // node's, so post-failover writes are audited too.
+    storage::Database& db = shards_[s]->current_primary_db();
+    for (TableId t = 0; t < db.NumTables(); ++t) {
+      // Unpartitioned tables (replicated catalogs, shard-local append
+      // streams) legitimately hold keys on shards they do not hash to.
+      if (!router_.IsPartitioned(t)) continue;
+      db.index(t).ForEach([&](Key key, RowId, Timestamp) {
+        const std::size_t owner = router_.ShardOf(t, key);
+        if (owner != s) {
+          violations.push_back(
+              options_.id_prefix + std::to_string(s) + ": table " +
+              std::to_string(t) + " key " + std::to_string(key) +
+              " routes to " + options_.id_prefix + std::to_string(owner));
+        }
+      });
+    }
+  }
+  return violations;
+}
+
+}  // namespace c5

@@ -1,0 +1,245 @@
+// c5::ShardedCluster — N independent shard groups behind one façade.
+//
+// The paper's deployment model (§2) is ONE primary whose log feeds a backup
+// fleet; this is that design multiplied: the keyspace is hash-partitioned
+// across `num_shards` fully independent replication groups — each a complete
+// c5::Cluster (primary engine + per-backup tee'd log shipping + backup fleet
+// + failover) — and a ShardRouter (common/shard_router.h) is the single
+// source of truth for which group owns a key. Nothing is shared between
+// groups: no lock, no log stream, no clock, so aggregate apply throughput
+// scales with the number of groups (bench/shard_scaling.cc) and one shard's
+// failover never stalls another shard's reads or writes.
+//
+//   ShardedClusterOptions options;
+//   options.WithShards(4).shard.WithBackups(2).WithWorkers(2);
+//   ShardedCluster fleet(options);
+//   TableId t = fleet.CreateTable("accounts");
+//   fleet.Start();
+//   Timestamp commit;
+//   fleet.ExecuteWithRetry(t, /*routing_key=*/k,
+//                          [&](txn::Txn& txn) { return txn.Put(t, k, "v"); },
+//                          &commit);
+//   auto session = fleet.OpenSession();
+//   session.OnWrite(t, k, commit);
+//   Value v;
+//   session.Read(t, k, &v);                  // read-your-writes, any shard
+//   std::vector<std::pair<Key, Value>> rows;
+//   fleet.Scan(t, 0, 1000, &rows);           // cross-shard, merged ascending
+//   fleet.Shutdown();
+//
+// Consistency contract:
+//  * A read-write transaction executes on exactly ONE shard group — the one
+//    `routing_key` routes to — and its TxnFn must touch only keys routing
+//    there, plus any tables the router marks UNPARTITIONED (replicated
+//    catalogs and shard-local append streams — e.g. TPC-C's ITEM and
+//    HISTORY — may be read/written from any shard's transactions).
+//    VerifyPlacement() audits the partitioned tables; the DST router oracle
+//    enforces the invariant under fault injection. Cross-shard
+//    transactional writes are NOT provided: there is no cross-shard commit
+//    protocol, by design — this seam is what later rebalancing /
+//    cross-shard-txn PRs build on.
+//  * Scatter-gather reads (MultiGet / Scan) open one Snapshot PER SHARD,
+//    each pinned at that shard's visible timestamp. Every per-shard slice is
+//    monotonic-prefix-consistent; the combined result is NOT a single global
+//    snapshot (shards advance independently). Sessions restore the two §2.3
+//    session guarantees across shards by carrying one causality token per
+//    shard.
+//  * Ordered scans k-way merge the per-shard slices; shards own disjoint
+//    keys, so the merge is exact and ascending.
+
+#ifndef C5_API_SHARDED_CLUSTER_H_
+#define C5_API_SHARDED_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/cluster.h"
+#include "common/shard_router.h"
+
+namespace c5 {
+
+struct ShardedClusterOptions {
+  std::size_t num_shards = 2;
+
+  // Perturbs the router's placement hash (ShardRouter seed).
+  std::uint64_t router_seed = 0;
+
+  // Stable fleet naming: groups are "<id_prefix><i>", backups inherit
+  // "<id_prefix><i>/backup<j>" (surfaced in logs and DST failure output).
+  std::string id_prefix = "shard";
+
+  // Per-group template; every shard group is built from it (its `id` is
+  // overridden with the group name).
+  ClusterOptions shard{};
+
+  ShardedClusterOptions& WithShards(std::size_t n) {
+    num_shards = n;
+    return *this;
+  }
+  ShardedClusterOptions& WithRouterSeed(std::uint64_t seed) {
+    router_seed = seed;
+    return *this;
+  }
+  ShardedClusterOptions& WithIdPrefix(std::string prefix) {
+    id_prefix = std::move(prefix);
+    return *this;
+  }
+  ShardedClusterOptions& WithShardOptions(ClusterOptions o) {
+    shard = std::move(o);
+    return *this;
+  }
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterOptions options = {});
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  // Schema setup on every shard group (table ids match across shards by
+  // creation order). `partition`, when given, registers the table's
+  // partition-token extractor with the router (table-aware routing: e.g.
+  // TPC-C keys route by the warehouse id they encode —
+  // workload::tpcc::ConfigureShardRouter registers the whole schema at
+  // once through router()). Call before Start.
+  TableId CreateTable(std::string name, std::size_t expected_keys = 0,
+                      ShardRouter::PartitionFn partition = nullptr);
+
+  void Start();
+
+  // ---- Topology -------------------------------------------------------------
+  std::size_t num_shards() const { return shards_.size(); }
+  Cluster& shard(std::size_t i) { return *shards_[i]; }
+  ShardRouter& router() { return router_; }
+  const ShardRouter& router() const { return router_; }
+  std::size_t ShardOf(TableId table, Key key) const {
+    return router_.ShardOf(table, key);
+  }
+
+  // ---- Write path -----------------------------------------------------------
+  // Routes one read-write transaction to the shard owning (table,
+  // routing_key). The TxnFn must confine itself to keys routing to that
+  // shard (see the consistency contract above).
+  Status Execute(TableId table, Key routing_key, const txn::TxnFn& fn,
+                 Timestamp* commit_ts = nullptr);
+  Status ExecuteWithRetry(TableId table, Key routing_key, const txn::TxnFn& fn,
+                          Timestamp* commit_ts = nullptr);
+  // Escape hatch for callers that resolved the shard themselves (e.g. a
+  // TPC-C driver pinning each warehouse's clients to its shard).
+  Status ExecuteOnShard(std::size_t shard_index, const txn::TxnFn& fn,
+                        Timestamp* commit_ts = nullptr);
+  Status ExecuteOnShardWithRetry(std::size_t shard_index, const txn::TxnFn& fn,
+                                 Timestamp* commit_ts = nullptr);
+  // Ships open partial segments on every shard.
+  void Flush();
+
+  // ---- Read path (scatter-gather over per-shard snapshots) ------------------
+  // Point read on the owning shard's backup, at that shard's visible
+  // timestamp. kNotFound for keys absent (or deleted) at the snapshot. For
+  // UNPARTITIONED tables (ShardRouter::MarkUnpartitioned) a miss on the
+  // hash-routed shard probes the remaining shards — a replicated catalog
+  // hits on the first probe, a shard-local stream wherever its writer
+  // lives; kNotFound means absent on EVERY shard.
+  Status Get(TableId table, Key key, Value* out);
+
+  // Batch read: keys are grouped by owning shard, each group is read on ONE
+  // per-shard Snapshot, and results return in the caller's key order.
+  // statuses[i] is kNotFound for keys absent at their shard's snapshot.
+  // Unpartitioned tables degrade to per-key probing Gets (no
+  // single-snapshot guarantee — no one shard's snapshot covers them).
+  std::vector<Status> MultiGet(TableId table, const std::vector<Key>& keys,
+                               std::vector<Value>* out);
+
+  // Ordered range read over [lo, hi): clears *out, collects every shard's
+  // slice at its own pinned snapshot, and k-way merges (shards own disjoint
+  // keys, so the result is exact and strictly ascending). Unpartitioned
+  // tables return kInvalidArgument — their keys are not disjoint across
+  // shards, so no exact merge exists; scan each shard(i) directly.
+  Status Scan(TableId table, Key lo, Key hi,
+              std::vector<std::pair<Key, Value>>* out);
+
+  // ---- Sessions -------------------------------------------------------------
+  // The §2.3 session guarantees (monotonic reads, read-your-writes) across
+  // the whole fleet, one causality token PER SHARD: a write on shard s only
+  // constrains future reads that route to s, so a laggard shard never
+  // stalls reads of the others. Single-client objects; must not outlive the
+  // ShardedCluster.
+  class Session {
+   public:
+    Session(Session&&) = default;
+    Session& operator=(Session&&) = default;
+
+    // Records a write committed through Execute on (table, key)'s shard.
+    // Routes the token by the key's hash shard — correct for every write
+    // issued through Execute(table, routing_key, ...). A write to an
+    // UNPARTITIONED table issued via ExecuteOnShard may have executed on a
+    // different shard; use OnWriteToShard for those, or read-your-writes
+    // does not cover the row.
+    void OnWrite(TableId table, Key key, Timestamp commit_ts);
+
+    // Records a write committed on a specific shard (ExecuteOnShard*
+    // callers — e.g. appends to a shard-local unpartitioned stream).
+    // Tokens are per-shard timestamp domains: always pass the commit
+    // timestamp to the shard that produced it, never across shards.
+    void OnWriteToShard(std::size_t shard_index, Timestamp commit_ts);
+
+    // Session-consistent reads; same routing/merging as the cluster-level
+    // reads, but each per-shard read runs on that shard's ClientSession
+    // (waits for a backup covering the shard's token).
+    Status Read(TableId table, Key key, Value* out);
+    std::vector<Status> MultiGet(TableId table, const std::vector<Key>& keys,
+                                 std::vector<Value>* out);
+    Status Scan(TableId table, Key lo, Key hi,
+                std::vector<std::pair<Key, Value>>* out);
+
+    // Shard s's causality token: no future read routed to s observes a
+    // snapshot below it. Tokens are per shard — there is no meaningful
+    // total order across shards' timestamps.
+    Timestamp token(std::size_t shard_index) const;
+    std::size_t num_shards() const { return sessions_.size(); }
+
+   private:
+    friend class ShardedCluster;
+    explicit Session(ShardedCluster* owner);
+
+    ShardedCluster* owner_;
+    std::vector<std::unique_ptr<replica::ClientSession>> sessions_;
+  };
+
+  Session OpenSession();
+
+  // ---- Per-shard failure / failover ----------------------------------------
+  // Each shard group fails over independently; the other shards keep
+  // executing and serving throughout.
+  Status StopPrimary(std::size_t shard_index);
+  void WaitForBackups();  // all shards (implies StopPrimary on each)
+  Status Promote(std::size_t shard_index, std::size_t backup_index);
+  Status CatchUpSurvivors(std::size_t shard_index);
+
+  // Drains and stops every shard group. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // ---- Diagnostics ----------------------------------------------------------
+  // Audits the routing invariant: walks every shard's CURRENT primary's
+  // indexes (the promoted node's after a failover) and reports each key of
+  // a partitioned table that does NOT route to the shard it lives on
+  // (empty = invariant holds; unpartitioned tables are skipped). O(keys);
+  // for tests and integrity checks, not hot paths. The DST harness runs
+  // the same oracle against backup state under fault injection.
+  std::vector<std::string> VerifyPlacement();
+
+ private:
+  ShardedClusterOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Cluster>> shards_;
+  bool started_ = false;
+};
+
+}  // namespace c5
+
+#endif  // C5_API_SHARDED_CLUSTER_H_

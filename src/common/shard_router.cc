@@ -1,0 +1,33 @@
+#include "common/shard_router.h"
+
+#include <cassert>
+#include <utility>
+
+namespace c5 {
+
+ShardRouter::ShardRouter(std::size_t num_shards, std::uint64_t seed)
+    : num_shards_(num_shards), seed_(seed) {
+  assert(num_shards_ >= 1 && "a deployment has at least one shard group");
+  if (num_shards_ == 0) num_shards_ = 1;  // release-build safety
+}
+
+void ShardRouter::SetPartitionKey(TableId table, PartitionFn extract) {
+  if (table >= tables_.size()) tables_.resize(table + 1);
+  tables_[table] = std::move(extract);
+}
+
+void ShardRouter::MarkUnpartitioned(TableId table) {
+  if (table >= unpartitioned_.size()) unpartitioned_.resize(table + 1, false);
+  unpartitioned_[table] = true;
+}
+
+std::vector<std::vector<std::size_t>> ShardRouter::GroupByShard(
+    TableId table, const std::vector<Key>& keys) const {
+  std::vector<std::vector<std::size_t>> groups(num_shards_);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    groups[ShardOf(table, keys[i])].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace c5

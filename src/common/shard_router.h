@@ -1,0 +1,122 @@
+// ShardRouter — the single source of truth for key -> shard-group routing.
+//
+// A sharded deployment partitions the keyspace across N independent
+// replication groups (one primary + log stream + backup fleet each); every
+// write, point read, and scatter-gather batch/range read must agree on which
+// group owns a key, or reads silently miss writes. The router is that
+// agreement: a pure function (table, key) -> shard in [0, N), derived from a
+// seeded hash so shard placement is deterministic per deployment yet not
+// correlated with the keys' own bit patterns.
+//
+// Table-aware routing: by default a key routes by its own value, but a table
+// may register a partition-token extractor so that co-accessed keys land on
+// one shard — e.g. every TPC-C table's key encodes its warehouse id, and
+// routing by that id keeps each warehouse's rows (and therefore each
+// NewOrder/Payment transaction's footprint) on a single shard
+// (workload::tpcc::ConfigureShardRouter). Extractors must be registered
+// identically on every node of the deployment, before routing starts.
+//
+// Invariants (property-tested in tests/shard_router_test.cc):
+//  * total: every (table, key) maps to exactly one shard in [0, N);
+//  * deterministic: the mapping depends only on (num_shards, seed, the
+//    registered extractors, table, key) — never on call order or history;
+//  * balanced: over random key sets the per-shard load stays within bounds
+//    of the uniform share.
+//
+// The router does NOT provide cross-shard transactional writes: a read-write
+// transaction executes on exactly one shard group, and its TxnFn must touch
+// only keys that route there (docs/API.md, "Sharding").
+
+#ifndef C5_COMMON_SHARD_ROUTER_H_
+#define C5_COMMON_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace c5 {
+
+class ShardRouter {
+ public:
+  // Maps a key to its partition token (the value the hash routes by).
+  using PartitionFn = std::function<std::uint64_t(Key)>;
+
+  // `num_shards` >= 1. `seed` perturbs the placement hash so two deployments
+  // with the same schema do not co-locate the same keys (and tests can
+  // exercise many placements).
+  explicit ShardRouter(std::size_t num_shards, std::uint64_t seed = 0);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t num_shards() const { return num_shards_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // Registers `extract` as `table`'s partition-token extractor. Call during
+  // schema setup, before routing starts (not synchronized against concurrent
+  // ShardOf). Passing nullptr restores the identity default.
+  void SetPartitionKey(TableId table, PartitionFn extract);
+
+  // Declares `table` UNPARTITIONED: the router is not authoritative for
+  // where its rows live. Two deployment shapes need this — replicated
+  // catalogs (TPC-C's read-only ITEM table is loaded on every shard so
+  // reads stay local) and shard-local append streams (TPC-C's HISTORY rows
+  // are keyed by a global sequence and live on whichever shard wrote them).
+  // ShardOf stays total for such tables (a deterministic pick for reads of
+  // replicated data), but transactions MAY write them from any shard, and
+  // placement audits (ShardedCluster::VerifyPlacement, the DST router
+  // oracle's callers) must skip them — their keys legitimately appear on
+  // shards they do not hash to.
+  void MarkUnpartitioned(TableId table);
+
+  // True unless MarkUnpartitioned was called for `table` (i.e. the router
+  // IS the authority on where the table's keys live).
+  bool IsPartitioned(TableId table) const {
+    return table >= unpartitioned_.size() || !unpartitioned_[table];
+  }
+
+  // The routing function: shard owning (table, key). Total and O(1).
+  std::size_t ShardOf(TableId table, Key key) const {
+    return ShardOfToken(Token(table, key));
+  }
+
+  // The partition token `key` routes by (the extractor's output, or the key
+  // itself). Keys with equal tokens always co-locate.
+  std::uint64_t Token(TableId table, Key key) const {
+    if (table < tables_.size() && tables_[table]) return tables_[table](key);
+    return key;
+  }
+
+  // Routing for a pre-extracted token (e.g. a TPC-C warehouse id).
+  std::size_t ShardOfToken(std::uint64_t token) const {
+    return static_cast<std::size_t>(Mix(token) % num_shards_);
+  }
+
+  // Scatter helper: partitions the POSITIONS of `keys` by owning shard, so
+  // gather can write results back into the caller's order. Returned vector
+  // has exactly num_shards() entries.
+  std::vector<std::vector<std::size_t>> GroupByShard(
+      TableId table, const std::vector<Key>& keys) const;
+
+ private:
+  // splitmix64 finalizer over the seeded token: every input bit diffuses
+  // into every output bit, so `% num_shards_` stays balanced even for
+  // dense/sequential tokens (warehouse ids 1..W, keys 0..K).
+  std::uint64_t Mix(std::uint64_t token) const {
+    std::uint64_t h = token + 0x9E3779B97F4A7C15ull + seed_;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+  }
+
+  std::size_t num_shards_;
+  std::uint64_t seed_;
+  std::vector<PartitionFn> tables_;  // indexed by TableId; empty fn = identity
+  std::vector<bool> unpartitioned_;  // indexed by TableId; default false
+};
+
+}  // namespace c5
+
+#endif  // C5_COMMON_SHARD_ROUTER_H_

@@ -33,10 +33,11 @@ const char* ToString(ProtocolKind kind) {
   return "unknown";
 }
 
-std::unique_ptr<replica::Replica> MakeReplica(ProtocolKind kind,
-                                              storage::Database* db,
-                                              const ProtocolOptions& options,
-                                              replica::LagTracker* lag) {
+namespace {
+
+std::unique_ptr<replica::Replica> MakeReplicaImpl(
+    ProtocolKind kind, storage::Database* db, const ProtocolOptions& options,
+    replica::LagTracker* lag) {
   switch (kind) {
     case ProtocolKind::kC5: {
       C5Replica::Options o;
@@ -83,6 +84,25 @@ std::unique_ptr<replica::Replica> MakeReplica(ProtocolKind kind,
           db, replica::QueryFreshReplica::Options{}, lag);
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<replica::Replica> MakeReplica(ProtocolKind kind,
+                                              storage::Database* db,
+                                              const ProtocolOptions& options,
+                                              replica::LagTracker* lag) {
+  std::unique_ptr<replica::Replica> replica =
+      MakeReplicaImpl(kind, db, options, lag);
+  // Cross-protocol construction hook: the stable instance id. Every protocol
+  // in this repository derives ReplicaBase, so the cast cannot fail for
+  // in-tree kinds.
+  if (replica != nullptr && !options.instance_id.empty()) {
+    if (auto* base = dynamic_cast<replica::ReplicaBase*>(replica.get())) {
+      base->SetInstanceId(options.instance_id);
+    }
+  }
+  return replica;
 }
 
 }  // namespace c5::core

@@ -7,6 +7,34 @@
 namespace c5::log {
 
 // ---------------------------------------------------------------------------
+// TeeCollector / CopyLog
+
+void TeeCollector::LogCommit(std::vector<LogRecord>&& records) {
+  if (sinks_.empty()) return;
+  for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
+    std::vector<LogRecord> copy = records;
+    sinks_[i]->LogCommit(std::move(copy));
+  }
+  sinks_.back()->LogCommit(std::move(records));
+}
+
+std::unique_ptr<Log> CopyLog(const Log& log) {
+  auto out = std::make_unique<Log>();
+  std::uint64_t seq = 0;
+  for (std::size_t s = 0; s < log.NumSegments(); ++s) {
+    auto seg = std::make_unique<LogSegment>(seq);
+    for (const LogRecord& rec : log.segment(s)->records()) {
+      LogRecord copy = rec;
+      copy.prev_ts = kInvalidTimestamp;
+      seg->Append(copy);
+    }
+    seq += seg->size();
+    out->AppendSegment(std::move(seg));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // PerThreadLogCollector
 
 PerThreadLogCollector::PerThreadLogCollector(std::size_t segment_records)

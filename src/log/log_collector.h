@@ -34,6 +34,29 @@ class NullLogCollector : public LogCollector {
   void LogCommit(std::vector<LogRecord>&&) override {}
 };
 
+// Fans one committed transaction out to every sink. Each backup needs a
+// PRIVATE record stream: C5 schedulers preprocess prev_ts in place on
+// delivered segments, so segments cannot be shared — the tee copies the
+// records for all sinks but the last. One of these sits between a shard
+// group's engine and its per-backup shipping lanes (c5::Cluster), so a
+// sharded deployment runs shards × backups independent streams.
+class TeeCollector : public LogCollector {
+ public:
+  explicit TeeCollector(std::vector<LogCollector*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void LogCommit(std::vector<LogRecord>&& records) override;
+
+ private:
+  std::vector<LogCollector*> sinks_;
+};
+
+// Private copy of a log: fresh segments, prev_ts cleared so a C5 scheduler
+// can re-preprocess the copy. Replicas mutate delivered segments in place,
+// so feeding one history to several consumers (failover catch-up ships the
+// promoted primary's delta to every survivor) requires a copy per consumer.
+std::unique_ptr<Log> CopyLog(const Log& log);
+
 // Offline collection: commits land in per-shard buffers with negligible
 // contention (each worker thread hashes to its own shard); Coalesce() then
 // produces the single totally ordered log, emulating the paper's

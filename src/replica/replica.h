@@ -90,6 +90,21 @@ class ReplicaBase : public Replica {
   storage::Database& db() override { return *db_; }
   ReplicaStats& stats() override { return stats_; }
 
+  // ---- Stable identity ------------------------------------------------------
+  // A deployment-stable id ("shard0/backup1") distinguishing THIS replica
+  // instance from every other one in a multi-shard fleet. name() identifies
+  // the protocol; instance_id() identifies the node, so logs and DST failure
+  // output can attribute a divergence to one replica of one shard group.
+  // Set once at construction time (core::MakeReplica applies
+  // ProtocolOptions::instance_id); not synchronized against concurrent use.
+  void SetInstanceId(std::string id) { instance_id_ = std::move(id); }
+  const std::string& instance_id() const { return instance_id_; }
+
+  // "instance_id(protocol)" when an id was assigned, else the protocol name.
+  std::string DisplayName() const {
+    return instance_id_.empty() ? name() : instance_id_ + "(" + name() + ")";
+  }
+
   Timestamp VisibleTimestamp() const override {
     return visible_ts_.load(std::memory_order_acquire);
   }
@@ -255,6 +270,7 @@ class ReplicaBase : public Replica {
  private:
   mutable std::mutex apply_latency_mu_;
   Histogram apply_latency_;
+  std::string instance_id_;
 };
 
 }  // namespace c5::replica

@@ -1,5 +1,6 @@
 #include "sim/dst_harness.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include "api/snapshot.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/shard_router.h"
 #include "core/protocol_factory.h"
 #include "ha/promotion.h"
 #include "ha/recovery.h"
@@ -42,11 +44,13 @@ struct DstPrimary {
 // One randomized mixed-operation transaction over a contended key space
 // (same shape as the property suite's RandomTxn: operation-level existence
 // errors fall back to the complementary operation, deletes churn rows).
+// `keys` is the universe the transaction draws from — the whole keyspace in
+// the classic scenario, one shard's partition in sharded mode.
 Status MixedTxn(txn::Txn& txn, TableId table, Rng& rng,
-                std::uint64_t keyspace) {
+                const std::vector<Key>& keys) {
   const int ops = 1 + static_cast<int>(rng.Uniform(8));
   for (int i = 0; i < ops; ++i) {
-    const Key key = rng.Uniform(keyspace);
+    const Key key = keys[rng.Uniform(keys.size())];
     const Value value = workload::EncodeIntValue(rng.Next());
     switch (rng.Uniform(4)) {
       case 0: {
@@ -84,7 +88,13 @@ Status MixedTxn(txn::Txn& txn, TableId table, Rng& rng,
 // per-client Rng streams. Serial execution (no retries, no interleaving)
 // makes the log — and therefore the whole scenario — a pure function of the
 // seed; concurrency is exercised on the replay side, where it belongs.
-void BuildPrimary(const DstPlan& plan, DstPrimary* p) {
+// `keys`, when non-null, confines the workload to one shard's partition
+// (and `workload_salt` separates the shards' Rng streams); null draws from
+// the full keyspace with the classic streams, so pre-sharding seeds replay
+// their exact historical logs.
+void BuildPrimary(const DstPlan& plan, DstPrimary* p,
+                  std::uint64_t workload_salt = 0,
+                  const std::vector<Key>* keys = nullptr) {
   p->collector =
       std::make_unique<log::PerThreadLogCollector>(plan.segment_capacity);
   if (plan.use_2pl) {
@@ -96,17 +106,24 @@ void BuildPrimary(const DstPlan& plan, DstPrimary* p) {
   }
   p->table = p->db.CreateTable("dst", 1u << 12);
 
+  std::vector<Key> all_keys;
+  if (keys == nullptr) {
+    all_keys.reserve(plan.keyspace);
+    for (Key k = 0; k < plan.keyspace; ++k) all_keys.push_back(k);
+    keys = &all_keys;
+  }
+
   std::vector<Rng> rngs;
   rngs.reserve(static_cast<std::size_t>(plan.clients));
   for (int c = 0; c < plan.clients; ++c) {
-    rngs.emplace_back(plan.seed ^ 0xD57'0000'0003ull ^
+    rngs.emplace_back(plan.seed ^ 0xD57'0000'0003ull ^ workload_salt ^
                       (static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull));
   }
   for (std::uint64_t t = 0; t < plan.txns_per_client; ++t) {
     for (int c = 0; c < plan.clients; ++c) {
       (void)p->engine->ExecuteWithRetry([&](txn::Txn& txn) {
         return MixedTxn(txn, p->table, rngs[static_cast<std::size_t>(c)],
-                        plan.keyspace);
+                        *keys);
       });
     }
   }
@@ -237,8 +254,9 @@ std::vector<Timestamp> CheckPoints(const std::vector<Timestamp>& boundaries) {
 // restored database stores one version per row, so history BELOW the
 // checkpoint is gone by construction.
 void CheckReplicaState(const std::string& who, DstPrimary& primary,
-                       c5::BackupNode& node, Timestamp final_visible,
-                       bool gc_active, Timestamp history_floor,
+                       std::uint64_t primary_digest, c5::BackupNode& node,
+                       Timestamp final_visible, bool gc_active,
+                       Timestamp history_floor,
                        const std::vector<Timestamp>& boundaries,
                        DstReport* report) {
   auto fail = [&](std::string why) {
@@ -250,7 +268,10 @@ void CheckReplicaState(const std::string& who, DstPrimary& primary,
          " does not cover the log (max ts " +
          std::to_string(primary.log.MaxTimestamp()) + ")");
   }
-  if (StateDigest(backup, kMaxTimestamp) != report->primary_digest) {
+  // `primary_digest` is THIS replica's own primary's digest, computed once
+  // per primary by the caller (sharded mode runs one primary per shard, so
+  // there is no single report-wide digest to compare against).
+  if (StateDigest(backup, kMaxTimestamp) != primary_digest) {
     fail("final state diverges from the primary");
   }
   std::string detail;
@@ -333,13 +354,25 @@ Timestamp RunIncarnation(c5::BackupNode& node, const DstPlan& plan,
 
 // ---- Convergence run (with optional crash/restart) -------------------------
 
+// `id_prefix` scopes the node's stable id ("" classic, "s0/" sharded);
+// `router`, when non-null, arms the cross-shard router oracle: after the
+// state checks, every key this replica's index materialized must route to
+// `shard_index`.
 void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
                            bool allow_crash, DstPrimary& primary,
+                           std::uint64_t primary_digest,
                            const std::vector<Timestamp>& boundaries,
                            std::uint64_t salt, const DstHooks& hooks,
+                           const std::string& id_prefix,
+                           const ShardRouter* router, std::size_t shard_index,
                            DstReport* report) {
-  const std::string who = std::string(core::ToString(kind)) + "[" +
-                          std::to_string(salt & 0xF) + "]";
+  // The stable node id IS the failure attribution: threaded through
+  // BackupOptions::id into the replica's ReplicaBase::instance_id(), then
+  // read BACK from the node (DisplayName) to prefix every violation — so a
+  // sharded seed replay names the exact node, straight from the replica
+  // that diverged.
+  std::string who = id_prefix + std::string(core::ToString(kind)) + "[" +
+                    std::to_string(salt & 0xF) + "]";
   auto fail = [&](std::string why) {
     report->violations.push_back(who + ": " + std::move(why));
   };
@@ -349,6 +382,7 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
       (kind == ProtocolKind::kC5 || kind == ProtocolKind::kC5MyRocks);
   c5::BackupOptions node_options;
   node_options.protocol = kind;
+  node_options.id = who;
   node_options.protocol_options.num_workers = plan.num_workers;
   node_options.protocol_options.snapshot_interval =
       std::chrono::microseconds(100);
@@ -371,6 +405,7 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
 
   auto node = std::make_unique<c5::BackupNode>(node_options);
   node->CreateTable("dst", 1u << 12);
+  who = node->reader().DisplayName();  // id as the replica itself declares it
 
   const bool crash = allow_crash && plan.crash &&
                      channel.delivered().size() >= 2;
@@ -490,8 +525,24 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
     node->db().CollectGarbage(primary.log.MaxTimestamp());
   }
 
-  CheckReplicaState(who, primary, *node, final_visible, gc_active,
-                    history_floor, boundaries, report);
+  CheckReplicaState(who, primary, primary_digest, *node, final_visible,
+                    gc_active, history_floor, boundaries, report);
+
+  if (router != nullptr) {
+    // Cross-shard router oracle: the replica applied only its shard's log,
+    // so every key its index materialized must route back to this shard —
+    // any other placement means a write leaked across the partition.
+    node->db().index(primary.table).ForEach(
+        [&](Key key, RowId, Timestamp) {
+          ++report->router_checks;
+          const std::size_t owner = router->ShardOf(primary.table, key);
+          if (owner != shard_index) {
+            fail("router oracle: key " + std::to_string(key) +
+                 " observed on shard " + std::to_string(shard_index) +
+                 " but routes to shard " + std::to_string(owner));
+          }
+        });
+  }
 }
 
 // ---- Mid-replay promotion scenario -----------------------------------------
@@ -519,6 +570,7 @@ void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
   // and is promoted with transactions still outstanding above the prefix.
   c5::BackupOptions victim_options;
   victim_options.protocol = ProtocolKind::kC5;
+  victim_options.id = "promotion/victim";
   victim_options.protocol_options.num_workers = plan.num_workers;
   victim_options.protocol_options.snapshot_interval =
       std::chrono::microseconds(100);
@@ -575,22 +627,92 @@ void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
   }
 }
 
+// ---- Sharded scenario (invariant 9) ----------------------------------------
+
+// Two independent shard groups: a seeded router partitions the keyspace,
+// each shard runs its own serial primary over its partition, its own faulty
+// channel (salted per shard, so fault schedules are independent), and one
+// convergence replica drawn from the plan's replica pool (crash/restart
+// allowed on shard 0). Invariants 1-8 run per shard against that shard's
+// primary; the router oracle closes the loop across shards.
+void RunShardedScenario(const DstPlan& plan, const DstHooks& hooks,
+                        DstReport* report) {
+  constexpr std::size_t kShards = 2;
+  ShardRouter router(kShards, plan.router_seed);
+
+  std::vector<std::vector<Key>> shard_keys(kShards);
+  for (Key k = 0; k < plan.keyspace; ++k) {
+    shard_keys[router.ShardOf(/*table=*/0, k)].push_back(k);
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    if (shard_keys[s].empty()) {
+      // With >= 32 keys and a mixing hash this is astronomically unlikely;
+      // flagging (rather than masking) keeps the router's balance honest.
+      report->violations.push_back("router left shard " + std::to_string(s) +
+                                   " with no keys");
+      return;
+    }
+  }
+
+  report->primary_digest = 0xcbf29ce484222325ull;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::string prefix = "s" + std::to_string(s) + "/";
+    DstPrimary primary;
+    BuildPrimary(plan, &primary,
+                 /*workload_salt=*/0x51A2D'0000ull * (s + 1), &shard_keys[s]);
+    report->log_records += primary.log.NumRecords();
+    report->log_txns += primary.log.CountTransactions();
+    std::string detail;
+    if (!LogWellFormed(primary.log, &detail)) {
+      report->violations.push_back(prefix + "primary log: " + detail);
+      continue;
+    }
+    const std::vector<Timestamp> boundaries = TxnBoundaries(primary.log);
+    if (boundaries.empty()) {
+      report->violations.push_back(prefix +
+                                   "primary produced an empty history");
+      continue;
+    }
+    const std::uint64_t shard_digest = StateDigest(primary.db, kMaxTimestamp);
+    report->primary_digest =
+        (report->primary_digest * 0x100000001b3ull) ^ shard_digest;
+
+    // One convergence replica per shard; the plan's pool supplies a C5
+    // variant for shard 0 and the wildcard protocol for shard 1, so every
+    // pairing still shows up across a sweep.
+    RunConvergenceReplica(plan, plan.replicas[s % plan.replicas.size()],
+                          /*allow_crash=*/s == 0, primary, shard_digest,
+                          boundaries, /*salt=*/0x200 + s, hooks, prefix,
+                          &router, s, report);
+  }
+}
+
 }  // namespace
 
 DstReport RunDst(std::uint64_t seed, const DstHooks& hooks) {
   DstPlan plan = DstPlan::FromSeed(seed);
+  // The sharded scenario runs exactly two groups; clamp so shards_run never
+  // claims a wider scenario than actually ran.
+  if (hooks.force_shards > 0) plan.shards = std::min(hooks.force_shards, 2);
   if (hooks.armed()) {
     // Self-test mode: strip the stochastic scenarios so the planted
     // violation is the only signal the checker can fire on.
     plan.gc_every = 0;
     plan.crash = false;
     plan.promote = false;
+    plan.shards = 1;
   }
 
   DstReport report;
   report.seed = seed;
   report.plan = plan;
   report.schedule_digest = 0xcbf29ce484222325ull;
+  report.shards_run = plan.shards;
+
+  if (plan.shards > 1) {
+    RunShardedScenario(plan, hooks, &report);
+    return report;
+  }
 
   DstPrimary primary;
   BuildPrimary(plan, &primary);
@@ -610,8 +732,9 @@ DstReport RunDst(std::uint64_t seed, const DstHooks& hooks) {
 
   for (std::size_t i = 0; i < plan.replicas.size(); ++i) {
     RunConvergenceReplica(plan, plan.replicas[i], /*allow_crash=*/i == 0,
-                          primary, boundaries, /*salt=*/0x100 + i, hooks,
-                          &report);
+                          primary, report.primary_digest, boundaries,
+                          /*salt=*/0x100 + i, hooks, /*id_prefix=*/"",
+                          /*router=*/nullptr, /*shard_index=*/0, &report);
   }
   if (plan.promote) {
     RunPromotionScenario(plan, primary, &report);

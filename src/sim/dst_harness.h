@@ -37,9 +37,18 @@
 //     once the restarted replica is caught up.
 //  8. Scan oracle: ordered range reads over the final snapshot match the
 //     log materialization (range digests, not just point keys).
+//  9. Sharded mode (two independent shard groups, seed-chosen — or pinned by
+//     DstHooks::force_shards, as the dedicated dst_test sweep does): a
+//     seeded ShardRouter partitions the keyspace, each shard runs its own
+//     primary, faulty channel, and convergence replica with independent
+//     per-shard fault schedules, invariants 1-8 hold per shard against that
+//     shard's primary, and the cross-shard router oracle holds: every key a
+//     shard's replica materialized routes to that shard.
 //
-// Failures print the seed; rerunning with C5_DST_SEED=<seed> reproduces the
-// fault schedule bit for bit.
+// Failures print the seed — and the replica's stable instance id
+// ("s1/c5[1]"), so a multi-shard violation names the exact node that
+// diverged; rerunning with C5_DST_SEED=<seed> reproduces the fault schedule
+// bit for bit.
 
 #ifndef C5_SIM_DST_HARNESS_H_
 #define C5_SIM_DST_HARNESS_H_
@@ -64,6 +73,13 @@ struct DstHooks {
   // boundaries — modeling a GC that ignores the reader horizon guard.
   bool gc_past_horizon = false;
 
+  // Mode pin, NOT a planted bug (excluded from armed()): overrides the
+  // plan's seed-chosen shard count. The dedicated sharded sweep in dst_test
+  // pins 2 so every seed exercises the two-shard scenario and the
+  // cross-shard router oracle. 0: the plan decides. Values above 2 clamp
+  // to 2 (the sharded scenario runs exactly two groups).
+  int force_shards = 0;
+
   bool armed() const { return drop_txn_segment >= 0 || gc_past_horizon; }
 };
 
@@ -82,6 +98,12 @@ struct DstReport {
   std::uint64_t recovery_windows_closed = 0;
   // Range-scan oracle executions (one per convergence replica).
   std::uint64_t scan_checks = 0;
+  // Sharded mode: how many shard groups ran (1 = the classic scenario), and
+  // how many (replica, key) placements the cross-shard router oracle
+  // checked — every key a shard's replica materialized must route to that
+  // shard. dst_test asserts router_checks > 0 over the sharded sweep.
+  int shards_run = 1;
+  std::uint64_t router_checks = 0;
   std::vector<std::string> violations;
 
   bool ok() const { return violations.empty(); }

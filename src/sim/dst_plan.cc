@@ -65,6 +65,12 @@ DstPlan DstPlan::FromSeed(std::uint64_t seed) {
                          ? ha::EngineKind::kMvtso
                          : ha::EngineKind::kTwoPhaseLocking;
   p.promoted_txns = 8 + rng.Uniform(17);                      // 8-24
+
+  // Drawn LAST so earlier fields keep their values for pre-sharding seeds
+  // (replay continuity). The dedicated sharded sweep in dst_test pins
+  // shards = 2 via DstHooks::force_shards regardless of this draw.
+  p.shards = rng.NextDouble() < 0.35 ? 2 : 1;
+  p.router_seed = rng.Next();
   return p;
 }
 

@@ -59,6 +59,18 @@ struct DstPlan {
   ha::EngineKind promote_engine = ha::EngineKind::kMvtso;
   std::uint64_t promoted_txns = 16;
 
+  // ---- Sharded mode: when 2, the scenario runs TWO independent shard
+  // groups — a seeded ShardRouter partitions the keyspace, each shard gets
+  // its own serial primary (writing only its keys), its own faulty channel
+  // (independent per-shard fault schedule), and one convergence replica
+  // (crash/restart allowed on shard 0) — and every per-shard state oracle
+  // runs against that shard's primary. A cross-shard router oracle then
+  // asserts every key a replica materialized routes to its shard. The
+  // promotion scenario is single-shard only (per-shard failover through the
+  // façade is cluster_test's job). ----
+  int shards = 1;
+  std::uint64_t router_seed = 0;
+
   static DstPlan FromSeed(std::uint64_t seed);
 };
 

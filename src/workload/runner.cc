@@ -61,4 +61,30 @@ RunResult RunClosedLoop(int clients, std::chrono::milliseconds duration,
   return result;
 }
 
+std::vector<RunResult> RunShardedClosedLoop(std::size_t shards,
+                                            int clients_per_shard,
+                                            std::chrono::milliseconds duration,
+                                            std::uint64_t txns_per_client,
+                                            const ShardedClientBody& body,
+                                            std::uint64_t seed) {
+  std::vector<RunResult> results(shards);
+  std::vector<std::thread> loops;
+  loops.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    loops.emplace_back([&, s] {
+      // Disjoint per-shard seed streams: RunClosedLoop derives each client's
+      // Rng from its seed, so salting the seed by shard keeps every
+      // (shard, client) stream distinct.
+      results[s] = RunClosedLoop(
+          clients_per_shard, duration, txns_per_client,
+          [&body, s](std::uint32_t client, Rng& rng) {
+            return body(s, client, rng);
+          },
+          seed + 0x51AD0ull * (s + 1));
+    });
+  }
+  JoinAll(loops);
+  return results;
+}
+
 }  // namespace c5::workload

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -38,6 +39,24 @@ using ClientBody = std::function<Status(std::uint32_t client, Rng& rng)>;
 RunResult RunClosedLoop(int clients, std::chrono::milliseconds duration,
                         std::uint64_t txns_per_client, const ClientBody& body,
                         std::uint64_t seed = 1);
+
+// A client body bound to one shard group: runs ONE transaction against
+// shard `shard`'s primary. `client` in [0, clients_per_shard).
+using ShardedClientBody =
+    std::function<Status(std::size_t shard, std::uint32_t client, Rng& rng)>;
+
+// Drives `shards` independent closed loops CONCURRENTLY — clients_per_shard
+// threads against each shard group — and returns the per-shard results
+// (index = shard). This is the load model of a sharded deployment: each
+// shard group has its own client population (e.g. each TPC-C warehouse's
+// terminals talk to the warehouse's shard) and no client ever spans groups.
+// Rng streams are disjoint per (shard, client) and derived from `seed`.
+std::vector<RunResult> RunShardedClosedLoop(std::size_t shards,
+                                            int clients_per_shard,
+                                            std::chrono::milliseconds duration,
+                                            std::uint64_t txns_per_client,
+                                            const ShardedClientBody& body,
+                                            std::uint64_t seed = 1);
 
 }  // namespace c5::workload
 

@@ -87,7 +87,15 @@ void CreateTables(storage::Database* db, const TpccConfig& config) {
   CreateTablesImpl(db, &config);
 }
 
-std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
+namespace {
+
+// Shared loader: `own(w)` selects which warehouses' scoped rows to load; the
+// item catalog is always loaded (it is replicated per shard in sharded
+// deployments). Deterministic: the Rng stream is consumed identically
+// whether or not a warehouse is loaded, so a shard's rows are byte-identical
+// to the same rows in an unsharded load.
+std::uint64_t LoadImpl(txn::Engine& engine, const TpccConfig& config,
+                       const std::function<bool(std::uint32_t)>& own) {
   std::uint64_t rows = 0;
   Rng rng(42);
 
@@ -114,12 +122,13 @@ std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
   };
 
   for (std::uint32_t w = 1; w <= config.warehouses; ++w) {
+    const bool owned = own(w);
     WarehouseRow wr{};
     wr.w_id = w;
     wr.w_tax = 0.05 + 0.001 * static_cast<double>(rng.Uniform(150));
     wr.w_ytd = 300000.0;
     FillName(wr.w_name, sizeof(wr.w_name), "wh", w);
-    add(kWarehouse, WarehouseKey(w), ToValue(wr));
+    if (owned) add(kWarehouse, WarehouseKey(w), ToValue(wr));
 
     for (std::uint32_t d = 1; d <= config.districts_per_warehouse; ++d) {
       DistrictRow dr{};
@@ -129,7 +138,7 @@ std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
       dr.d_ytd = 30000.0;
       dr.d_next_o_id = kInitialNextOid;
       FillName(dr.d_name, sizeof(dr.d_name), "d", d);
-      add(kDistrict, DistrictKey(w, d), ToValue(dr));
+      if (owned) add(kDistrict, DistrictKey(w, d), ToValue(dr));
 
       for (std::uint32_t c = 1; c <= config.customers_per_district; ++c) {
         CustomerRow cr{};
@@ -142,7 +151,7 @@ std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
         FillName(cr.c_last, sizeof(cr.c_last), "cust", c);
         cr.c_credit[0] = rng.Uniform(10) == 0 ? 'B' : 'G';
         cr.c_credit[1] = 'C';
-        add(kCustomer, CustomerKey(w, d, c), ToValue(cr));
+        if (owned) add(kCustomer, CustomerKey(w, d, c), ToValue(cr));
       }
     }
   }
@@ -157,6 +166,7 @@ std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
   }
 
   for (std::uint32_t w = 1; w <= config.warehouses; ++w) {
+    const bool owned = own(w);
     for (std::uint32_t i = 1; i <= config.items; ++i) {
       StockRow sr{};
       sr.s_i_id = i;
@@ -164,11 +174,47 @@ std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
       sr.s_quantity = static_cast<std::uint32_t>(rng.UniformRange(10, 100));
       sr.s_ytd = 0;
       sr.s_order_cnt = 0;
-      add(kStock, StockKey(w, i), ToValue(sr));
+      if (owned) add(kStock, StockKey(w, i), ToValue(sr));
     }
   }
   flush();
   return rows;
+}
+
+}  // namespace
+
+std::uint64_t Load(txn::Engine& engine, const TpccConfig& config) {
+  return LoadImpl(engine, config, [](std::uint32_t) { return true; });
+}
+
+std::uint64_t LoadShard(txn::Engine& engine, const TpccConfig& config,
+                        const ShardRouter& router, std::size_t shard) {
+  return LoadImpl(engine, config, [&router, shard](std::uint32_t w) {
+    return ShardOfWarehouse(router, w) == shard;
+  });
+}
+
+// The warehouse-id extractors invert the packed key layouts in
+// tpcc_schema.h. Registered per table so the router, not its callers, owns
+// the co-location rule.
+void ConfigureShardRouter(ShardRouter* router) {
+  router->SetPartitionKey(kWarehouse, [](Key k) { return k; });
+  router->SetPartitionKey(kDistrict, [](Key k) { return k >> 8; });
+  const auto by_wd_prefix = [](Key k) { return k >> 40; };
+  router->SetPartitionKey(kCustomer, by_wd_prefix);
+  router->SetPartitionKey(kNewOrder, by_wd_prefix);
+  router->SetPartitionKey(kOrder, by_wd_prefix);
+  router->SetPartitionKey(kOrderLine, by_wd_prefix);
+  router->SetPartitionKey(kStock, [](Key k) { return k >> 32; });
+  // The router is NOT authoritative for these two (see tpcc.h): ITEM is a
+  // per-shard replicated catalog, HISTORY a shard-local append stream —
+  // placement audits must not flag their keys on "foreign" shards.
+  router->MarkUnpartitioned(kItem);
+  router->MarkUnpartitioned(kHistory);
+}
+
+std::size_t ShardOfWarehouse(const ShardRouter& router, std::uint32_t w) {
+  return router.ShardOf(kWarehouse, WarehouseKey(w));
 }
 
 namespace {

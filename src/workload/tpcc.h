@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "common/shard_router.h"
 #include "common/status.h"
 #include "replica/replica.h"
 #include "storage/database.h"
@@ -53,6 +54,32 @@ std::array<TableSpec, kNumTables> TableSpecs(const TpccConfig* config);
 // engine (so the backup can be populated by replication or by a second Load).
 // Single-threaded; returns the number of rows loaded.
 std::uint64_t Load(txn::Engine& engine, const TpccConfig& config);
+
+// ---- Sharding --------------------------------------------------------------
+// Registers table-aware partition extractors on `router` so every
+// warehouse-scoped table routes by the warehouse id its key encodes
+// (tpcc_schema.h key layouts): warehouse, district, customer, new_order,
+// order, order_line, and stock keys for warehouse w all land on
+// ShardOfWarehouse(router, w), keeping each warehouse's rows — and therefore
+// each NewOrder/Payment transaction's whole footprint — on one shard group.
+//
+// ITEM and HISTORY are not warehouse-scoped; both are marked UNPARTITIONED
+// on the router (ShardRouter::MarkUnpartitioned), so placement audits skip
+// them: the item catalog is read-only after load and replicated per shard
+// (LoadShard loads it everywhere, so NewOrder's item reads stay
+// shard-local), and HISTORY rows are append-only audit data keyed by a
+// global sequence, living on whichever shard's Payment wrote them.
+void ConfigureShardRouter(ShardRouter* router);
+
+// The shard group owning warehouse `w` (and all its scoped rows).
+std::size_t ShardOfWarehouse(const ShardRouter& router, std::uint32_t w);
+
+// Sharded load: populates only the warehouses `shard` owns under `router`
+// (warehouse/district/customer/stock rows), plus the FULL item catalog
+// (replicated per shard, see above). Run once per shard group against that
+// group's primary. Returns the number of rows loaded.
+std::uint64_t LoadShard(txn::Engine& engine, const TpccConfig& config,
+                        const ShardRouter& router, std::size_t shard);
 
 // One NewOrder transaction (spec clause 2.4) against a random district of
 // warehouse `w`. ~1% of transactions roll back with kCancelled (invalid

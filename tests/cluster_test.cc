@@ -1,16 +1,21 @@
 // The c5::Cluster public façade: bring-up, the Snapshot read surface (Get /
 // MultiGet / Scan) checked against a single-thread oracle replica in the
 // same fleet, session guarantees across backups, failover promotion through
-// the façade, and BackupNode's recovery visibility window.
+// the façade, and BackupNode's recovery visibility window. The second half
+// covers c5::ShardedCluster: cross-shard scatter-gather reads against a
+// single-thread oracle over ALL shards, per-shard promotion while the other
+// shards keep serving, and per-shard session-token monotonicity.
 
 #include "api/cluster.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "api/sharded_cluster.h"
 #include "ha/recovery.h"
 #include "log/segment_source.h"
 #include "tests/test_util.h"
@@ -319,6 +324,303 @@ TEST(ClusterTest, BackupNodeRestartArmsAndClosesRecoveryWindow) {
   EXPECT_TRUE(node.OpenSnapshot()
                   .Get(t, workload::SyntheticWorkload::kHotKey, &v)
                   .ok());
+}
+
+// ---- ShardedCluster ---------------------------------------------------------
+
+// First key at or above `start` that routes to `shard` (the keyspaces here
+// are dense, so this terminates in a couple of probes).
+Key KeyOnShard(const ShardedCluster& fleet, TableId table, std::size_t shard,
+               Key start) {
+  Key k = start;
+  while (fleet.ShardOf(table, k) != shard) ++k;
+  return k;
+}
+
+// A mixed Put/Delete history is executed through the sharded façade while a
+// single std::map oracle tracks what the WHOLE keyspace should hold; the
+// cross-shard MultiGet and ordered Scan must agree with the oracle over all
+// shards, and the routing invariant must audit clean.
+TEST(ShardedClusterTest, CrossShardReadsMatchSingleThreadOracle) {
+  constexpr std::uint64_t kKeyspace = 128;
+  ShardedClusterOptions options;
+  options.WithShards(3).WithRouterSeed(test::TestSeed(301));
+  options.shard.WithBackups(1, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("kv");
+  fleet.Start();
+
+  std::map<Key, Value> oracle;  // single-thread truth over ALL shards
+  Rng rng(test::TestSeed(302));
+  for (int i = 0; i < 600; ++i) {
+    const Key key = rng.Uniform(kKeyspace);
+    if (rng.Uniform(4) == 0) {
+      ASSERT_TRUE(fleet
+                      .ExecuteWithRetry(t, key,
+                                        [&](txn::Txn& txn) {
+                                          const Status s = txn.Delete(t, key);
+                                          return s.code() ==
+                                                         StatusCode::kNotFound
+                                                     ? Status::Ok()
+                                                     : s;
+                                        })
+                      .ok());
+      oracle.erase(key);
+    } else {
+      const Value value = workload::EncodeIntValue(rng.Next());
+      ASSERT_TRUE(fleet
+                      .ExecuteWithRetry(t, key,
+                                        [&](txn::Txn& txn) {
+                                          return txn.Put(t, key, value);
+                                        })
+                      .ok());
+      oracle[key] = value;
+    }
+  }
+  fleet.WaitForBackups();
+
+  // Routed writes must have landed only where the router says they live.
+  EXPECT_TRUE(fleet.VerifyPlacement().empty());
+
+  // Cross-shard MultiGet in caller order, present and absent keys mixed.
+  std::vector<Key> keys;
+  for (Key k = 0; k < kKeyspace; ++k) keys.push_back(k);
+  std::vector<Value> values;
+  const auto statuses = fleet.MultiGet(t, keys, &values);
+  ASSERT_EQ(statuses.size(), keys.size());
+  for (Key k = 0; k < kKeyspace; ++k) {
+    const auto it = oracle.find(k);
+    if (it == oracle.end()) {
+      EXPECT_EQ(statuses[k].code(), StatusCode::kNotFound) << "key " << k;
+    } else {
+      ASSERT_TRUE(statuses[k].ok()) << "key " << k;
+      EXPECT_EQ(values[k], it->second) << "key " << k;
+    }
+  }
+
+  // Cross-shard ordered Scan: exactly the oracle's live rows, ascending,
+  // merged across the three shards' pinned snapshots.
+  std::vector<std::pair<Key, Value>> rows;
+  ASSERT_TRUE(fleet.Scan(t, 0, kKeyspace, &rows).ok());
+  ASSERT_EQ(rows.size(), oracle.size());
+  auto want = oracle.begin();
+  for (std::size_t i = 0; i < rows.size(); ++i, ++want) {
+    EXPECT_EQ(rows[i].first, want->first);
+    EXPECT_EQ(rows[i].second, want->second);
+    if (i > 0) {
+      EXPECT_LT(rows[i - 1].first, rows[i].first);
+    }
+  }
+  // Sub-range scans honor the half-open bounds across shard boundaries —
+  // and Scan clears *out, so reusing the vector is safe.
+  ASSERT_TRUE(fleet.Scan(t, kKeyspace / 4, kKeyspace / 2, &rows).ok());
+  for (const auto& [k, v] : rows) {
+    ASSERT_GE(k, kKeyspace / 4);
+    ASSERT_LT(k, kKeyspace / 2);
+    EXPECT_EQ(oracle.at(k), v);
+  }
+  fleet.Shutdown();
+}
+
+// One shard fails over (stop -> promote -> new writes -> survivor catch-up)
+// while the OTHER shard keeps executing transactions and serving reads the
+// whole time — shard groups share nothing, so a shard's failover must not
+// stall the fleet.
+TEST(ShardedClusterTest, PerShardPromotionWhileOtherShardsKeepServing) {
+  ShardedClusterOptions options;
+  options.WithShards(2).WithRouterSeed(test::TestSeed(303));
+  options.shard.WithBackups(2, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("orders");
+  fleet.Start();
+
+  const Key k0 = KeyOnShard(fleet, t, 0, 0);
+  const Key k1 = KeyOnShard(fleet, t, 1, 0);
+  auto put = [&](Key key, std::uint64_t n, Timestamp* commit = nullptr) {
+    return fleet.ExecuteWithRetry(
+        t, key,
+        [&](txn::Txn& txn) {
+          return txn.Put(t, key, workload::EncodeIntValue(n));
+        },
+        commit);
+  };
+  ASSERT_TRUE(put(k0, 1).ok());
+  ASSERT_TRUE(put(k1, 1).ok());
+
+  // Shard 0's primary dies. Shard 1 is untouched: its writes keep
+  // committing, shard 0's fail loudly.
+  fleet.StopPrimary(0);
+  EXPECT_FALSE(put(k0, 2).ok());
+  ASSERT_TRUE(put(k1, 2).ok());
+
+  // Promote shard 0's backup 0; the shard accepts writes again through the
+  // same routed surface.
+  ASSERT_TRUE(fleet.Promote(0, 0).ok());
+  EXPECT_EQ(fleet.shard(0).promoted_index(), 0u);
+  Timestamp s0_commit = 0;
+  ASSERT_TRUE(put(k0, 3, &s0_commit).ok());
+  ASSERT_GT(s0_commit, 0u);
+  Timestamp s1_commit = 0;
+  ASSERT_TRUE(put(k1, 3, &s1_commit).ok());
+  fleet.Flush();
+
+  // Shard 1 serves session reads (read-your-writes included) THROUGH the
+  // failover of shard 0.
+  auto session = fleet.OpenSession();
+  session.OnWrite(t, k1, s1_commit);
+  Value v;
+  ASSERT_TRUE(session.Read(t, k1, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 3u);
+
+  // Shard 0's survivor follows the promoted history; cross-shard reads see
+  // both shards' final states.
+  ASSERT_TRUE(fleet.CatchUpSurvivors(0).ok());
+  const Snapshot survivor = fleet.shard(0).OpenSnapshot(1);
+  ASSERT_TRUE(survivor.Get(t, k0, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 3u);
+  fleet.shard(1).WaitForBackups();
+  std::vector<Value> values;
+  const auto statuses = fleet.MultiGet(t, {k0, k1}, &values);
+  ASSERT_TRUE(statuses[0].ok());
+  ASSERT_TRUE(statuses[1].ok());
+  EXPECT_EQ(workload::DecodeIntValue(values[0]), 3u);
+  EXPECT_EQ(workload::DecodeIntValue(values[1]), 3u);
+  fleet.Shutdown();
+}
+
+// Sessions carry one causality token PER SHARD: a write only constrains the
+// shard it routed to, reads advance only the routed shard's token, and no
+// token ever regresses.
+TEST(ShardedClusterTest, SessionTokensAreMonotonicAndPerShard) {
+  ShardedClusterOptions options;
+  options.WithShards(2).WithRouterSeed(test::TestSeed(304));
+  options.shard.WithBackups(1, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("kv");
+  fleet.Start();
+
+  const Key k0 = KeyOnShard(fleet, t, 0, 0);
+  const Key k1 = KeyOnShard(fleet, t, 1, 0);
+
+  auto session = fleet.OpenSession();
+  EXPECT_EQ(session.token(0), 0u);
+  EXPECT_EQ(session.token(1), 0u);
+
+  Timestamp c0 = 0;
+  ASSERT_TRUE(fleet
+                  .ExecuteWithRetry(
+                      t, k0,
+                      [&](txn::Txn& txn) {
+                        return txn.Put(t, k0, workload::EncodeIntValue(10));
+                      },
+                      &c0)
+                  .ok());
+  fleet.Flush();
+  session.OnWrite(t, k0, c0);
+  // The write landed on shard 0: only shard 0's token moved.
+  EXPECT_GE(session.token(0), c0);
+  EXPECT_EQ(session.token(1), 0u);
+
+  // Read-your-writes on shard 0; the read may advance the token further,
+  // never backward.
+  const Timestamp before_read = session.token(0);
+  Value v;
+  ASSERT_TRUE(session.Read(t, k0, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 10u);
+  EXPECT_GE(session.token(0), before_read);
+
+  // Shard 1 activity moves shard 1's token only.
+  Timestamp c1 = 0;
+  ASSERT_TRUE(fleet
+                  .ExecuteWithRetry(
+                      t, k1,
+                      [&](txn::Txn& txn) {
+                        return txn.Put(t, k1, workload::EncodeIntValue(20));
+                      },
+                      &c1)
+                  .ok());
+  fleet.Flush();
+  const Timestamp t0_before = session.token(0);
+  session.OnWrite(t, k1, c1);
+  ASSERT_TRUE(session.Read(t, k1, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 20u);
+  EXPECT_GE(session.token(1), c1);
+  EXPECT_EQ(session.token(0), t0_before)
+      << "a shard-1 write must not disturb shard 0's token";
+
+  // Cross-shard session reads (batch + range) keep every token monotonic.
+  const Timestamp tok0 = session.token(0), tok1 = session.token(1);
+  std::vector<Value> values;
+  const auto statuses = session.MultiGet(t, {k0, k1}, &values);
+  ASSERT_TRUE(statuses[0].ok());
+  ASSERT_TRUE(statuses[1].ok());
+  std::vector<std::pair<Key, Value>> rows;
+  ASSERT_TRUE(session.Scan(t, 0, std::max(k0, k1) + 1, &rows).ok());
+  EXPECT_GE(rows.size(), 2u);
+  EXPECT_GE(session.token(0), tok0);
+  EXPECT_GE(session.token(1), tok1);
+  fleet.Shutdown();
+}
+
+// Unpartitioned tables (replicated catalogs, shard-local append streams —
+// e.g. TPC-C's ITEM/HISTORY): the router is not authoritative, so point
+// reads probe all shards, cross-shard scans are rejected (keys are not
+// disjoint, no exact merge exists), and the placement audit skips them.
+TEST(ShardedClusterTest, UnpartitionedTablesProbeAllShardsAndRejectScan) {
+  ShardedClusterOptions options;
+  options.WithShards(2).WithRouterSeed(test::TestSeed(305));
+  options.shard.WithBackups(1, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("audit");
+  fleet.router().MarkUnpartitioned(t);
+  fleet.Start();
+
+  // A shard-local stream writes wherever its owning transaction runs —
+  // deliberately NOT the shard the key hashes to.
+  const std::size_t routed = fleet.ShardOf(t, 7);
+  const std::size_t other = 1 - routed;
+  Timestamp commit = 0;
+  ASSERT_TRUE(fleet
+                  .ExecuteOnShardWithRetry(
+                      other,
+                      [&](txn::Txn& txn) {
+                        return txn.Put(t, 7, workload::EncodeIntValue(77));
+                      },
+                      &commit)
+                  .ok());
+  fleet.Flush();
+
+  // Read-your-writes for an ExecuteOnShard write goes through
+  // OnWriteToShard (the key's hash shard is NOT where the write landed).
+  Value v;
+  auto session = fleet.OpenSession();
+  session.OnWriteToShard(other, commit);
+  ASSERT_TRUE(session.Read(t, 7, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 77u);
+
+  fleet.WaitForBackups();
+  ASSERT_TRUE(fleet.Get(t, 7, &v).ok()) << "miss on the routed shard must "
+                                           "fall back to probing the rest";
+  EXPECT_EQ(workload::DecodeIntValue(v), 77u);
+  EXPECT_EQ(fleet.Get(t, 8, &v).code(), StatusCode::kNotFound);
+
+  std::vector<Value> values;
+  const auto statuses = fleet.MultiGet(t, {7, 8}, &values);
+  ASSERT_TRUE(statuses[0].ok());
+  EXPECT_EQ(workload::DecodeIntValue(values[0]), 77u);
+  EXPECT_EQ(statuses[1].code(), StatusCode::kNotFound);
+
+  std::vector<std::pair<Key, Value>> rows = {{1, Value("stale")}};
+  EXPECT_EQ(fleet.Scan(t, 0, 100, &rows).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(rows.empty()) << "a failed Scan must still clear the output";
+
+  EXPECT_TRUE(fleet.VerifyPlacement().empty())
+      << "the audit must skip unpartitioned tables";
+
+  EXPECT_EQ(session.Scan(t, 0, 100, &rows).code(),
+            StatusCode::kInvalidArgument);
+  fleet.Shutdown();
 }
 
 // Explicit unit check of the PublishVisible suppression contract.

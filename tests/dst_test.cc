@@ -29,6 +29,10 @@ std::string Describe(const DstReport& r) {
      << r.wire.stale_dups_delivered << " stale dups delivered); "
      << (r.plan.crash ? "crash " : "") << (r.plan.promote ? "promote " : "")
      << (r.plan.gc_every > 0 ? "gc " : "") << (r.plan.use_2pl ? "2pl" : "mvtso");
+  if (r.shards_run > 1) {
+    os << " sharded(" << r.shards_run << ", " << r.router_checks
+       << " router checks)";
+  }
   for (const std::string& v : r.violations) os << "\n  VIOLATION: " << v;
   os << "\n  replay: C5_DST_SEED=" << r.seed << " ./dst_test";
   return os.str();
@@ -65,7 +69,9 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
     total.retransmits += r.wire.retransmits;
     total.stale_dups_delivered += r.wire.stale_dups_delivered;
     crashes += r.plan.crash ? 1 : 0;
-    promotions += r.plan.promote ? 1 : 0;
+    // The promotion scenario only runs single-shard (sharded failover is
+    // cluster_test's job), so only count it where it actually ran.
+    promotions += (r.plan.promote && r.shards_run == 1) ? 1 : 0;
     gc_runs += r.plan.gc_every > 0 ? 1 : 0;
     restarts += r.crash_restarts;
     windows_closed += r.recovery_windows_closed;
@@ -90,6 +96,40 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
     EXPECT_GT(gc_runs, 0u);
     // The sweep must actually exercise the recovery window and the
     // range-scan oracle (one scan check per convergence replica).
+    EXPECT_GT(restarts, 0u);
+    EXPECT_GT(scan_checks, 0u);
+  }
+}
+
+// The sharded sweep: every seed re-runs as TWO independent shard groups
+// (DstHooks::force_shards pins the mode; the fault schedules, crash
+// injection, and all per-shard oracles still derive from the seed). The
+// cross-shard router oracle must actually fire — a sweep that never checked
+// a placement would vacuously pass.
+TEST(DstTest, ShardedSweepHoldsAllInvariants) {
+  const std::vector<std::uint64_t> seeds = SweepSeeds();
+  DstHooks sharded;
+  sharded.force_shards = 2;
+  ASSERT_FALSE(sharded.armed()) << "force_shards is a mode pin, not a hook";
+  std::uint64_t router_checks = 0, restarts = 0, windows_closed = 0;
+  std::uint64_t crashes = 0, scan_checks = 0;
+  for (const std::uint64_t seed : seeds) {
+    const DstReport r = RunDst(seed, sharded);
+    EXPECT_TRUE(r.ok()) << Describe(r);
+    EXPECT_EQ(r.shards_run, 2) << Describe(r);
+    router_checks += r.router_checks;
+    restarts += r.crash_restarts;
+    windows_closed += r.recovery_windows_closed;
+    crashes += r.plan.crash ? 1 : 0;
+    scan_checks += r.scan_checks;
+  }
+  // Recovery windows must close on the sharded crash path too.
+  EXPECT_EQ(restarts, windows_closed);
+  // The router oracle must be asserted (many times) per sweep, and the
+  // sharded mode must keep exercising the crash and scan oracles.
+  EXPECT_GT(router_checks, 0u);
+  if (seeds.size() >= 16) {
+    EXPECT_GT(crashes, 0u);
     EXPECT_GT(restarts, 0u);
     EXPECT_GT(scan_checks, 0u);
   }

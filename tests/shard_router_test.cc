@@ -1,0 +1,191 @@
+// Property tests for ShardRouter (common/shard_router.h), the single source
+// of truth for key -> shard-group routing: the mapping is deterministic and
+// total, load stays balanced across shards over random and sequential key
+// sets, scatter grouping is a faithful partition, and table-aware routing
+// keeps every TPC-C warehouse's rows on one shard.
+
+#include "common/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "workload/tpcc.h"
+#include "workload/tpcc_schema.h"
+
+namespace c5 {
+namespace {
+
+TEST(ShardRouterTest, RoutingIsDeterministicAndTotal) {
+  Rng rng(test::TestSeed(201));
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    const std::uint64_t seed = rng.Next();
+    ShardRouter a(shards, seed);
+    ShardRouter b(shards, seed);  // independent instance, same parameters
+    for (int i = 0; i < 2000; ++i) {
+      const Key key = rng.Next();
+      const std::size_t s = a.ShardOf(/*table=*/0, key);
+      // Total: every key maps into [0, shards).
+      ASSERT_LT(s, shards);
+      // Deterministic: the mapping is a pure function of (shards, seed,
+      // table, key) — across calls and across router instances.
+      EXPECT_EQ(s, a.ShardOf(0, key));
+      EXPECT_EQ(s, b.ShardOf(0, key));
+    }
+  }
+}
+
+TEST(ShardRouterTest, SeedActuallyPerturbsPlacement) {
+  ShardRouter a(4, /*seed=*/1);
+  ShardRouter b(4, /*seed=*/2);
+  int moved = 0;
+  for (Key k = 0; k < 1000; ++k) {
+    if (a.ShardOf(0, k) != b.ShardOf(0, k)) ++moved;
+  }
+  // Independent placements agree on ~1/4 of keys; all-equal would mean the
+  // seed is dead weight.
+  EXPECT_GT(moved, 500);
+}
+
+TEST(ShardRouterTest, DistributionStaysWithinBoundsOverRandomKeySets) {
+  Rng rng(test::TestSeed(202));
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    ShardRouter router(shards, rng.Next());
+    constexpr int kKeys = 100000;
+    std::vector<int> random_load(shards, 0), sequential_load(shards, 0);
+    for (int i = 0; i < kKeys; ++i) {
+      ++random_load[router.ShardOf(0, rng.Next())];
+      ++sequential_load[router.ShardOf(0, static_cast<Key>(i))];
+    }
+    // Binomial sd at p=1/shards, n=100k is a few hundred; +/-10% of the
+    // uniform share is > 20 sd — failures mean broken mixing, not noise.
+    const double share = static_cast<double>(kKeys) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(random_load[s], 0.9 * share) << shards << " shards, shard " << s;
+      EXPECT_LT(random_load[s], 1.1 * share) << shards << " shards, shard " << s;
+      // Sequential keys (the common dense-id layout) must spread too: the
+      // router hashes, it does not range-partition.
+      EXPECT_GT(sequential_load[s], 0.9 * share) << "sequential, shard " << s;
+      EXPECT_LT(sequential_load[s], 1.1 * share) << "sequential, shard " << s;
+    }
+  }
+}
+
+TEST(ShardRouterTest, GroupByShardIsAFaithfulPartition) {
+  Rng rng(test::TestSeed(203));
+  ShardRouter router(4, rng.Next());
+  std::vector<Key> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.Next());
+  const auto groups = router.GroupByShard(0, keys);
+  ASSERT_EQ(groups.size(), 4u);
+  std::set<std::size_t> seen;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    for (const std::size_t i : groups[s]) {
+      EXPECT_EQ(router.ShardOf(0, keys[i]), s);
+      EXPECT_TRUE(seen.insert(i).second) << "position " << i << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), keys.size()) << "positions lost in grouping";
+}
+
+// The table-aware contract for TPC-C: a warehouse's rows — across every
+// warehouse-scoped table and the full district/customer/order/stock key
+// ranges — land on ONE shard, the warehouse's own.
+TEST(ShardRouterTest, TpccWarehouseRowsStayOnOneShard) {
+  namespace tpcc = workload::tpcc;
+  Rng rng(test::TestSeed(204));
+  ShardRouter router(4, rng.Next());
+  tpcc::ConfigureShardRouter(&router);
+
+  std::vector<int> shard_of_warehouse(4, 0);
+  for (std::uint32_t w = 1; w <= 64; ++w) {
+    const std::size_t home = tpcc::ShardOfWarehouse(router, w);
+    ++shard_of_warehouse[home];
+    EXPECT_EQ(router.ShardOf(tpcc::kWarehouse, tpcc::WarehouseKey(w)), home);
+    for (std::uint32_t d = 1; d <= 10; ++d) {
+      EXPECT_EQ(router.ShardOf(tpcc::kDistrict, tpcc::DistrictKey(w, d)),
+                home);
+      // Random points across the (wide) per-district id spaces.
+      for (int i = 0; i < 8; ++i) {
+        const auto c = static_cast<std::uint32_t>(rng.UniformRange(1, 3000));
+        const auto o = static_cast<std::uint32_t>(rng.UniformRange(1, 100000));
+        const auto ol = static_cast<std::uint32_t>(rng.Uniform(15));
+        EXPECT_EQ(router.ShardOf(tpcc::kCustomer, tpcc::CustomerKey(w, d, c)),
+                  home);
+        EXPECT_EQ(router.ShardOf(tpcc::kOrder, tpcc::OrderKey(w, d, o)), home);
+        EXPECT_EQ(router.ShardOf(tpcc::kNewOrder, tpcc::NewOrderKey(w, d, o)),
+                  home);
+        EXPECT_EQ(router.ShardOf(tpcc::kOrderLine,
+                                 tpcc::OrderLineKey(w, d, o, ol)),
+                  home);
+      }
+    }
+    for (int i = 0; i < 16; ++i) {
+      const auto item = static_cast<std::uint32_t>(rng.UniformRange(1, 10000));
+      EXPECT_EQ(router.ShardOf(tpcc::kStock, tpcc::StockKey(w, item)), home);
+    }
+  }
+  // Warehouses themselves must spread: every shard owns some of the 64.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(shard_of_warehouse[s], 0) << "shard " << s << " owns nothing";
+  }
+}
+
+// LoadShard populates each shard group's primary with exactly its own
+// warehouses' scoped rows — and the full item catalog on every shard (the
+// read-only catalog is replicated so NewOrder's item reads stay local).
+TEST(ShardRouterTest, TpccLoadShardPartitionsWarehousesAndReplicatesItems) {
+  namespace tpcc = workload::tpcc;
+  ShardRouter router(2, test::TestSeed(205));
+  tpcc::ConfigureShardRouter(&router);
+  tpcc::TpccConfig cfg;
+  cfg.warehouses = 6;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 5;
+  cfg.items = 40;
+
+  std::vector<std::unique_ptr<test::Primary>> shards;
+  for (std::size_t s = 0; s < 2; ++s) {
+    auto p = test::Primary::Mvtso();
+    tpcc::CreateTables(&p->db);
+    tpcc::LoadShard(*p->engine, cfg, router, s);
+    shards.push_back(std::move(p));
+  }
+
+  for (std::uint32_t w = 1; w <= cfg.warehouses; ++w) {
+    const std::size_t home = tpcc::ShardOfWarehouse(router, w);
+    for (std::size_t s = 0; s < 2; ++s) {
+      const bool owned = s == home;
+      EXPECT_EQ(shards[s]
+                    ->db.index(tpcc::kWarehouse)
+                    .Lookup(tpcc::WarehouseKey(w))
+                    .has_value(),
+                owned)
+          << "warehouse " << w << " on shard " << s;
+      EXPECT_EQ(shards[s]
+                    ->db.index(tpcc::kDistrict)
+                    .Lookup(tpcc::DistrictKey(w, 1))
+                    .has_value(),
+                owned);
+      EXPECT_EQ(shards[s]
+                    ->db.index(tpcc::kCustomer)
+                    .Lookup(tpcc::CustomerKey(w, 1, 1))
+                    .has_value(),
+                owned);
+      EXPECT_EQ(shards[s]
+                    ->db.index(tpcc::kStock)
+                    .Lookup(tpcc::StockKey(w, 1))
+                    .has_value(),
+                owned);
+    }
+  }
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(shards[s]->db.index(tpcc::kItem).Size(), cfg.items)
+        << "the item catalog must be replicated on shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace c5
