@@ -30,7 +30,8 @@ if command -v nproc >/dev/null 2>&1; then jobs=$(nproc); else jobs=4; fi
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" -j "$jobs" --target \
   bench_fig6_tpcc_opt bench_fig9_read_throughput \
-  bench_micro_replay_hotpath bench_shard_scaling bench_json_check >/dev/null
+  bench_micro_replay_hotpath bench_shard_scaling bench_reshard_under_load \
+  bench_json_check >/dev/null
 
 if [ "$quick" -eq 1 ]; then
   scale=${C5_BENCH_SCALE:-0.01}
@@ -74,17 +75,24 @@ echo "== bench_fig9_read_throughput (scale $scale)"
   --require micro_replay_hotpath --require fig6 --require fig9
 echo "wrote $out"
 
-# Shard-group scaling trajectory (its own file: the experiment tracks the
-# sharded façade, not the single-group replay hot path).
+# Shard-group trajectory (its own file: these experiments track the sharded
+# façade, not the single-group replay hot path): scaling across group counts
+# plus the live-resharding serving impact (throughput dip / recovery while
+# Rebalance migrates half of shard 0 under closed-loop load).
 echo "== bench_shard_scaling${shard_flags:+ (quick)}"
 "$build_dir/bench_shard_scaling" $shard_flags --json "$tmp/shards.json"
+echo "== bench_reshard_under_load${shard_flags:+ (quick)}"
+"$build_dir/bench_reshard_under_load" $shard_flags --json "$tmp/reshard.json"
 {
   printf '{\n"schema_version": 1,\n'
   printf '"generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '"quick": %s,\n' "$([ "$quick" -eq 1 ] && echo true || echo false)"
   printf '"shard_scaling": '
   cat "$tmp/shards.json"
+  printf ',\n"reshard_under_load": '
+  cat "$tmp/reshard.json"
   printf '\n}\n'
 } > "$out_shards"
-"$build_dir/bench_json_check" "$out_shards" --require shard_scaling
+"$build_dir/bench_json_check" "$out_shards" \
+  --require shard_scaling --require reshard_under_load
 echo "wrote $out_shards"

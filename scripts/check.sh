@@ -21,11 +21,13 @@ cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 "$repo_root/scripts/bench.sh" --quick "$build_dir"
 
-# Sanitizer lanes: the DST harness (both the classic sweep and the sharded
-# 16-seed sweep with its cross-shard router oracle — dst_test runs both),
-# the wire fuzz loop, and the public-API cluster suite (including the
-# ShardedCluster tests) are rebuilt and run (the quick 16-seed list keeps
-# each lane to seconds of test time).
+# Sanitizer lanes: the DST harness (the classic sweep AND the sharded
+# 16-seed sweep — dst_test runs both; the sharded sweep seeds live reshard
+# migrations mid-workload, so the epoch-aware router oracle and the
+# commit/abort migration ledger run under both sanitizers), the wire fuzz
+# loop, and the public-API cluster suite (including the ShardedCluster
+# Rebalance-under-traffic tests) are rebuilt and run (the quick 16-seed
+# list keeps each lane to seconds of test time).
 # Lane build trees derive from the caller's build dir so concurrent
 # invocations with distinct build dirs never race on shared trees.
 # A failing seed prints itself; replay it under the same lane with

@@ -85,9 +85,11 @@ Status BackupNode::WriteCheckpoint(const std::string& path) {
   return storage::WriteCheckpoint(db_, VisibleTimestamp(), path);
 }
 
-std::unique_ptr<ha::PromotedPrimary> BackupNode::Promote(ha::EngineKind kind) {
+std::unique_ptr<ha::PromotedPrimary> BackupNode::Promote(
+    ha::EngineKind kind, log::LogCollector* extra_sink) {
   Stop();
-  return ha::PromoteToPrimary(&db_, VisibleTimestamp(), kind);
+  return ha::PromoteToPrimary(&db_, VisibleTimestamp(), kind,
+                              /*segment_capacity=*/256, extra_sink);
 }
 
 replica::ReplicaBase& BackupNode::reader() { return *base_; }
@@ -104,6 +106,34 @@ struct Cluster::Shipping {
   std::unique_ptr<log::DelayedSegmentSource> delayed;
   log::SegmentSource* source = nullptr;  // what the backup consumes
 };
+
+void Cluster::TapSet::LogCommit(std::vector<log::LogRecord>&& records) {
+  std::lock_guard<SpinLock> lock(lock_);
+  if (taps_.empty()) return;
+  for (std::size_t i = 0; i + 1 < taps_.size(); ++i) {
+    std::vector<log::LogRecord> copy = records;
+    taps_[i]->LogCommit(std::move(copy));
+  }
+  taps_.back()->LogCommit(std::move(records));
+}
+
+void Cluster::TapSet::Attach(log::LogCollector* tap) {
+  std::lock_guard<SpinLock> lock(lock_);
+  taps_.push_back(tap);
+}
+
+void Cluster::TapSet::Detach(log::LogCollector* tap) {
+  std::lock_guard<SpinLock> lock(lock_);
+  for (auto it = taps_.begin(); it != taps_.end(); ++it) {
+    if (*it == tap) {
+      taps_.erase(it);
+      return;
+    }
+  }
+}
+
+void Cluster::AttachTap(log::LogCollector* tap) { taps_.Attach(tap); }
+void Cluster::DetachTap(log::LogCollector* tap) { taps_.Detach(tap); }
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {}
 
@@ -128,12 +158,16 @@ void Cluster::Start() {
 
   const auto specs = ResolvedSpecs();
 
-  // Shipping lanes first (the engine's collector tees into them).
+  // Shipping lanes first (the engine's collector tees into them). The tap
+  // set rides LAST in the tee: the fixed lanes get private copies and the
+  // taps (usually none — a live migration's catch-up stream when attached)
+  // receive the moved original.
   std::vector<log::LogCollector*> sinks;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     shipping_.push_back(std::make_unique<Shipping>(options_.segment_records));
     sinks.push_back(&shipping_.back()->collector);
   }
+  sinks.push_back(&taps_);
   tee_ = std::make_unique<log::TeeCollector>(std::move(sinks));
 
   // Primary engine. Online sequencing needs the engine's release horizon —
@@ -157,6 +191,7 @@ void Cluster::Start() {
     }
   }
   for (auto& lane : shipping_) lane->collector.SetReleaseHorizon(horizon);
+  horizon_fn_ = horizon;
 
   // The fleet: one node per spec, schema mirrored (table ids match by
   // creation order), each consuming its own channel.
@@ -281,7 +316,10 @@ Status Cluster::Promote(std::size_t backup_index) {
   // everyone else) drains what it received before the switch.
   WaitForBackups();
   for (auto& node : nodes_) node->Stop();
-  promoted_ = nodes_[backup_index]->Promote(options_.engine);
+  // The tap set rides along: a migration tailing this shard's commit
+  // stream keeps seeing it from the new primary (satellite fix for the
+  // PR-5 promoted-staleness hole, at least for migration reads).
+  promoted_ = nodes_[backup_index]->Promote(options_.engine, &taps_);
   promoted_index_ = backup_index;
   return Status::Ok();
 }
@@ -320,6 +358,38 @@ void Cluster::Shutdown() {
   StopPrimary();
   if (promoted_ == nullptr) WaitForBackups();
   for (auto& node : nodes_) node->Stop();
+}
+
+Status Cluster::ExportRows(TableId table,
+                           const std::function<bool(Key)>& keep, Timestamp ts,
+                           std::vector<ExportedRow>* out) {
+  storage::Database& db = current_primary_db();
+  if (table >= db.NumTables()) {
+    return Status::InvalidArgument("no such table");
+  }
+  // The epoch guard keeps every version visited alive; ReadKeyAt at a
+  // SETTLED ts (caller waited PrimaryLogHorizon() > ts) never meets an
+  // unresolved pending version at or below ts, so it returns the final
+  // committed state as of ts.
+  const auto guard = db.epochs().Enter();
+  // Collect the partition's keys first, read after: ForEach holds the index
+  // shard's non-reentrant lock while visiting, and ReadKeyAt re-enters the
+  // index via Lookup.
+  std::vector<Key> keys;
+  db.index(table).ForEach([&](Key key, RowId, Timestamp) {
+    if (keep(key)) keys.push_back(key);
+  });
+  for (const Key key : keys) {
+    const storage::Version* v = db.ReadKeyAt(table, key, ts);
+    if (v == nullptr || v->deleted) continue;
+    out->push_back(ExportedRow{key, Value(v->value()), v->write_ts});
+  }
+  return Status::Ok();
+}
+
+Timestamp Cluster::PrimaryLogHorizon() const {
+  if (promoted_ != nullptr && promoted_->horizon) return promoted_->horizon();
+  return horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
 }
 
 txn::Engine& Cluster::engine() {

@@ -49,6 +49,7 @@
 
 #include "api/snapshot.h"
 #include "common/clock.h"
+#include "common/spin_lock.h"
 #include "common/status.h"
 #include "core/protocol_factory.h"
 #include "ha/promotion.h"
@@ -130,8 +131,11 @@ class BackupNode {
   // over the backup's database whose clock continues above every applied
   // commit. Implies Stop(). The node's read surface stays valid (reads see
   // the pre-promotion snapshot; the promoted engine's writes are read
-  // through ITS database directly or by re-replication).
-  std::unique_ptr<ha::PromotedPrimary> Promote(ha::EngineKind kind);
+  // through ITS database directly or by re-replication). `extra_sink`,
+  // when non-null, also receives every commit the promoted engine logs
+  // (a migration tap surviving failover — ha::PromoteToPrimary).
+  std::unique_ptr<ha::PromotedPrimary> Promote(
+      ha::EngineKind kind, log::LogCollector* extra_sink = nullptr);
 
   replica::ReplicaBase& reader();
   const replica::ReplicaBase& reader() const;
@@ -246,6 +250,16 @@ struct ClusterOptions {
 
 // ---- Cluster ----------------------------------------------------------------
 
+// One row exported by Cluster::ExportRows: the key, its payload as of the
+// export timestamp, and the version timestamp that wrote it (the migration
+// bulk copy re-installs rows on the destination with fresh destination
+// timestamps; version_ts is kept for audits).
+struct ExportedRow {
+  Key key = 0;
+  Value value;
+  Timestamp version_ts = 0;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
@@ -340,6 +354,32 @@ class Cluster {
   // Drains and stops everything. Idempotent; the destructor calls it.
   void Shutdown();
 
+  // ---- Migration surface (ShardedCluster::Rebalance) ----
+  // Attaches `tap` as an additional sink of the primary's commit stream:
+  // from now until DetachTap, every committed transaction's records are also
+  // delivered to `tap` (a private copy — taps may mutate or buffer them).
+  // Taps survive Promote (the promoted engine tees into them too). Cheap
+  // when no tap is attached; safe to call while writers are running.
+  void AttachTap(log::LogCollector* tap);
+  void DetachTap(log::LogCollector* tap);
+
+  // Snapshot export for migration bulk copy: every live (non-tombstoned)
+  // row of `table` whose key satisfies `keep`, read as of `ts`, appended to
+  // *out. Reads the CURRENT primary's database (the promoted node's after a
+  // failover), so the export never serves from a stale backup. The caller
+  // must first ensure ts is settled — every transaction at or below ts has
+  // finished — by waiting for PrimaryLogHorizon() > ts; reads at a settled
+  // timestamp see only resolved committed versions. Keys inserted
+  // concurrently with the export may or may not be enumerated — that is
+  // what the log tail (AttachTap) is for.
+  Status ExportRows(TableId table, const std::function<bool(Key)>& keep,
+                    Timestamp ts, std::vector<ExportedRow>* out);
+
+  // Lower bound on every future commit timestamp of the current primary's
+  // engine: once this exceeds ts, no transaction can ever commit at or
+  // below ts. Monotonic under a fixed primary; re-based upward by Promote.
+  Timestamp PrimaryLogHorizon() const;
+
   // Escape hatches for diagnostics and integration with lower layers.
   txn::Engine& engine();
   TxnClock& clock();
@@ -356,17 +396,35 @@ class Cluster {
  private:
   struct Shipping;  // per-backup collector + source chain
 
+  // The dynamic half of the primary's commit fan-out: a LogCollector that
+  // forwards to whatever taps are currently attached (usually none). Wired
+  // as the LAST sink of tee_, so the fixed shipping lanes get their private
+  // copies and the tap set receives the moved original.
+  class TapSet : public log::LogCollector {
+   public:
+    void LogCommit(std::vector<log::LogRecord>&& records) override;
+    void Attach(log::LogCollector* tap);
+    void Detach(log::LogCollector* tap);
+
+   private:
+    mutable SpinLock lock_;
+    std::vector<log::LogCollector*> taps_;
+  };
+
   std::vector<ClusterOptions::BackupSpec> ResolvedSpecs() const;
   Status RunOnPrimary(const txn::TxnFn& fn, Timestamp* commit_ts, bool retry);
 
   ClusterOptions options_;
   std::vector<std::pair<std::string, std::size_t>> schema_;
 
-  // Primary.
+  // Primary. taps_ precedes tee_/engine_: it must outlive both (the tee
+  // holds a pointer to it; engine worker threads log through the tee).
   storage::Database primary_db_;
   TxnClock clock_;
+  TapSet taps_;
   std::unique_ptr<txn::Engine> engine_;
   std::unique_ptr<log::LogCollector> tee_;
+  std::function<Timestamp()> horizon_fn_;
   std::vector<std::unique_ptr<Shipping>> shipping_;
 
   // Failover logs/sources are declared BEFORE the fleet: sources must

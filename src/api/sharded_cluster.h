@@ -50,16 +50,36 @@
 #ifndef C5_API_SHARDED_CLUSTER_H_
 #define C5_API_SHARDED_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "api/cluster.h"
 #include "common/shard_router.h"
+#include "common/spin_lock.h"
 
 namespace c5 {
+
+// What one Rebalance did (for tests, benches, and operators).
+struct MigrationReport {
+  ShardRouter::Epoch epoch = 0;    // the epoch the cutover installed
+  std::size_t rows_copied = 0;     // bulk-copied in the snapshot phase
+  std::size_t tail_records = 0;    // caught up from the source log tail
+  std::size_t rows_deleted = 0;    // source residue tombstoned at cutover
+};
+
+// Test seams for Rebalance. `after_copy` runs after the bulk copy and before
+// the cutover fence — the window where a mid-migration source failover must
+// not lose tail records (the promoted primary re-attaches the migration tap:
+// ha::PromoteToPrimary's extra_sink).
+struct RebalanceHooks {
+  std::function<void()> after_copy;
+};
 
 struct ShardedClusterOptions {
   std::size_t num_shards = 2;
@@ -207,8 +227,17 @@ class ShardedCluster {
     friend class ShardedCluster;
     explicit Session(ShardedCluster* owner);
 
+    // Folds migration cutovers that happened since the last read into the
+    // per-shard tokens: if this session ever wrote to a cutover's source
+    // shard, its destination token is raised to the cutover's covering
+    // timestamp, so reads of a moved partition still honor
+    // read-your-writes/monotonic reads after the move. Conservative (it
+    // does not track WHICH keys were written) but cheap and sufficient.
+    void FoldTransitions();
+
     ShardedCluster* owner_;
     std::vector<std::unique_ptr<replica::ClientSession>> sessions_;
+    std::size_t folded_ = 0;  // transitions already folded
   };
 
   Session OpenSession();
@@ -221,22 +250,95 @@ class ShardedCluster {
   Status Promote(std::size_t shard_index, std::size_t backup_index);
   Status CatchUpSurvivors(std::size_t shard_index);
 
+  // ---- Live resharding ------------------------------------------------------
+  // Moves the plan's partition tokens from one source shard to one
+  // destination shard while BOTH keep serving reads and routed writes:
+  //
+  //   1. attach a filtered tap to the source's commit stream (the catch-up
+  //      tail; survives a source failover — Cluster::Promote re-tees it);
+  //   2. settle a copy timestamp (wait until the source engine's log horizon
+  //      passes it) and bulk-copy the moving rows to the destination;
+  //   3. drain the tail onto the destination (per-key newest-wins by source
+  //      commit timestamp, so any arrival order converges);
+  //   4. cutover: fence the moving tokens (writers back off), take the
+  //      source shard's gate exclusively (drains in-flight transactions),
+  //      drain the final tail, tombstone the source residue, wait until the
+  //      destination's backups cover everything migrated, then atomically
+  //      bump the router epoch and drop the fence.
+  //
+  // Only the moving partitions ever block writes, and only for step 4's
+  // brief window. All moves in one plan must share one source and one
+  // destination shard (decompose multi-way plans into one call per edge).
+  // The plan must validate against the current epoch
+  // (ShardRouter::ValidatePlan). Not reentrant: one Rebalance at a time.
+  //
+  // Session tokens survive the cutover: a session that wrote to the source
+  // shard has its destination token raised so post-cutover reads of the
+  // moved partition still cover the write (read-your-writes across the
+  // migration; docs/API.md "Resharding").
+  Status Rebalance(const MigrationPlan& plan, MigrationReport* report = nullptr);
+  Status Rebalance(const MigrationPlan& plan, MigrationReport* report,
+                   const RebalanceHooks& hooks);
+
   // Drains and stops every shard group. Idempotent; the destructor calls it.
   void Shutdown();
 
   // ---- Diagnostics ----------------------------------------------------------
   // Audits the routing invariant: walks every shard's CURRENT primary's
   // indexes (the promoted node's after a failover) and reports each key of
-  // a partitioned table that does NOT route to the shard it lives on
-  // (empty = invariant holds; unpartitioned tables are skipped). O(keys);
-  // for tests and integrity checks, not hot paths. The DST harness runs
-  // the same oracle against backup state under fault injection.
+  // a partitioned table that does NOT route to the shard it lives on at the
+  // CURRENT epoch (empty = invariant holds; unpartitioned tables are
+  // skipped). Epoch-aware: a moved-away key whose newest version on the old
+  // owner is a TOMBSTONE is legal residue (Rebalance deletes, it does not
+  // physically unlink — GC reclaims the chain later); a LIVE version on a
+  // non-owner is a violation. Not meaningful mid-migration (the copy window
+  // intentionally dual-hosts the moving keys); audit after Rebalance
+  // returns. O(keys); for tests and integrity checks, not hot paths. The
+  // DST harness runs the same oracle against backup state under fault
+  // injection.
   std::vector<std::string> VerifyPlacement();
 
  private:
+  // Per-shard migration gate. Routed writes and point reads hold it SHARED
+  // for the duration of one transaction/read (with a route re-check after
+  // acquisition); Rebalance's cutover holds it EXCLUSIVE, which drains
+  // in-flight work and freezes the shard's routing for the brief cutover
+  // window. cutover_pending diverts new shared acquirers while an exclusive
+  // acquisition is waiting, so the cutover cannot be starved by a
+  // continuous stream of readers.
+  struct ShardGate {
+    std::shared_mutex mu;
+    std::atomic<bool> cutover_pending{false};
+  };
+
+  // One completed cutover, as sessions need to see it (FoldTransitions).
+  struct EpochTransition {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    Timestamp dest_covering_ts = 0;  // dest-domain ts covering all moved data
+  };
+
+  // Acquires (table, key)'s owner gate in shared mode, re-checking the
+  // route after acquisition and backing off while the key is fenced.
+  // Returns the owning shard with the gate held.
+  std::size_t AcquireRouted(TableId table, Key key,
+                            std::shared_lock<std::shared_mutex>* lock) const;
+  // All gates shared, in index order (scatter-gather reads: no cutover can
+  // run concurrently, so the epoch is stable across the whole read).
+  std::vector<std::shared_lock<std::shared_mutex>> AcquireAllShared() const;
+
+  Status RoutedExecute(TableId table, Key routing_key, const txn::TxnFn& fn,
+                       Timestamp* commit_ts, bool retry);
+
+  std::vector<EpochTransition> TransitionsSince(std::size_t from) const;
+
   ShardedClusterOptions options_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Cluster>> shards_;
+  std::vector<std::unique_ptr<ShardGate>> gates_;
+  mutable SpinLock transitions_mu_;
+  std::vector<EpochTransition> transitions_;
+  std::atomic<bool> rebalance_active_{false};
   bool started_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "common/shard_router.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -9,6 +10,7 @@ ShardRouter::ShardRouter(std::size_t num_shards, std::uint64_t seed)
     : num_shards_(num_shards), seed_(seed) {
   assert(num_shards_ >= 1 && "a deployment has at least one shard group");
   if (num_shards_ == 0) num_shards_ = 1;  // release-build safety
+  epochs_.push_back(nullptr);             // epoch 0: the pure seeded hash
 }
 
 void ShardRouter::SetPartitionKey(TableId table, PartitionFn extract) {
@@ -19,6 +21,105 @@ void ShardRouter::SetPartitionKey(TableId table, PartitionFn extract) {
 void ShardRouter::MarkUnpartitioned(TableId table) {
   if (table >= unpartitioned_.size()) unpartitioned_.resize(table + 1, false);
   unpartitioned_[table] = true;
+}
+
+std::shared_ptr<const ShardRouter::Overrides> ShardRouter::PlacementAt(
+    Epoch epoch) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  const Epoch clamped =
+      std::min<Epoch>(epoch, static_cast<Epoch>(epochs_.size() - 1));
+  return epochs_[static_cast<std::size_t>(clamped)];
+}
+
+std::size_t ShardRouter::RouteTokenAt(Epoch epoch, TableId table,
+                                      std::uint64_t token) const {
+  // No plan was ever committed: every epoch is the hash placement, and the
+  // hot path stays lock-free.
+  if (epochs_active_.load(std::memory_order_acquire)) {
+    const std::shared_ptr<const Overrides> placement = PlacementAt(epoch);
+    if (placement != nullptr) {
+      const auto it = placement->find({table, token});
+      if (it != placement->end()) return it->second;
+    }
+  }
+  return ShardOfToken(token);
+}
+
+std::size_t ShardRouter::RouteAt(Epoch epoch, TableId table, Key key) const {
+  return RouteTokenAt(epoch, table, Token(table, key));
+}
+
+Status ShardRouter::ValidatePlan(const MigrationPlan& plan) const {
+  if (plan.empty()) return Status::InvalidArgument("empty migration plan");
+  std::vector<std::pair<TableId, std::uint64_t>> seen;
+  for (const ShardMove& move : plan) {
+    if (!IsPartitioned(move.table)) {
+      return Status::InvalidArgument(
+          "cannot migrate an unpartitioned table: the router is not the "
+          "authority on where its rows live");
+    }
+    if (move.to >= num_shards_ || move.from >= num_shards_) {
+      return Status::InvalidArgument("move references a shard out of range");
+    }
+    if (move.to == move.from) {
+      return Status::InvalidArgument("move is a no-op (from == to)");
+    }
+    if (RouteTokenAt(CurrentEpoch(), move.table, move.token) != move.from) {
+      return Status::InvalidArgument(
+          "move's `from` is not the token's current owner (plan built "
+          "against a stale epoch)");
+    }
+    const std::pair<TableId, std::uint64_t> id{move.table, move.token};
+    if (std::find(seen.begin(), seen.end(), id) != seen.end()) {
+      return Status::InvalidArgument("token appears twice in the plan");
+    }
+    seen.push_back(id);
+  }
+  return Status::Ok();
+}
+
+Status ShardRouter::BeginFence(const MigrationPlan& plan) {
+  const Status valid = ValidatePlan(plan);
+  if (!valid.ok()) return valid;
+  std::lock_guard<SpinLock> lock(mu_);
+  if (!fence_.empty()) {
+    return Status::InvalidArgument("a cutover fence is already up");
+  }
+  fence_.reserve(plan.size());
+  for (const ShardMove& move : plan) fence_.emplace_back(move.table, move.token);
+  std::sort(fence_.begin(), fence_.end());
+  fence_active_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+bool ShardRouter::IsFencedToken(TableId table, std::uint64_t token) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  return std::binary_search(fence_.begin(), fence_.end(),
+                            std::make_pair(table, token));
+}
+
+ShardRouter::Epoch ShardRouter::CommitPlan(const MigrationPlan& plan) {
+  std::lock_guard<SpinLock> lock(mu_);
+  // Layer the plan over the current cumulative placement so one lookup
+  // answers any historical route.
+  Overrides next =
+      epochs_.back() != nullptr ? *epochs_.back() : Overrides{};
+  for (const ShardMove& move : plan) {
+    next[{move.table, move.token}] = move.to;
+  }
+  epochs_.push_back(std::make_shared<const Overrides>(std::move(next)));
+  fence_.clear();
+  fence_active_.store(false, std::memory_order_release);
+  epochs_active_.store(true, std::memory_order_release);
+  const Epoch now = static_cast<Epoch>(epochs_.size() - 1);
+  current_epoch_.store(now, std::memory_order_release);
+  return now;
+}
+
+void ShardRouter::AbortFence() {
+  std::lock_guard<SpinLock> lock(mu_);
+  fence_.clear();
+  fence_active_.store(false, std::memory_order_release);
 }
 
 std::vector<std::vector<std::size_t>> ShardRouter::GroupByShard(

@@ -16,10 +16,24 @@
 // (workload::tpcc::ConfigureShardRouter). Extractors must be registered
 // identically on every node of the deployment, before routing starts.
 //
+// Epochs (live resharding): the placement is VERSIONED. Epoch 0 is the pure
+// seeded hash; each committed MigrationPlan appends a new immutable placement
+// that overrides the hash for the moved partition tokens and bumps the
+// current epoch. RouteAt(epoch, table, key) answers "who owned this key at
+// that epoch" forever — old epochs never change — and ShardOf routes at the
+// current epoch. During a migration's cutover the moving tokens can be
+// FENCED: BeginFence publishes the moving set so writers back off for the
+// brief window between the source log's final drain and the epoch bump
+// (ShardedCluster::Rebalance is the driver; docs/API.md "Resharding").
+//
 // Invariants (property-tested in tests/shard_router_test.cc):
-//  * total: every (table, key) maps to exactly one shard in [0, N);
+//  * total: every (table, key) maps to exactly one shard in [0, N) at every
+//    epoch;
 //  * deterministic: the mapping depends only on (num_shards, seed, the
-//    registered extractors, table, key) — never on call order or history;
+//    registered extractors, the committed plan sequence, table, key) — never
+//    on call order;
+//  * stable history: RouteAt(e, ...) returns the same shard forever once
+//    epoch e+1 exists;
 //  * balanced: over random key sets the per-shard load stays within bounds
 //    of the uniform share.
 //
@@ -30,16 +44,39 @@
 #ifndef C5_COMMON_SHARD_ROUTER_H_
 #define C5_COMMON_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "common/spin_lock.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace c5 {
 
+// One partition-token relocation: every key of `table` whose partition token
+// equals `token` moves from shard `from` to shard `to`. Plans are applied
+// atomically by ShardRouter::CommitPlan (one epoch bump covers the whole
+// plan).
+struct ShardMove {
+  TableId table = 0;
+  std::uint64_t token = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+// A migration plan: the unit Rebalance executes and CommitPlan installs.
+using MigrationPlan = std::vector<ShardMove>;
+
 class ShardRouter {
  public:
+  // Placement version. Epoch 0 is the seeded-hash placement the router is
+  // born with; each committed plan bumps it by one.
+  using Epoch = std::uint64_t;
+
   // Maps a key to its partition token (the value the hash routes by).
   using PartitionFn = std::function<std::uint64_t(Key)>;
 
@@ -68,7 +105,7 @@ class ShardRouter {
   // replicated data), but transactions MAY write them from any shard, and
   // placement audits (ShardedCluster::VerifyPlacement, the DST router
   // oracle's callers) must skip them — their keys legitimately appear on
-  // shards they do not hash to.
+  // shards they do not hash to. Unpartitioned tables cannot be migrated.
   void MarkUnpartitioned(TableId table);
 
   // True unless MarkUnpartitioned was called for `table` (i.e. the router
@@ -77,9 +114,59 @@ class ShardRouter {
     return table >= unpartitioned_.size() || !unpartitioned_[table];
   }
 
-  // The routing function: shard owning (table, key). Total and O(1).
+  // The routing function: shard owning (table, key) at the CURRENT epoch.
+  // Total and O(1) until the first committed plan; O(log moved-tokens)
+  // afterwards.
   std::size_t ShardOf(TableId table, Key key) const {
-    return ShardOfToken(Token(table, key));
+    return RouteAt(CurrentEpoch(), table, key);
+  }
+
+  // ---- Epochs ---------------------------------------------------------------
+  Epoch CurrentEpoch() const {
+    return current_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Who owned (table, key) at `epoch`. Stable forever for epochs that have
+  // already been created: committing a new plan never changes an old
+  // epoch's answers. Epochs above the current clamp to the current (the
+  // future is routed like the present until a plan says otherwise).
+  std::size_t RouteAt(Epoch epoch, TableId table, Key key) const;
+
+  // RouteAt for a pre-extracted token.
+  std::size_t RouteTokenAt(Epoch epoch, TableId table,
+                           std::uint64_t token) const;
+
+  // Checks a plan against the CURRENT epoch: every move's table must be
+  // partitioned, `from` must be the token's current owner, `to` a real
+  // shard different from `from`, and no token may appear twice.
+  Status ValidatePlan(const MigrationPlan& plan) const;
+
+  // Raises the cutover write fence over the plan's moving tokens: IsFenced
+  // turns true for exactly those (table, token) pairs until CommitPlan or
+  // AbortFence. Validates the plan; at most one fence may be up at a time
+  // (kInvalidArgument otherwise). Routing is unchanged — a fenced key still
+  // routes to its current owner; writers are expected to back off and retry
+  // (ShardedCluster's routed Execute does).
+  Status BeginFence(const MigrationPlan& plan);
+
+  // Atomically installs `plan` as a new placement epoch (overrides layered
+  // over the current placement), clears any fence, and returns the NEW
+  // current epoch. The plan must have been validated against the epoch it
+  // was built for; CommitPlan itself is total — it installs exactly the
+  // given overrides.
+  Epoch CommitPlan(const MigrationPlan& plan);
+
+  // Clears the fence without committing (a migration that rolled back).
+  void AbortFence();
+
+  // True iff (table, key)'s partition token is inside an active fence.
+  bool IsFenced(TableId table, Key key) const {
+    if (!fence_active_.load(std::memory_order_acquire)) return false;
+    return IsFencedToken(table, Token(table, key));
+  }
+  bool IsFencedToken(TableId table, std::uint64_t token) const;
+  bool HasFence() const {
+    return fence_active_.load(std::memory_order_acquire);
   }
 
   // The partition token `key` routes by (the extractor's output, or the key
@@ -89,18 +176,26 @@ class ShardRouter {
     return key;
   }
 
-  // Routing for a pre-extracted token (e.g. a TPC-C warehouse id).
+  // Epoch-0 routing for a pre-extracted token (e.g. a TPC-C warehouse id):
+  // the pure seeded hash, before any migration overrides.
   std::size_t ShardOfToken(std::uint64_t token) const {
     return static_cast<std::size_t>(Mix(token) % num_shards_);
   }
 
-  // Scatter helper: partitions the POSITIONS of `keys` by owning shard, so
-  // gather can write results back into the caller's order. Returned vector
-  // has exactly num_shards() entries.
+  // Scatter helper: partitions the POSITIONS of `keys` by owning shard (at
+  // the current epoch), so gather can write results back into the caller's
+  // order. Returned vector has exactly num_shards() entries.
   std::vector<std::vector<std::size_t>> GroupByShard(
       TableId table, const std::vector<Key>& keys) const;
 
  private:
+  // (table, token) -> owning shard; one immutable map per epoch, each
+  // CUMULATIVE (epoch e's map layers every plan committed up to e), so a
+  // historical route is a single lookup, never a replay.
+  using Overrides = std::map<std::pair<TableId, std::uint64_t>, std::size_t>;
+
+  std::shared_ptr<const Overrides> PlacementAt(Epoch epoch) const;
+
   // splitmix64 finalizer over the seeded token: every input bit diffuses
   // into every output bit, so `% num_shards_` stays balanced even for
   // dense/sequential tokens (warehouse ids 1..W, keys 0..K).
@@ -115,6 +210,16 @@ class ShardRouter {
   std::uint64_t seed_;
   std::vector<PartitionFn> tables_;  // indexed by TableId; empty fn = identity
   std::vector<bool> unpartitioned_;  // indexed by TableId; default false
+
+  // Epoch history + fence. The hot path (ShardOf with no committed plans,
+  // IsFenced with no fence up) never takes the lock: epochs_active_ /
+  // fence_active_ gate it. epochs_[e] is nullptr for e == 0 (pure hash).
+  mutable SpinLock mu_;
+  std::vector<std::shared_ptr<const Overrides>> epochs_;
+  std::vector<std::pair<TableId, std::uint64_t>> fence_;  // sorted
+  std::atomic<Epoch> current_epoch_{0};
+  std::atomic<bool> epochs_active_{false};
+  std::atomic<bool> fence_active_{false};
 };
 
 }  // namespace c5

@@ -17,20 +17,31 @@ const char* ToString(EngineKind kind) {
 
 std::unique_ptr<PromotedPrimary> PromoteToPrimary(
     storage::Database* db, Timestamp applied_upto, EngineKind kind,
-    std::size_t segment_capacity) {
+    std::size_t segment_capacity, log::LogCollector* extra_sink) {
   auto promoted = std::make_unique<PromotedPrimary>(segment_capacity);
   // Every new commit must extend the replicated history: start strictly
   // above everything the backup applied.
   promoted->clock.Reset(applied_upto + 1);
+  log::LogCollector* sink = &promoted->collector;
+  if (extra_sink != nullptr) {
+    promoted->sink_tee = std::make_unique<log::TeeCollector>(
+        std::vector<log::LogCollector*>{extra_sink, &promoted->collector});
+    sink = promoted->sink_tee.get();
+  }
   switch (kind) {
-    case EngineKind::kMvtso:
-      promoted->engine = std::make_unique<txn::MvtsoEngine>(
-          db, &promoted->collector, &promoted->clock);
+    case EngineKind::kMvtso: {
+      auto e = std::make_unique<txn::MvtsoEngine>(db, sink, &promoted->clock);
+      promoted->horizon = [eng = e.get()] { return eng->LogHorizon(); };
+      promoted->engine = std::move(e);
       break;
-    case EngineKind::kTwoPhaseLocking:
-      promoted->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
-          db, &promoted->collector, &promoted->clock);
+    }
+    case EngineKind::kTwoPhaseLocking: {
+      auto e = std::make_unique<txn::TwoPhaseLockingEngine>(db, sink,
+                                                            &promoted->clock);
+      promoted->horizon = [eng = e.get()] { return eng->LogHorizon(); };
+      promoted->engine = std::move(e);
       break;
+    }
   }
   return promoted;
 }

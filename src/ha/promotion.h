@@ -2,6 +2,7 @@
 #define C5_HA_PROMOTION_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 
 #include "common/clock.h"
@@ -34,7 +35,14 @@ struct PromotedPrimary {
 
   TxnClock clock;
   log::PerThreadLogCollector collector;
+  // When the promotion carried an extra sink (a migration tap that must keep
+  // seeing the shard's commit stream across failover), the engine logs into
+  // this tee over {extra_sink, &collector} instead of `collector` directly.
+  std::unique_ptr<log::LogCollector> sink_tee;
   std::unique_ptr<txn::Engine> engine;
+  // The engine's release horizon (lower bound on every future commit
+  // timestamp), type-erased so callers need not know the engine kind.
+  std::function<Timestamp()> horizon;
 };
 
 // Promotes a caught-up backup database to primary (§9: "if the primary
@@ -53,9 +61,15 @@ struct PromotedPrimary {
 // carry strictly larger timestamps than anything in the old primary's log,
 // which is exactly the invariant downstream cloned concurrency control
 // protocols need.
+//
+// `extra_sink`, when non-null, also receives every commit the promoted
+// engine logs (tee'd ahead of the internal collector). A live migration's
+// catch-up tap passes itself here so a mid-migration failover cannot open a
+// gap in the moving partitions' record stream (docs/API.md "Resharding").
 std::unique_ptr<PromotedPrimary> PromoteToPrimary(
     storage::Database* db, Timestamp applied_upto, EngineKind kind,
-    std::size_t segment_capacity = 256);
+    std::size_t segment_capacity = 256,
+    log::LogCollector* extra_sink = nullptr);
 
 }  // namespace c5::ha
 

@@ -18,6 +18,32 @@ void TeeCollector::LogCommit(std::vector<LogRecord>&& records) {
   sinks_.back()->LogCommit(std::move(records));
 }
 
+void FilteredCollector::LogCommit(std::vector<LogRecord>&& records) {
+  std::vector<LogRecord> kept;
+  for (LogRecord& rec : records) {
+    if (!keep_(rec)) continue;
+    rec.last_in_txn = false;
+    kept.push_back(std::move(rec));
+  }
+  if (kept.empty()) return;  // no surviving record: drop the txn whole
+  kept.back().last_in_txn = true;
+  sink_->LogCommit(std::move(kept));
+}
+
+void BufferCollector::LogCommit(std::vector<LogRecord>&& records) {
+  std::lock_guard<SpinLock> lock(lock_);
+  total_.fetch_add(records.size(), std::memory_order_acq_rel);
+  for (LogRecord& rec : records) records_.push_back(std::move(rec));
+}
+
+std::size_t BufferCollector::DrainInto(std::vector<LogRecord>* out) {
+  std::lock_guard<SpinLock> lock(lock_);
+  const std::size_t n = records_.size();
+  for (LogRecord& rec : records_) out->push_back(std::move(rec));
+  records_.clear();
+  return n;
+}
+
 std::unique_ptr<Log> CopyLog(const Log& log) {
   auto out = std::make_unique<Log>();
   std::uint64_t seq = 0;

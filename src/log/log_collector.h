@@ -1,6 +1,7 @@
 #ifndef C5_LOG_LOG_COLLECTOR_H_
 #define C5_LOG_LOG_COLLECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -49,6 +50,49 @@ class TeeCollector : public LogCollector {
 
  private:
   std::vector<LogCollector*> sinks_;
+};
+
+// Filtered tee: forwards only the records matching `keep`, preserving
+// transaction framing (commit_ts kept; last_in_txn re-stamped onto the last
+// surviving record; transactions with no surviving record are dropped
+// whole). This is the migration catch-up stream: a tap over the source
+// shard's commit stream that keeps just the moving partitions' writes
+// (ShardedCluster::Rebalance attaches one via Cluster::AttachTap).
+class FilteredCollector : public LogCollector {
+ public:
+  using Predicate = std::function<bool(const LogRecord&)>;
+
+  FilteredCollector(LogCollector* sink, Predicate keep)
+      : sink_(sink), keep_(std::move(keep)) {}
+
+  void LogCommit(std::vector<LogRecord>&& records) override;
+
+ private:
+  LogCollector* sink_;
+  Predicate keep_;
+};
+
+// Collects committed records into a locked in-memory buffer the consumer
+// drains on its own schedule. Arrival order is commit-call order, which for
+// MVTSO is NOT commit-timestamp order — consumers that care (the migration
+// tail applier) resolve per key by commit_ts (newest wins), which converges
+// to the source's final state under any arrival order.
+class BufferCollector : public LogCollector {
+ public:
+  void LogCommit(std::vector<LogRecord>&& records) override;
+
+  // Moves everything buffered so far onto the end of *out; returns how many
+  // records were drained. Thread-safe against concurrent LogCommit.
+  std::size_t DrainInto(std::vector<LogRecord>* out);
+
+  std::uint64_t TotalRecords() const {
+    return total_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable SpinLock lock_;
+  std::vector<LogRecord> records_;
+  std::atomic<std::uint64_t> total_{0};
 };
 
 // Private copy of a log: fresh segments, prev_ts cleared so a C5 scheduler

@@ -1,6 +1,7 @@
 #include "sim/dst_harness.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -19,6 +20,7 @@
 #include "log/log_collector.h"
 #include "log/segment_source.h"
 #include "sim/dst_oracle.h"
+#include "storage/version.h"
 #include "txn/mvtso_engine.h"
 #include "txn/two_phase_locking_engine.h"
 #include "workload/synthetic.h"
@@ -84,6 +86,50 @@ Status MixedTxn(txn::Txn& txn, TableId table, Rng& rng,
   return Status::Ok();
 }
 
+// Builds a primary's engine/collector/table without running any workload —
+// the reshard scenario interleaves workload rounds on TWO live primaries
+// with migration steps, so setup and execution are separate primitives.
+void SetupPrimary(const DstPlan& plan, DstPrimary* p) {
+  p->collector =
+      std::make_unique<log::PerThreadLogCollector>(plan.segment_capacity);
+  if (plan.use_2pl) {
+    p->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
+        &p->db, p->collector.get(), &p->clock);
+  } else {
+    p->engine = std::make_unique<txn::MvtsoEngine>(&p->db, p->collector.get(),
+                                                   &p->clock);
+  }
+  p->table = p->db.CreateTable("dst", 1u << 12);
+}
+
+// The per-client Rng streams for one primary's workload. Streams persist
+// across phased rounds (phase 2 continues phase 1's draws), so a phased run
+// over a fixed partition draws the exact sequence a single full round would.
+std::vector<Rng> WorkloadRngs(const DstPlan& plan,
+                              std::uint64_t workload_salt) {
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(plan.clients));
+  for (int c = 0; c < plan.clients; ++c) {
+    rngs.emplace_back(plan.seed ^ 0xD57'0000'0003ull ^ workload_salt ^
+                      (static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull));
+  }
+  return rngs;
+}
+
+// One workload round: `txns_per_client` transactions per client, round-robin
+// across the client streams, confined to `keys`.
+void RunRound(const DstPlan& plan, DstPrimary* p, std::vector<Rng>& rngs,
+              const std::vector<Key>& keys, std::uint64_t txns_per_client) {
+  for (std::uint64_t t = 0; t < txns_per_client; ++t) {
+    for (int c = 0; c < plan.clients; ++c) {
+      (void)p->engine->ExecuteWithRetry([&](txn::Txn& txn) {
+        return MixedTxn(txn, p->table, rngs[static_cast<std::size_t>(c)],
+                        keys);
+      });
+    }
+  }
+}
+
 // Executes the workload SERIALLY on the harness thread, round-robin across
 // per-client Rng streams. Serial execution (no retries, no interleaving)
 // makes the log — and therefore the whole scenario — a pure function of the
@@ -95,16 +141,7 @@ Status MixedTxn(txn::Txn& txn, TableId table, Rng& rng,
 void BuildPrimary(const DstPlan& plan, DstPrimary* p,
                   std::uint64_t workload_salt = 0,
                   const std::vector<Key>* keys = nullptr) {
-  p->collector =
-      std::make_unique<log::PerThreadLogCollector>(plan.segment_capacity);
-  if (plan.use_2pl) {
-    p->engine = std::make_unique<txn::TwoPhaseLockingEngine>(
-        &p->db, p->collector.get(), &p->clock);
-  } else {
-    p->engine = std::make_unique<txn::MvtsoEngine>(&p->db, p->collector.get(),
-                                                   &p->clock);
-  }
-  p->table = p->db.CreateTable("dst", 1u << 12);
+  SetupPrimary(plan, p);
 
   std::vector<Key> all_keys;
   if (keys == nullptr) {
@@ -113,20 +150,8 @@ void BuildPrimary(const DstPlan& plan, DstPrimary* p,
     keys = &all_keys;
   }
 
-  std::vector<Rng> rngs;
-  rngs.reserve(static_cast<std::size_t>(plan.clients));
-  for (int c = 0; c < plan.clients; ++c) {
-    rngs.emplace_back(plan.seed ^ 0xD57'0000'0003ull ^ workload_salt ^
-                      (static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull));
-  }
-  for (std::uint64_t t = 0; t < plan.txns_per_client; ++t) {
-    for (int c = 0; c < plan.clients; ++c) {
-      (void)p->engine->ExecuteWithRetry([&](txn::Txn& txn) {
-        return MixedTxn(txn, p->table, rngs[static_cast<std::size_t>(c)],
-                        *keys);
-      });
-    }
-  }
+  std::vector<Rng> rngs = WorkloadRngs(plan, workload_salt);
+  RunRound(plan, p, rngs, *keys, plan.txns_per_client);
   p->log = p->collector->Coalesce();
 }
 
@@ -529,19 +554,30 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
                     gc_active, history_floor, boundaries, report);
 
   if (router != nullptr) {
-    // Cross-shard router oracle: the replica applied only its shard's log,
-    // so every key its index materialized must route back to this shard —
-    // any other placement means a write leaked across the partition.
+    // Cross-shard router oracle, EPOCH-AWARE: the replica applied only its
+    // shard's log, so every key its index materialized must route back to
+    // this shard at the router's CURRENT epoch — or be tombstone residue of
+    // a key that legitimately lived here at an earlier epoch (a committed
+    // migration deletes the source copy at cutover; an aborted one deletes
+    // the destination copy). A LIVE value on a non-owner means a write
+    // leaked across the partition, or a migration left a key dual-owned.
+    // Two passes: ForEach holds the index shard's non-reentrant lock, and
+    // the residue check re-enters the index through ReadKeyAt.
+    std::vector<Key> observed;
     node->db().index(primary.table).ForEach(
-        [&](Key key, RowId, Timestamp) {
-          ++report->router_checks;
-          const std::size_t owner = router->ShardOf(primary.table, key);
-          if (owner != shard_index) {
-            fail("router oracle: key " + std::to_string(key) +
-                 " observed on shard " + std::to_string(shard_index) +
-                 " but routes to shard " + std::to_string(owner));
-          }
-        });
+        [&](Key key, RowId, Timestamp) { observed.push_back(key); });
+    for (const Key key : observed) {
+      ++report->router_checks;
+      const std::size_t owner = router->ShardOf(primary.table, key);
+      if (owner == shard_index) continue;
+      const storage::Version* v =
+          node->db().ReadKeyAt(primary.table, key, kMaxTimestamp);
+      if (v == nullptr || v->deleted) continue;  // migrated-away residue
+      fail("router oracle: key " + std::to_string(key) +
+           " live on shard " + std::to_string(shard_index) +
+           " but routes to shard " + std::to_string(owner) + " at epoch " +
+           std::to_string(router->CurrentEpoch()));
+    }
   }
 }
 
@@ -627,14 +663,186 @@ void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
   }
 }
 
-// ---- Sharded scenario (invariant 9) ----------------------------------------
+// ---- Sharded scenario (invariants 9 and 10) ---------------------------------
+
+// Phased primary build for the reshard scenario (invariant 10): both shard
+// primaries run live while a seed-chosen slice of shard 0's keys migrates to
+// shard 1 through the router's real epoch machinery. The phases mirror
+// ShardedCluster::Rebalance, serialized onto the harness thread so the whole
+// migration — copy, tail catch-up, fence, cutover or abort — is a pure
+// function of the seed:
+//   phase 1  both shards execute their epoch-0 partitions
+//   copy     moving keys bulk-copied from the source primary's state
+//   phase 2  both shards keep executing epoch-0 partitions (the source's
+//            writes to moving keys are the tail the migration must catch up)
+//   drain    moving keys re-mirrored newest-wins (pre-fence tail catch-up)
+//   fence    BeginFence over the moving tokens; writes that would land on
+//            fenced keys queue (a routed writer backs off and retries)
+//   drain    final catch-up under the fence (source quiescent for the set)
+//   decide   commit: delete source residue, CommitPlan (epoch bump), apply
+//            queued writes once on the NEW owner — or abort: AbortFence,
+//            delete the destination copies, apply queued writes once on the
+//            still-owner source
+//   phase 3  both shards execute partitions recomputed at the CURRENT epoch
+// The migration's writes flow through each shard's engine, so they are in
+// the shards' logs: the downstream faulty channels, crash/restart, and every
+// state oracle replay the migration itself.
+void BuildPrimariesWithReshard(const DstPlan& plan, ShardRouter& router,
+                               const std::vector<std::vector<Key>>& shard_keys,
+                               std::array<DstPrimary, 2>* primaries,
+                               DstReport* report) {
+  constexpr std::size_t kSrc = 0;
+  constexpr std::size_t kDst = 1;
+  DstPrimary& src = (*primaries)[kSrc];
+  DstPrimary& dst = (*primaries)[kDst];
+  std::array<std::vector<Rng>, 2> rngs;
+  for (std::size_t s = 0; s < 2; ++s) {
+    SetupPrimary(plan, &(*primaries)[s]);
+    rngs[s] = WorkloadRngs(plan, /*workload_salt=*/0x51A2D'0000ull * (s + 1));
+  }
+
+  const std::uint64_t t1 = plan.txns_per_client / 3;
+  const std::uint64_t t2 = plan.txns_per_client / 3;
+  const std::uint64_t t3 = plan.txns_per_client - t1 - t2;
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    RunRound(plan, &(*primaries)[s], rngs[s], shard_keys[s], t1);
+  }
+
+  // The moving slice: a seeded shuffle of shard 0's partition, first
+  // `reshard_frac` of it. One ShardMove per key — the DST table has no
+  // partition extractor, so each key is its own token.
+  Rng mrng(plan.seed ^ 0xD57'0000'0005ull);
+  std::vector<Key> moving = shard_keys[kSrc];
+  for (std::size_t i = moving.size(); i > 1; --i) {
+    std::swap(moving[i - 1], moving[mrng.Uniform(i)]);
+  }
+  moving.resize(std::max<std::size_t>(
+      1, static_cast<std::size_t>(plan.reshard_frac *
+                                  static_cast<double>(moving.size()))));
+  std::sort(moving.begin(), moving.end());
+
+  MigrationPlan mplan;
+  mplan.reserve(moving.size());
+  for (const Key k : moving) {
+    ShardMove move;
+    move.table = src.table;
+    move.token = k;
+    move.from = kSrc;
+    move.to = kDst;
+    mplan.push_back(move);
+  }
+  const Status valid = router.ValidatePlan(mplan);
+  if (!valid.ok()) {
+    report->violations.push_back("reshard: router rejected the plan: " +
+                                 std::string(valid.message()));
+    return;
+  }
+  ++report->migrations_started;
+
+  // Mirrors one moving key's newest source state onto the destination:
+  // live value -> Put, tombstone/absent -> Delete (kNotFound tolerated —
+  // the destination may never have seen the key). Serial execution means
+  // the source read at kMaxTimestamp is settled committed state.
+  const auto mirror = [&](Key k, bool initial_copy) {
+    const storage::Version* v = src.db.ReadKeyAt(src.table, k, kMaxTimestamp);
+    if (v != nullptr && !v->deleted) {
+      const Value value(v->value());
+      (void)dst.engine->ExecuteWithRetry([&](txn::Txn& txn) {
+        return txn.Put(dst.table, k, value);
+      });
+    } else if (!initial_copy) {
+      (void)dst.engine->ExecuteWithRetry([&](txn::Txn& txn) {
+        const Status s = txn.Delete(dst.table, k);
+        return s.code() == StatusCode::kNotFound ? Status::Ok() : s;
+      });
+    }
+  };
+  const auto tolerant_delete = [](DstPrimary& p, Key k) {
+    (void)p.engine->ExecuteWithRetry([&](txn::Txn& txn) {
+      const Status s = txn.Delete(p.table, k);
+      return s.code() == StatusCode::kNotFound ? Status::Ok() : s;
+    });
+  };
+
+  for (const Key k : moving) mirror(k, /*initial_copy=*/true);
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    RunRound(plan, &(*primaries)[s], rngs[s], shard_keys[s], t2);
+  }
+  for (const Key k : moving) mirror(k, /*initial_copy=*/false);
+
+  const Status fenced = router.BeginFence(mplan);
+  if (!fenced.ok()) {
+    report->violations.push_back("reshard: fence rejected: " +
+                                 std::string(fenced.message()));
+    return;
+  }
+  // Writes arriving while the fence is up: a routed writer backs off until
+  // the fence drops, then lands on whichever shard owns the key THEN. The
+  // serial model queues them and applies each exactly once post-decision.
+  struct QueuedWrite {
+    Key key;
+    Value value;
+  };
+  std::vector<QueuedWrite> queued;
+  const std::uint64_t n_queued = 1 + mrng.Uniform(4);
+  for (std::uint64_t i = 0; i < n_queued; ++i) {
+    queued.push_back(QueuedWrite{moving[mrng.Uniform(moving.size())],
+                                 workload::EncodeIntValue(mrng.Next())});
+  }
+  for (const Key k : moving) mirror(k, /*initial_copy=*/false);
+
+  const auto apply_queued = [&](DstPrimary& owner) {
+    for (const QueuedWrite& w : queued) {
+      (void)owner.engine->ExecuteWithRetry([&](txn::Txn& txn) {
+        return txn.Put(owner.table, w.key, w.value);
+      });
+    }
+  };
+  if (plan.reshard_abort) {
+    // Clean rollback: the fence drops with the epoch unchanged, the
+    // destination copies are deleted (a live copy there would be dual
+    // ownership), and the queued writes land on the still-owner source.
+    router.AbortFence();
+    for (const Key k : moving) tolerant_delete(dst, k);
+    apply_queued(src);
+    ++report->migrations_aborted;
+  } else {
+    // Cutover: residue deleted on the source, the plan becomes a new
+    // placement epoch, and the queued writes land on the new owner.
+    for (const Key k : moving) tolerant_delete(src, k);
+    (void)router.CommitPlan(mplan);
+    apply_queued(dst);
+    ++report->migrations_completed;
+  }
+
+  // Phase 3 runs over partitions recomputed at the CURRENT epoch: after a
+  // commit the moved keys are written on shard 1; after an abort the
+  // epoch-0 partition is unchanged.
+  std::vector<std::vector<Key>> post_keys(2);
+  for (Key k = 0; k < plan.keyspace; ++k) {
+    post_keys[router.ShardOf(src.table, k)].push_back(k);
+  }
+  for (std::size_t s = 0; s < 2; ++s) {
+    if (post_keys[s].empty()) continue;
+    RunRound(plan, &(*primaries)[s], rngs[s], post_keys[s], t3);
+  }
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    (*primaries)[s].log = (*primaries)[s].collector->Coalesce();
+  }
+}
 
 // Two independent shard groups: a seeded router partitions the keyspace,
 // each shard runs its own serial primary over its partition, its own faulty
 // channel (salted per shard, so fault schedules are independent), and one
 // convergence replica drawn from the plan's replica pool (crash/restart
 // allowed on shard 0). Invariants 1-8 run per shard against that shard's
-// primary; the router oracle closes the loop across shards.
+// primary; the router oracle closes the loop across shards. When the plan
+// drew a reshard, a live migration runs between the two primaries
+// mid-workload (invariant 10) and is replayed — faults, crash, and all — by
+// the per-shard replicas, with the router oracle running epoch-aware.
 void RunShardedScenario(const DstPlan& plan, const DstHooks& hooks,
                         DstReport* report) {
   constexpr std::size_t kShards = 2;
@@ -654,12 +862,22 @@ void RunShardedScenario(const DstPlan& plan, const DstHooks& hooks,
     }
   }
 
+  std::array<DstPrimary, kShards> primaries;
+  if (plan.reshard) {
+    BuildPrimariesWithReshard(plan, router, shard_keys, &primaries, report);
+    if (!report->violations.empty()) return;
+  } else {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      BuildPrimary(plan, &primaries[s],
+                   /*workload_salt=*/0x51A2D'0000ull * (s + 1),
+                   &shard_keys[s]);
+    }
+  }
+
   report->primary_digest = 0xcbf29ce484222325ull;
   for (std::size_t s = 0; s < kShards; ++s) {
     const std::string prefix = "s" + std::to_string(s) + "/";
-    DstPrimary primary;
-    BuildPrimary(plan, &primary,
-                 /*workload_salt=*/0x51A2D'0000ull * (s + 1), &shard_keys[s]);
+    DstPrimary& primary = primaries[s];
     report->log_records += primary.log.NumRecords();
     report->log_txns += primary.log.CountTransactions();
     std::string detail;
@@ -701,6 +919,7 @@ DstReport RunDst(std::uint64_t seed, const DstHooks& hooks) {
     plan.crash = false;
     plan.promote = false;
     plan.shards = 1;
+    plan.reshard = false;
   }
 
   DstReport report;

@@ -44,6 +44,18 @@
 //     per-shard fault schedules, invariants 1-8 hold per shard against that
 //     shard's primary, and the cross-shard router oracle holds: every key a
 //     shard's replica materialized routes to that shard.
+// 10. Live reshard (sharded mode, seed-chosen): a migration of part of
+//     shard 0's keyspace to shard 1 runs MID-WORKLOAD through the router's
+//     epoch machinery (copy, tail catch-up, cutover write fence, epoch bump
+//     — or a clean abort), concurrent with the per-shard wire faults and
+//     the shard-0 crash/restart. Every migration started either commits or
+//     aborts cleanly (counted in the report; dst_test asserts the ledger
+//     balances over the sweep), fenced writes apply exactly once on the
+//     final owner, and the router oracle runs EPOCH-AWARE: every key a
+//     shard's replica materialized must route to that shard at the CURRENT
+//     epoch, or be tombstone residue of a key that migrated away (a LIVE
+//     value on a non-owner — lost, dual-owned, or stale-served — is a
+//     violation).
 //
 // Failures print the seed — and the replica's stable instance id
 // ("s1/c5[1]"), so a multi-shard violation names the exact node that
@@ -104,6 +116,13 @@ struct DstReport {
   // shard. dst_test asserts router_checks > 0 over the sharded sweep.
   int shards_run = 1;
   std::uint64_t router_checks = 0;
+  // Reshard accounting (invariant 10): migrations the sharded scenario
+  // started, drove through cutover, or cleanly rolled back. dst_test
+  // asserts started == completed + aborted over the sweep, with BOTH
+  // outcomes represented (no migration may vanish half-applied).
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_aborted = 0;
   std::vector<std::string> violations;
 
   bool ok() const { return violations.empty(); }

@@ -71,6 +71,14 @@ DstPlan DstPlan::FromSeed(std::uint64_t seed) {
   // shards = 2 via DstHooks::force_shards regardless of this draw.
   p.shards = rng.NextDouble() < 0.35 ? 2 : 1;
   p.router_seed = rng.Next();
+
+  // Drawn after shards/router_seed, same continuity rule: pre-reshard seeds
+  // replay their historical field values untouched. Reshard fires often
+  // (the sharded sweep pins shards = 2, and the migration battery needs
+  // both commit and abort outcomes within a 16-seed sweep).
+  p.reshard = rng.NextDouble() < 0.65;
+  p.reshard_frac = 0.15 + 0.35 * rng.NextDouble();  // 15-50% of shard 0
+  p.reshard_abort = rng.NextDouble() < 0.30;
   return p;
 }
 

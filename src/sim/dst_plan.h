@@ -71,6 +71,20 @@ struct DstPlan {
   int shards = 1;
   std::uint64_t router_seed = 0;
 
+  // ---- Live reshard (sharded mode only): mid-workload, a seed-chosen slice
+  // of shard 0's keys migrates to shard 1 through the router's epoch
+  // machinery — copy from the source primary, tail catch-up rounds while
+  // both shards keep executing, a write fence over the moving keys at
+  // cutover (fenced writes queue and apply exactly once on the final
+  // owner), then either CommitPlan (epoch bump + source residue deletes) or
+  // a clean AbortFence (dest copy deletes, epoch unchanged). Runs
+  // concurrently with the per-shard wire faults and the shard-0
+  // crash/restart; the router oracle checks placements at the CURRENT
+  // epoch, accepting tombstone residue on the old owner. ----
+  bool reshard = false;
+  double reshard_frac = 0.25;  // fraction of shard 0's keys that migrate
+  bool reshard_abort = false;  // abort at the fence instead of committing
+
   static DstPlan FromSeed(std::uint64_t seed);
 };
 

@@ -217,6 +217,27 @@ std::size_t ShardOfWarehouse(const ShardRouter& router, std::uint32_t w) {
   return router.ShardOf(kWarehouse, WarehouseKey(w));
 }
 
+MigrationPlan WarehouseMovePlan(const ShardRouter& router, std::uint32_t w,
+                                std::size_t to) {
+  // Every warehouse-scoped extractor in ConfigureShardRouter reduces its
+  // table's keys to the warehouse id, so token `w` names the same partition
+  // in all seven tables.
+  static constexpr TableId kScoped[] = {kWarehouse, kDistrict, kCustomer,
+                                        kNewOrder,  kOrder,    kOrderLine,
+                                        kStock};
+  MigrationPlan plan;
+  plan.reserve(std::size(kScoped));
+  for (const TableId table : kScoped) {
+    ShardMove move;
+    move.table = table;
+    move.token = w;
+    move.from = router.RouteTokenAt(router.CurrentEpoch(), table, w);
+    move.to = to;
+    plan.push_back(move);
+  }
+  return plan;
+}
+
 namespace {
 
 // Shared pieces of NewOrder, split so the standard and optimized variants

@@ -74,6 +74,16 @@ void ConfigureShardRouter(ShardRouter* router);
 // The shard group owning warehouse `w` (and all its scoped rows).
 std::size_t ShardOfWarehouse(const ShardRouter& router, std::uint32_t w);
 
+// Warehouse-granularity migration plan: one ShardMove per warehouse-scoped
+// table (warehouse, district, customer, new_order, order, order_line,
+// stock), each moving partition token `w` from its current owner to shard
+// `to` — the whole warehouse relocates as a unit, so transaction footprints
+// stay single-shard across the move. Feed to ShardedCluster::Rebalance.
+// Moving a warehouse already on `to` yields a plan ValidatePlan rejects
+// (from == to), mirroring the router's no-op rule.
+MigrationPlan WarehouseMovePlan(const ShardRouter& router, std::uint32_t w,
+                                std::size_t to);
+
 // Sharded load: populates only the warehouses `shard` owns under `router`
 // (warehouse/district/customer/stock rows), plus the FULL item catalog
 // (replicated per shard, see above). Run once per shard group against that

@@ -11,8 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/sharded_cluster.h"
@@ -620,6 +625,260 @@ TEST(ShardedClusterTest, UnpartitionedTablesProbeAllShardsAndRejectScan) {
 
   EXPECT_EQ(session.Scan(t, 0, 100, &rows).code(),
             StatusCode::kInvalidArgument);
+  fleet.Shutdown();
+}
+
+// ---- Live resharding (ShardedCluster::Rebalance) ----------------------------
+
+// A live migration runs while closed-loop writers keep hammering BOTH
+// shards — including the moving partition — through the routed surface.
+// Writers never observe an error (fenced writes back off and retry inside
+// ExecuteWithRetry), the final state matches a single std::map oracle over
+// the whole keyspace, post-cutover MultiGet/Scan/placement-audit are clean,
+// and the moved keys route to (and are served by) the destination shard.
+TEST(ShardedClusterTest, RebalanceUnderLiveTrafficMatchesOracle) {
+  constexpr std::uint64_t kKeyspace = 96;
+  ShardedClusterOptions options;
+  options.WithShards(2).WithRouterSeed(test::TestSeed(306));
+  options.shard.WithBackups(1, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("kv");
+  fleet.Start();
+
+  // Move half of shard 0's tokens to shard 1.
+  MigrationPlan plan;
+  bool take = true;
+  for (Key k = 0; k < kKeyspace; ++k) {
+    if (fleet.ShardOf(t, k) != 0) continue;
+    if (take) {
+      ShardMove move;
+      move.table = t;
+      move.token = k;
+      move.from = 0;
+      move.to = 1;
+      plan.push_back(move);
+    }
+    take = !take;
+  }
+  ASSERT_GE(plan.size(), 8u) << "placement left too few keys to migrate";
+
+  // Closed-loop writers over disjoint key slices (no cross-thread conflicts,
+  // so each thread's local oracle composes into the global truth). They run
+  // before, during, and after the migration.
+  constexpr int kWriters = 2;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_writes{0};
+  std::array<std::map<Key, Value>, kWriters> oracles;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(test::TestSeed(307 + w));
+      std::map<Key, Value>& oracle = oracles[static_cast<std::size_t>(w)];
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key key =
+            (rng.Uniform(kKeyspace / kWriters)) * kWriters +
+            static_cast<Key>(w);
+        if (rng.Uniform(5) == 0) {
+          ASSERT_TRUE(fleet
+                          .ExecuteWithRetry(
+                              t, key,
+                              [&](txn::Txn& txn) {
+                                const Status s = txn.Delete(t, key);
+                                return s.code() == StatusCode::kNotFound
+                                           ? Status::Ok()
+                                           : s;
+                              })
+                          .ok());
+          oracle.erase(key);
+        } else {
+          const Value value = workload::EncodeIntValue(rng.Next());
+          ASSERT_TRUE(fleet
+                          .ExecuteWithRetry(t, key,
+                                            [&](txn::Txn& txn) {
+                                              return txn.Put(t, key, value);
+                                            })
+                          .ok());
+          oracle[key] = value;
+        }
+        total_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Let traffic build, migrate live, let traffic keep flowing post-cutover.
+  while (total_writes.load(std::memory_order_acquire) < 200) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  MigrationReport report;
+  ASSERT_TRUE(fleet.Rebalance(plan, &report).ok());
+  const std::uint64_t at_cutover = total_writes.load(std::memory_order_acquire);
+  while (total_writes.load(std::memory_order_acquire) < at_cutover + 200) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : writers) th.join();
+
+  // The cutover installed a new epoch and actually moved data.
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(fleet.router().CurrentEpoch(), 1u);
+  EXPECT_GT(report.rows_copied, 0u);
+  for (const ShardMove& move : plan) {
+    EXPECT_EQ(fleet.ShardOf(t, move.token), 1u);
+  }
+
+  std::map<Key, Value> oracle;
+  for (const auto& part : oracles) oracle.insert(part.begin(), part.end());
+  fleet.Flush();
+  fleet.WaitForBackups();
+
+  EXPECT_TRUE(fleet.VerifyPlacement().empty());
+  std::vector<Key> keys;
+  for (Key k = 0; k < kKeyspace; ++k) keys.push_back(k);
+  std::vector<Value> values;
+  const auto statuses = fleet.MultiGet(t, keys, &values);
+  ASSERT_EQ(statuses.size(), keys.size());
+  for (Key k = 0; k < kKeyspace; ++k) {
+    const auto it = oracle.find(k);
+    if (it == oracle.end()) {
+      EXPECT_EQ(statuses[k].code(), StatusCode::kNotFound) << "key " << k;
+    } else {
+      ASSERT_TRUE(statuses[k].ok()) << "key " << k;
+      EXPECT_EQ(values[k], it->second) << "key " << k;
+    }
+  }
+  std::vector<std::pair<Key, Value>> rows;
+  ASSERT_TRUE(fleet.Scan(t, 0, kKeyspace, &rows).ok());
+  ASSERT_EQ(rows.size(), oracle.size());
+  auto want = oracle.begin();
+  for (std::size_t i = 0; i < rows.size(); ++i, ++want) {
+    EXPECT_EQ(rows[i].first, want->first);
+    EXPECT_EQ(rows[i].second, want->second);
+  }
+  fleet.Shutdown();
+}
+
+// Session causality tokens survive a cutover: a session that wrote a moving
+// key on the SOURCE shard still gets read-your-writes after the partition
+// moves — the destination token is raised to the cutover's covering
+// timestamp, so the post-migration read waits for a destination snapshot
+// that includes the migrated write.
+TEST(ShardedClusterTest, SessionCausalityTokensSurviveCutover) {
+  ShardedClusterOptions options;
+  options.WithShards(2).WithRouterSeed(test::TestSeed(308));
+  options.shard.WithBackups(1, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("kv");
+  fleet.Start();
+
+  const Key moving = KeyOnShard(fleet, t, 0, 0);
+  Timestamp commit = 0;
+  ASSERT_TRUE(fleet
+                  .ExecuteWithRetry(
+                      t, moving,
+                      [&](txn::Txn& txn) {
+                        return txn.Put(t, moving,
+                                       workload::EncodeIntValue(111));
+                      },
+                      &commit)
+                  .ok());
+  auto session = fleet.OpenSession();
+  session.OnWrite(t, moving, commit);
+  ASSERT_GE(session.token(0), commit);
+  ASSERT_EQ(session.token(1), 0u);
+
+  ShardMove move;
+  move.table = t;
+  move.token = moving;
+  move.from = 0;
+  move.to = 1;
+  MigrationReport report;
+  ASSERT_TRUE(fleet.Rebalance({move}, &report).ok());
+  ASSERT_EQ(fleet.ShardOf(t, moving), 1u);
+
+  // The same session reads the key it wrote — now living on shard 1. The
+  // fold must raise shard 1's token; the read must see the write.
+  Value v;
+  ASSERT_TRUE(session.Read(t, moving, &v).ok());
+  EXPECT_EQ(workload::DecodeIntValue(v), 111u);
+  EXPECT_GT(session.token(1), 0u)
+      << "the cutover must fold into the destination token";
+  fleet.Shutdown();
+}
+
+// Regression for the mid-migration failover hole: the catch-up tail must
+// keep sourcing from the source shard's CURRENT primary after a failover.
+// The source primary dies after the bulk copy; a backup is promoted; MORE
+// writes land on the moving partition through the promoted engine. The
+// cutover must tail those post-promotion writes onto the destination — a
+// tap pinned to the dead primary's log would lose them silently.
+TEST(ShardedClusterTest, RebalanceSurvivesSourcePrimaryPromotionMidMigration) {
+  ShardedClusterOptions options;
+  options.WithShards(2).WithRouterSeed(test::TestSeed(309));
+  options.shard.WithBackups(2, core::ProtocolKind::kC5).WithWorkers(2);
+  ShardedCluster fleet(options);
+  const TableId t = fleet.CreateTable("kv");
+  fleet.Start();
+
+  const Key moving = KeyOnShard(fleet, t, 0, 0);
+  const Key moving2 = KeyOnShard(fleet, t, 0, moving + 1);
+  for (const Key k : {moving, moving2}) {
+    ASSERT_TRUE(fleet
+                    .ExecuteWithRetry(t, k,
+                                      [&](txn::Txn& txn) {
+                                        return txn.Put(
+                                            t, k,
+                                            workload::EncodeIntValue(1));
+                                      })
+                    .ok());
+  }
+
+  MigrationPlan plan;
+  for (const Key k : {moving, moving2}) {
+    ShardMove move;
+    move.table = t;
+    move.token = k;
+    move.from = 0;
+    move.to = 1;
+    plan.push_back(move);
+  }
+
+  RebalanceHooks hooks;
+  hooks.after_copy = [&] {
+    // Source failover in the copy->cutover window.
+    ASSERT_TRUE(fleet.StopPrimary(0).ok());
+    ASSERT_TRUE(fleet.Promote(0, 0).ok());
+    ASSERT_EQ(fleet.shard(0).promoted_index(), 0u);
+    // Post-promotion writes to the MOVING partition, through the promoted
+    // engine. These exist only in the promoted primary's log — the tail
+    // must carry them across the cutover.
+    for (const Key k : {moving, moving2}) {
+      ASSERT_TRUE(fleet
+                      .ExecuteWithRetry(
+                          t, k,
+                          [&](txn::Txn& txn) {
+                            return txn.Put(t, k,
+                                           workload::EncodeIntValue(2));
+                          })
+                      .ok());
+    }
+  };
+  MigrationReport report;
+  ASSERT_TRUE(fleet.Rebalance(plan, &report, hooks).ok());
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_GT(report.rows_copied, 0u);
+  EXPECT_GT(report.tail_records, 0u)
+      << "post-promotion writes must flow through the migration tail";
+
+  // The destination serves the post-promotion values; the audit is clean on
+  // both shards (promoted source included).
+  for (const Key k : {moving, moving2}) {
+    EXPECT_EQ(fleet.ShardOf(t, k), 1u);
+    Value v;
+    ASSERT_TRUE(fleet.Get(t, k, &v).ok()) << "key " << k;
+    EXPECT_EQ(workload::DecodeIntValue(v), 2u)
+        << "key " << k << ": stale pre-promotion value served after cutover";
+  }
+  EXPECT_TRUE(fleet.VerifyPlacement().empty());
   fleet.Shutdown();
 }
 

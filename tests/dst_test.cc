@@ -32,6 +32,10 @@ std::string Describe(const DstReport& r) {
   if (r.shards_run > 1) {
     os << " sharded(" << r.shards_run << ", " << r.router_checks
        << " router checks)";
+    if (r.migrations_started > 0) {
+      os << " reshard(" << r.migrations_completed << " committed, "
+         << r.migrations_aborted << " aborted)";
+    }
   }
   for (const std::string& v : r.violations) os << "\n  VIOLATION: " << v;
   os << "\n  replay: C5_DST_SEED=" << r.seed << " ./dst_test";
@@ -113,25 +117,47 @@ TEST(DstTest, ShardedSweepHoldsAllInvariants) {
   ASSERT_FALSE(sharded.armed()) << "force_shards is a mode pin, not a hook";
   std::uint64_t router_checks = 0, restarts = 0, windows_closed = 0;
   std::uint64_t crashes = 0, scan_checks = 0;
+  std::uint64_t started = 0, completed = 0, aborted = 0;
   for (const std::uint64_t seed : seeds) {
     const DstReport r = RunDst(seed, sharded);
     EXPECT_TRUE(r.ok()) << Describe(r);
     EXPECT_EQ(r.shards_run, 2) << Describe(r);
+    // The migration ledger balances per seed: every migration started
+    // either commits through cutover or aborts cleanly — none may vanish
+    // half-applied (invariant 10).
+    EXPECT_EQ(r.migrations_started,
+              r.migrations_completed + r.migrations_aborted)
+        << Describe(r);
+    // A seeded migration must be AUDITED: the epoch-aware router oracle has
+    // to actually check placements for a run that resharded, or a cutover
+    // that stranded keys would pass vacuously.
+    if (r.migrations_started > 0) {
+      EXPECT_GT(r.router_checks, 0u) << Describe(r);
+    }
     router_checks += r.router_checks;
     restarts += r.crash_restarts;
     windows_closed += r.recovery_windows_closed;
     crashes += r.plan.crash ? 1 : 0;
     scan_checks += r.scan_checks;
+    started += r.migrations_started;
+    completed += r.migrations_completed;
+    aborted += r.migrations_aborted;
   }
   // Recovery windows must close on the sharded crash path too.
   EXPECT_EQ(restarts, windows_closed);
   // The router oracle must be asserted (many times) per sweep, and the
   // sharded mode must keep exercising the crash and scan oracles.
   EXPECT_GT(router_checks, 0u);
+  EXPECT_EQ(started, completed + aborted);
   if (seeds.size() >= 16) {
     EXPECT_GT(crashes, 0u);
     EXPECT_GT(restarts, 0u);
     EXPECT_GT(scan_checks, 0u);
+    // The migration battery must exercise BOTH outcomes: epoch-bumping
+    // cutovers and clean fence aborts (a probability regression that
+    // silently kills either path fails here, not rots).
+    EXPECT_GT(completed, 0u);
+    EXPECT_GT(aborted, 0u);
   }
 }
 
@@ -147,6 +173,32 @@ TEST(DstTest, SameSeedReplaysBitForBit) {
   EXPECT_EQ(a.wire.frames_shipped, b.wire.frames_shipped);
   EXPECT_EQ(a.wire.frames_rejected, b.wire.frames_rejected);
   EXPECT_EQ(a.wire.delivered_segments, b.wire.delivered_segments);
+  EXPECT_TRUE(a.ok()) << Describe(a);
+  EXPECT_TRUE(b.ok()) << Describe(b);
+}
+
+// Same property for a pinned-sharded run with a migration in it: the whole
+// reshard — moving-set choice, copy, fence, queued writes, outcome — must be
+// a pure function of the seed.
+TEST(DstTest, ShardedReshardReplaysBitForBit) {
+  DstHooks sharded;
+  sharded.force_shards = 2;
+  // Find a seed whose plan drew a reshard (the draw is itself seeded, so
+  // this scan is deterministic).
+  std::uint64_t seed = 1;
+  while (!DstPlan::FromSeed(seed).reshard) ++seed;
+  const DstReport a = RunDst(seed, sharded);
+  const DstReport b = RunDst(seed, sharded);
+  EXPECT_EQ(a.migrations_started, 1u) << Describe(a);
+  EXPECT_EQ(a.migrations_started, b.migrations_started);
+  EXPECT_EQ(a.migrations_completed, b.migrations_completed);
+  EXPECT_EQ(a.migrations_aborted, b.migrations_aborted);
+  EXPECT_EQ(a.schedule_digest, b.schedule_digest)
+      << "reshard fault schedule not a pure function of the seed";
+  EXPECT_EQ(a.primary_digest, b.primary_digest)
+      << "reshard workload/migration not a pure function of the seed";
+  EXPECT_EQ(a.log_records, b.log_records);
+  EXPECT_EQ(a.router_checks, b.router_checks);
   EXPECT_TRUE(a.ok()) << Describe(a);
   EXPECT_TRUE(b.ok()) << Describe(b);
 }

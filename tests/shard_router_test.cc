@@ -187,5 +187,207 @@ TEST(ShardRouterTest, TpccLoadShardPartitionsWarehousesAndReplicatesItems) {
   }
 }
 
+// ---- Epochs (live resharding) ----------------------------------------------
+
+// Applying the same plan sequence to two independent routers yields the
+// same epochs and the same total routing: the placement history is a pure
+// function of (shards, seed, extractors, committed plans) — never call
+// order — and every key maps to exactly one shard at EVERY epoch,
+// including future epochs (which clamp to the present).
+TEST(ShardRouterTest, PlanApplicationIsDeterministicAndTotal) {
+  Rng rng(test::TestSeed(206));
+  const std::uint64_t seed = rng.Next();
+  constexpr std::size_t kShards = 4;
+  ShardRouter a(kShards, seed);
+  ShardRouter b(kShards, seed);
+
+  for (int round = 0; round < 8; ++round) {
+    // A batch of single-key moves off each token's current owner.
+    MigrationPlan plan;
+    for (int m = 0; m < 5; ++m) {
+      ShardMove move;
+      move.table = 0;
+      move.token = rng.Uniform(256);
+      move.from = a.RouteTokenAt(a.CurrentEpoch(), 0, move.token);
+      move.to = (move.from + 1 + rng.Uniform(kShards - 1)) % kShards;
+      // Skip duplicate tokens within the batch (ValidatePlan rejects them).
+      bool dup = false;
+      for (const ShardMove& prior : plan) dup |= prior.token == move.token;
+      if (!dup) plan.push_back(move);
+    }
+    ASSERT_TRUE(a.ValidatePlan(plan).ok());
+    ASSERT_TRUE(b.ValidatePlan(plan).ok());
+    EXPECT_EQ(a.CommitPlan(plan), b.CommitPlan(plan));
+  }
+  ASSERT_EQ(a.CurrentEpoch(), b.CurrentEpoch());
+
+  for (int i = 0; i < 2000; ++i) {
+    const Key key = rng.Next();
+    // +2 past the current epoch: the future routes like the present.
+    for (ShardRouter::Epoch e = 0; e <= a.CurrentEpoch() + 2; ++e) {
+      const std::size_t s = a.RouteAt(e, 0, key);
+      ASSERT_LT(s, kShards);
+      EXPECT_EQ(s, a.RouteAt(e, 0, key));  // repeatable
+      EXPECT_EQ(s, b.RouteAt(e, 0, key));  // instance-independent
+    }
+    EXPECT_EQ(a.ShardOf(0, key), a.RouteAt(a.CurrentEpoch(), 0, key));
+  }
+}
+
+// Old epochs are immutable history: once epoch e+1 exists, RouteAt(e, ...)
+// answers the same forever, no matter how many more plans commit.
+TEST(ShardRouterTest, RouteAtIsStableForOldEpochs) {
+  Rng rng(test::TestSeed(207));
+  constexpr std::size_t kShards = 3;
+  ShardRouter router(kShards, rng.Next());
+  std::vector<Key> probes;
+  for (int i = 0; i < 300; ++i) probes.push_back(rng.Uniform(512));
+
+  // Snapshot the full routing table after each committed epoch...
+  std::vector<std::vector<std::size_t>> history;
+  const auto snapshot = [&] {
+    std::vector<std::size_t> routes;
+    for (const Key k : probes) {
+      routes.push_back(router.RouteAt(router.CurrentEpoch(), 0, k));
+    }
+    history.push_back(std::move(routes));
+  };
+  snapshot();  // epoch 0
+  for (int round = 0; round < 6; ++round) {
+    const std::uint64_t token = rng.Uniform(512);
+    ShardMove move;
+    move.table = 0;
+    move.token = token;
+    move.from = router.RouteTokenAt(router.CurrentEpoch(), 0, token);
+    move.to = (move.from + 1) % kShards;
+    ASSERT_TRUE(router.ValidatePlan({move}).ok());
+    router.CommitPlan({move});
+    snapshot();
+  }
+  // ... then re-ask every historical epoch: the answers must be frozen.
+  ASSERT_EQ(history.size(), router.CurrentEpoch() + 1);
+  for (ShardRouter::Epoch e = 0; e < history.size(); ++e) {
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      EXPECT_EQ(router.RouteAt(e, 0, probes[i]), history[e][i])
+          << "epoch " << e << " probe key " << probes[i];
+    }
+  }
+}
+
+// ValidatePlan is the gate on every malformed plan shape; the fence is
+// exact (moving tokens only), exclusive (one at a time), and cleared by
+// both CommitPlan and AbortFence — with AbortFence leaving the epoch alone.
+TEST(ShardRouterTest, PlanValidationAndFenceLifecycle) {
+  ShardRouter router(3, test::TestSeed(208));
+  const std::uint64_t token = 42;
+  const std::size_t owner = router.RouteTokenAt(0, 0, token);
+  const auto move = [&](std::size_t from, std::size_t to) {
+    ShardMove m;
+    m.table = 0;
+    m.token = token;
+    m.from = from;
+    m.to = to;
+    return m;
+  };
+
+  EXPECT_FALSE(router.ValidatePlan({}).ok()) << "empty plan";
+  EXPECT_FALSE(router.ValidatePlan({move(owner, owner)}).ok()) << "from==to";
+  EXPECT_FALSE(router.ValidatePlan({move(owner, 7)}).ok()) << "no such shard";
+  const std::size_t not_owner = (owner + 1) % 3;
+  EXPECT_FALSE(router.ValidatePlan({move(not_owner, owner)}).ok())
+      << "from must be the token's current owner";
+  const MigrationPlan dup = {move(owner, (owner + 1) % 3),
+                             move(owner, (owner + 2) % 3)};
+  EXPECT_FALSE(router.ValidatePlan(dup).ok()) << "duplicate token";
+  router.MarkUnpartitioned(1);
+  ShardMove unpart = move(owner, (owner + 1) % 3);
+  unpart.table = 1;
+  unpart.from = router.RouteTokenAt(0, 1, token);
+  unpart.to = (unpart.from + 1) % 3;
+  EXPECT_FALSE(router.ValidatePlan({unpart}).ok())
+      << "unpartitioned tables cannot migrate";
+
+  const MigrationPlan ok_plan = {move(owner, (owner + 1) % 3)};
+  ASSERT_TRUE(router.ValidatePlan(ok_plan).ok());
+
+  // Fence lifecycle: exact membership, exclusivity, abort leaves epoch 0.
+  ASSERT_FALSE(router.HasFence());
+  ASSERT_TRUE(router.BeginFence(ok_plan).ok());
+  EXPECT_TRUE(router.HasFence());
+  EXPECT_TRUE(router.IsFenced(0, token));
+  EXPECT_FALSE(router.IsFenced(0, token + 1)) << "fence must be exact";
+  EXPECT_FALSE(router.IsFenced(1, token)) << "fence is per-table";
+  EXPECT_FALSE(router.BeginFence(ok_plan).ok()) << "one fence at a time";
+  router.AbortFence();
+  EXPECT_FALSE(router.HasFence());
+  EXPECT_FALSE(router.IsFenced(0, token));
+  EXPECT_EQ(router.CurrentEpoch(), 0u) << "abort must not bump the epoch";
+  EXPECT_EQ(router.ShardOf(0, token), owner) << "abort must not move tokens";
+
+  // Commit clears the fence AND installs the new placement.
+  ASSERT_TRUE(router.BeginFence(ok_plan).ok());
+  EXPECT_EQ(router.CommitPlan(ok_plan), 1u);
+  EXPECT_FALSE(router.HasFence());
+  EXPECT_EQ(router.ShardOf(0, token), (owner + 1) % 3);
+  EXPECT_EQ(router.RouteAt(0, 0, token), owner) << "epoch 0 is history";
+}
+
+// Random warehouse-migration sequences never orphan or dual-own a TPC-C
+// warehouse's scoped keys: after every committed WarehouseMovePlan, each
+// warehouse's rows — across all seven warehouse-scoped tables — route to
+// EXACTLY ONE shard at the current epoch (the plan's destination for moved
+// warehouses), at every epoch along the way.
+TEST(ShardRouterTest, RandomWarehouseMovesNeverOrphanOrDualOwnScopedKeys) {
+  namespace tpcc = workload::tpcc;
+  Rng rng(test::TestSeed(209));
+  constexpr std::size_t kShards = 3;
+  constexpr std::uint32_t kWarehouses = 12;
+  ShardRouter router(kShards, rng.Next());
+  tpcc::ConfigureShardRouter(&router);
+
+  // The scoped sample for one warehouse: representative keys from every
+  // warehouse-scoped table (the full ranges are covered by the epoch-0
+  // test above; here the property under test is epoch evolution).
+  const auto scoped_keys = [&](std::uint32_t w) {
+    std::vector<std::pair<TableId, Key>> keys;
+    keys.emplace_back(tpcc::kWarehouse, tpcc::WarehouseKey(w));
+    for (std::uint32_t d = 1; d <= 3; ++d) {
+      keys.emplace_back(tpcc::kDistrict, tpcc::DistrictKey(w, d));
+      keys.emplace_back(tpcc::kCustomer, tpcc::CustomerKey(w, d, 1 + d));
+      keys.emplace_back(tpcc::kOrder, tpcc::OrderKey(w, d, 17 * d));
+      keys.emplace_back(tpcc::kNewOrder, tpcc::NewOrderKey(w, d, 17 * d));
+      keys.emplace_back(tpcc::kOrderLine,
+                        tpcc::OrderLineKey(w, d, 17 * d, d));
+    }
+    keys.emplace_back(tpcc::kStock, tpcc::StockKey(w, 1 + (w % 100)));
+    return keys;
+  };
+  const auto audit = [&] {
+    for (std::uint32_t w = 1; w <= kWarehouses; ++w) {
+      const std::size_t home = tpcc::ShardOfWarehouse(router, w);
+      ASSERT_LT(home, kShards) << "warehouse " << w << " orphaned";
+      for (const auto& [table, key] : scoped_keys(w)) {
+        ASSERT_EQ(router.ShardOf(table, key), home)
+            << "warehouse " << w << " table " << table
+            << " split across shards at epoch " << router.CurrentEpoch();
+      }
+    }
+  };
+
+  audit();  // epoch 0
+  for (int round = 0; round < 24; ++round) {
+    const std::uint32_t w =
+        1 + static_cast<std::uint32_t>(rng.Uniform(kWarehouses));
+    const std::size_t from = tpcc::ShardOfWarehouse(router, w);
+    const std::size_t to = (from + 1 + rng.Uniform(kShards - 1)) % kShards;
+    const MigrationPlan plan = tpcc::WarehouseMovePlan(router, w, to);
+    ASSERT_TRUE(router.ValidatePlan(plan).ok()) << "round " << round;
+    router.CommitPlan(plan);
+    EXPECT_EQ(tpcc::ShardOfWarehouse(router, w), to);
+    audit();
+  }
+  EXPECT_EQ(router.CurrentEpoch(), 24u);
+}
+
 }  // namespace
 }  // namespace c5
