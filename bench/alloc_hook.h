@@ -8,8 +8,10 @@
 // ODR caveat: the replacement operators below are NON-inline definitions.
 // This header must be included by exactly one translation unit per binary.
 // Every bench target is a single .cc linked against c5_core (which does not
-// include this header), so including it from bench_util.h is safe; never
-// include it from src/ or tests/.
+// include this header), so including it from bench_util.h is safe. The same
+// holds for tests: each tests/*.cc is its own binary, so a test may include
+// this header directly (alloc_budget_test.cc does); never include it from
+// src/.
 
 #include <atomic>
 #include <cstddef>

@@ -1,28 +1,44 @@
 // Tiny JSON validator for the benchmark trajectory files. Parses the whole
-// document with a recursive-descent grammar (objects, arrays, strings,
-// numbers, literals) and optionally asserts the presence of top-level keys:
+// document into a DOM with a recursive-descent grammar (objects, arrays,
+// strings, numbers, literals) and optionally asserts the presence of keys:
 //
-//   bench_json_check FILE [--require KEY]...
+//   bench_json_check FILE [--require PATH]...
 //
+// PATH is a dotted key path into the root object. A bare KEY requires a
+// top-level key, as before. Each dot descends one object level; when a step
+// lands on an ARRAY, the remaining path is required of EVERY element (an
+// empty array fails — there is no element carrying the key), so
+//
+//   --require fig9.rows.pipeline_allocs_per_write_txn
+//
+// asserts that every row object of fig9.rows has the allocation metric.
 // Exit 0 iff FILE is syntactically valid JSON (single top-level value) and
-// every --require KEY exists at the top level of the root object. Used by
-// scripts/bench.sh to guarantee BENCH_replay.json stays machine-readable.
+// every --require PATH resolves. Used by scripts/bench.sh to guarantee
+// BENCH_replay.json stays machine-readable and keeps its tracked fields.
 
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> elements;                         // kArray
+};
 
 class Parser {
  public:
   Parser(const char* data, std::size_t size) : p_(data), end_(data + size) {}
 
-  bool ParseDocument(std::vector<std::string>* top_keys) {
+  bool ParseDocument(JsonValue* root) {
     SkipWs();
-    if (!ParseValue(top_keys)) return false;
+    if (!ParseValue(root)) return false;
     SkipWs();
     return p_ == end_;  // no trailing garbage
   }
@@ -110,9 +126,8 @@ class Parser {
     return p_ != start;
   }
 
-  // top_keys, when non-null, collects the keys of THIS object (used only for
-  // the root).
-  bool ParseObject(std::vector<std::string>* top_keys) {
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
     ++p_;  // '{'
     SkipWs();
     if (p_ != end_ && *p_ == '}') {
@@ -122,12 +137,13 @@ class Parser {
     while (true) {
       SkipWs();
       std::string key;
-      if (!ParseString(top_keys != nullptr ? &key : nullptr)) return false;
-      if (top_keys != nullptr) top_keys->push_back(key);
+      if (!ParseString(&key)) return false;
       SkipWs();
       if (p_ == end_ || *p_ != ':') return false;
       ++p_;
-      if (!ParseValue(nullptr)) return false;
+      JsonValue child;
+      if (!ParseValue(&child)) return false;
+      out->members.emplace_back(std::move(key), std::move(child));
       SkipWs();
       if (p_ == end_) return false;
       if (*p_ == ',') {
@@ -142,7 +158,8 @@ class Parser {
     }
   }
 
-  bool ParseArray() {
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
     ++p_;  // '['
     SkipWs();
     if (p_ != end_ && *p_ == ']') {
@@ -150,7 +167,9 @@ class Parser {
       return true;
     }
     while (true) {
-      if (!ParseValue(nullptr)) return false;
+      JsonValue elem;
+      if (!ParseValue(&elem)) return false;
+      out->elements.push_back(std::move(elem));
       SkipWs();
       if (p_ == end_) return false;
       if (*p_ == ',') {
@@ -165,23 +184,28 @@ class Parser {
     }
   }
 
-  bool ParseValue(std::vector<std::string>* top_keys) {
+  bool ParseValue(JsonValue* out) {
     SkipWs();
     if (p_ == end_) return false;
     switch (*p_) {
       case '{':
-        return ParseObject(top_keys);
+        return ParseObject(out);
       case '[':
-        return ParseArray();
+        return ParseArray(out);
       case '"':
+        out->kind = JsonValue::kString;
         return ParseString(nullptr);
       case 't':
+        out->kind = JsonValue::kBool;
         return Literal("true");
       case 'f':
+        out->kind = JsonValue::kBool;
         return Literal("false");
       case 'n':
+        out->kind = JsonValue::kNull;
         return Literal("null");
       default:
+        out->kind = JsonValue::kNumber;
         return ParseNumber();
     }
   }
@@ -190,11 +214,46 @@ class Parser {
   const char* end_;
 };
 
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> steps;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    if (dot == std::string::npos) {
+      steps.push_back(path.substr(start));
+      return steps;
+    }
+    steps.push_back(path.substr(start, dot - start));
+    start = dot + 1;
+  }
+}
+
+// An array step does not consume a path segment: the remaining path is
+// required of every element, and an empty array fails (no element can
+// carry the key — a silently empty rows array would otherwise "satisfy"
+// every per-row requirement).
+bool PathExists(const JsonValue& v, const std::vector<std::string>& steps,
+                std::size_t i) {
+  if (v.kind == JsonValue::kArray) {
+    if (v.elements.empty()) return false;
+    for (const JsonValue& e : v.elements) {
+      if (!PathExists(e, steps, i)) return false;
+    }
+    return true;
+  }
+  if (i == steps.size()) return true;
+  if (v.kind != JsonValue::kObject) return false;
+  for (const auto& [key, child] : v.members) {
+    if (key == steps[i]) return PathExists(child, steps, i + 1);
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s FILE [--require KEY]...\n", argv[0]);
+    std::fprintf(stderr, "usage: %s FILE [--require PATH]...\n", argv[0]);
     return 2;
   }
   std::FILE* f = std::fopen(argv[1], "rb");
@@ -208,9 +267,9 @@ int main(int argc, char** argv) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
   std::fclose(f);
 
-  std::vector<std::string> top_keys;
+  JsonValue root;
   Parser parser(data.data(), data.size());
-  if (!parser.ParseDocument(&top_keys)) {
+  if (!parser.ParseDocument(&root)) {
     std::fprintf(stderr, "%s: invalid JSON at byte %zu\n", argv[1],
                  parser.ErrorOffset(data.data()));
     return 1;
@@ -221,20 +280,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string want = argv[i + 1];
-    bool found = false;
-    for (const std::string& k : top_keys) {
-      if (k == want) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      std::fprintf(stderr, "%s: missing required key \"%s\"\n", argv[1],
+    if (!PathExists(root, SplitPath(want), 0)) {
+      std::fprintf(stderr, "%s: missing required key path \"%s\"\n", argv[1],
                    want.c_str());
       return 1;
     }
   }
   std::printf("%s: valid JSON (%zu top-level keys)\n", argv[1],
-              top_keys.size());
+              root.kind == JsonValue::kObject ? root.members.size() : 0);
   return 0;
 }

@@ -71,8 +71,19 @@ echo "== bench_fig9_read_throughput (scale $scale)"
   printf '\n}\n'
 } > "$out"
 
+# Structural validation plus the tracked fields: the fig9 allocation metric
+# on every row, and the fleet-model worker-scaling fields on every point
+# (dotted paths descend the DOM; an array step requires the rest of the
+# path of EVERY element — see bench/json_check.cc).
 "$build_dir/bench_json_check" "$out" \
-  --require micro_replay_hotpath --require fig6 --require fig9
+  --require micro_replay_hotpath --require fig6 --require fig9 \
+  --require fig9.rows.write_tps \
+  --require fig9.rows.pipeline_allocs_per_write_txn \
+  --require micro_replay_hotpath.worker_scaling.workers \
+  --require micro_replay_hotpath.worker_scaling.aggregate_records_per_cpu_s \
+  --require micro_replay_hotpath.worker_scaling.speedup_vs_1 \
+  --require fig6.cases.c5.txns_per_sec \
+  --require fig6.cases.kuafu.apply_p99_ns
 echo "wrote $out"
 
 # Shard-group trajectory (its own file: these experiments track the sharded

@@ -4,16 +4,35 @@
 # run the deterministic-simulation (DST) quick seed sweep under TSan (data
 # races in the replay pipelines) and ASan (epoch GC reclaiming a reachable
 # version, wire-decoder out-of-bounds reads). See docs/TESTING.md.
-# Exits nonzero on the first failure. Usage: scripts/check.sh [build-dir]
+# Exits nonzero on the first failure.
+# Usage: scripts/check.sh [--quick] [build-dir]
+#   --quick: build and run only the fast perf-guard suite (the alloc-budget
+#            regression test) — seconds, not minutes; the inner loop for
+#            work on the shipping pipeline. Full tier-1 otherwise.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
+quick=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) build_dir=$arg ;;
+  esac
+done
+[ -n "$build_dir" ] || build_dir="$repo_root/build"
 
 if command -v nproc >/dev/null 2>&1; then
   jobs=$(nproc)
 else
   jobs=4
+fi
+
+if [ "$quick" -eq 1 ]; then
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" -j "$jobs" --target alloc_budget_test >/dev/null
+  "$build_dir/alloc_budget_test"
+  exit 0
 fi
 
 cmake -B "$build_dir" -S "$repo_root"

@@ -22,6 +22,8 @@ void BackupNode::MakeProtocol() {
   // stays attributable across crash/restart cycles.
   core::ProtocolOptions po = options_.protocol_options;
   if (po.instance_id.empty()) po.instance_id = options_.id;
+  // Per-node apply-stage sizing; Restart rebuilds with the same override.
+  if (options_.replay_workers > 0) po.num_workers = options_.replay_workers;
   replica_ = core::MakeReplica(options_.protocol, &db_, po, options_.lag);
   base_ = dynamic_cast<replica::ReplicaBase*>(replica_.get());
   assert(base_ != nullptr &&
@@ -97,24 +99,27 @@ const replica::ReplicaBase& BackupNode::reader() const { return *base_; }
 
 // ---- Cluster ----------------------------------------------------------------
 
+// ONE sequencer per cluster: the collector orders and segments the commit
+// stream once, and every backup consumes it through its own subscriber
+// channel (backup 0 the sealed segments, later backups shared-payload
+// views) — the fan-out never copies value bytes.
 struct Cluster::Shipping {
   explicit Shipping(std::size_t segment_records)
       : collector(segment_records) {}
 
   log::OnlineLogCollector collector;
-  std::unique_ptr<log::ChannelSegmentSource> channel_source;
-  std::unique_ptr<log::DelayedSegmentSource> delayed;
-  log::SegmentSource* source = nullptr;  // what the backup consumes
+
+  struct Lane {
+    std::unique_ptr<log::ChannelSegmentSource> channel_source;
+    std::unique_ptr<log::DelayedSegmentSource> delayed;
+    log::SegmentSource* source = nullptr;  // what the backup consumes
+  };
+  std::vector<Lane> lanes;
 };
 
-void Cluster::TapSet::LogCommit(std::vector<log::LogRecord>&& records) {
+void Cluster::TapSet::LogCommit(log::RecordSpan records) {
   std::lock_guard<SpinLock> lock(lock_);
-  if (taps_.empty()) return;
-  for (std::size_t i = 0; i + 1 < taps_.size(); ++i) {
-    std::vector<log::LogRecord> copy = records;
-    taps_[i]->LogCommit(std::move(copy));
-  }
-  taps_.back()->LogCommit(std::move(records));
+  for (log::LogCollector* tap : taps_) tap->LogCommit(records);
 }
 
 void Cluster::TapSet::Attach(log::LogCollector* tap) {
@@ -158,14 +163,15 @@ void Cluster::Start() {
 
   const auto specs = ResolvedSpecs();
 
-  // Shipping lanes first (the engine's collector tees into them). The tap
-  // set rides LAST in the tee: the fixed lanes get private copies and the
-  // taps (usually none — a live migration's catch-up stream when attached)
-  // receive the moved original.
+  // The shipping sequencer first (the engine's collector tees into it): ONE
+  // OnlineLogCollector orders the commit stream, and each backup gets its
+  // own subscriber channel off it below. The tap set (usually empty — a live
+  // migration's catch-up stream when attached) rides alongside in the tee;
+  // every sink sees the same borrowed span.
   std::vector<log::LogCollector*> sinks;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    shipping_.push_back(std::make_unique<Shipping>(options_.segment_records));
-    sinks.push_back(&shipping_.back()->collector);
+  if (!specs.empty()) {
+    shipping_ = std::make_unique<Shipping>(options_.segment_records);
+    sinks.push_back(&shipping_->collector);
   }
   sinks.push_back(&taps_);
   tee_ = std::make_unique<log::TeeCollector>(std::move(sinks));
@@ -190,24 +196,30 @@ void Cluster::Start() {
       break;
     }
   }
-  for (auto& lane : shipping_) lane->collector.SetReleaseHorizon(horizon);
+  if (shipping_ != nullptr) shipping_->collector.SetReleaseHorizon(horizon);
   horizon_fn_ = horizon;
 
   // The fleet: one node per spec, schema mirrored (table ids match by
-  // creation order), each consuming its own channel.
+  // creation order), each consuming its own subscriber channel. Subscriber
+  // channels must all exist before the first LogCommit; they do — no writes
+  // run until Start returns.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     BackupOptions bo;
     bo.protocol = specs[i].protocol;
     bo.protocol_options = options_.protocol;
+    bo.replay_workers = options_.replay_workers;
     bo.lag = specs[i].lag;
     bo.id = options_.id + "/backup" + std::to_string(i);
     nodes_.push_back(std::make_unique<BackupNode>(std::move(bo)));
     for (const auto& [name, expected] : schema_) {
       nodes_.back()->CreateTable(name, expected);
     }
-    Shipping& lane = *shipping_[i];
-    lane.channel_source =
-        std::make_unique<log::ChannelSegmentSource>(&lane.collector.channel());
+    shipping_->lanes.push_back({});
+    Shipping::Lane& lane = shipping_->lanes.back();
+    SpscQueue<log::LogSegment*>* channel =
+        i == 0 ? &shipping_->collector.channel()
+               : shipping_->collector.AddSubscriber();
+    lane.channel_source = std::make_unique<log::ChannelSegmentSource>(channel);
     lane.source = lane.channel_source.get();
     if (specs[i].ship_delay.count() > 0) {
       const auto delay = specs[i].ship_delay;
@@ -221,10 +233,10 @@ void Cluster::Start() {
   }
   promoted_index_ = nodes_.size();
 
-  if (options_.flush_interval.count() > 0 && !shipping_.empty()) {
+  if (options_.flush_interval.count() > 0 && shipping_ != nullptr) {
     flusher_ = std::thread([this] {
       while (!stop_flusher_.load(std::memory_order_acquire)) {
-        for (auto& lane : shipping_) lane->collector.Flush();
+        shipping_->collector.Flush();
         std::this_thread::sleep_for(options_.flush_interval);
       }
     });
@@ -252,7 +264,9 @@ Status Cluster::RunOnPrimary(const txn::TxnFn& fn, Timestamp* commit_ts,
   // bound, because LSNs are drawn exclusively by committing write
   // transactions, every one of which is logged.
   Timestamp attempt_ts = kInvalidTimestamp;
-  const txn::TxnFn wrapped = [&fn, &attempt_ts](txn::Txn& txn) {
+  // A named lambda, not a txn::TxnFn: TxnFn is a non-owning view, and a view
+  // initialized from a lambda temporary would dangle past this statement.
+  const auto wrapped = [&fn, &attempt_ts](txn::Txn& txn) {
     const Status s = fn(txn);
     attempt_ts = txn.timestamp();
     return s;
@@ -276,7 +290,7 @@ Status Cluster::ExecuteWithRetry(const txn::TxnFn& fn, Timestamp* commit_ts) {
 }
 
 void Cluster::Flush() {
-  for (auto& lane : shipping_) lane->collector.Flush();
+  if (shipping_ != nullptr) shipping_->collector.Flush();
 }
 
 replica::ClientSession Cluster::OpenSession() {
@@ -296,7 +310,7 @@ void Cluster::StopPrimary() {
   primary_stopped_ = true;
   stop_flusher_.store(true, std::memory_order_release);
   if (flusher_.joinable()) flusher_.join();
-  for (auto& lane : shipping_) lane->collector.Finish();
+  if (shipping_ != nullptr) shipping_->collector.Finish();
 }
 
 void Cluster::WaitForBackups() {

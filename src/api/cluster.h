@@ -67,6 +67,12 @@ namespace c5 {
 struct BackupOptions {
   core::ProtocolKind protocol = core::ProtocolKind::kC5;
   core::ProtocolOptions protocol_options{};
+  // Replay-worker override: when > 0, replaces protocol_options.num_workers
+  // for this node. Separate from protocol_options so a heterogeneous fleet
+  // can share one ProtocolOptions while sizing each node's apply stage
+  // independently (and so DST plans can sweep worker counts without
+  // disturbing the rest of the protocol draw).
+  int replay_workers = 0;
   replica::LagTracker* lag = nullptr;
   // Stable node id ("shard0/backup1"): threaded into the protocol's
   // ReplicaBase::instance_id() so logs and DST failure output can attribute
@@ -180,6 +186,10 @@ struct ClusterOptions {
   // core::ProtocolOptions).
   core::ProtocolOptions protocol{.num_workers = 2};
 
+  // Replay-worker override for every backup (see
+  // BackupOptions::replay_workers). 0: use protocol.num_workers.
+  int replay_workers = 0;
+
   // Log shipping: records per shipped segment, and how often the background
   // flusher closes a partial segment so lag excludes batching delay
   // (zero: no flusher thread; segments ship only when full or on Flush()).
@@ -220,6 +230,10 @@ struct ClusterOptions {
   }
   ClusterOptions& WithWorkers(int n) {
     protocol.num_workers = n;
+    return *this;
+  }
+  ClusterOptions& WithReplayWorkers(int n) {
+    replay_workers = n;
     return *this;
   }
   ClusterOptions& WithSnapshotInterval(std::chrono::microseconds us) {
@@ -394,15 +408,14 @@ class Cluster {
   const ClusterOptions& options() const { return options_; }
 
  private:
-  struct Shipping;  // per-backup collector + source chain
+  struct Shipping;  // ONE sequencer + a per-backup lane of source chains
 
   // The dynamic half of the primary's commit fan-out: a LogCollector that
-  // forwards to whatever taps are currently attached (usually none). Wired
-  // as the LAST sink of tee_, so the fixed shipping lanes get their private
-  // copies and the tap set receives the moved original.
+  // forwards to whatever taps are currently attached (usually none). Commits
+  // arrive as borrowed spans; each tap copies what it keeps.
   class TapSet : public log::LogCollector {
    public:
-    void LogCommit(std::vector<log::LogRecord>&& records) override;
+    void LogCommit(log::RecordSpan records) override;
     void Attach(log::LogCollector* tap);
     void Detach(log::LogCollector* tap);
 
@@ -425,7 +438,7 @@ class Cluster {
   std::unique_ptr<txn::Engine> engine_;
   std::unique_ptr<log::LogCollector> tee_;
   std::function<Timestamp()> horizon_fn_;
-  std::vector<std::unique_ptr<Shipping>> shipping_;
+  std::unique_ptr<Shipping> shipping_;  // null until Start (or 0 backups)
 
   // Failover logs/sources are declared BEFORE the fleet: sources must
   // outlive the nodes started over them (BackupNode::Start's contract —

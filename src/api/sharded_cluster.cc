@@ -542,7 +542,9 @@ Status ShardedCluster::Rebalance(const MigrationPlan& plan,
       const bool is_delete = rec.op == OpType::kDelete;
       const Status st = dest.ExecuteWithRetry(
           [&](txn::Txn& txn) {
-            if (!is_delete) return txn.Put(rec.table, rec.key, rec.value);
+            if (!is_delete) {
+              return txn.Put(rec.table, rec.key, Value(rec.value.view()));
+            }
             const Status ds = txn.Delete(rec.table, rec.key);
             // Deleting a key the destination never saw (created and deleted
             // entirely inside the tail, delete delivered first) is the

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 #include "common/bits.h"
@@ -138,6 +139,64 @@ std::size_t SlabArena::SlabsFree() const {
   std::size_t n = 0;
   for (const SlabHeader* s = free_head_; s != nullptr; s = s->next_free) ++n;
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// ArenaRope
+
+ArenaRope::Chunk* ArenaRope::Grow(std::size_t need) {
+  Chunk c{};
+  if (need > kChunkBytes) {
+    // Oversized value: dedicated chunk, exactly sized. Prefer the arena when
+    // it fits a slab; otherwise heap.
+    if (need <= SlabArena::kMaxAlloc) {
+      c.data = static_cast<char*>(arena_->Allocate(need));
+    }
+    if (c.data == nullptr) {
+      c.data = new char[need];
+      c.heap = true;
+    }
+    c.cap = static_cast<std::uint32_t>(need);
+  } else {
+    c.data = static_cast<char*>(arena_->Allocate(kChunkBytes));
+    if (c.data == nullptr) {
+      c.data = new char[kChunkBytes];
+      c.heap = true;
+    }
+    c.cap = kChunkBytes;
+  }
+  c.used = 0;
+  chunks_.push_back(c);
+  return &chunks_.back();
+}
+
+std::string_view ArenaRope::Append(std::string_view bytes) {
+  if (bytes.empty()) return {};
+  Chunk* c = chunks_.empty() ? nullptr : &chunks_.back();
+  if (c == nullptr || c->cap - c->used < bytes.size()) c = Grow(bytes.size());
+  char* dst = c->data + c->used;
+  std::memcpy(dst, bytes.data(), bytes.size());
+  c->used += static_cast<std::uint32_t>(bytes.size());
+  total_ += bytes.size();
+  return {dst, bytes.size()};
+}
+
+void ArenaRope::Clear() {
+  for (Chunk& c : chunks_) {
+    if (c.heap) {
+      delete[] c.data;
+    } else {
+      SlabArena::Release(c.data, c.cap);
+    }
+  }
+  chunks_.clear();
+  total_ = 0;
+}
+
+SlabArena& ShippingArena() {
+  // Leaked on purpose (see header): reachable-at-exit, so LSan stays quiet.
+  static SlabArena* arena = new SlabArena(/*shards=*/4);
+  return *arena;
 }
 
 }  // namespace c5

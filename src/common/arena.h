@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/spin_lock.h"
@@ -110,6 +111,59 @@ class SlabArena {
   std::atomic<std::uint64_t> slabs_allocated_{0};
   std::atomic<std::uint64_t> slabs_recycled_{0};
 };
+
+// Append-only byte rope carved from SlabArena chunks: the storage behind the
+// allocation-free shipping path. Append() copies bytes into the current chunk
+// and returns a STABLE string_view (chunks never move or shrink); a value
+// never spans chunks. Chunks return to the arena wholesale on Clear() /
+// destruction, so in steady state (recycled slabs) the rope performs no heap
+// allocation. Oversized appends (> SlabArena::kMaxAlloc) fall back to a
+// dedicated heap chunk. NOT thread-safe; callers synchronize externally.
+class ArenaRope {
+ public:
+  // Default chunk: 4 chunks per 64 KiB slab, minus slack for rounding.
+  static constexpr std::size_t kChunkBytes = 16 * 1024 - 16;
+
+  explicit ArenaRope(SlabArena* arena) : arena_(arena) {}
+  ~ArenaRope() { Clear(); }
+
+  ArenaRope(const ArenaRope&) = delete;
+  ArenaRope& operator=(const ArenaRope&) = delete;
+  ArenaRope(ArenaRope&& other) noexcept
+      : arena_(other.arena_),
+        chunks_(std::move(other.chunks_)),
+        total_(other.total_) {
+    other.chunks_.clear();
+    other.total_ = 0;
+  }
+
+  std::string_view Append(std::string_view bytes);
+
+  // Releases every chunk back to its allocator. All views handed out by
+  // Append() are invalid afterwards.
+  void Clear();
+
+  std::size_t TotalBytes() const { return total_; }
+
+ private:
+  struct Chunk {
+    char* data;
+    std::uint32_t cap;
+    std::uint32_t used;
+    bool heap;  // oversize fallback: operator new[], not a slab
+  };
+
+  Chunk* Grow(std::size_t need);
+
+  SlabArena* arena_;
+  std::vector<Chunk> chunks_;
+  std::size_t total_ = 0;
+};
+
+// Process-wide arena backing the log shipping pipeline (segment value ropes,
+// replay worker batches). Intentionally leaked: segments can be owned by
+// statics whose destruction order vs. a function-local arena is undefined.
+SlabArena& ShippingArena();
 
 }  // namespace c5
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 #include "common/types.h"
 
@@ -15,6 +16,21 @@ inline std::int64_t MonotonicNowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// CPU nanoseconds consumed by the CALLING thread. Used for the fleet-model
+// worker-scaling accounting: on a host with fewer cores than replay workers,
+// wall-clock conflates workers with their co-scheduled peers, while per-thread
+// CPU time measures what each worker would cost on dedicated hardware.
+// Falls back to the monotonic clock where the per-thread clock is missing.
+inline std::int64_t ThreadCpuNowNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return MonotonicNowNanos();
 }
 
 // Commit-timestamp source shared by all primary threads.

@@ -19,40 +19,72 @@ std::uint64_t RowName(TableId table, RowId row) {
 // TxnDispatchQueue
 
 void C5MyRocksReplica::TxnDispatchQueue::Push(TxnUnit txn) {
+  PushBatch(&txn, 1);
+}
+
+void C5MyRocksReplica::TxnDispatchQueue::PushBatch(const TxnUnit* txns,
+                                                   std::size_t count) {
+  if (count == 0) return;
   bool need_notify;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(txn);
+    queue_.insert(queue_.end(), txns, txns + count);
     need_notify = waiters_ > 0;
   }
-  size_hint_.fetch_add(1, std::memory_order_release);
-  if (need_notify) cv_.notify_one();
+  size_hint_.fetch_add(count, std::memory_order_release);
+  // One wakeup is enough: a woken worker that pops and leaves more behind
+  // re-arms nothing, but its sibling spinners see the size hint, and a
+  // multi-transaction batch wakes the whole pool explicitly.
+  if (need_notify) {
+    if (count > 1) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
 }
 
 std::optional<C5MyRocksReplica::TxnUnit>
-C5MyRocksReplica::TxnDispatchQueue::Pop(int worker) {
+C5MyRocksReplica::TxnDispatchQueue::Pop(int worker,
+                                        bool completed_all_prior) {
+  // A floor reset (completion declared) must land even if the pop waits or
+  // the queue is closed: a stale floor would pin MinUnapplied below work
+  // that is already fully applied, stalling the snapshot boundary forever.
+  // In-flight transitions happen under the same mutex as the pop, so
+  // MinUnapplied never misses a transaction in transit.
+  const auto mark = [&](Timestamp ts) {
+    if (completed_all_prior) {
+      inflight_[worker] = ts;
+    } else {
+      // min(): the worker's floor may already sit at an older open txn.
+      inflight_[worker] = std::min(inflight_[worker], ts);
+    }
+  };
   // Spin phase: wakeup latency dominates when the queue oscillates around
   // empty at high transaction rates, so poll before sleeping. The size hint
-  // keeps spinners off the mutex while the queue is empty.
-  for (int spin = 0; spin < 16384; ++spin) {
+  // keeps spinners off the mutex while the queue is empty. The budget is
+  // deliberately modest: on a host with fewer cores than threads, a long
+  // spin burns the quantum the producer needs to refill the queue.
+  for (int spin = 0; spin < 2048; ++spin) {
     if (size_hint_.load(std::memory_order_acquire) > 0) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!queue_.empty()) {
         TxnUnit txn = queue_.front();
         queue_.pop_front();
         size_hint_.fetch_sub(1, std::memory_order_release);
-        // In-flight marking happens under the same mutex as the pop, so
-        // MinUnapplied never misses a transaction in transit.
-        inflight_[worker] = txn.commit_ts;
+        mark(txn.commit_ts);
         return txn;
       }
     } else if ((spin & 255) == 0) {
       std::lock_guard<std::mutex> lock(mu_);
+      if (completed_all_prior) inflight_[worker] = kMaxTimestamp;
+      completed_all_prior = false;
       if (closed_ && queue_.empty()) return std::nullopt;
     }
     CpuRelax();
   }
   std::unique_lock<std::mutex> lock(mu_);
+  if (completed_all_prior) inflight_[worker] = kMaxTimestamp;
   waiters_++;
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
   waiters_--;
@@ -60,13 +92,25 @@ C5MyRocksReplica::TxnDispatchQueue::Pop(int worker) {
   TxnUnit txn = queue_.front();
   queue_.pop_front();
   size_hint_.fetch_sub(1, std::memory_order_release);
-  inflight_[worker] = txn.commit_ts;
+  inflight_[worker] = std::min(inflight_[worker], txn.commit_ts);
   return txn;
 }
 
-void C5MyRocksReplica::TxnDispatchQueue::Complete(int worker) {
+std::optional<C5MyRocksReplica::TxnUnit>
+C5MyRocksReplica::TxnDispatchQueue::TryPop(int worker) {
+  if (size_hint_.load(std::memory_order_acquire) == 0) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
-  inflight_[worker] = kMaxTimestamp;
+  if (queue_.empty()) return std::nullopt;
+  TxnUnit txn = queue_.front();
+  queue_.pop_front();
+  size_hint_.fetch_sub(1, std::memory_order_release);
+  inflight_[worker] = std::min(inflight_[worker], txn.commit_ts);
+  return txn;
+}
+
+void C5MyRocksReplica::TxnDispatchQueue::SetFloor(int worker, Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_[worker] = ts;
 }
 
 void C5MyRocksReplica::TxnDispatchQueue::Close() {
@@ -114,10 +158,12 @@ void C5MyRocksReplica::SchedulerLoop(log::SegmentSource* source) {
   // existing row-based log; the per-row ordering metadata is identical),
   // through the same pre-sized flat map.
   FlatMap<Timestamp> last_write_ts(options_.scheduler_map_capacity);
+  std::vector<TxnUnit> batch;  // one segment's transactions, reused
 
   while (log::LogSegment* seg = source->Next()) {
     std::size_t txn_start = 0;
     auto& records = seg->records();
+    batch.clear();
     for (std::size_t i = 0; i < records.size(); ++i) {
       log::LogRecord& rec = records[i];
       Timestamp& last = last_write_ts[RowName(rec.table, rec.row)];
@@ -129,14 +175,16 @@ void C5MyRocksReplica::SchedulerLoop(log::SegmentSource* source) {
       if (rec.commit_ts > last) last = rec.commit_ts;
 
       if (rec.last_in_txn) {
-        // Dispatch the transaction in commit order (§5.1: the scheduler
+        // Collect the transaction in commit order (§5.1: the scheduler
         // "puts the transaction's first write in the scheduler queue"; the
         // worker follows the chain of the transaction's writes).
-        dispatch_.Push(TxnUnit{&records[txn_start], i - txn_start + 1,
-                               rec.commit_ts});
+        batch.push_back(TxnUnit{&records[txn_start], i - txn_start + 1,
+                                rec.commit_ts});
         txn_start = i + 1;
       }
     }
+    // Whole segment under one queue mutex acquisition / one wakeup.
+    dispatch_.PushBatch(batch.data(), batch.size());
     seg->MarkPreprocessed();
     // Monotone: a redelivered old segment as the final delivery must not
     // regress the watermark and pin the snapshot below end-of-log.
@@ -153,13 +201,141 @@ void C5MyRocksReplica::WorkerLoop(int idx) {
   const auto guard = db_->epochs().Enter();
   Histogram apply_latency;
   std::uint64_t apply_tick = 0;
-  while (auto txn_opt = dispatch_.Pop(idx)) {
+
+  // A write deferred because its predecessor is not in place yet.
+  // sample_t0 is -1 for unsampled records.
+  struct Pending {
+    std::uint32_t idx;
+    std::int64_t sample_t0;
+  };
+  // An in-flight transaction: popped, all ready writes applied, the rest
+  // pending. The worker keeps a WINDOW of these (front = oldest) instead
+  // of stalling on the oldest one's deferred writes: a stall here means
+  // the predecessor lives in another worker's in-flight transaction, and
+  // on a host with fewer cores than workers that worker cannot run until
+  // we give up the core — waiting in-place turns every contended-row-last
+  // transaction (TPC-C's optimized Payment writes the hot warehouse row
+  // LAST) into a scheduler-quantum hand-off. With a window, the wait
+  // overlaps applying newer transactions' independent writes, and the
+  // whole window's deferred writes resolve in one sweep when the
+  // predecessor lands (see docs/PERFORMANCE.md).
+  struct OpenTxn {
+    TxnUnit txn;
+    std::vector<Pending> pending;
+  };
+  std::deque<OpenTxn> open;
+  std::vector<std::vector<Pending>> spare;  // recycled pending vectors
+  // Window size: deep enough to ride out a predecessor worker's full
+  // descheduling, small enough that the visibility floor (the window
+  // front) never lags the log by a perceptible amount.
+  constexpr std::size_t kMaxOpen = 64;
+
+  // Applies one record if its predecessor is in place. Returns false to
+  // defer. Samples latency from `t0` when >= 0.
+  auto try_apply = [&](const log::LogRecord& rec,
+                       std::int64_t t0) -> bool {
+    storage::Table& table = db_->table(rec.table);
+    // The write becomes actionable once the row reaches (or passes, after
+    // a checkpoint resume) its predecessor position. Poll with plain
+    // loads; CAS attempts in a wait path would ping-pong the row's cache
+    // line and slow the very predecessor being waited for.
+    if (table.NewestVisibleTimestamp(rec.row) < rec.prev_ts ||
+        table.TryInstallIfPrev(rec.row, rec.prev_ts, rec.commit_ts,
+                               rec.value, rec.op == OpType::kDelete) ==
+            storage::PrevInstall::kNotReady) {
+      return false;
+    }
+    stats_.applied_writes.fetch_add(1, std::memory_order_relaxed);
+    if (t0 >= 0) {
+      // For a deferred record this includes the full predecessor stall:
+      // p99 here is the tail cost of a write waiting for its row
+      // dependency, the §5.1 metric.
+      apply_latency.Record(
+          static_cast<std::uint64_t>(MonotonicNowNanos() - t0));
+    }
+    return true;
+  };
+
+  // One pass over every open transaction's deferred writes (§5.1's "wait
+  // until the write is safe, then execute it", batched). Returns true if
+  // any write landed. Writes above an armed snapshot barrier are skipped,
+  // not waited for (§5.2 blocks installs beyond the boundary; skipping
+  // keeps the sweep non-blocking while the snapshotter holds the barrier).
+  auto sweep = [&]() -> bool {
+    bool progress = false;
+    const Timestamp barrier = barrier_ts_.load(std::memory_order_acquire);
+    for (OpenTxn& ot : open) {
+      if (ot.pending.empty() || ot.txn.commit_ts > barrier) continue;
+      std::size_t remaining = 0;
+      for (const Pending& p : ot.pending) {
+        if (try_apply(ot.txn.first[p.idx], p.sample_t0)) {
+          progress = true;
+        } else {
+          ot.pending[remaining++] = p;
+        }
+      }
+      ot.pending.resize(remaining);
+    }
+    return progress;
+  };
+
+  // Retires completed transactions from the window front (visibility is
+  // transaction-granularity: the floor only advances past a transaction
+  // when ALL its writes are in) and republishes the in-flight floor.
+  auto retire_front = [&]() {
+    bool moved = false;
+    while (!open.empty() && open.front().pending.empty()) {
+      stats_.applied_txns.fetch_add(1, std::memory_order_relaxed);
+      spare.push_back(std::move(open.front().pending));
+      open.pop_front();
+      moved = true;
+    }
+    if (moved) {
+      dispatch_.SetFloor(idx, open.empty() ? kMaxTimestamp
+                                           : open.front().txn.commit_ts);
+    }
+  };
+
+  // Set by the fast path below; folds "everything I popped is applied"
+  // into the next Pop's mutex acquisition instead of a separate SetFloor.
+  bool completed_prior = false;
+  while (true) {
+    if (sweep()) retire_front();
+
+    // Take on new work while the window has room. Blocking Pop only when
+    // nothing is open (nothing to sweep while we wait).
+    std::optional<TxnUnit> txn_opt =
+        open.size() < kMaxOpen
+            ? (open.empty() ? dispatch_.Pop(idx, completed_prior)
+                            : dispatch_.TryPop(idx))
+            : std::nullopt;
+    completed_prior = false;
+    if (!txn_opt.has_value()) {
+      if (open.empty()) break;  // Pop drained a closed queue: done
+      // Window stalled on predecessors owned by other workers. A real (if
+      // tiny) sleep, not a yield: a yielding thread keeps its low vruntime
+      // and can be rescheduled immediately ahead of the very worker it
+      // waits for, so a yield loop livelocks-by-slowness against CPU-bound
+      // peers (measured: both pure-yield and spin-then-yield were an order
+      // of magnitude worse on a single-core host under a read-only client
+      // load). The sleep forcibly deschedules us so a peer can run; the
+      // window amortizes its wakeup latency over every transaction in it.
+      std::this_thread::sleep_for(std::chrono::microseconds(1));
+      continue;
+    }
+
     const TxnUnit txn = *txn_opt;
+    std::vector<Pending> pending;
+    if (!spare.empty()) {
+      pending = std::move(spare.back());
+      spare.pop_back();
+      pending.clear();
+    }
     for (std::size_t i = 0; i < txn.count; ++i) {
       const log::LogRecord& rec = txn.first[i];
       const bool sample =
           (apply_tick++ & (kApplySampleEvery - 1)) == 0;
-      const std::int64_t sample_t0 = sample ? MonotonicNowNanos() : 0;
+      const std::int64_t sample_t0 = sample ? MonotonicNowNanos() : -1;
       storage::Table& table = db_->table(rec.table);
       table.EnsureRow(rec.row);
       // A row's first record can carry any op (coalesced insert+delete,
@@ -176,47 +352,20 @@ void C5MyRocksReplica::WorkerLoop(int idx) {
       while (rec.commit_ts > barrier_ts_.load(std::memory_order_acquire)) {
         SpinBackoff(barrier_spins);
       }
-      // §5.1: wait until the write is safe (its predecessor is in place),
-      // then execute it. Spin-waiting here is deadlock-free because workers
-      // pick up transactions in commit order: the oldest in-flight
-      // transaction's predecessors are all complete. Poll with plain loads
-      // and backoff — CAS attempts and shared-counter updates in the wait
-      // loop would ping-pong the row's cache line and slow the very
-      // predecessor being waited for.
-      if (table.TryInstallIfPrev(rec.row, rec.prev_ts, rec.commit_ts,
-                                 rec.value, rec.op == OpType::kDelete) ==
-          storage::PrevInstall::kNotReady) {
+      if (!try_apply(rec, sample_t0)) {
         stats_.deferred_writes.fetch_add(1, std::memory_order_relaxed);
-        int backoff = 1;
-        while (true) {
-          // The write becomes actionable once the row reaches (or passes,
-          // after a checkpoint resume) its predecessor position.
-          int wait_spins = 0;
-          while (table.NewestVisibleTimestamp(rec.row) < rec.prev_ts) {
-            if (backoff < 64) {
-              for (int p = 0; p < backoff; ++p) CpuRelax();
-              backoff <<= 1;
-            } else {
-              SpinBackoff(wait_spins);
-            }
-          }
-          if (table.TryInstallIfPrev(rec.row, rec.prev_ts, rec.commit_ts,
-                                     rec.value, rec.op == OpType::kDelete) !=
-              storage::PrevInstall::kNotReady) {
-            break;
-          }
-        }
-      }
-      stats_.applied_writes.fetch_add(1, std::memory_order_relaxed);
-      if (sample) {
-        // Includes any predecessor stall above: p99 here is the tail cost of
-        // a write waiting for its row dependency, which is the §5.1 metric.
-        apply_latency.Record(
-            static_cast<std::uint64_t>(MonotonicNowNanos() - sample_t0));
+        pending.push_back(Pending{static_cast<std::uint32_t>(i), sample_t0});
       }
     }
-    stats_.applied_txns.fetch_add(1, std::memory_order_relaxed);
-    dispatch_.Complete(idx);
+    if (pending.empty() && open.empty()) {
+      // Fast path: fully applied and nothing older in flight.
+      stats_.applied_txns.fetch_add(1, std::memory_order_relaxed);
+      spare.push_back(std::move(pending));
+      dispatch_.SetFloor(idx, kMaxTimestamp);
+    } else {
+      open.push_back(OpenTxn{txn, std::move(pending)});
+      retire_front();
+    }
   }
   MergeApplyLatency(apply_latency);
   workers_running_.fetch_sub(1, std::memory_order_acq_rel);

@@ -25,9 +25,17 @@ namespace c5::core {
 //
 //  1. One-thread-per-transaction execution (§5.1): MyRocks's row-based
 //     logging assumes all of a transaction's writes are executed by the same
-//     worker. Workers pick up whole transactions in commit order and
-//     spin-wait each write until it is safe ("the worker first waits until
-//     the write reaches the head of its per-row queue ... then executes it").
+//     worker. Workers pick up whole transactions in commit order; a write
+//     executes once it is safe ("the worker first waits until the write
+//     reaches the head of its per-row queue ... then executes it"). Rather
+//     than stalling the thread on each unsafe write, a worker defers it and
+//     keeps a WINDOW of open transactions (popping newer ones while older
+//     ones wait on their deferred writes), completing each transaction —
+//     for visibility purposes — only when its last write lands. Waiting
+//     in-place instead serializes the log on contended-row-last record
+//     orderings: TPC-C's write-optimized Payment puts the hot warehouse
+//     write last, which made every transaction's stall cover its
+//     predecessor's ENTIRE body (see docs/PERFORMANCE.md).
 //  2. A blocking two-snapshot snapshotter (§5.2): RocksDB snapshots can only
 //     capture the current state, so taking one requires briefly blocking
 //     writes with timestamps above the chosen boundary n. The snapshot
@@ -76,10 +84,27 @@ class C5MyRocksReplica : public replica::ReplicaBase {
         : inflight_(num_workers, kMaxTimestamp) {}
 
     void Push(TxnUnit txn);
-    // Blocks; returns nullopt when closed and drained. Marks the popped
-    // transaction in-flight for `worker`.
-    std::optional<TxnUnit> Pop(int worker);
-    void Complete(int worker);
+    // Enqueues a whole segment's transactions under ONE mutex acquisition
+    // and at most one wakeup. The scheduler dispatches per segment; pushing
+    // per transaction costs a futex notify per commit at live-primary rates
+    // (hundreds of thousands of syscalls/s), which on an oversubscribed
+    // host comes straight out of the primary's CPU budget.
+    void PushBatch(const TxnUnit* txns, std::size_t count);
+    // Blocks; returns nullopt when closed and drained. With
+    // `completed_all_prior` the worker declares everything it previously
+    // popped fully applied, so its floor is RESET to the popped transaction
+    // (or kMaxTimestamp while it waits / at close) under the pop mutex —
+    // completion and next-pop in one mutex acquisition, the per-transaction
+    // fast path. Without it the floor only LOWERS (min), for a worker whose
+    // window still holds older open transactions. Either way MinUnapplied
+    // never misses a transaction in transit.
+    std::optional<TxnUnit> Pop(int worker, bool completed_all_prior = false);
+    // Non-blocking Pop for a worker that still has open transactions (its
+    // floor stays put — popped transactions are newer than anything open).
+    std::optional<TxnUnit> TryPop(int worker);
+    // Publishes `worker`'s in-flight floor: the commit timestamp of its
+    // oldest incomplete transaction, or kMaxTimestamp when none remain.
+    void SetFloor(int worker, Timestamp ts);
     void Close();
 
     // Smallest timestamp not yet fully applied (kMaxTimestamp if none

@@ -1,9 +1,11 @@
 #include "core/c5_replica.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/clock.h"
 #include "common/flat_map.h"
 #include "common/histogram.h"
-#include "common/spin_lock.h"
 
 namespace c5::core {
 
@@ -30,6 +32,31 @@ void C5Replica::Start(log::SegmentSource* source) {
   threads_.emplace_back([this] { SnapshotterLoop(); });
 }
 
+C5Replica::Batch* C5Replica::AcquireBatch() {
+  {
+    const std::lock_guard<SpinLock> lock(pool_lock_);
+    if (!batch_free_.empty()) {
+      Batch* b = batch_free_.back();
+      batch_free_.pop_back();
+      return b;
+    }
+  }
+  // Pool miss: only during warm-up (steady state recycles). Keep the
+  // allocation outside the lock.
+  auto owned = std::make_unique<Batch>();
+  Batch* b = owned.get();
+  const std::lock_guard<SpinLock> lock(pool_lock_);
+  batch_storage_.push_back(std::move(owned));
+  return b;
+}
+
+void C5Replica::ReleaseBatch(Batch* batch) {
+  batch->recs.clear();  // keeps capacity — the point of pooling
+  batch->floor = 0;
+  const std::lock_guard<SpinLock> lock(pool_lock_);
+  batch_free_.push_back(batch);
+}
+
 void C5Replica::SchedulerLoop(log::SegmentSource* source) {
   // Row id -> timestamp of the last write seen for it. This is the entire
   // scheduler state (§7.2): per-row FIFOs are embedded in the log via
@@ -38,11 +65,13 @@ void C5Replica::SchedulerLoop(log::SegmentSource* source) {
   // node-based pointer chasing — it touches exactly one cache line per
   // record in the common case.
   FlatMap<Timestamp> last_write_ts(options_.scheduler_map_capacity);
-  std::size_t next_worker = 0;
+  const std::size_t nw = workers_.size();
+  std::vector<Batch*> out(nw, nullptr);
 
   while (log::LogSegment* seg = source->Next()) {
     for (log::LogRecord& rec : seg->records()) {
-      Timestamp& last = last_write_ts[RowName(rec.table, rec.row)];
+      const std::uint64_t name = RowName(rec.table, rec.row);
+      Timestamp& last = last_write_ts[name];
       rec.prev_ts = last;
       // Monotone, never rewound: an at-least-once redelivery of an old
       // segment would otherwise reset the row's chain position, and the
@@ -53,14 +82,35 @@ void C5Replica::SchedulerLoop(log::SegmentSource* source) {
       // own timestamp, which resolves as kAlreadyApplied once the row
       // catches up. (Found by the DST stale-duplicate schedule.)
       if (rec.commit_ts > last) last = rec.commit_ts;
+
+      // Partition by scheduler key: Fibonacci-mix the row name so dense row
+      // ids spread evenly, then reduce mod N. Row affinity is both the
+      // load-balancing and the ordering argument — every write of a row
+      // lands on the same worker in log order, so predecessors are always
+      // installed by the time the successor is attempted (redeliveries are
+      // stale and resolve as kAlreadyApplied). Record pointers stay in log
+      // order within a batch; the segment's own record array is never
+      // reordered (prev_ts chains stay inspectable in log order).
+      const std::size_t widx = static_cast<std::size_t>(
+                                   (name * 0x9E3779B97F4A7C15ull) >> 32) %
+                               nw;
+      Batch*& b = out[widx];
+      if (b == nullptr) b = AcquireBatch();
+      const Timestamp rec_floor = rec.commit_ts - 1;
+      if (b->recs.empty() || rec_floor < b->floor) b->floor = rec_floor;
+      b->recs.push_back(&rec);
     }
     seg->MarkPreprocessed();
-    // Hand the segment to its worker BEFORE publishing the watermark: an
-    // idle worker that read the watermark and then found its queue empty may
-    // publish that watermark as its c', which is only safe if every segment
+    // Hand batches to workers BEFORE publishing the watermark: an idle
+    // worker that read the watermark and then found its queue empty may
+    // publish that watermark as its c', which is only safe if every batch
     // enqueued afterwards carries timestamps at or above the watermark.
-    workers_[next_worker]->queue.Push(seg);
-    next_worker = (next_worker + 1) % workers_.size();
+    for (std::size_t i = 0; i < nw; ++i) {
+      if (out[i] != nullptr) {
+        workers_[i]->queue.Push(out[i]);
+        out[i] = nullptr;
+      }
+    }
     // Monotone for the same reason as the scheduler map: a redelivered old
     // segment must not regress the watermark (a regression as the FINAL
     // delivery would pin the visible snapshot below end-of-log forever).
@@ -74,7 +124,23 @@ void C5Replica::SchedulerLoop(log::SegmentSource* source) {
   for (auto& w : workers_) w->queue.Close();
 }
 
-bool C5Replica::TryApply(const log::LogRecord& rec) {
+void C5Replica::FlushCounts(LocalCounts& counts) {
+  if (counts.applied_writes != 0) {
+    stats_.applied_writes.fetch_add(counts.applied_writes,
+                                    std::memory_order_relaxed);
+  }
+  if (counts.applied_txns != 0) {
+    stats_.applied_txns.fetch_add(counts.applied_txns,
+                                  std::memory_order_relaxed);
+  }
+  if (counts.deferred_writes != 0) {
+    stats_.deferred_writes.fetch_add(counts.deferred_writes,
+                                     std::memory_order_relaxed);
+  }
+  counts = LocalCounts{};
+}
+
+bool C5Replica::TryApply(const log::LogRecord& rec, LocalCounts& counts) {
   storage::Table& table = db_->table(rec.table);
   // kAlreadyApplied records (at-least-once delivery, checkpoint resume)
   // count as applied so caught-up accounting and c' advancement still hold.
@@ -83,20 +149,19 @@ bool C5Replica::TryApply(const log::LogRecord& rec) {
       storage::PrevInstall::kNotReady) {
     return false;
   }
-  stats_.applied_writes.fetch_add(1, std::memory_order_relaxed);
-  if (rec.last_in_txn) {
-    stats_.applied_txns.fetch_add(1, std::memory_order_relaxed);
-  }
+  ++counts.applied_writes;
+  if (rec.last_in_txn) ++counts.applied_txns;
   return true;
 }
 
-bool C5Replica::RetryDeferred(std::deque<const log::LogRecord*>& deferred) {
+bool C5Replica::RetryDeferred(std::deque<const log::LogRecord*>& deferred,
+                              LocalCounts& counts) {
   bool progress = false;
   // FIFO sweep: earlier (smaller-timestamp) writes unblock later ones.
   for (std::size_t n = deferred.size(); n > 0; --n) {
     const log::LogRecord* rec = deferred.front();
     deferred.pop_front();
-    if (TryApply(*rec)) {
+    if (TryApply(*rec, counts)) {
       progress = true;
     } else {
       deferred.push_back(rec);
@@ -111,19 +176,35 @@ void C5Replica::WorkerLoop(int idx) {
   std::deque<const log::LogRecord*> deferred;
   Histogram apply_latency;
   std::uint64_t apply_tick = 0;
+  LocalCounts counts;
 
   auto publish_c_prime = [&me](Timestamp floor) {
     me.c_prime.store(floor, std::memory_order_release);
+  };
+  // Fleet-model accounting: credit this batch's applied records and
+  // thread-CPU time to the worker, then flush the stats deltas. Idle
+  // spinning between batches is deliberately outside the measured window.
+  auto account_batch = [&me, &counts, this](std::int64_t cpu_start) {
+    me.cpu_ns.fetch_add(
+        static_cast<std::uint64_t>(ThreadCpuNowNanos() - cpu_start),
+        std::memory_order_relaxed);
+    me.applied_records.fetch_add(counts.applied_writes,
+                                 std::memory_order_relaxed);
+    FlushCounts(counts);
   };
 
   int idle_spins = 0;
   while (true) {
     // Read the watermark BEFORE checking the queue (see SchedulerLoop).
     const Timestamp idle_floor = watermark_.load(std::memory_order_acquire);
-    auto seg_opt = me.queue.TryPop();
-    if (!seg_opt.has_value()) {
+    auto batch_opt = me.queue.TryPop();
+    if (!batch_opt.has_value()) {
       if (!deferred.empty()) {
-        if (RetryDeferred(deferred)) idle_spins = 0;
+        // Defensive fallback: unreachable under row affinity (a row's
+        // records always land here in log order), kept for robustness.
+        const std::int64_t cpu0 = ThreadCpuNowNanos();
+        if (RetryDeferred(deferred, counts)) idle_spins = 0;
+        account_batch(cpu0);
         if (!deferred.empty()) {
           publish_c_prime(deferred.front()->commit_ts - 1);
           SpinBackoff(idle_spins);
@@ -134,27 +215,30 @@ void C5Replica::WorkerLoop(int idx) {
       }
       publish_c_prime(idle_floor);
       if (me.queue.closed()) {
-        // Re-check after observing closure (a segment may have raced in).
-        seg_opt = me.queue.TryPop();
-        if (!seg_opt.has_value()) break;
+        // Re-check after observing closure (a batch may have raced in).
+        batch_opt = me.queue.TryPop();
+        if (!batch_opt.has_value()) break;
       } else {
         SpinBackoff(idle_spins);
         continue;
       }
     }
 
-    log::LogSegment* seg = *seg_opt;
-    idle_spins = 0;  // new wait episode once this segment is done
-    // The scheduler marks segments preprocessed before shipping them, so this
-    // never spins in practice; it documents the §7.1 header contract.
-    while (!seg->preprocessed()) CpuRelax();
+    Batch* batch = *batch_opt;
+    idle_spins = 0;  // new wait episode once this batch is done
+    // ONE c' bump per batch — the epoch-batched visibility publication.
+    // Everything this worker might still execute is above the batch floor;
+    // older deferred writes (if any) take precedence. Published BEFORE the
+    // first apply so the snapshotter can never observe a torn batch: c'
+    // only lags the true floor, never exceeds it.
+    publish_c_prime(deferred.empty()
+                        ? batch->floor
+                        : std::min(batch->floor,
+                                   deferred.front()->commit_ts - 1));
 
-    for (const log::LogRecord& rec : seg->records()) {
-      // Everything at or above this record's transaction is unexecuted by
-      // this worker; deferred writes (always older) take precedence in c'.
-      publish_c_prime((deferred.empty() ? rec.commit_ts
-                                        : deferred.front()->commit_ts) -
-                      1);
+    const std::int64_t cpu0 = ThreadCpuNowNanos();
+    for (const log::LogRecord* rp : batch->recs) {
+      const log::LogRecord& rec = *rp;
       // Row-slot creation and index maintenance are idempotent; do them on
       // first sight so deferred retries only need the install.
       storage::Table& table = db_->table(rec.table);
@@ -171,36 +255,41 @@ void C5Replica::WorkerLoop(int idx) {
       bool applied;
       if ((apply_tick++ & (kApplySampleEvery - 1)) == 0) {
         const std::int64_t t0 = MonotonicNowNanos();
-        applied = TryApply(rec);
+        applied = TryApply(rec, counts);
         if (applied) {
           apply_latency.Record(
               static_cast<std::uint64_t>(MonotonicNowNanos() - t0));
         }
       } else {
-        applied = TryApply(rec);
+        applied = TryApply(rec, counts);
       }
       if (!applied) {
-        // Defer and move on; deferred writes are re-checked at segment
-        // boundaries (§7.2). Spinning here instead was measured WORSE on
-        // serialized hot chains: it stalls this worker's independent rows
-        // without making the predecessor (owned by another worker) land
-        // sooner (see EXPERIMENTS.md, Fig. 11 deviation).
+        // Defer and move on; deferred writes are re-checked at batch
+        // boundaries (§7.2). Row affinity makes this unreachable in
+        // practice (the predecessor was applied by THIS worker earlier in
+        // the batch stream), but redelivery and crash-restart schedules
+        // keep the guard honest.
         deferred.push_back(&rec);
-        stats_.deferred_writes.fetch_add(1, std::memory_order_relaxed);
+        ++counts.deferred_writes;
       }
     }
-    // §7.2: re-check deferred writes at the end of each segment.
-    RetryDeferred(deferred);
+    // §7.2: re-check deferred writes at the end of each batch.
+    RetryDeferred(deferred, counts);
+    account_batch(cpu0);
     if (!deferred.empty()) {
       publish_c_prime(deferred.front()->commit_ts - 1);
     }
+    ReleaseBatch(batch);
   }
 
   // Drain any remaining deferred writes (their predecessors are owned by
   // other workers and will land).
   int drain_spins = 0;
   while (!deferred.empty()) {
-    if (RetryDeferred(deferred)) drain_spins = 0;
+    const std::int64_t cpu0 = ThreadCpuNowNanos();
+    const bool progress = RetryDeferred(deferred, counts);
+    account_batch(cpu0);
+    if (progress) drain_spins = 0;
     if (!deferred.empty()) {
       publish_c_prime(deferred.front()->commit_ts - 1);
       SpinBackoff(drain_spins);
@@ -253,10 +342,31 @@ void C5Replica::SnapshotterLoop() {
         PublishVisible(final_ts);
         if (lag_ != nullptr) lag_->OnVisible(final_ts);
       }
+      // A caught-up replica with checkpointing enabled always leaves a
+      // checkpoint at end-of-log: epoch-batched visibility can finish a
+      // short replay before the periodic schedule above ever fires.
+      if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty()) {
+        const Timestamp c = VisibleTimestamp();
+        if (c > last_checkpoint_ts_.load(std::memory_order_relaxed) &&
+            storage::WriteCheckpoint(*db_, c, options_.checkpoint_path).ok()) {
+          last_checkpoint_ts_.store(c, std::memory_order_release);
+        }
+      }
       break;
     }
     std::this_thread::sleep_for(options_.snapshot_interval);
   }
+}
+
+std::vector<C5Replica::WorkerLoad> C5Replica::WorkerLoads() const {
+  std::vector<WorkerLoad> loads;
+  loads.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    loads.push_back(
+        WorkerLoad{w->applied_records.load(std::memory_order_acquire),
+                   w->cpu_ns.load(std::memory_order_acquire)});
+  }
+  return loads;
 }
 
 void C5Replica::WaitUntilCaughtUp() {

@@ -27,6 +27,7 @@
 
 #include "storage/checkpoint.h"
 
+#include "common/spin_lock.h"
 #include "common/spsc_queue.h"
 #include "replica/lag_tracker.h"
 #include "replica/replica.h"
@@ -38,23 +39,29 @@ namespace c5::core {
 // Scheduler (single thread): embeds the per-row FIFO queues in the log by
 // setting each record's prev_timestamp to the timestamp of the preceding
 // write to the same row ("dynamically allocating and managing these queues
-// prevented the single-threaded scheduler from keeping up with Cicada"). It
-// marks each segment's preprocessed flag and hands segments to workers in
-// round-robin order.
+// prevented the single-threaded scheduler from keeping up with Cicada"),
+// then PARTITIONS each segment's records by scheduler key (a hash of the
+// row's name) into one batch per worker. Row affinity is the load-balancing
+// AND ordering story: every write of a row lands on the same worker in log
+// order, so a worker never waits on a predecessor owned by a peer — the
+// deferred queue below survives only as a defensive fallback.
 //
-// Workers: for each record, a write is safe to execute iff the newest version
-// of its row carries exactly prev_timestamp; otherwise the write is deferred
-// to a worker-local FIFO and re-checked at segment boundaries ("a distributed,
-// approximate version of the scheduler queue"). Each worker publishes
-// c' = (smallest timestamp it might still execute) - 1.
+// Workers: apply their batch's records in order; a write is safe to execute
+// iff the newest version of its row carries exactly prev_timestamp (with row
+// affinity that always holds; anything else is deferred to a worker-local
+// FIFO re-checked at batch boundaries). Visibility is EPOCH-BATCHED: a
+// worker publishes c' = (smallest timestamp it might still execute) - 1
+// once per batch — a local epoch bump — instead of once per record. The
+// published c' can only lag the true per-worker floor, never exceed it, so
+// the snapshot the aggregator derives stays a valid prefix point.
 //
-// Snapshotter: periodically advances the current snapshot c to
-// min(watermark, min over workers of c'). Because every write of a
+// Snapshotter (the aggregator): periodically advances the current snapshot
+// c to min(watermark, min over workers of c'). Because every write of a
 // transaction carries the transaction's commit timestamp and a worker's c'
-// stays below an incompletely applied transaction, c always lands on a
-// transaction boundary — giving monotonic prefix consistency without ever
-// blocking workers (§4.2's current/next/future snapshots realized through
-// version timestamps).
+// stays below any batch it has not finished, c always lands on a
+// transaction boundary — monotonic prefix consistency without ever blocking
+// workers (§4.2's current/next/future snapshots realized through version
+// timestamps).
 class C5Replica : public replica::ReplicaBase {
  public:
   struct Options {
@@ -80,6 +87,18 @@ class C5Replica : public replica::ReplicaBase {
     std::size_t scheduler_map_capacity = std::size_t{1} << 16;
   };
 
+  // Per-worker load accounting for the fleet-model scaling methodology
+  // (BENCH_replay.json worker_scaling): records applied by the worker and
+  // the CPU nanoseconds its batch processing consumed
+  // (CLOCK_THREAD_CPUTIME_ID deltas, so co-scheduling on a small host does
+  // not charge a worker for its peers' time). Idle spinning between batches
+  // is excluded — the numbers answer "what does this worker's share of the
+  // apply work cost on dedicated hardware".
+  struct WorkerLoad {
+    std::uint64_t applied_records = 0;
+    std::uint64_t cpu_ns = 0;
+  };
+
   C5Replica(storage::Database* db, Options options,
             replica::LagTracker* lag = nullptr);
   ~C5Replica() override { Stop(); }
@@ -99,27 +118,60 @@ class C5Replica : public replica::ReplicaBase {
     return last_checkpoint_ts_.load(std::memory_order_acquire);
   }
 
+  // Per-worker apply/CPU accounting, index-aligned with the worker ids.
+  // Coherent after WaitUntilCaughtUp (workers flush once per batch).
+  std::vector<WorkerLoad> WorkerLoads() const;
+
  private:
+  // One worker's slice of one segment: pointers into the segment's record
+  // array, in log order (row affinity means they are also in per-row order).
+  // Pooled and recycled through the free list below, so steady-state
+  // scheduling allocates nothing.
+  struct Batch {
+    std::vector<const log::LogRecord*> recs;  // capacity survives reuse
+    // min commit_ts across recs, minus 1: the worker's c' while the batch
+    // is in flight. Everything at or above floor+1 is unexecuted by this
+    // worker until the batch completes.
+    Timestamp floor = 0;
+  };
+
   struct WorkerState {
     explicit WorkerState(std::size_t queue_capacity)
         : queue(queue_capacity) {}
-    SpscQueue<log::LogSegment*> queue;
+    SpscQueue<Batch*> queue;
     // c' (§7.2): one writer (the worker), one reader (the snapshotter).
+    // Bumped once per batch (the "local epoch"), not per record.
     alignas(64) std::atomic<Timestamp> c_prime{0};
     std::atomic<bool> finished{false};
+    // Fleet-model load accounting, flushed once per batch.
+    std::atomic<std::uint64_t> applied_records{0};
+    std::atomic<std::uint64_t> cpu_ns{0};
   };
 
   void SchedulerLoop(log::SegmentSource* source);
   void WorkerLoop(int idx);
   void SnapshotterLoop();
 
+  Batch* AcquireBatch();
+  void ReleaseBatch(Batch* batch);
+
+  // Counter deltas a worker accumulates locally and flushes into stats_
+  // once per batch (epoch-batched, like c').
+  struct LocalCounts {
+    std::uint64_t applied_writes = 0;
+    std::uint64_t applied_txns = 0;
+    std::uint64_t deferred_writes = 0;
+  };
+  void FlushCounts(LocalCounts& counts);
+
   // Attempts one deferred-queue sweep; returns true if progress was made.
-  bool RetryDeferred(std::deque<const log::LogRecord*>& deferred);
+  bool RetryDeferred(std::deque<const log::LogRecord*>& deferred,
+                     LocalCounts& counts);
 
   // Applies one record if its predecessor is in place. Returns false to
   // defer. Row-slot creation and index maintenance are idempotent and happen
   // on first attempt.
-  bool TryApply(const log::LogRecord& rec);
+  bool TryApply(const log::LogRecord& rec, LocalCounts& counts);
 
   Options options_;
   replica::LagTracker* lag_;
@@ -130,6 +182,12 @@ class C5Replica : public replica::ReplicaBase {
   std::atomic<bool> scheduler_done_{false};
   std::atomic<int> workers_running_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Batch pool: the scheduler acquires, workers release. Locked once per
+  // batch on each side; batch_storage_ owns every batch ever created.
+  SpinLock pool_lock_;
+  std::vector<std::unique_ptr<Batch>> batch_storage_;
+  std::vector<Batch*> batch_free_;
 
   std::vector<std::thread> threads_;
 };

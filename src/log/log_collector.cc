@@ -7,39 +7,42 @@
 namespace c5::log {
 
 // ---------------------------------------------------------------------------
-// TeeCollector / CopyLog
+// TeeCollector / FilteredCollector / BufferCollector / CopyLog
 
-void TeeCollector::LogCommit(std::vector<LogRecord>&& records) {
-  if (sinks_.empty()) return;
-  for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
-    std::vector<LogRecord> copy = records;
-    sinks_[i]->LogCommit(std::move(copy));
-  }
-  sinks_.back()->LogCommit(std::move(records));
+void TeeCollector::LogCommit(RecordSpan records) {
+  // The span is borrowed, so every sink can observe the same one.
+  for (LogCollector* sink : sinks_) sink->LogCommit(records);
 }
 
-void FilteredCollector::LogCommit(std::vector<LogRecord>&& records) {
-  std::vector<LogRecord> kept;
-  for (LogRecord& rec : records) {
+void FilteredCollector::LogCommit(RecordSpan records) {
+  // The filter re-stamps last_in_txn, so it needs a mutable copy of the
+  // surviving records. Thread-local scratch: collectors are called from
+  // every committing engine thread.
+  thread_local std::vector<LogRecord> kept;
+  kept.clear();
+  for (const LogRecord& rec : records) {
     if (!keep_(rec)) continue;
-    rec.last_in_txn = false;
-    kept.push_back(std::move(rec));
+    kept.push_back(rec);
+    kept.back().last_in_txn = false;
   }
   if (kept.empty()) return;  // no surviving record: drop the txn whole
   kept.back().last_in_txn = true;
-  sink_->LogCommit(std::move(kept));
+  sink_->LogCommit(kept);
 }
 
-void BufferCollector::LogCommit(std::vector<LogRecord>&& records) {
+void BufferCollector::LogCommit(RecordSpan records) {
   std::lock_guard<SpinLock> lock(lock_);
   total_.fetch_add(records.size(), std::memory_order_acq_rel);
-  for (LogRecord& rec : records) records_.push_back(std::move(rec));
+  for (const LogRecord& rec : records) {
+    records_.push_back(rec);
+    records_.back().value = values_.Append(rec.value);
+  }
 }
 
 std::size_t BufferCollector::DrainInto(std::vector<LogRecord>* out) {
   std::lock_guard<SpinLock> lock(lock_);
   const std::size_t n = records_.size();
-  for (LogRecord& rec : records_) out->push_back(std::move(rec));
+  out->insert(out->end(), records_.begin(), records_.end());
   records_.clear();
   return n;
 }
@@ -49,6 +52,7 @@ std::unique_ptr<Log> CopyLog(const Log& log) {
   std::uint64_t seq = 0;
   for (std::size_t s = 0; s < log.NumSegments(); ++s) {
     auto seg = std::make_unique<LogSegment>(seq);
+    seg->Reserve(log.segment(s)->size());
     for (const LogRecord& rec : log.segment(s)->records()) {
       LogRecord copy = rec;
       copy.prev_ts = kInvalidTimestamp;
@@ -67,12 +71,14 @@ PerThreadLogCollector::PerThreadLogCollector(std::size_t segment_records)
     : segment_records_(segment_records),
       shards_(std::make_unique<Shard[]>(kShards)) {}
 
-void PerThreadLogCollector::LogCommit(std::vector<LogRecord>&& records) {
+void PerThreadLogCollector::LogCommit(RecordSpan records) {
   const std::size_t shard_idx =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
   Shard& shard = shards_[shard_idx];
   std::lock_guard<SpinLock> lock(shard.lock);
-  shard.txns.push_back(std::move(records));
+  std::vector<LogRecord> txn(records.begin(), records.end());
+  for (LogRecord& rec : txn) rec.value = shard.values.Append(rec.value);
+  shard.txns.push_back(std::move(txn));
 }
 
 std::size_t PerThreadLogCollector::BufferedTxns() const {
@@ -107,9 +113,15 @@ Log PerThreadLogCollector::Coalesce() {
       log.AppendSegment(std::move(open));
     }
     if (open == nullptr) open = std::make_unique<LogSegment>(seq);
-    for (auto& rec : txn) open->Append(std::move(rec));
+    // Append internalizes the value bytes into the segment's own store, so
+    // the shard ropes can be dropped once coalescing is done.
+    for (auto& rec : txn) open->Append(rec);
   }
   if (open != nullptr && !open->empty()) log.AppendSegment(std::move(open));
+  for (int i = 0; i < kShards; ++i) {
+    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    shards_[i].values.Clear();
+  }
   return log;
 }
 
@@ -118,33 +130,81 @@ Log PerThreadLogCollector::Coalesce() {
 
 OnlineLogCollector::OnlineLogCollector(std::size_t segment_records,
                                        std::size_t channel_capacity)
-    : segment_records_(segment_records), channel_(channel_capacity) {}
+    : segment_records_(segment_records),
+      channel_capacity_(channel_capacity) {
+  subscribers_.push_back(std::make_unique<Subscriber>(channel_capacity_));
+}
+
+OnlineLogCollector::~OnlineLogCollector() = default;
+
+SpscQueue<LogSegment*>* OnlineLogCollector::AddSubscriber() {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.push_back(std::make_unique<Subscriber>(channel_capacity_));
+  return subscribers_.back()->channel.get();
+}
+
+OnlineLogCollector::PendingTxn* OnlineLogCollector::AcquirePending() {
+  if (!pending_free_.empty()) {
+    PendingTxn* buf = pending_free_.back();
+    pending_free_.pop_back();
+    return buf;
+  }
+  pending_pool_.push_back(std::make_unique<PendingTxn>());
+  return pending_pool_.back().get();
+}
 
 void OnlineLogCollector::ShipLocked() {
   if (open_ == nullptr || open_->empty()) return;
   next_seq_ += open_->size();
-  LogSegment* raw = open_.get();
-  shipped_store_.push_back(std::move(open_));
   shipped_.fetch_add(1, std::memory_order_relaxed);
-  channel_.Push(raw);
+  // Subscriber 0 receives the sealed segment itself; the rest get
+  // shared-payload views (private record array, refcounted value bytes).
+  for (std::size_t i = 1; i < subscribers_.size(); ++i) {
+    auto view = std::make_unique<LogSegment>(*open_, kShareValues);
+    LogSegment* raw = view.get();
+    subscribers_[i]->store.push_back(std::move(view));
+    subscribers_[i]->channel->Push(raw);
+  }
+  LogSegment* raw = open_.get();
+  subscribers_[0]->store.push_back(std::move(open_));
+  subscribers_[0]->channel->Push(raw);
 }
 
 void OnlineLogCollector::DrainLocked(Timestamp horizon) {
-  while (!pending_.empty() && pending_.top().ts < horizon) {
-    // priority_queue::top is const; the moved-from shell is popped at once.
-    auto& txn = const_cast<PendingTxn&>(pending_.top());
-    if (open_ == nullptr) open_ = std::make_unique<LogSegment>(next_seq_);
-    for (auto& rec : txn.records) open_->Append(std::move(rec));
+  while (!pending_.empty() && pending_.top()->ts < horizon) {
+    PendingTxn* txn = pending_.top();
     pending_.pop();
+    if (open_ == nullptr) {
+      open_ = std::make_unique<LogSegment>(next_seq_);
+      open_->Reserve(segment_records_);
+    }
+    for (const LogRecord& rec : txn->records) open_->Append(rec);
+    txn->records.clear();
+    txn->values.clear();  // capacity retained for reuse
+    pending_free_.push_back(txn);
     if (open_->size() >= segment_records_) ShipLocked();
   }
 }
 
-void OnlineLogCollector::LogCommit(std::vector<LogRecord>&& records) {
+void OnlineLogCollector::LogCommit(RecordSpan records) {
   const Timestamp horizon =
       horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
   std::lock_guard<std::mutex> lock(mu_);
-  pending_.push(PendingTxn{records.front().commit_ts, std::move(records)});
+  PendingTxn* txn = AcquirePending();
+  txn->ts = records.front().commit_ts;
+  txn->records.assign(records.begin(), records.end());
+  // Stage the value bytes in the pooled buffer. The buffer may reallocate
+  // while filling, so views are fixed up afterwards from recorded offsets.
+  std::size_t off = 0;
+  for (const LogRecord& rec : records) off += rec.value.size();
+  if (txn->values.capacity() < off) txn->values.reserve(off);
+  txn->values.clear();
+  for (LogRecord& rec : txn->records) {
+    const std::size_t at = txn->values.size();
+    txn->values.append(rec.value.data(), rec.value.size());
+    rec.value = std::string_view(txn->values.data() + at, rec.value.size());
+  }
+  pending_.push(txn);
   DrainLocked(horizon);
 }
 
@@ -162,7 +222,7 @@ void OnlineLogCollector::Finish() {
     DrainLocked(kMaxTimestamp);
     ShipLocked();
   }
-  channel_.Close();
+  for (auto& sub : subscribers_) sub->channel->Close();
 }
 
 }  // namespace c5::log

@@ -7,13 +7,22 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/spin_lock.h"
 #include "common/spsc_queue.h"
 #include "log/log_segment.h"
 
 namespace c5::log {
+
+// A committed transaction's writes, in operation order, as a borrowed view:
+// the records (and the bytes their values view) belong to the caller and are
+// valid only for the duration of the LogCommit call. Sinks that buffer must
+// copy — into pooled, arena-backed storage on the hot paths, so the shipping
+// pipeline performs no heap allocation in steady state.
+using RecordSpan = std::span<const LogRecord>;
 
 // Sink for committed transactions' writes. The primary's engines call
 // LogCommit exactly once per committed read-write transaction, after
@@ -24,29 +33,30 @@ class LogCollector {
   virtual ~LogCollector() = default;
 
   // `records` are the transaction's writes in operation order; the engine has
-  // set commit_ts on each and last_in_txn on the final record.
-  virtual void LogCommit(std::vector<LogRecord>&& records) = 0;
+  // set commit_ts on each and last_in_txn on the final record. Borrowed: see
+  // RecordSpan.
+  virtual void LogCommit(RecordSpan records) = 0;
 };
 
 // Discards everything (primary-only benchmarks, e.g. "Cicada without
 // logging" upper-bound runs).
 class NullLogCollector : public LogCollector {
  public:
-  void LogCommit(std::vector<LogRecord>&&) override {}
+  void LogCommit(RecordSpan) override {}
 };
 
-// Fans one committed transaction out to every sink. Each backup needs a
-// PRIVATE record stream: C5 schedulers preprocess prev_ts in place on
-// delivered segments, so segments cannot be shared — the tee copies the
-// records for all sinks but the last. One of these sits between a shard
-// group's engine and its per-backup shipping lanes (c5::Cluster), so a
-// sharded deployment runs shards × backups independent streams.
+// Fans one committed transaction out to every sink. Since LogCommit hands
+// sinks a borrowed view, the tee just forwards the same span — no per-sink
+// copies; each sink that needs ownership copies into its own storage. One of
+// these sits between a shard group's engine and its shipping fan-out
+// (c5::Cluster), so a sharded deployment runs shards × backups independent
+// streams.
 class TeeCollector : public LogCollector {
  public:
   explicit TeeCollector(std::vector<LogCollector*> sinks)
       : sinks_(std::move(sinks)) {}
 
-  void LogCommit(std::vector<LogRecord>&& records) override;
+  void LogCommit(RecordSpan records) override;
 
  private:
   std::vector<LogCollector*> sinks_;
@@ -65,7 +75,7 @@ class FilteredCollector : public LogCollector {
   FilteredCollector(LogCollector* sink, Predicate keep)
       : sink_(sink), keep_(std::move(keep)) {}
 
-  void LogCommit(std::vector<LogRecord>&& records) override;
+  void LogCommit(RecordSpan records) override;
 
  private:
   LogCollector* sink_;
@@ -77,12 +87,19 @@ class FilteredCollector : public LogCollector {
 // MVTSO is NOT commit-timestamp order — consumers that care (the migration
 // tail applier) resolve per key by commit_ts (newest wins), which converges
 // to the source's final state under any arrival order.
+//
+// Value bytes are internalized into a rope owned by THIS collector and stay
+// alive until the collector is destroyed (drained records keep viewing
+// them) — fine for its use as a bounded migration tail window.
 class BufferCollector : public LogCollector {
  public:
-  void LogCommit(std::vector<LogRecord>&& records) override;
+  BufferCollector() : values_(&ShippingArena()) {}
+
+  void LogCommit(RecordSpan records) override;
 
   // Moves everything buffered so far onto the end of *out; returns how many
-  // records were drained. Thread-safe against concurrent LogCommit.
+  // records were drained. Thread-safe against concurrent LogCommit. Drained
+  // records view bytes owned by this collector (see class comment).
   std::size_t DrainInto(std::vector<LogRecord>* out);
 
   std::uint64_t TotalRecords() const {
@@ -92,6 +109,7 @@ class BufferCollector : public LogCollector {
  private:
   mutable SpinLock lock_;
   std::vector<LogRecord> records_;
+  ArenaRope values_;
   std::atomic<std::uint64_t> total_{0};
 };
 
@@ -110,7 +128,7 @@ class PerThreadLogCollector : public LogCollector {
  public:
   explicit PerThreadLogCollector(std::size_t segment_records = 4096);
 
-  void LogCommit(std::vector<LogRecord>&& records) override;
+  void LogCommit(RecordSpan records) override;
 
   // Merges all buffered transactions into commit-timestamp order and packs
   // them into segments (never splitting a transaction across segments).
@@ -121,8 +139,10 @@ class PerThreadLogCollector : public LogCollector {
 
  private:
   struct Shard {
+    Shard() : values(&ShippingArena()) {}
     mutable SpinLock lock;
     std::vector<std::vector<LogRecord>> txns;
+    ArenaRope values;  // backs the buffered records until Coalesce()
   };
 
   static constexpr int kShards = 256;
@@ -132,7 +152,7 @@ class PerThreadLogCollector : public LogCollector {
 
 // Online collection: commits are sequenced into commit-timestamp order, then
 // appended to an open segment; full segments (closed at transaction
-// boundaries) are shipped through an SPSC channel to the backup's scheduler.
+// boundaries) are shipped through SPSC channels to the backups' schedulers.
 // Models prompt log delivery (§2.4) with the total ordering a real
 // group-commit log provides.
 //
@@ -143,6 +163,16 @@ class PerThreadLogCollector : public LogCollector {
 // timestamp any in-flight transaction could still commit with. Without a
 // horizon function, entries release in arrival order (only valid for
 // engines whose arrival order IS commit order).
+//
+// Fan-out: the sequencer runs ONCE per shard group. Each subscriber
+// (backup) has its own channel; subscriber 0 receives the sealed segment
+// itself and later subscribers receive shared-payload views (private record
+// array + prev_ts, refcounted value bytes) — no per-backup payload copies.
+//
+// Allocation discipline: pending transactions are staged in pooled buffers
+// (record vector + value-byte buffer, both capacity-recycling), and value
+// bytes land in arena-rope-backed segment stores, so steady-state LogCommit
+// performs no heap allocation beyond the rare segment-object itself.
 class OnlineLogCollector : public LogCollector {
  public:
   // Returns a timestamp H such that no future LogCommit can carry ts < H.
@@ -150,46 +180,70 @@ class OnlineLogCollector : public LogCollector {
 
   explicit OnlineLogCollector(std::size_t segment_records = 1024,
                               std::size_t channel_capacity = 1 << 16);
+  ~OnlineLogCollector() override;
 
   void SetReleaseHorizon(ReleaseHorizonFn fn) { horizon_fn_ = std::move(fn); }
 
-  void LogCommit(std::vector<LogRecord>&& records) override;
+  void LogCommit(RecordSpan records) override;
 
   // Closes the open segment (if non-empty) and ships it. Call periodically
   // from a flusher thread (or rely on segment-full shipping) so lag does not
   // include batching delay.
   void Flush();
 
-  // Flushes and closes the channel; the backup drains and terminates.
+  // Flushes and closes every subscriber channel; the backups drain and
+  // terminate.
   void Finish();
 
   // The backup side: pops segments in order; nullopt after Finish() + drain.
-  SpscQueue<LogSegment*>& channel() { return channel_; }
+  // This is subscriber 0's channel (always present).
+  SpscQueue<LogSegment*>& channel() { return *subscribers_[0]->channel; }
+
+  // Adds a shipping lane. Call before the first LogCommit (fan-out topology
+  // is fixed once shipping starts). Returns the new lane's channel.
+  SpscQueue<LogSegment*>* AddSubscriber();
 
   std::uint64_t ShippedSegments() const {
     return shipped_.load(std::memory_order_relaxed);
   }
 
  private:
+  // Pooled staging for one committed transaction awaiting release: owns its
+  // records and their value bytes so the borrowed LogCommit span can die.
   struct PendingTxn {
-    Timestamp ts;
+    Timestamp ts = 0;
     std::vector<LogRecord> records;
-    bool operator>(const PendingTxn& other) const { return ts > other.ts; }
+    std::string values;  // capacity-recycled backing for the records' views
+  };
+  struct PendingOrder {
+    bool operator()(const PendingTxn* a, const PendingTxn* b) const {
+      return a->ts > b->ts;
+    }
+  };
+  struct Subscriber {
+    explicit Subscriber(std::size_t capacity)
+        : channel(std::make_unique<SpscQueue<LogSegment*>>(capacity)) {}
+    std::unique_ptr<SpscQueue<LogSegment*>> channel;
+    // Keeps every shipped segment alive: replicas hold raw pointers into
+    // delivered segments for their lifetime.
+    std::vector<std::unique_ptr<LogSegment>> store;
   };
 
   void ShipLocked();
   void DrainLocked(Timestamp horizon);
+  PendingTxn* AcquirePending();
 
   const std::size_t segment_records_;
+  const std::size_t channel_capacity_;
   ReleaseHorizonFn horizon_fn_;
   std::mutex mu_;
-  std::priority_queue<PendingTxn, std::vector<PendingTxn>,
-                      std::greater<PendingTxn>>
+  std::priority_queue<PendingTxn*, std::vector<PendingTxn*>, PendingOrder>
       pending_;
+  std::vector<std::unique_ptr<PendingTxn>> pending_pool_;  // all ever made
+  std::vector<PendingTxn*> pending_free_;                  // available
   std::uint64_t next_seq_ = 0;
   std::unique_ptr<LogSegment> open_;
-  std::vector<std::unique_ptr<LogSegment>> shipped_store_;
-  SpscQueue<LogSegment*> channel_;
+  std::vector<std::unique_ptr<Subscriber>> subscribers_;
   std::atomic<std::uint64_t> shipped_{0};
 };
 

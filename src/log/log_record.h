@@ -12,10 +12,46 @@
 #define C5_LOG_LOG_RECORD_H_
 
 #include <cstdint>
+#include <string_view>
+#include <type_traits>
 
 #include "common/types.h"
 
 namespace c5::log {
+
+// A record's value bytes, as a NON-OWNING view. Whoever stores records
+// long-term owns the backing bytes: LogSegment::Append internalizes the
+// value into the segment's rope, so records inside a segment always view
+// segment-owned (possibly shared, refcounted) storage. Records in flight —
+// an engine's commit scratch passed to LogCollector::LogCommit — view the
+// caller's buffers and are valid only for the duration of the call.
+//
+// Binding a temporary std::string is deleted: `rec.value = MakeString()`
+// would dangle the moment the full expression ends. Keep a named Value
+// alive across the Append/LogCommit instead.
+class ValueRef {
+ public:
+  constexpr ValueRef() = default;
+  constexpr ValueRef(std::string_view v) : view_(v) {}
+  constexpr ValueRef(const char* s) : view_(s) {}
+  ValueRef(const Value& s) : view_(s) {}
+  ValueRef(Value&&) = delete;  // temporary would dangle
+
+  constexpr operator std::string_view() const { return view_; }
+  constexpr std::string_view view() const { return view_; }
+  constexpr const char* data() const { return view_.data(); }
+  constexpr std::size_t size() const { return view_.size(); }
+  constexpr bool empty() const { return view_.empty(); }
+
+  // The single overload keeps comparisons against string literals and
+  // std::string unambiguous (both convert to ValueRef in one hop).
+  friend constexpr bool operator==(const ValueRef& a, const ValueRef& b) {
+    return a.view_ == b.view_;
+  }
+
+ private:
+  std::string_view view_;
+};
 
 // One row write in the replication log (§7.1): "a table ID, a row ID, the
 // write's timestamp, and a full copy of the row version", plus the unused
@@ -37,8 +73,12 @@ struct LogRecord {
   // the primary; computed by C5's scheduler during preprocessing (§7.2).
   Timestamp prev_ts = kInvalidTimestamp;
 
-  Value value;
+  ValueRef value;
 };
+
+// Trivially copyable is what lets a per-backup segment view memcpy the
+// record array while sharing the (refcounted) value bytes underneath.
+static_assert(std::is_trivially_copyable_v<LogRecord>);
 
 }  // namespace c5::log
 

@@ -35,7 +35,7 @@ void EncodeSegment(const LogSegment& segment, std::string* out) {
     PutInt<std::uint64_t>(&payload, rec.commit_ts);
     PutInt<std::uint32_t>(&payload,
                           static_cast<std::uint32_t>(rec.value.size()));
-    payload.append(rec.value);
+    payload.append(rec.value.data(), rec.value.size());
   }
 
   PutInt<std::uint32_t>(out, kSegmentMagic);
@@ -74,6 +74,7 @@ Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
   }
 
   auto segment = std::make_unique<LogSegment>(base_seq);
+  segment->Reserve(record_count);
   std::string_view rec_in = payload;
   for (std::uint32_t i = 0; i < record_count; ++i) {
     LogRecord rec;
@@ -91,9 +92,11 @@ Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
     rec.op = static_cast<OpType>(op);
     rec.last_in_txn = last != 0;
     rec.prev_ts = kInvalidTimestamp;  // recomputed by the backup (§7.1)
-    rec.value.assign(rec_in.data(), value_len);
+    // View into the caller's buffer; Append internalizes the bytes into the
+    // segment's own store.
+    rec.value = std::string_view(rec_in.data(), value_len);
     rec_in.remove_prefix(value_len);
-    segment->Append(std::move(rec));
+    segment->Append(rec);
   }
   if (!rec_in.empty()) {
     return Status::InvalidArgument("trailing bytes in segment payload");

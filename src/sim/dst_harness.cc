@@ -409,6 +409,7 @@ void RunConvergenceReplica(const DstPlan& plan, ProtocolKind kind,
   node_options.protocol = kind;
   node_options.id = who;
   node_options.protocol_options.num_workers = plan.num_workers;
+  node_options.replay_workers = plan.replay_workers;
   node_options.protocol_options.snapshot_interval =
       std::chrono::microseconds(100);
   node_options.protocol_options.gc_every = plan.gc_every;
@@ -608,6 +609,7 @@ void RunPromotionScenario(const DstPlan& plan, DstPrimary& primary,
   victim_options.protocol = ProtocolKind::kC5;
   victim_options.id = "promotion/victim";
   victim_options.protocol_options.num_workers = plan.num_workers;
+  victim_options.replay_workers = plan.replay_workers;
   victim_options.protocol_options.snapshot_interval =
       std::chrono::microseconds(100);
   c5::BackupNode victim(victim_options);
@@ -912,6 +914,9 @@ DstReport RunDst(std::uint64_t seed, const DstHooks& hooks) {
   // The sharded scenario runs exactly two groups; clamp so shards_run never
   // claims a wider scenario than actually ran.
   if (hooks.force_shards > 0) plan.shards = std::min(hooks.force_shards, 2);
+  if (hooks.force_replay_workers > 0) {
+    plan.replay_workers = hooks.force_replay_workers;
+  }
   if (hooks.armed()) {
     // Self-test mode: strip the stochastic scenarios so the planted
     // violation is the only signal the checker can fire on.

@@ -92,6 +92,12 @@ struct DstHooks {
   // to 2 (the sharded scenario runs exactly two groups).
   int force_shards = 0;
 
+  // Mode pin, NOT a planted bug (excluded from armed()): overrides the
+  // plan's replay_workers draw so the dedicated worker sweep in dst_test
+  // can pin every width in {1, 2, 4} across the seed battery. 0: the plan
+  // decides.
+  int force_replay_workers = 0;
+
   bool armed() const { return drop_txn_segment >= 0 || gc_past_horizon; }
 };
 

@@ -79,6 +79,16 @@ DstPlan DstPlan::FromSeed(std::uint64_t seed) {
   p.reshard = rng.NextDouble() < 0.65;
   p.reshard_frac = 0.15 + 0.35 * rng.NextDouble();  // 15-50% of shard 0
   p.reshard_abort = rng.NextDouble() < 0.30;
+
+  // Drawn after the reshard block, same continuity rule: pre-multi-worker
+  // seeds replay their historical field values untouched. 0 (no override)
+  // dominates so the num_workers draw above keeps its coverage; the
+  // dedicated worker sweep in dst_test pins {1, 2, 4} via
+  // DstHooks::force_replay_workers regardless of this draw.
+  constexpr int kReplayWorkerChoices[] = {1, 2, 4};
+  p.replay_workers = rng.NextDouble() < 0.25
+                         ? kReplayWorkerChoices[rng.Uniform(3)]
+                         : 0;
   return p;
 }
 

@@ -29,6 +29,46 @@ struct ReadEntry {
   const Version* observed;  // nullptr = observed absence of any version
 };
 
+// Per-thread commit scratch (mirrors the 2PL engine): write/read buffers,
+// the dedup and install lists, and log-record staging are reused across
+// transactions so the commit path allocates nothing in steady state. Write
+// slots keep their Value capacity across reuse. Nested Execute on one thread
+// falls back to a stack-local scratch via in_use.
+struct TxnScratch {
+  std::vector<BufferedWrite> writes;
+  std::size_t n_writes = 0;
+  std::vector<ReadEntry> reads;
+  std::vector<BufferedWrite*> finals;
+  std::vector<std::pair<BufferedWrite*, Version*>> installed;
+  std::vector<log::LogRecord> records;
+  bool in_use = false;
+
+  void Reset() {
+    n_writes = 0;
+    reads.clear();
+    finals.clear();
+    installed.clear();
+    records.clear();
+  }
+
+  BufferedWrite& PushWrite(TableId table, RowId row, Key key, OpType op,
+                           const Value& value) {
+    if (n_writes == writes.size()) writes.emplace_back();
+    BufferedWrite& w = writes[n_writes++];
+    w.table = table;
+    w.row = row;
+    w.key = key;
+    w.op = op;
+    w.value.assign(value);  // reuses the slot's capacity
+    return w;
+  }
+};
+
+TxnScratch& ThreadScratch() {
+  thread_local TxnScratch scratch;
+  return scratch;
+}
+
 // Newest non-aborted version with write_ts strictly below `ts`, waiting out
 // pending versions (their writers resolve promptly). Unlike Table::ReadAt,
 // excludes write_ts == ts so a transaction never self-waits on its own
@@ -44,16 +84,20 @@ const Version* NewestCommittedBelow(const storage::Table& table, RowId row,
 
 class MvtsoEngine::MvtsoTxn : public Txn {
  public:
-  MvtsoTxn(MvtsoEngine* engine, Timestamp ts) : engine_(engine), ts_(ts) {}
+  MvtsoTxn(MvtsoEngine* engine, Timestamp ts, TxnScratch* scratch)
+      : engine_(engine), ts_(ts), s_(scratch) {
+    s_->Reset();
+  }
 
   Timestamp timestamp() const override { return ts_; }
 
   Status Read(TableId table, Key key, Value* out) override {
     // Read-your-writes: newest buffered write to this key wins.
-    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-      if (it->table == table && it->key == key) {
-        if (it->op == OpType::kDelete) return Status::NotFound();
-        *out = it->value;
+    for (std::size_t i = s_->n_writes; i > 0; --i) {
+      const BufferedWrite& w = s_->writes[i - 1];
+      if (w.table == table && w.key == key) {
+        if (w.op == OpType::kDelete) return Status::NotFound();
+        *out = w.value;
         return Status::Ok();
       }
     }
@@ -62,7 +106,7 @@ class MvtsoEngine::MvtsoTxn : public Txn {
     if (!row.has_value()) return Status::NotFound();
     const Version* v = db.table(table).ReadAt(*row, ts_);
     // Record the observation (including observed absence) for validation.
-    reads_.push_back(ReadEntry{table, *row, v});
+    s_->reads.push_back(ReadEntry{table, *row, v});
     if (v == nullptr || v->deleted) return Status::NotFound();
     const_cast<Version*>(v)->ObserveRead(ts_);
     out->assign(v->value());
@@ -132,13 +176,13 @@ class MvtsoEngine::MvtsoTxn : public Txn {
   // Installs pending versions, validates reads, logs, and commits.
   Status Commit() {
     storage::Database& db = engine_->db();
-    if (writes_.empty()) {
+    if (s_->n_writes == 0) {
       // Read-only transactions still validate: ObserveRead() and a
       // concurrent writer's read-timestamp check can race (the writer may
       // install-and-commit between our version lookup and our read-timestamp
       // publication), so re-check that each observed version is still the
       // newest committed one below our timestamp.
-      for (const ReadEntry& r : reads_) {
+      for (const ReadEntry& r : s_->reads) {
         const Version* now =
             NewestCommittedBelow(db.table(r.table), r.row, ts_);
         if (now != r.observed) {
@@ -149,9 +193,9 @@ class MvtsoEngine::MvtsoTxn : public Txn {
     }
 
     // (1) Deduplicate per row, keeping operation order of the survivors.
-    std::vector<BufferedWrite*> final_writes;
-    final_writes.reserve(writes_.size());
-    for (auto& w : writes_) {
+    std::vector<BufferedWrite*>& final_writes = s_->finals;
+    for (std::size_t i = 0; i < s_->n_writes; ++i) {
+      BufferedWrite& w = s_->writes[i];
       bool superseded = false;
       // Scan later writes for the same row.
       for (auto* fw : final_writes) {
@@ -174,8 +218,7 @@ class MvtsoEngine::MvtsoTxn : public Txn {
               [](const BufferedWrite* a, const BufferedWrite* b) {
                 return std::tie(a->table, a->row) < std::tie(b->table, b->row);
               });
-    std::vector<std::pair<BufferedWrite*, Version*>> installed;
-    installed.reserve(final_writes.size());
+    std::vector<std::pair<BufferedWrite*, Version*>>& installed = s_->installed;
     for (auto* w : final_writes) {
       // Allocated from the table's arena; the payload is copied once, here.
       Version* v = db.table(w->table).NewPendingVersion(
@@ -209,7 +252,7 @@ class MvtsoEngine::MvtsoTxn : public Txn {
     // (3) Validate reads: the version observed must still be the newest
     // committed one strictly below our timestamp (our own pendings have
     // write_ts == ts_ and are skipped by construction).
-    for (const ReadEntry& r : reads_) {
+    for (const ReadEntry& r : s_->reads) {
       const Version* now = NewestCommittedBelow(db.table(r.table), r.row, ts_);
       if (now != r.observed) {
         AbortInstalled(installed);
@@ -217,10 +260,10 @@ class MvtsoEngine::MvtsoTxn : public Txn {
       }
     }
 
-    // (4) Log after validation, before visibility.
+    // (4) Log after validation, before visibility. The records view the
+    // scratch buffers; sinks copy what they keep (see log::RecordSpan).
     if (engine_->collector_ != nullptr) {
-      std::vector<log::LogRecord> records;
-      records.reserve(installed.size());
+      std::vector<log::LogRecord>& records = s_->records;
       for (auto& [w, v] : installed) {
         log::LogRecord rec;
         rec.table = w->table;
@@ -229,10 +272,10 @@ class MvtsoEngine::MvtsoTxn : public Txn {
         rec.key = w->key;
         rec.commit_ts = ts_;
         rec.value = w->value;
-        records.push_back(std::move(rec));
+        records.push_back(rec);
       }
       records.back().last_in_txn = true;
-      engine_->collector_->LogCommit(std::move(records));
+      engine_->collector_->LogCommit(records);
     }
 
     // (5) Make the writes visible.
@@ -241,8 +284,9 @@ class MvtsoEngine::MvtsoTxn : public Txn {
   }
 
  private:
-  void Buffer(TableId table, RowId row, Key key, OpType op, Value value) {
-    writes_.push_back(BufferedWrite{table, row, key, op, std::move(value)});
+  void Buffer(TableId table, RowId row, Key key, OpType op,
+              const Value& value) {
+    s_->PushWrite(table, row, key, op, value);
   }
 
   void AbortInstalled(
@@ -255,8 +299,7 @@ class MvtsoEngine::MvtsoTxn : public Txn {
 
   MvtsoEngine* engine_;
   const Timestamp ts_;
-  std::vector<BufferedWrite> writes_;
-  std::vector<ReadEntry> reads_;
+  TxnScratch* s_;
 };
 
 MvtsoEngine::MvtsoEngine(storage::Database* db, log::LogCollector* collector,
@@ -269,24 +312,31 @@ Status MvtsoEngine::Execute(const TxnFn& fn) {
   const Timestamp ts = clock_->Next();
   scope.Set(ts);
 
-  MvtsoTxn txn(this, ts);
+  TxnScratch& shared = ThreadScratch();
+  TxnScratch local;  // only used when re-entered on this thread
+  TxnScratch* scratch = shared.in_use ? &local : &shared;
+  scratch->in_use = true;
+
+  MvtsoTxn txn(this, ts, scratch);
   Status body = fn(txn);
+  Status result;
   if (body.code() == StatusCode::kCancelled) {
     // Explicit rollback: nothing was installed (installs happen at commit).
     stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
-    return body;
-  }
-  if (!body.ok()) {
+    result = body;
+  } else if (!body.ok()) {
     stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-    return body;
-  }
-  Status commit = txn.Commit();
-  if (commit.ok()) {
-    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    result = body;
   } else {
-    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    result = txn.Commit();
+    if (result.ok()) {
+      stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  return commit;
+  scratch->in_use = false;
+  return result;
 }
 
 }  // namespace c5::txn

@@ -26,26 +26,67 @@ struct HeldLock {
   RowId row;
 };
 
+// Per-thread commit scratch: the write buffer, lock list, and log-record
+// staging are reused across transactions so the closed-loop commit path
+// performs no heap allocation in steady state. Slots keep their Value
+// string capacity across reuse (assign, never destroy). Nested Execute on
+// one thread (not an expected pattern, but cheap to tolerate) falls back to
+// a stack-local scratch via the in_use flag.
+struct TxnScratch {
+  std::vector<BufferedWrite> writes;
+  std::size_t n_writes = 0;
+  std::vector<HeldLock> held;
+  std::vector<BufferedWrite*> finals;
+  std::vector<log::LogRecord> records;
+  bool in_use = false;
+
+  void Reset() {
+    n_writes = 0;
+    held.clear();
+    finals.clear();
+    records.clear();
+  }
+
+  BufferedWrite& PushWrite(TableId table, RowId row, Key key, OpType op,
+                           const Value& value) {
+    if (n_writes == writes.size()) writes.emplace_back();
+    BufferedWrite& w = writes[n_writes++];
+    w.table = table;
+    w.row = row;
+    w.key = key;
+    w.op = op;
+    w.value.assign(value);  // reuses the slot's capacity
+    return w;
+  }
+};
+
+TxnScratch& ThreadScratch() {
+  thread_local TxnScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 class TwoPhaseLockingEngine::TplTxn : public Txn {
  public:
-  TplTxn(TwoPhaseLockingEngine* engine, LockManager::TxnId id)
+  TplTxn(TwoPhaseLockingEngine* engine, LockManager::TxnId id,
+         TxnScratch* scratch)
       : engine_(engine),
         id_(id),
         deadline_(std::chrono::steady_clock::now() +
-                  engine->options_.lock_wait_timeout) {}
+                  engine->options_.lock_wait_timeout),
+        s_(scratch) {
+    s_->Reset();
+  }
 
   Timestamp timestamp() const override { return kInvalidTimestamp; }
 
   Status Read(TableId table, Key key, Value* out) override {
     // Read-your-writes first.
-    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-      if (it->table == table && it->key == key) {
-        if (it->op == OpType::kDelete) return Status::NotFound();
-        *out = it->value;
-        return Status::Ok();
-      }
+    if (const BufferedWrite* w = NewestBufferedWrite(table, key)) {
+      if (w->op == OpType::kDelete) return Status::NotFound();
+      *out = w->value;
+      return Status::Ok();
     }
     storage::Database& db = engine_->db();
     const auto row = db.index(table).Lookup(key);
@@ -59,12 +100,10 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
 
   Status ReadForUpdate(TableId table, Key key, Value* out) override {
     // Buffered writes win (read-your-writes).
-    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-      if (it->table == table && it->key == key) {
-        if (it->op == OpType::kDelete) return Status::NotFound();
-        *out = it->value;
-        return Status::Ok();
-      }
+    if (const BufferedWrite* w = NewestBufferedWrite(table, key)) {
+      if (w->op == OpType::kDelete) return Status::NotFound();
+      *out = w->value;
+      return Status::Ok();
     }
     storage::Database& db = engine_->db();
     const auto row = db.index(table).Lookup(key);
@@ -88,7 +127,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
         // transaction can have locked it, so the row lock is skipped (the
         // classic new-row latch elision; the row id is private until our
         // commit installs the first version).
-        Buffer(table, fresh, key, OpType::kInsert, std::move(value));
+        s_->PushWrite(table, fresh, key, OpType::kInsert, value);
         return Status::Ok();
       }
       row = db.index(table).Lookup(key);
@@ -99,7 +138,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     if (v != nullptr && !v->deleted && !HasBufferedDelete(table, *row)) {
       return Status::AlreadyExists();
     }
-    Buffer(table, *row, key, OpType::kInsert, std::move(value));
+    s_->PushWrite(table, *row, key, OpType::kInsert, value);
     return Status::Ok();
   }
 
@@ -108,7 +147,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     const auto row = db.index(table).Lookup(key);
     if (!row.has_value()) return Status::NotFound();
     if (!Lock(table, *row)) return Status::TimedOut("lock wait");
-    Buffer(table, *row, key, OpType::kUpdate, std::move(value));
+    s_->PushWrite(table, *row, key, OpType::kUpdate, value);
     return Status::Ok();
   }
 
@@ -117,7 +156,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     const auto row = db.index(table).Lookup(key);
     if (!row.has_value()) return Status::NotFound();
     if (!Lock(table, *row)) return Status::TimedOut("lock wait");
-    Buffer(table, *row, key, OpType::kDelete, Value());
+    s_->PushWrite(table, *row, key, OpType::kDelete, Value());
     return Status::Ok();
   }
 
@@ -129,7 +168,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
       const RowId fresh = db.table(table).AllocateRow();
       if (db.index(table).Insert(key, fresh)) {
         // New-row latch elision (see Insert).
-        Buffer(table, fresh, key, OpType::kInsert, std::move(value));
+        s_->PushWrite(table, fresh, key, OpType::kInsert, value);
         return Status::Ok();
       }
       row = db.index(table).Lookup(key);
@@ -137,7 +176,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
       op = OpType::kInsert;
     }
     if (!Lock(table, *row)) return Status::TimedOut("lock wait");
-    Buffer(table, *row, key, op, std::move(value));
+    s_->PushWrite(table, *row, key, op, value);
     return Status::Ok();
   }
 
@@ -146,7 +185,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
   // committed versions, logs, then releases.
   Status Commit() {
     storage::Database& db = engine_->db();
-    if (writes_.empty()) {
+    if (s_->n_writes == 0) {
       ReleaseAll();
       return Status::Ok();
     }
@@ -158,9 +197,9 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     commit_scope.Set(lsn);
 
     // Deduplicate per row (last write wins, inserts stay inserts).
-    std::vector<BufferedWrite*> final_writes;
-    final_writes.reserve(writes_.size());
-    for (auto& w : writes_) {
+    std::vector<BufferedWrite*>& final_writes = s_->finals;
+    for (std::size_t i = 0; i < s_->n_writes; ++i) {
+      BufferedWrite& w = s_->writes[i];
       bool superseded = false;
       for (auto* fw : final_writes) {
         if (fw->table == w.table && fw->row == w.row) {
@@ -175,10 +214,10 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
       if (!superseded) final_writes.push_back(&w);
     }
 
-    // Log after execution, before visibility.
+    // Log after execution, before visibility. The records view the scratch
+    // buffers; sinks copy what they keep (see log::RecordSpan).
     if (engine_->collector_ != nullptr) {
-      std::vector<log::LogRecord> records;
-      records.reserve(final_writes.size());
+      std::vector<log::LogRecord>& records = s_->records;
       for (auto* w : final_writes) {
         log::LogRecord rec;
         rec.table = w->table;
@@ -187,10 +226,10 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
         rec.key = w->key;
         rec.commit_ts = lsn;
         rec.value = w->value;
-        records.push_back(std::move(rec));
+        records.push_back(rec);
       }
       records.back().last_in_txn = true;
-      engine_->collector_->LogCommit(std::move(records));
+      engine_->collector_->LogCommit(records);
     }
 
     for (auto* w : final_writes) {
@@ -207,39 +246,41 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
 
  private:
   bool Lock(TableId table, RowId row) {
-    for (const HeldLock& h : held_) {
+    for (const HeldLock& h : s_->held) {
       if (h.table == table && h.row == row) return true;
     }
     if (!engine_->locks_.Acquire(id_, table, row, deadline_)) return false;
-    held_.push_back(HeldLock{table, row});
+    s_->held.push_back(HeldLock{table, row});
     return true;
   }
 
   void ReleaseAll() {
-    for (const HeldLock& h : held_) {
+    for (const HeldLock& h : s_->held) {
       engine_->locks_.Release(id_, h.table, h.row);
     }
-    held_.clear();
+    s_->held.clear();
+  }
+
+  const BufferedWrite* NewestBufferedWrite(TableId table, Key key) const {
+    for (std::size_t i = s_->n_writes; i > 0; --i) {
+      const BufferedWrite& w = s_->writes[i - 1];
+      if (w.table == table && w.key == key) return &w;
+    }
+    return nullptr;
   }
 
   bool HasBufferedDelete(TableId table, RowId row) const {
-    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-      if (it->table == table && it->row == row) {
-        return it->op == OpType::kDelete;
-      }
+    for (std::size_t i = s_->n_writes; i > 0; --i) {
+      const BufferedWrite& w = s_->writes[i - 1];
+      if (w.table == table && w.row == row) return w.op == OpType::kDelete;
     }
     return false;
-  }
-
-  void Buffer(TableId table, RowId row, Key key, OpType op, Value value) {
-    writes_.push_back(BufferedWrite{table, row, key, op, std::move(value)});
   }
 
   TwoPhaseLockingEngine* engine_;
   const LockManager::TxnId id_;
   const std::chrono::steady_clock::time_point deadline_;
-  std::vector<BufferedWrite> writes_;
-  std::vector<HeldLock> held_;
+  TxnScratch* s_;
 };
 
 TwoPhaseLockingEngine::TwoPhaseLockingEngine(storage::Database* db,
@@ -252,26 +293,33 @@ Status TwoPhaseLockingEngine::Execute(const TxnFn& fn) {
   const LockManager::TxnId id =
       next_txn_id_.fetch_add(1, std::memory_order_relaxed);
 
-  TplTxn txn(this, id);
+  TxnScratch& shared = ThreadScratch();
+  TxnScratch local;  // only used when re-entered on this thread
+  TxnScratch* scratch = shared.in_use ? &local : &shared;
+  scratch->in_use = true;
+
+  TplTxn txn(this, id, scratch);
   Status body = fn(txn);
+  Status result;
   if (body.code() == StatusCode::kCancelled) {
     txn.Rollback();
     stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
-    return body;
-  }
-  if (!body.ok()) {
+    result = body;
+  } else if (!body.ok()) {
     txn.Rollback();
     stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-    return body;
-  }
-  Status commit = txn.Commit();
-  if (commit.ok()) {
-    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    result = body;
   } else {
-    txn.Rollback();
-    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    result = txn.Commit();
+    if (result.ok()) {
+      stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      txn.Rollback();
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  return commit;
+  scratch->in_use = false;
+  return result;
 }
 
 }  // namespace c5::txn

@@ -3,8 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string>
+#include <type_traits>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -47,7 +48,31 @@ class Txn {
 
 // A transaction body. Returning OK requests commit; kCancelled requests an
 // explicit rollback (not retried); any other status aborts.
-using TxnFn = std::function<Status(Txn&)>;
+//
+// Non-owning callable reference (not std::function): engines execute
+// millions of bodies per second and a std::function would heap-allocate its
+// capture state on every Execute call. A TxnFn is two words viewing the
+// caller's callable; it is valid only for the duration of the call it is
+// passed to, which is all any engine or façade in this repository needs —
+// never store one.
+class TxnFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, TxnFn> &&
+                std::is_invocable_r_v<Status, F&, Txn&>>>
+  TxnFn(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Txn& txn) -> Status {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(txn);
+        }) {}
+
+  Status operator()(Txn& txn) const { return call_(obj_, txn); }
+
+ private:
+  void* obj_;
+  Status (*call_)(void*, Txn&);
+};
 
 // Outcome counters shared by benchmark drivers.
 struct EngineStats {

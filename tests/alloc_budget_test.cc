@@ -1,0 +1,116 @@
+// Allocation-budget regression test for the shipping pipeline.
+//
+// Guards the headline perf property of the allocation-free shipping work
+// (see docs/PERFORMANCE.md): once the arenas, segment pools, and replica
+// staging buffers are warm, a write transaction flows primary-commit ->
+// segment build -> encode -> ship -> decode -> apply without allocating.
+// The bench trajectory tracks the same number as fig9's
+// pipeline_allocs_per_write_txn; this test makes the budget a ctest
+// invariant so a regression fails fast instead of drifting in a bench JSON.
+//
+// bench/alloc_hook.h defines NON-inline replacement operators, so it must be
+// included by exactly one translation unit per binary — each tests/*.cc is
+// its own binary (CMake globs one executable per file), so including it here
+// is safe. The hook is malloc-backed and sanitizer-compatible (ASan/TSan
+// intercept the underlying malloc/free).
+
+#include "bench/alloc_hook.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_factory.h"
+#include "log/log_collector.h"
+#include "replica/replica.h"
+#include "storage/database.h"
+#include "txn/two_phase_locking_engine.h"
+#include "workload/synthetic.h"
+
+namespace c5 {
+namespace {
+
+// Steady-state budget: allocations per write transaction across the WHOLE
+// in-process pipeline. The ISSUE-level target for the cold fig9 pipeline
+// (startup included) is < 0.5; warm steady state must meet the same bar.
+constexpr double kAllocsPerTxnBudget = 0.5;
+
+constexpr std::uint32_t kWritesPerTxn = 4;
+constexpr std::uint64_t kWarmupTxns = 4096;
+constexpr std::uint64_t kMeasuredTxns = 4096;
+
+TEST(AllocBudgetTest, WarmPipelineStaysUnderBudget) {
+  storage::Database primary_db, backup_db;
+  const TableId table = workload::SyntheticWorkload::CreateTable(&primary_db);
+  workload::SyntheticWorkload::CreateTable(&backup_db);
+
+  TxnClock clock;
+  log::OnlineLogCollector collector(/*segment_records=*/256);
+  txn::TwoPhaseLockingEngine engine(&primary_db, &collector, &clock);
+  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+
+  log::ChannelSegmentSource source(&collector.channel());
+  core::ProtocolOptions options;
+  options.num_workers = 2;
+  options.snapshot_interval = std::chrono::microseconds(100);
+  options.gc_every = 16;  // recycle version slabs like a long-running backup
+  auto rep = core::MakeReplica(core::ProtocolKind::kC5MyRocks, &backup_db,
+                               options);
+  rep->Start(&source);
+
+  // One committed transaction of kWritesPerTxn fresh-key inserts — the same
+  // shape fig9 measures. Fresh rows never touch the lock manager, so the
+  // count isolates the shipping pipeline itself; updates would add the lock
+  // table's per-acquire node churn, which is 2PL cost, not pipeline cost.
+  std::uint64_t cursor = 0;
+  const auto run_txn = [&]() {
+    const std::uint64_t base = cursor;
+    const Status s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+      for (std::uint32_t i = 0; i < kWritesPerTxn; ++i) {
+        const Status st = txn.Insert(table, base + i,
+                                     workload::EncodeIntValue(base + i));
+        if (!st.ok()) return st;
+      }
+      return Status::Ok();
+    });
+    ASSERT_TRUE(s.ok()) << s.message();
+    cursor = base + kWritesPerTxn;
+  };
+
+  // Blocks until the backup's published snapshot covers everything committed
+  // so far, so a phase's apply work is counted inside that phase's scope.
+  const auto drain = [&]() {
+    collector.Flush();
+    const Timestamp target = clock.Latest();
+    while (rep->VisibleTimestamp() < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
+  // Warmup: enough transactions that every pipeline pool (log arena,
+  // segment pool, decode staging, version slabs, worker-local state)
+  // reaches steady-state capacity.
+  for (std::uint64_t t = 0; t < kWarmupTxns; ++t) run_txn();
+  drain();
+
+  // Steady state: every allocation between here and the post-drain snapshot
+  // is pipeline cost attributable to these transactions.
+  bench::AllocScope scope;
+  for (std::uint64_t t = 0; t < kMeasuredTxns; ++t) run_txn();
+  drain();
+  const double allocs_per_txn =
+      static_cast<double>(scope.Count()) / kMeasuredTxns;
+
+  collector.Finish();
+  rep->WaitUntilCaughtUp();
+  rep->Stop();
+
+  EXPECT_LT(allocs_per_txn, kAllocsPerTxnBudget)
+      << "warm shipping pipeline allocated " << allocs_per_txn
+      << " times per write transaction (budget " << kAllocsPerTxnBudget
+      << "); the allocation-free path regressed";
+}
+
+}  // namespace
+}  // namespace c5

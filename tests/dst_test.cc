@@ -161,6 +161,34 @@ TEST(DstTest, ShardedSweepHoldsAllInvariants) {
   }
 }
 
+// The replay-worker sweep: every seed re-runs with a pinned worker count
+// cycling through {1, 2, 4} (DstHooks::force_replay_workers is a mode pin,
+// like force_shards), so the partitioned-batch pipeline's epoch-batched
+// visibility holds all invariants — watermark monotonicity, recovery-window
+// closure, prefix-complete snapshots, state digests — at every width,
+// including the degenerate single worker and oversubscription on a 1-core
+// host.
+TEST(DstTest, ReplayWorkerSweepHoldsAllInvariants) {
+  const std::vector<std::uint64_t> seeds = SweepSeeds();
+  constexpr int kWidths[] = {1, 2, 4};
+  std::uint64_t restarts = 0, windows_closed = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    DstHooks pinned;
+    pinned.force_replay_workers = kWidths[i % 3];
+    ASSERT_FALSE(pinned.armed())
+        << "force_replay_workers is a mode pin, not a hook";
+    const DstReport r = RunDst(seeds[i], pinned);
+    EXPECT_TRUE(r.ok()) << "replay_workers=" << kWidths[i % 3] << "; "
+                        << Describe(r);
+    restarts += r.crash_restarts;
+    windows_closed += r.recovery_windows_closed;
+  }
+  // Crash/restart must stay sound when the restarted node re-applies with a
+  // different effective worker count than the segments were first applied
+  // with (the override survives Restart).
+  EXPECT_EQ(restarts, windows_closed);
+}
+
 TEST(DstTest, SameSeedReplaysBitForBit) {
   const DstReport a = RunDst(424242);
   const DstReport b = RunDst(424242);

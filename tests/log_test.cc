@@ -19,7 +19,7 @@ std::vector<LogRecord> MakeTxn(Timestamp ts, std::initializer_list<RowId> rows) 
     rec.row = r;
     rec.key = r;
     rec.commit_ts = ts;
-    rec.value = "v" + std::to_string(ts);
+    rec.value = test::InternValue("v" + std::to_string(ts));
     records.push_back(std::move(rec));
   }
   records.back().last_in_txn = true;

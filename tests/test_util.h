@@ -97,6 +97,19 @@ inline std::uint64_t TestSeed(std::uint64_t default_seed) {
   return seed;
 }
 
+// Interns a value string for the lifetime of the test binary and returns a
+// stable view of it. Hand-built LogRecords carry non-owning ValueRefs, so a
+// test materializing values on the fly ("v" + std::to_string(ts)) needs
+// somewhere for the bytes to live. Thread-safe (collector tests log from
+// several threads); leaks by design, like any intern pool.
+inline std::string_view InternValue(std::string s) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::string>> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  pool.push_back(std::make_unique<std::string>(std::move(s)));
+  return *pool.back();
+}
+
 // Digest of a database's committed state at `ts`: fold of every row's
 // (table, row, deleted, data) into one hash. Primary and backup assign
 // identical row ids (the log dictates them), so equal digests mean equal

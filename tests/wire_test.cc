@@ -39,8 +39,9 @@ std::unique_ptr<LogSegment> MakeSegment(std::uint64_t base_seq,
     rec.row = 1000 + i;
     rec.key = 77000 + i;
     rec.commit_ts = base_seq + i + 1;
-    rec.value = std::string("value-") + std::to_string(i) +
-                std::string(i % 7, 'x');  // varied lengths, incl. empty-ish
+    const std::string value = std::string("value-") + std::to_string(i) +
+                              std::string(i % 7, 'x');  // varied lengths
+    rec.value = value;  // Append internalizes the bytes before `value` dies
     seg->Append(rec);
   }
   return seg;
