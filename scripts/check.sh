@@ -44,8 +44,11 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # 16-seed sweep — dst_test runs both; the sharded sweep seeds live reshard
 # migrations mid-workload, so the epoch-aware router oracle and the
 # commit/abort migration ledger run under both sanitizers), the wire fuzz
-# loop, and the public-API cluster suite (including the ShardedCluster
-# Rebalance-under-traffic tests) are rebuilt and run (the quick 16-seed
+# loop, the real-socket shipping suite (net_test: loopback TCP round trips,
+# NAK-driven retransmit, reconnect-after-disconnect — every listener binds
+# port 0, so parallel lanes never collide on a port), and the public-API
+# cluster suite (including the ShardedCluster Rebalance-under-traffic tests
+# and the promoted-read regression) are rebuilt and run (the quick 16-seed
 # list keeps each lane to seconds of test time).
 # Lane build trees derive from the caller's build dir so concurrent
 # invocations with distinct build dirs never race on shared trees.
@@ -53,13 +56,15 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 #   C5_DST_SEED=<n> <lane-build-dir>/dst_test
 tsan_dir="${build_dir}-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DC5_SANITIZE=thread >/dev/null
-cmake --build "$tsan_dir" -j "$jobs" --target dst_test cluster_test
+cmake --build "$tsan_dir" -j "$jobs" --target dst_test cluster_test net_test
 C5_DST_SEED_COUNT=16 "$tsan_dir/dst_test"
 "$tsan_dir/cluster_test"
+"$tsan_dir/net_test"
 
 asan_dir="${build_dir}-asan"
 cmake -B "$asan_dir" -S "$repo_root" -DC5_SANITIZE=address >/dev/null
-cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test cluster_test
+cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test cluster_test net_test
 C5_DST_SEED_COUNT=16 "$asan_dir/dst_test"
 "$asan_dir/wire_test"
 "$asan_dir/cluster_test"
+"$asan_dir/net_test"

@@ -1,7 +1,10 @@
 #include "api/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "net/ship_server.h"
+#include "net/socket_segment_source.h"
 #include "storage/checkpoint.h"
 #include "txn/mvtso_engine.h"
 #include "txn/two_phase_locking_engine.h"
@@ -100,17 +103,22 @@ const replica::ReplicaBase& BackupNode::reader() const { return *base_; }
 // ---- Cluster ----------------------------------------------------------------
 
 // ONE sequencer per cluster: the collector orders and segments the commit
-// stream once, and every backup consumes it through its own subscriber
-// channel (backup 0 the sealed segments, later backups shared-payload
-// views) — the fan-out never copies value bytes.
+// stream once, and every consumer takes its own subscriber channel off it —
+// in-process backups directly, the ship server (when one runs) through its
+// drainer — the fan-out never copies value bytes. Member order is the
+// destruction contract: lanes (socket sources Cancel their connections)
+// before the server (Stop joins the drainer) before the collector the
+// drainer reads.
 struct Cluster::Shipping {
   explicit Shipping(std::size_t segment_records)
       : collector(segment_records) {}
 
   log::OnlineLogCollector collector;
+  std::unique_ptr<net::ShipServer> server;  // null: in-process only
 
   struct Lane {
     std::unique_ptr<log::ChannelSegmentSource> channel_source;
+    std::unique_ptr<net::SocketSegmentSource> socket_source;
     std::unique_ptr<log::DelayedSegmentSource> delayed;
     log::SegmentSource* source = nullptr;  // what the backup consumes
   };
@@ -168,8 +176,10 @@ void Cluster::Start() {
   // own subscriber channel off it below. The tap set (usually empty — a live
   // migration's catch-up stream when attached) rides alongside in the tee;
   // every sink sees the same borrowed span.
+  bool want_server = options_.listen_port >= 0;
+  for (const auto& spec : specs) want_server |= spec.via_socket;
   std::vector<log::LogCollector*> sinks;
-  if (!specs.empty()) {
+  if (!specs.empty() || want_server) {
     shipping_ = std::make_unique<Shipping>(options_.segment_records);
     sinks.push_back(&shipping_->collector);
   }
@@ -199,10 +209,38 @@ void Cluster::Start() {
   if (shipping_ != nullptr) shipping_->collector.SetReleaseHorizon(horizon);
   horizon_fn_ = horizon;
 
+  // Subscriber channels may only go to ACTUAL consumers — an unconsumed
+  // channel fills and blocks the sequencer — so they are claimed on demand:
+  // the first consumer takes the collector's built-in channel, later ones
+  // add subscribers. All claims happen here, before the first LogCommit
+  // (no writes run until Start returns), as AddSubscriber requires.
+  bool channel0_claimed = false;
+  const auto claim_channel = [&]() -> SpscQueue<log::LogSegment*>* {
+    if (!channel0_claimed) {
+      channel0_claimed = true;
+      return &shipping_->collector.channel();
+    }
+    return shipping_->collector.AddSubscriber();
+  };
+
+  // The ship server (real-socket transport) consumes one lane and streams
+  // it to every TCP subscriber — external processes and this cluster's own
+  // via_socket backups alike.
+  if (want_server) {
+    net::ShipServer::Options so;
+    so.port = options_.listen_port > 0
+                  ? static_cast<std::uint16_t>(options_.listen_port)
+                  : 0;
+    shipping_->server = std::make_unique<net::ShipServer>(so);
+    const Status ss = shipping_->server->Start();
+    assert(ss.ok() && "ship server failed to listen");
+    (void)ss;
+    shipping_->server->ServeChannel(claim_channel());
+  }
+
   // The fleet: one node per spec, schema mirrored (table ids match by
-  // creation order), each consuming its own subscriber channel. Subscriber
-  // channels must all exist before the first LogCommit; they do — no writes
-  // run until Start returns.
+  // creation order), each consuming its own lane — a subscriber channel, or
+  // a loopback TCP subscription through the server for via_socket nodes.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     BackupOptions bo;
     bo.protocol = specs[i].protocol;
@@ -216,16 +254,21 @@ void Cluster::Start() {
     }
     shipping_->lanes.push_back({});
     Shipping::Lane& lane = shipping_->lanes.back();
-    SpscQueue<log::LogSegment*>* channel =
-        i == 0 ? &shipping_->collector.channel()
-               : shipping_->collector.AddSubscriber();
-    lane.channel_source = std::make_unique<log::ChannelSegmentSource>(channel);
-    lane.source = lane.channel_source.get();
+    if (specs[i].via_socket) {
+      net::SocketSegmentSource::Options so;
+      so.port = shipping_->server->port();
+      lane.socket_source =
+          std::make_unique<net::SocketSegmentSource>(std::move(so));
+      lane.source = lane.socket_source.get();
+    } else {
+      lane.channel_source =
+          std::make_unique<log::ChannelSegmentSource>(claim_channel());
+      lane.source = lane.channel_source.get();
+    }
     if (specs[i].ship_delay.count() > 0) {
       const auto delay = specs[i].ship_delay;
       lane.delayed = std::make_unique<log::DelayedSegmentSource>(
-          lane.channel_source.get(),
-          [delay](std::size_t) { return delay; });
+          lane.source, [delay](std::size_t) { return delay; });
       lane.source = lane.delayed.get();
     }
     nodes_.back()->Start(lane.source);
@@ -331,11 +374,25 @@ Status Cluster::Promote(std::size_t backup_index) {
   WaitForBackups();
   for (auto& node : nodes_) node->Stop();
   // The tap set rides along: a migration tailing this shard's commit
-  // stream keeps seeing it from the new primary (satellite fix for the
-  // PR-5 promoted-staleness hole, at least for migration reads).
+  // stream keeps seeing it from the new primary.
   promoted_ = nodes_[backup_index]->Promote(options_.engine, &taps_);
   promoted_index_ = backup_index;
   return Status::Ok();
+}
+
+void Cluster::RefreshPromotedReader() {
+  if (promoted_ == nullptr) return;
+  // Settled point of the promoted engine: LogHorizon() lower-bounds every
+  // future commit timestamp, so nothing at or below horizon - 1 can still
+  // resolve; clock.Latest() caps it at what was actually handed out. With
+  // no transaction in flight the horizon is kMaxTimestamp and the clock
+  // alone decides.
+  const Timestamp latest = promoted_->clock.Latest();
+  const Timestamp horizon =
+      promoted_->horizon ? promoted_->horizon() : kMaxTimestamp;
+  const Timestamp settled =
+      horizon == kMaxTimestamp ? latest : std::min(latest, horizon - 1);
+  nodes_[promoted_index_]->reader().AdvanceVisibleTo(settled);
 }
 
 Status Cluster::CatchUpSurvivors() {
@@ -404,6 +461,16 @@ Status Cluster::ExportRows(TableId table,
 Timestamp Cluster::PrimaryLogHorizon() const {
   if (promoted_ != nullptr && promoted_->horizon) return promoted_->horizon();
   return horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
+}
+
+net::ShipServer* Cluster::ship_server() {
+  return shipping_ != nullptr ? shipping_->server.get() : nullptr;
+}
+
+std::uint16_t Cluster::server_port() const {
+  return shipping_ != nullptr && shipping_->server != nullptr
+             ? shipping_->server->port()
+             : 0;
 }
 
 txn::Engine& Cluster::engine() {

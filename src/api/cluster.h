@@ -60,6 +60,10 @@
 #include "storage/database.h"
 #include "txn/txn.h"
 
+namespace c5::net {
+class ShipServer;
+}  // namespace c5::net
+
 namespace c5 {
 
 // ---- BackupNode -------------------------------------------------------------
@@ -135,9 +139,11 @@ class BackupNode {
 
   // Promotes this caught-up, stopped node to primary (§9): a fresh engine
   // over the backup's database whose clock continues above every applied
-  // commit. Implies Stop(). The node's read surface stays valid (reads see
-  // the pre-promotion snapshot; the promoted engine's writes are read
-  // through ITS database directly or by re-replication). `extra_sink`,
+  // commit. Implies Stop(). The node's read surface stays valid: reads see
+  // the pre-promotion snapshot until the owner advances the watermark to a
+  // settled point of the promoted engine (reader().AdvanceVisibleTo — which
+  // is what Cluster::RefreshPromotedReader does for index-less reads), at
+  // which point they see the promoted engine's writes too. `extra_sink`,
   // when non-null, also receives every commit the promoted engine logs
   // (a migration tap surviving failover — ha::PromoteToPrimary).
   std::unique_ptr<ha::PromotedPrimary> Promote(
@@ -200,6 +206,15 @@ struct ClusterOptions {
   replica::RoutingPolicy routing = replica::RoutingPolicy::kTokenRouted;
   std::chrono::milliseconds session_wait_timeout{0};
 
+  // Real-socket transport: when >= 0, Start brings up a net::ShipServer on
+  // 127.0.0.1:listen_port (0 = kernel-assigned ephemeral; read it back via
+  // Cluster::server_port()) streaming the shard group's shipped log to any
+  // subscriber — external c5 processes, or this cluster's own via_socket
+  // backups. -1: in-process channels only (the default; also what the DST
+  // runs under — the simulated channel and the real socket implement the
+  // same SegmentSource contract).
+  int listen_port = -1;
+
   // Per-backup spec for heterogeneous fleets.
   struct BackupSpec {
     core::ProtocolKind protocol = core::ProtocolKind::kC5;
@@ -207,6 +222,11 @@ struct ClusterOptions {
     // link, a distant region).
     std::chrono::microseconds ship_delay{0};
     replica::LagTracker* lag = nullptr;
+    // Feed this backup through the ship server over real loopback TCP
+    // instead of an in-process channel (implies a server even when
+    // listen_port stays -1). The backup replays the same bytes through the
+    // same protocol code — only the SegmentSource differs.
+    bool via_socket = false;
   };
   std::vector<BackupSpec> backups;
 
@@ -260,6 +280,10 @@ struct ClusterOptions {
     session_wait_timeout = ms;
     return *this;
   }
+  ClusterOptions& WithListenPort(int port) {
+    listen_port = port;
+    return *this;
+  }
 };
 
 // ---- Cluster ----------------------------------------------------------------
@@ -311,26 +335,37 @@ class Cluster {
   Snapshot OpenSnapshot(std::size_t backup_index) {
     return nodes_[backup_index]->OpenSnapshot();
   }
-  // Index-less open routes through default_read_backup(), so a caller that
-  // does not pick a node never lands on a promoted one's frozen reader.
+  // Index-less open routes through default_read_backup() and, when that is
+  // the promoted node, first advances its reader to the promoted engine's
+  // settled point — so a caller that does not pick a node reads current
+  // data through every phase of a failover, including on a single-backup
+  // fleet.
   Snapshot OpenSnapshot() {
-    return nodes_[default_read_backup()]->OpenSnapshot();
+    const std::size_t i = default_read_backup();
+    if (promoted_ != nullptr && i == promoted_index_) RefreshPromotedReader();
+    return nodes_[i]->OpenSnapshot();
   }
   // The backup a default (index-less) read should land on: backup 0, unless
-  // that node was PROMOTED — a promoted node's reader stays pinned at the
-  // pre-promotion snapshot (its engine's new commits publish through
-  // re-replication, not through its own read surface), so reads prefer a
-  // surviving backup, which CatchUpSurvivors keeps current.
-  //
-  // KNOWN HOLE: a SINGLE-backup cluster whose only node was promoted has no
-  // live backup read surface at all — this returns the promoted node and
-  // reads serve the frozen pre-promotion snapshot (correct but permanently
-  // stale) until a new backup is replicated in. Size fleets that must stay
-  // readable through failover with >= 2 backups.
+  // that node was PROMOTED — a promoted node's reader no longer has a
+  // protocol thread publishing its watermark, so reads prefer a surviving
+  // backup, which CatchUpSurvivors keeps current. A single-backup fleet has
+  // no survivor to prefer; there the promoted node itself serves, with
+  // RefreshPromotedReader() re-pointing its watermark at the promoted
+  // engine's settled commits (its engine writes into the same database and
+  // maintains the index, so the snapshot surface sees them once the
+  // watermark moves).
   std::size_t default_read_backup() const {
     if (promoted_ == nullptr || nodes_.size() < 2) return 0;
     return promoted_index_ == 0 ? 1 : 0;
   }
+  // Publishes the promoted engine's settled read point — the largest
+  // timestamp at or below which no transaction can still commit,
+  // min(clock.Latest(), LogHorizon() - 1) — through the promoted node's
+  // reader, un-pinning the pre-promotion snapshot its stopped protocol left
+  // behind. No-op when nothing is promoted. Safe to call concurrently with
+  // the promoted engine's writers (the watermark only moves to settled
+  // points, so MPC holds).
+  void RefreshPromotedReader();
   // A session with the §2.3 guarantees (monotonic reads, read-your-writes)
   // across the whole fleet. Sessions are single-client objects; they must
   // not outlive the Cluster.
@@ -395,6 +430,14 @@ class Cluster {
   Timestamp PrimaryLogHorizon() const;
 
   // Escape hatches for diagnostics and integration with lower layers.
+  // ---- Socket transport surface ----
+  // The shipping server, when one runs (listen_port >= 0 or any via_socket
+  // backup); nullptr otherwise. Per-client shipping stats live here.
+  net::ShipServer* ship_server();
+  // The server's bound port (the ephemeral answer when listen_port was 0);
+  // 0 when no server runs.
+  std::uint16_t server_port() const;
+
   txn::Engine& engine();
   TxnClock& clock();
   storage::Database& primary_db() { return primary_db_; }

@@ -220,13 +220,13 @@ Status ShardedCluster::Get(TableId table, Key key, Value* out) {
     std::shared_lock<std::shared_mutex> gate;
     const std::size_t s = AcquireRouted(table, key, &gate);
     Cluster& shard = *shards_[s];
-    const Snapshot snap = shard.OpenSnapshot(shard.default_read_backup());
+    const Snapshot snap = shard.OpenSnapshot();
     return snap.Get(table, key, out);
   }
   const std::size_t routed = router_.ShardOf(table, key);
   {
     Cluster& shard = *shards_[routed];
-    const Snapshot snap = shard.OpenSnapshot(shard.default_read_backup());
+    const Snapshot snap = shard.OpenSnapshot();
     const Status s = snap.Get(table, key, out);
     if (s.code() != StatusCode::kNotFound) return s;
   }
@@ -236,7 +236,7 @@ Status ShardedCluster::Get(TableId table, Key key, Value* out) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (s == routed) continue;
     Cluster& shard = *shards_[s];
-    const Snapshot snap = shard.OpenSnapshot(shard.default_read_backup());
+    const Snapshot snap = shard.OpenSnapshot();
     const Status st = snap.Get(table, key, out);
     if (st.code() != StatusCode::kNotFound) return st;
   }
@@ -268,7 +268,7 @@ std::vector<Status> ShardedCluster::MultiGet(TableId table,
         // One snapshot per shard: the whole sub-batch reads one
         // monotonic-prefix-consistent state of that shard.
         const Snapshot snap =
-            shards_[s]->OpenSnapshot(shards_[s]->default_read_backup());
+            shards_[s]->OpenSnapshot();
         return snap.MultiGet(table, shard_keys, values);
       });
 }
@@ -292,7 +292,7 @@ Status ShardedCluster::Scan(TableId table, Key lo, Key hi,
   std::vector<std::vector<std::pair<Key, Value>>> parts(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Snapshot snap =
-        shards_[s]->OpenSnapshot(shards_[s]->default_read_backup());
+        shards_[s]->OpenSnapshot();
     for (auto it = snap.Scan(table, lo, hi); it.Valid(); it.Next()) {
       if (router_.ShardOf(table, it.key()) != s) continue;
       parts[s].emplace_back(it.key(), Value(it.value()));

@@ -1,5 +1,6 @@
 #include "log/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace c5::log {
@@ -105,6 +106,82 @@ Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
   *consumed = kSegmentHeaderBytes + payload_len;
   *out = std::move(segment);
   return Status::Ok();
+}
+
+// ---- FrameReassembler -------------------------------------------------------
+
+void FrameReassembler::Append(const char* data, std::size_t n) {
+  CompactIfWorthIt();
+  buf_.append(data, n);
+}
+
+Status FrameReassembler::Poll(std::unique_ptr<LogSegment>* out) {
+  const std::string_view front = Buffered();
+  if (front.size() < sizeof(std::uint32_t)) {
+    return Status::NotFound("need more bytes (header torn)");
+  }
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, front.data(), sizeof(magic));
+  if (magic != kSegmentMagic) {
+    return Status::InvalidArgument("front of stream is not a segment frame");
+  }
+  if (front.size() < kSegmentHeaderBytes) {
+    return Status::NotFound("need more bytes (header torn)");
+  }
+  std::uint32_t payload_len = 0;
+  std::memcpy(&payload_len,
+              front.data() + kSegmentHeaderBytes - 2 * sizeof(std::uint32_t),
+              sizeof(payload_len));
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("implausible payload length");
+  }
+  if (front.size() < kSegmentHeaderBytes + payload_len) {
+    return Status::NotFound("need more bytes (payload torn)");
+  }
+  // The whole frame is buffered: DecodeSegment's verdict is now definitive
+  // (its torn-tail case cannot fire on an exactly-sized span).
+  std::size_t consumed = 0;
+  const Status s = DecodeSegment(front.substr(0, kSegmentHeaderBytes +
+                                                     payload_len),
+                                 &consumed, out);
+  if (s.ok()) pos_ += consumed;
+  return s;
+}
+
+std::string_view FrameReassembler::Buffered() const {
+  return std::string_view(buf_).substr(pos_);
+}
+
+void FrameReassembler::Consume(std::size_t n) {
+  pos_ += std::min(n, buf_.size() - pos_);
+  CompactIfWorthIt();
+}
+
+bool FrameReassembler::SkipToMagic(std::uint32_t magic) {
+  char needle[sizeof(magic)];
+  std::memcpy(needle, &magic, sizeof(magic));
+  const std::string_view front = Buffered();
+  const std::size_t at =
+      front.find(std::string_view(needle, sizeof(needle)));
+  if (at != std::string_view::npos) {
+    pos_ += at;
+    CompactIfWorthIt();
+    return true;
+  }
+  // Keep the last 3 bytes: they may be a magic prefix torn across reads.
+  const std::size_t keep = std::min<std::size_t>(front.size(), 3);
+  pos_ = buf_.size() - keep;
+  CompactIfWorthIt();
+  return false;
+}
+
+void FrameReassembler::CompactIfWorthIt() {
+  // Amortized: drop the consumed prefix only once it dominates the buffer,
+  // so repeated small Appends/Consumes never go quadratic.
+  if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
 }
 
 }  // namespace c5::log

@@ -72,6 +72,74 @@ void EncodeSegment(const LogSegment& segment, std::string* out);
 Status DecodeSegment(std::string_view bytes, std::size_t* consumed,
                      std::unique_ptr<LogSegment>* out);
 
+// Incremental reassembly of segment frames from a byte STREAM (a TCP
+// socket): bytes arrive in arbitrary slices, so a frame routinely lands
+// torn across reads — a state DecodeSegment alone cannot distinguish from
+// a corrupt frame (both look like "truncated payload"). The reassembler
+// buffers input and classifies the front of the stream:
+//
+//   Append(data, n);                      // as bytes arrive
+//   while (true) {
+//     Status s = Poll(&seg);
+//     if (s.ok())            { deliver(seg); continue; }
+//     if (s.code() == StatusCode::kNotFound) break;  // torn: need more
+//     /* kInvalidArgument */ ...          // front is NOT a clean segment:
+//                                         // a foreign (control) frame the
+//                                         // caller parses via Buffered()/
+//                                         // Consume(), or real corruption
+//                                         // (NAK + SkipToMagic to resync)
+//   }
+//
+// Verdicts are definitive, not racy: Poll reports corruption only when the
+// bytes present already prove it (bad magic, implausible length, or a
+// complete payload whose CRC mismatches); anything that could still become
+// a valid frame with more input is kNotFound. The internal buffer compacts
+// lazily (amortized O(bytes)); feeding one byte at a time is merely slow,
+// never wrong (wire_test proves it).
+class FrameReassembler {
+ public:
+  // Appends `n` raw stream bytes. The bytes are copied; the caller's buffer
+  // may be reused immediately.
+  void Append(const char* data, std::size_t n);
+
+  // Tries to decode one complete segment frame off the front of the buffer.
+  //   kOk             - *out decoded; the frame's bytes were consumed
+  //   kNotFound       - the front is a (so far) valid frame prefix: wait
+  //   kInvalidArgument- the front cannot ever decode: foreign magic, an
+  //                     implausible length, or a CRC/structure failure on a
+  //                     fully buffered frame. Nothing is consumed — the
+  //                     caller inspects Buffered() (control frame?) or
+  //                     resyncs with SkipToMagic/Consume.
+  Status Poll(std::unique_ptr<LogSegment>* out);
+
+  // The unconsumed front of the stream (valid until the next mutating
+  // call). For parsing interleaved non-segment frames.
+  std::string_view Buffered() const;
+
+  // Drops `n` bytes (<= Buffered().size()) off the front: the caller
+  // consumed a foreign frame or skipped garbage.
+  void Consume(std::size_t n);
+
+  // Resync after corruption: discards bytes until `magic` (little-endian)
+  // starts the buffer. Returns true when found (the magic is kept); false
+  // when the buffer was exhausted — at most 3 tail bytes are retained so a
+  // magic torn across reads is still found by the next Append+SkipToMagic.
+  bool SkipToMagic(std::uint32_t magic);
+
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+  void Clear() {
+    buf_.clear();
+    pos_ = 0;
+  }
+
+ private:
+  void CompactIfWorthIt();
+
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
 }  // namespace c5::log
 
 #endif  // C5_LOG_WIRE_H_

@@ -1,0 +1,264 @@
+#include "net/ship_server.h"
+
+#include <algorithm>
+
+#include "log/wire.h"
+#include "net/ship_protocol.h"
+
+namespace c5::net {
+
+ShipServer::ShipServer(Options options) : options_(std::move(options)) {
+  corrupt_armed_.store(options_.corrupt_frame >= 0,
+                       std::memory_order_relaxed);
+  drop_armed_.store(options_.drop_after_frames >= 0,
+                    std::memory_order_relaxed);
+}
+
+ShipServer::~ShipServer() { Stop(); }
+
+Status ShipServer::Start() {
+  const Status s = listener_.Listen(options_.port);
+  if (!s.ok()) return s;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ShipServer::PublishSegment(const log::LogSegment& segment) {
+  if (segment.empty()) return;
+  Frame f;
+  log::EncodeSegment(segment, &f.bytes);
+  f.base = segment.base_seq();
+  f.count = segment.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    archive_.push_back(std::move(f));
+    end_seq_ = segment.base_seq() + segment.size();
+  }
+  cv_.notify_all();
+}
+
+void ShipServer::PublishLog(const log::Log& log) {
+  for (std::size_t i = 0; i < log.NumSegments(); ++i) {
+    PublishSegment(*log.segment(i));
+  }
+}
+
+void ShipServer::FinishLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ShipServer::ServeChannel(SpscQueue<log::LogSegment*>* chan) {
+  drain_thread_ = std::thread([this, chan] {
+    for (;;) {
+      auto seg = chan->Pop();
+      if (!seg.has_value() || *seg == nullptr) break;
+      PublishSegment(**seg);
+    }
+    FinishLog();
+  });
+}
+
+std::vector<ClientShipStats> ShipServer::ClientStatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClientShipStats> out;
+  out.reserve(clients_.size());
+  for (const auto& c : clients_) out.push_back(c->stats);
+  return out;
+}
+
+std::uint64_t ShipServer::frames_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return archive_.size();
+}
+
+std::uint64_t ShipServer::end_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_seq_;
+}
+
+void ShipServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& c : clients_) {
+      c->closing = true;
+      c->conn.ShutdownBoth();
+    }
+  }
+  cv_.notify_all();
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (drain_thread_.joinable()) drain_thread_.join();
+  std::vector<std::unique_ptr<Client>> clients;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clients.swap(clients_);
+  }
+  for (auto& c : clients) {
+    if (c->rx.joinable()) c->rx.join();
+    if (c->tx.joinable()) c->tx.join();
+  }
+}
+
+void ShipServer::AcceptLoop() {
+  for (;;) {
+    TcpConn conn;
+    const Status s = listener_.Accept(&conn);
+    if (!s.ok()) return;  // shutdown
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    auto client = std::make_unique<Client>();
+    client->id = next_client_id_++;
+    client->stats.client_id = client->id;
+    client->stats.connected = true;
+    client->conn = std::move(conn);
+    Client* c = client.get();
+    clients_.push_back(std::move(client));
+    c->rx = std::thread([this, c] { ClientRxLoop(c); });
+    c->tx = std::thread([this, c] { ClientTxLoop(c); });
+  }
+}
+
+std::size_t ShipServer::FrameIndexFor(std::uint64_t seq) const {
+  // Frames are appended in base order; find the last frame with base <= seq
+  // (requests past the archive land one-past-the-end: wait for more).
+  std::size_t lo = 0, hi = archive_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (archive_[mid].base <= seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // lo = first frame with base > seq.
+  if (lo == 0) return 0;
+  const Frame& f = archive_[lo - 1];
+  return (seq >= f.base + f.count) ? lo : lo - 1;
+}
+
+void ShipServer::ClientRxLoop(Client* c) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    std::size_t n = 0;
+    const Status s = c->conn.ReadSome(chunk, sizeof(chunk), &n);
+    if (!s.ok() || n == 0) break;  // peer gone (or Stop shut us down)
+    buf.append(chunk, n);
+    std::size_t off = 0;
+    bool broken = false;
+    for (;;) {
+      Request req;
+      bool malformed = false;
+      if (!DecodeRequest(std::string_view(buf).substr(off), &req,
+                         &malformed)) {
+        broken = malformed;  // torn request: wait for the rest
+        break;
+      }
+      off += kRequestBytes;
+      std::lock_guard<std::mutex> lock(mu_);
+      c->stats.subscribed_from = req.arg;
+      c->cursor = FrameIndexFor(req.arg);
+      if (req.type == RequestType::kSubscribe) {
+        c->subscribed = true;
+      } else {
+        ++c->stats.naks_received;
+        c->rewound = true;  // emit a resync marker before retransmitting
+      }
+      c->end_sent = false;
+      cv_.notify_all();
+    }
+    buf.erase(0, off);
+    if (broken) break;  // a malformed request means a broken peer: drop it
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    c->closing = true;
+    c->stats.connected = false;
+    c->conn.ShutdownBoth();  // unblock the tx thread mid-send
+  }
+  cv_.notify_all();
+}
+
+void ShipServer::ClientTxLoop(Client* c) {
+  std::uint64_t frames_sent_on_conn = 0;
+  for (;;) {
+    std::string to_send;
+    bool is_retransmit = false;
+    std::uint64_t segment_count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return c->closing || stopping_ ||
+               (c->subscribed &&
+                (c->rewound || c->cursor < archive_.size() ||
+                 (finished_ && !c->end_sent)));
+      });
+      if (c->closing || stopping_) break;
+      if (c->rewound) {
+        // NAK recovery: mark the stream position, then retransmit.
+        const std::uint64_t seq = c->cursor < archive_.size()
+                                      ? archive_[c->cursor].base
+                                      : end_seq_;
+        EncodeControl(kResyncMagic, seq, &to_send);
+        c->rewound = false;
+        ++c->stats.resyncs_sent;
+      } else if (c->cursor < archive_.size()) {
+        to_send = archive_[c->cursor].bytes;
+        segment_count = 1;
+        // A frame below this stream's high-water mark is a retransmission
+        // (a NAK — or a re-subscribe after reconnect — rewound the cursor).
+        is_retransmit = c->cursor < c->high_cursor;
+        c->high_cursor = std::max(c->high_cursor, c->cursor + 1);
+        ++c->cursor;
+      } else {
+        // Archive drained and finished: tell the client the log ended.
+        EncodeControl(kEndMagic, end_seq_, &to_send);
+        c->end_sent = true;
+      }
+      c->stats.segments_sent += segment_count;
+      if (is_retransmit) c->stats.retransmit_segments += segment_count;
+      c->stats.bytes_sent += to_send.size();
+    }
+
+    // Fault hooks (armed once per server; see Options).
+    if (segment_count > 0) {
+      ++frames_sent_on_conn;
+      if (options_.corrupt_frame >= 0 &&
+          frames_sent_on_conn ==
+              static_cast<std::uint64_t>(options_.corrupt_frame) + 1 &&
+          corrupt_armed_.exchange(false, std::memory_order_relaxed) &&
+          to_send.size() > log::kSegmentHeaderBytes) {
+        to_send[log::kSegmentHeaderBytes] =
+            static_cast<char>(to_send[log::kSegmentHeaderBytes] ^ 0x5A);
+      }
+    }
+    if (options_.send_delay.count() > 0 && segment_count > 0) {
+      std::this_thread::sleep_for(options_.send_delay);
+    }
+
+    if (!c->conn.WriteAll(to_send.data(), to_send.size()).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      c->closing = true;
+      c->stats.connected = false;
+      cv_.notify_all();
+      continue;  // loop re-checks closing and exits
+    }
+
+    if (segment_count > 0 && options_.drop_after_frames >= 0 &&
+        frames_sent_on_conn ==
+            static_cast<std::uint64_t>(options_.drop_after_frames) &&
+        drop_armed_.exchange(false, std::memory_order_relaxed)) {
+      // Simulated transport failure: hard-close under the client's feet.
+      std::lock_guard<std::mutex> lock(mu_);
+      c->conn.ShutdownBoth();
+    }
+  }
+}
+
+}  // namespace c5::net

@@ -1,0 +1,145 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace c5::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpConn::ReadSome(char* buf, std::size_t cap, std::size_t* n) {
+  *n = 0;
+  if (!fd_.valid()) return Status::Internal("read on closed connection");
+  for (;;) {
+    const ssize_t r = ::recv(fd_.get(), buf, cap, 0);
+    if (r >= 0) {
+      *n = static_cast<std::size_t>(r);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status TcpConn::WriteAll(const char* buf, std::size_t n) {
+  if (!fd_.valid()) return Status::Internal("write on closed connection");
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t w =
+        ::send(fd_.get(), buf + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+void TcpConn::SetNoDelay() {
+  if (!fd_.valid()) return;
+  const int one = 1;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void TcpConn::ShutdownBoth() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Status Connect(const std::string& host, std::uint16_t port, TcpConn* out) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* numeric =
+      (host == "localhost" || host.empty()) ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, numeric, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable IPv4 host: " + host);
+  }
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect");
+  }
+  *out = TcpConn(std::move(fd));
+  out->SetNoDelay();
+  return Status::Ok();
+}
+
+Status TcpListener::Listen(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  // SO_REUSEADDR so a restarted server rebinding a fixed port does not trip
+  // over its predecessor's TIME_WAIT sockets; ephemeral binds are unaffected.
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), /*backlog=*/64) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  return Status::Ok();
+}
+
+Status TcpListener::Accept(TcpConn* out) {
+  if (!fd_.valid()) return Status::Cancelled("listener shut down");
+  for (;;) {
+    const int c = ::accept(fd_.get(), nullptr, nullptr);
+    if (c >= 0) {
+      *out = TcpConn(Fd(c));
+      out->SetNoDelay();
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    // The Shutdown path: accept fails with EINVAL (listener poisoned) or
+    // EBADF once the fd closed under us.
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Cancelled("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+}  // namespace c5::net

@@ -1,0 +1,105 @@
+// Minimal POSIX TCP plumbing for the shipping transport: an RAII fd, a
+// listener with ephemeral-port allocation, and a blocking stream
+// connection. Everything speaks Status — no exceptions, no global state.
+//
+// Ephemeral ports: TcpListener binds port 0 by default and reports the
+// kernel-assigned port through port(). This IS the ephemeral-port
+// allocator the test suites use — every test listener asks the kernel for
+// a free port instead of hard-coding one, so parallel ctest invocations
+// (and the ASan/TSan lanes running alongside) never collide on bind.
+
+#ifndef C5_NET_SOCKET_H_
+#define C5_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace c5::net {
+
+// Owning file descriptor. Movable, not copyable; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected TCP stream. Blocking reads/writes; Shutdown() unblocks a
+// reader in another thread (the cancellation path).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(Fd fd) : fd_(std::move(fd)) {}
+
+  bool valid() const { return fd_.valid(); }
+
+  // Reads up to `cap` bytes. *n = 0 with kOk means clean EOF (peer closed).
+  Status ReadSome(char* buf, std::size_t cap, std::size_t* n);
+
+  // Writes all `n` bytes (looping over partial writes / EINTR).
+  Status WriteAll(const char* buf, std::size_t n);
+
+  // Disables Nagle: the shipping protocol interleaves small control frames
+  // with large segment frames and must not stall NAKs behind batching.
+  void SetNoDelay();
+
+  // Wakes any thread blocked in ReadSome with EOF, then closes lazily at
+  // destruction. Safe to call from a different thread than the reader.
+  void ShutdownBoth();
+
+  void Close() { fd_.Close(); }
+
+ private:
+  Fd fd_;
+};
+
+// Connects to host:port (numeric IPv4 dotted quad or "localhost").
+Status Connect(const std::string& host, std::uint16_t port, TcpConn* out);
+
+// Listening socket. Bind with port 0 (the default) for an ephemeral port;
+// port() reports what the kernel assigned.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  // Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral).
+  Status Listen(std::uint16_t port = 0);
+
+  // Blocks for one connection. Unblocked by Shutdown() (returns kCancelled).
+  Status Accept(TcpConn* out);
+
+  // Wakes a blocked Accept and poisons the listener.
+  void Shutdown();
+
+  std::uint16_t port() const { return port_; }
+  bool listening() const { return fd_.valid(); }
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace c5::net
+
+#endif  // C5_NET_SOCKET_H_

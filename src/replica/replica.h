@@ -109,6 +109,18 @@ class ReplicaBase : public Replica {
     return visible_ts_.load(std::memory_order_acquire);
   }
 
+  // Externally advances the visibility watermark to `ts`. For readers whose
+  // protocol threads are STOPPED but whose database keeps moving under an
+  // outside writer — the promoted-primary case: after failover the node's
+  // engine commits new transactions into this very database, and the frozen
+  // watermark would pin every snapshot at the pre-promotion state. The
+  // caller owns the §2.3 obligation the protocol normally discharges: `ts`
+  // must be a settled prefix point (no transaction at or below it can still
+  // commit, e.g. min(clock.Latest(), LogHorizon() - 1)). Monotonic and
+  // recovery-window-safe like every internal publish; calls with a stale
+  // `ts` are no-ops.
+  void AdvanceVisibleTo(Timestamp ts) { PublishVisible(ts); }
+
   // Apply-latency sampling: workers keep a private Histogram of sampled
   // per-record install latencies (every kApplySampleEvery-th record) and
   // merge it here when they exit; benches read the merged snapshot after
