@@ -126,17 +126,17 @@ struct Cluster::Shipping {
 };
 
 void Cluster::TapSet::LogCommit(log::RecordSpan records) {
-  std::lock_guard<SpinLock> lock(lock_);
+  SpinLockGuard lock(lock_);
   for (log::LogCollector* tap : taps_) tap->LogCommit(records);
 }
 
 void Cluster::TapSet::Attach(log::LogCollector* tap) {
-  std::lock_guard<SpinLock> lock(lock_);
+  SpinLockGuard lock(lock_);
   taps_.push_back(tap);
 }
 
 void Cluster::TapSet::Detach(log::LogCollector* tap) {
-  std::lock_guard<SpinLock> lock(lock_);
+  SpinLockGuard lock(lock_);
   for (auto it = taps_.begin(); it != taps_.end(); ++it) {
     if (*it == tap) {
       taps_.erase(it);

@@ -50,6 +50,7 @@
 #include "api/snapshot.h"
 #include "common/clock.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/protocol_factory.h"
 #include "ha/promotion.h"
@@ -463,8 +464,10 @@ class Cluster {
     void Detach(log::LogCollector* tap);
 
    private:
-    mutable SpinLock lock_;
-    std::vector<log::LogCollector*> taps_;
+    // Held while forwarding to the taps (a tap may take its own collector
+    // lock underneath: kClusterState < kCollector).
+    mutable SpinLock lock_{LockRank::kClusterState};
+    std::vector<log::LogCollector*> taps_ C5_GUARDED_BY(lock_);
   };
 
   std::vector<ClusterOptions::BackupSpec> ResolvedSpecs() const;

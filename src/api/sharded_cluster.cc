@@ -120,7 +120,7 @@ void ShardedCluster::Start() {
 // ---- Migration gates --------------------------------------------------------
 
 std::size_t ShardedCluster::AcquireRouted(
-    TableId table, Key key, std::shared_lock<std::shared_mutex>* lock) const {
+    TableId table, Key key, std::shared_lock<SharedMutex>* lock) const {
   for (;;) {
     const std::size_t s = router_.ShardOf(table, key);
     ShardGate& gate = *gates_[s];
@@ -130,7 +130,7 @@ std::size_t ShardedCluster::AcquireRouted(
       std::this_thread::yield();
       continue;
     }
-    std::shared_lock<std::shared_mutex> held(gate.mu);
+    std::shared_lock<SharedMutex> held(gate.mu);
     // Between routing and acquisition a cutover may have completed and
     // moved the key; under the gate the route is stable, so one re-check
     // suffices.
@@ -147,9 +147,9 @@ std::size_t ShardedCluster::AcquireRouted(
   }
 }
 
-std::vector<std::shared_lock<std::shared_mutex>>
+std::vector<std::shared_lock<SharedMutex>>
 ShardedCluster::AcquireAllShared() const {
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  std::vector<std::shared_lock<SharedMutex>> locks;
   locks.reserve(gates_.size());
   for (const auto& gate : gates_) {
     while (gate->cutover_pending.load(std::memory_order_acquire)) {
@@ -165,7 +165,7 @@ ShardedCluster::AcquireAllShared() const {
 Status ShardedCluster::RoutedExecute(TableId table, Key routing_key,
                                      const txn::TxnFn& fn,
                                      Timestamp* commit_ts, bool retry) {
-  std::shared_lock<std::shared_mutex> gate;
+  std::shared_lock<SharedMutex> gate;
   const std::size_t s = AcquireRouted(table, routing_key, &gate);
   // The gate is held across the whole transaction: every commit of a moving
   // key is either drained by the cutover's exclusive acquisition (and so
@@ -217,7 +217,7 @@ Status ShardedCluster::Get(TableId table, Key key, Value* out) {
     // shard the key already moved away from (whose residue tombstones
     // would read as a spurious miss, or worse, as the pre-move value after
     // a post-move write landed on the new owner).
-    std::shared_lock<std::shared_mutex> gate;
+    std::shared_lock<SharedMutex> gate;
     const std::size_t s = AcquireRouted(table, key, &gate);
     Cluster& shard = *shards_[s];
     const Snapshot snap = shard.OpenSnapshot();
@@ -349,7 +349,7 @@ Status ShardedCluster::Session::Read(TableId table, Key key, Value* out) {
   FoldTransitions();
   const ShardRouter& router = owner_->router_;
   if (router.IsPartitioned(table)) {
-    std::shared_lock<std::shared_mutex> gate;
+    std::shared_lock<SharedMutex> gate;
     const std::size_t s = owner_->AcquireRouted(table, key, &gate);
     return sessions_[s]->Read(table, key, out);
   }
@@ -455,7 +455,7 @@ void ShardedCluster::Shutdown() {
 
 std::vector<ShardedCluster::EpochTransition> ShardedCluster::TransitionsSince(
     std::size_t from) const {
-  std::lock_guard<SpinLock> lock(transitions_mu_);
+  SpinLockGuard lock(transitions_mu_);
   if (from >= transitions_.size()) return {};
   return std::vector<EpochTransition>(transitions_.begin() + from,
                                       transitions_.end());
@@ -618,7 +618,7 @@ Status ShardedCluster::Rebalance(const MigrationPlan& plan,
     if (!fs.ok()) return fail(fs);
     ShardGate& gate = *gates_[src];
     gate.cutover_pending.store(true, std::memory_order_release);
-    std::unique_lock<std::shared_mutex> cutover(gate.mu);
+    std::unique_lock<SharedMutex> cutover(gate.mu);
     // Exclusive gate held: in-flight source transactions have drained, new
     // moving-key writers are fenced out, so the tail is now FINAL.
     Status st = drain_tail();
@@ -673,7 +673,7 @@ Status ShardedCluster::Rebalance(const MigrationPlan& plan,
   }
 
   {
-    std::lock_guard<SpinLock> lock(transitions_mu_);
+    SpinLockGuard lock(transitions_mu_);
     transitions_.push_back(EpochTransition{src, dst, dest_cover});
   }
   rebalance_active_.store(false, std::memory_order_release);
@@ -697,15 +697,18 @@ std::vector<std::string> ShardedCluster::VerifyPlacement() {
       // streams) legitimately hold keys on shards they do not hash to.
       if (!router_.IsPartitioned(t)) continue;
       // Two passes: ForEach holds the index shard's (non-reentrant) lock
-      // while visiting, and ReadKeyAt re-enters the index via Lookup — so
-      // collect the misrouted suspects first, then read them after the walk
-      // releases the locks.
-      std::vector<std::pair<Key, std::size_t>> suspects;
-      db.index(t).ForEach([&](Key key, RowId, Timestamp) {
+      // while visiting; ReadKeyAt re-enters the index via Lookup, and once
+      // a migration has committed, ShardOf takes the router's epoch lock —
+      // which ranks ABOVE the index shard (kRouter < kIndexShard). So only
+      // collect keys inside the walk; route and read after it releases the
+      // locks. (The in-callback ShardOf call was caught by the lock-rank
+      // detector the first time this audit ran with epochs active.)
+      std::vector<Key> keys;
+      db.index(t).ForEach(
+          [&keys](Key key, RowId, Timestamp) { keys.push_back(key); });
+      for (const Key key : keys) {
         const std::size_t owner = router_.ShardOf(t, key);
-        if (owner != s) suspects.emplace_back(key, owner);
-      });
-      for (const auto& [key, owner] : suspects) {
+        if (owner == s) continue;
         // Epoch-aware residue rule: a migrated-away key is legal on its old
         // owner as long as its newest version there is a tombstone
         // (Rebalance deletes at cutover; GC physically reclaims later). A

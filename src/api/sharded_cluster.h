@@ -60,8 +60,10 @@
 #include <vector>
 
 #include "api/cluster.h"
+#include "common/mutex.h"
 #include "common/shard_router.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 
 namespace c5 {
 
@@ -307,7 +309,11 @@ class ShardedCluster {
   // acquisition is waiting, so the cutover cannot be starved by a
   // continuous stream of readers.
   struct ShardGate {
-    std::shared_mutex mu;
+    // kShardGate is the outermost rank: a routed transaction holds the gate
+    // shared across its whole execution (engine, collector, storage locks
+    // all nest underneath). Scatter-gather reads stack ALL gates shared at
+    // equal rank (the lock-rank checker permits shared same-rank stacking).
+    SharedMutex mu{LockRank::kShardGate};
     std::atomic<bool> cutover_pending{false};
   };
 
@@ -322,10 +328,10 @@ class ShardedCluster {
   // route after acquisition and backing off while the key is fenced.
   // Returns the owning shard with the gate held.
   std::size_t AcquireRouted(TableId table, Key key,
-                            std::shared_lock<std::shared_mutex>* lock) const;
+                            std::shared_lock<SharedMutex>* lock) const;
   // All gates shared, in index order (scatter-gather reads: no cutover can
   // run concurrently, so the epoch is stable across the whole read).
-  std::vector<std::shared_lock<std::shared_mutex>> AcquireAllShared() const;
+  std::vector<std::shared_lock<SharedMutex>> AcquireAllShared() const;
 
   Status RoutedExecute(TableId table, Key routing_key, const txn::TxnFn& fn,
                        Timestamp* commit_ts, bool retry);
@@ -336,8 +342,8 @@ class ShardedCluster {
   ShardRouter router_;
   std::vector<std::unique_ptr<Cluster>> shards_;
   std::vector<std::unique_ptr<ShardGate>> gates_;
-  mutable SpinLock transitions_mu_;
-  std::vector<EpochTransition> transitions_;
+  mutable SpinLock transitions_mu_{LockRank::kClusterState};
+  std::vector<EpochTransition> transitions_ C5_GUARDED_BY(transitions_mu_);
   std::atomic<bool> rebalance_active_{false};
   bool started_ = false;
 };

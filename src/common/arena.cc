@@ -58,7 +58,7 @@ std::size_t SlabArena::ShardIndex() const {
 
 SlabArena::SlabHeader* SlabArena::PopFreeOrNew() {
   {
-    std::lock_guard<SpinLock> lock(free_mu_);
+    SpinLockGuard lock(free_mu_);
     if (free_head_ != nullptr) {
       SlabHeader* slab = free_head_;
       free_head_ = slab->next_free;
@@ -78,7 +78,7 @@ SlabArena::SlabHeader* SlabArena::PopFreeOrNew() {
   slab->next_free = nullptr;
   C5_ARENA_POISON(static_cast<char*>(mem) + kHeaderBytes, kMaxAlloc);
   {
-    std::lock_guard<SpinLock> lock(free_mu_);
+    SpinLockGuard lock(free_mu_);
     all_slabs_.push_back(mem);
   }
   slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
@@ -89,7 +89,7 @@ void* SlabArena::Allocate(std::size_t bytes) {
   bytes = RoundUp8(bytes);
   if (bytes == 0 || bytes > kMaxAlloc) return nullptr;
   Shard& shard = shards_[ShardIndex()];
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   SlabHeader* slab = shard.current;
   if (slab == nullptr || slab->bump + bytes > kSlabBytes) {
     SlabHeader* fresh = PopFreeOrNew();
@@ -129,13 +129,13 @@ void SlabArena::DropRef(SlabHeader* slab) {
 
 void SlabArena::Recycle(SlabHeader* slab) {
   assert(slab->live.load(std::memory_order_relaxed) == 0);
-  std::lock_guard<SpinLock> lock(free_mu_);
+  SpinLockGuard lock(free_mu_);
   slab->next_free = free_head_;
   free_head_ = slab;
 }
 
 std::size_t SlabArena::SlabsFree() const {
-  std::lock_guard<SpinLock> lock(free_mu_);
+  SpinLockGuard lock(free_mu_);
   std::size_t n = 0;
   for (const SlabHeader* s = free_head_; s != nullptr; s = s->next_free) ++n;
   return n;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 
 namespace c5 {
 
@@ -92,8 +93,10 @@ class SlabArena {
   static_assert(sizeof(SlabHeader) <= kHeaderBytes);
 
   struct alignas(64) Shard {
-    SpinLock lock;
-    SlabHeader* current = nullptr;
+    // Nests BEFORE free_mu_: Allocate refills the current slab from the
+    // freelist while holding the shard lock (kArenaShard < kArenaFree).
+    SpinLock lock{LockRank::kArenaShard};
+    SlabHeader* current C5_GUARDED_BY(lock) = nullptr;
   };
 
   static void DropRef(SlabHeader* slab);
@@ -104,9 +107,9 @@ class SlabArena {
   int shard_mask_;
   std::vector<Shard> shards_;
 
-  mutable SpinLock free_mu_;
-  SlabHeader* free_head_ = nullptr;
-  std::vector<void*> all_slabs_;  // for destruction
+  mutable SpinLock free_mu_{LockRank::kArenaFree};
+  SlabHeader* free_head_ C5_GUARDED_BY(free_mu_) = nullptr;
+  std::vector<void*> all_slabs_ C5_GUARDED_BY(free_mu_);  // for destruction
 
   std::atomic<std::uint64_t> slabs_allocated_{0};
   std::atomic<std::uint64_t> slabs_recycled_{0};

@@ -2,12 +2,12 @@
 #define C5_COMMON_MPMC_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 
 namespace c5 {
 
@@ -20,17 +20,17 @@ namespace c5 {
 template <typename T>
 class MpmcQueue {
  public:
-  MpmcQueue() = default;
+  explicit MpmcQueue(LockRank rank = LockRank::kQueue) : mu_(rank) {}
   MpmcQueue(const MpmcQueue&) = delete;
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
   void Push(T value) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       items_.push_back(std::move(value));
     }
     size_hint_.fetch_add(1, std::memory_order_release);
-    if (waiters_.load(std::memory_order_acquire) > 0) cv_.notify_one();
+    if (waiters_.load(std::memory_order_acquire) > 0) cv_.NotifyOne();
   }
 
   // Blocks until an item is available or the queue is closed and drained.
@@ -43,14 +43,16 @@ class MpmcQueue {
       if (size_hint_.load(std::memory_order_acquire) > 0) {
         if (auto v = TryPop()) return v;
       } else if (closed_flag_.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (items_.empty()) return std::nullopt;
       }
       CpuRelax();
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     waiters_.fetch_add(1, std::memory_order_acq_rel);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    // Explicit loop (not a predicate lambda): the thread-safety analysis
+    // must see the guarded reads performed while mu_ is held.
+    while (items_.empty() && !closed_) cv_.Wait(lock);
     waiters_.fetch_sub(1, std::memory_order_acq_rel);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
@@ -60,7 +62,7 @@ class MpmcQueue {
   }
 
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -70,11 +72,11 @@ class MpmcQueue {
 
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     closed_flag_.store(true, std::memory_order_release);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool closed() const {
@@ -82,15 +84,15 @@ class MpmcQueue {
   }
 
   std::size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ C5_GUARDED_BY(mu_);
+  bool closed_ C5_GUARDED_BY(mu_) = false;
   std::atomic<bool> closed_flag_{false};
   std::atomic<int> waiters_{0};
   alignas(64) std::atomic<std::size_t> size_hint_{0};

@@ -1,0 +1,193 @@
+// Annotated, rank-checked wrappers over the standard mutexes. Everything in
+// src/ that blocks on a mutex uses these instead of std::mutex /
+// std::shared_mutex so that:
+//  * Clang Thread Safety Analysis sees every acquisition (std::lock_guard
+//    and std::condition_variable are opaque to it), and
+//  * the debug lock-rank registry (common/lock_rank.h) checks ordering,
+//    reentry, and LIFO release on every path.
+//
+// CondVar wraps std::condition_variable_any over MutexLock; waits re-enter
+// the rank bookkeeping through MutexLock::lock()/unlock(), so a thread
+// blocked in Wait() does not appear to hold the mutex. Call sites spell
+// predicates as explicit `while (!cond) cv.Wait(lock);` loops — a predicate
+// lambda would be analyzed without the capability and trip the clang lane.
+//
+// This file is a locking primitive: it is the only place besides
+// spin_lock.h / lock_rank.h where C5_NO_THREAD_SAFETY_ANALYSIS may appear.
+
+#ifndef C5_COMMON_MUTEX_H_
+#define C5_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace c5 {
+
+// std::mutex with a LockRank and thread-safety capability annotations.
+class C5_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank) {
+#if C5_LOCK_RANK_ENABLED
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() C5_ACQUIRE() {
+    lock_rank::OnAcquire(this, rank());
+    mu_.lock();
+  }
+
+  bool try_lock() C5_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) lock_rank::OnTryAcquire(this, rank());
+    return ok;
+  }
+
+  void unlock() C5_RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+
+ private:
+  LockRank rank() const {
+#if C5_LOCK_RANK_ENABLED
+    return rank_;
+#else
+    return LockRank::kLeaf;
+#endif
+  }
+
+  std::mutex mu_;
+#if C5_LOCK_RANK_ENABLED
+  LockRank rank_ = LockRank::kLeaf;
+#endif
+};
+
+// Scoped Mutex holder (the std::lock_guard replacement the analysis can
+// see). Also BasicLockable, which is how CondVar::Wait releases and
+// re-acquires it.
+class C5_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) C5_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() C5_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for std::condition_variable_any. Not for direct
+  // use outside CondVar (the scoped acquire/release pair is the contract).
+  void lock() C5_ACQUIRE() { mu_.lock(); }
+  void unlock() C5_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over Mutex/MutexLock. condition_variable_any releases
+// and re-acquires through MutexLock's BasicLockable surface, so the rank
+// registry stays exact across a wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Caller holds `lock`; spell predicates as explicit while-loops.
+  void Wait(MutexLock& lock) C5_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(lock); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline)
+      C5_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(lock, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& d)
+      C5_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(lock, d);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// std::shared_mutex with a LockRank and capability annotations. Satisfies
+// SharedLockable, so std::shared_lock<SharedMutex> and
+// std::unique_lock<SharedMutex> both work (the ShardedCluster gates hand
+// movable shared_locks around, which a scoped capability cannot model —
+// the rank registry still checks every acquisition underneath).
+class C5_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) {
+#if C5_LOCK_RANK_ENABLED
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() C5_ACQUIRE() {
+    lock_rank::OnAcquire(this, rank());
+    mu_.lock();
+  }
+  bool try_lock() C5_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) lock_rank::OnTryAcquire(this, rank());
+    return ok;
+  }
+  void unlock() C5_RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+
+  void lock_shared() C5_ACQUIRE_SHARED() {
+    lock_rank::OnAcquire(this, rank(), /*shared=*/true);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() C5_TRY_ACQUIRE_SHARED(true) {
+    const bool ok = mu_.try_lock_shared();
+    if (ok) lock_rank::OnTryAcquire(this, rank(), /*shared=*/true);
+    return ok;
+  }
+  void unlock_shared() C5_RELEASE_SHARED() {
+    lock_rank::OnRelease(this);
+    mu_.unlock_shared();
+  }
+
+ private:
+  LockRank rank() const {
+#if C5_LOCK_RANK_ENABLED
+    return rank_;
+#else
+    return LockRank::kLeaf;
+#endif
+  }
+
+  std::shared_mutex mu_;
+#if C5_LOCK_RANK_ENABLED
+  LockRank rank_ = LockRank::kLeaf;
+#endif
+};
+
+}  // namespace c5
+
+#endif  // C5_COMMON_MUTEX_H_

@@ -25,7 +25,7 @@ void ShardRouter::MarkUnpartitioned(TableId table) {
 
 std::shared_ptr<const ShardRouter::Overrides> ShardRouter::PlacementAt(
     Epoch epoch) const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockGuard lock(mu_);
   const Epoch clamped =
       std::min<Epoch>(epoch, static_cast<Epoch>(epochs_.size() - 1));
   return epochs_[static_cast<std::size_t>(clamped)];
@@ -81,7 +81,7 @@ Status ShardRouter::ValidatePlan(const MigrationPlan& plan) const {
 Status ShardRouter::BeginFence(const MigrationPlan& plan) {
   const Status valid = ValidatePlan(plan);
   if (!valid.ok()) return valid;
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockGuard lock(mu_);
   if (!fence_.empty()) {
     return Status::InvalidArgument("a cutover fence is already up");
   }
@@ -93,13 +93,13 @@ Status ShardRouter::BeginFence(const MigrationPlan& plan) {
 }
 
 bool ShardRouter::IsFencedToken(TableId table, std::uint64_t token) const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockGuard lock(mu_);
   return std::binary_search(fence_.begin(), fence_.end(),
                             std::make_pair(table, token));
 }
 
 ShardRouter::Epoch ShardRouter::CommitPlan(const MigrationPlan& plan) {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockGuard lock(mu_);
   // Layer the plan over the current cumulative placement so one lookup
   // answers any historical route.
   Overrides next =
@@ -117,7 +117,7 @@ ShardRouter::Epoch ShardRouter::CommitPlan(const MigrationPlan& plan) {
 }
 
 void ShardRouter::AbortFence() {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockGuard lock(mu_);
   fence_.clear();
   fence_active_.store(false, std::memory_order_release);
 }

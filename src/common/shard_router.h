@@ -53,6 +53,7 @@
 
 #include "common/spin_lock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace c5 {
@@ -208,15 +209,18 @@ class ShardRouter {
 
   std::size_t num_shards_;
   std::uint64_t seed_;
+  // Set during schema setup, before routing starts (see SetPartitionKey /
+  // MarkUnpartitioned) — not guarded.
   std::vector<PartitionFn> tables_;  // indexed by TableId; empty fn = identity
   std::vector<bool> unpartitioned_;  // indexed by TableId; default false
 
   // Epoch history + fence. The hot path (ShardOf with no committed plans,
   // IsFenced with no fence up) never takes the lock: epochs_active_ /
   // fence_active_ gate it. epochs_[e] is nullptr for e == 0 (pure hash).
-  mutable SpinLock mu_;
-  std::vector<std::shared_ptr<const Overrides>> epochs_;
-  std::vector<std::pair<TableId, std::uint64_t>> fence_;  // sorted
+  mutable SpinLock mu_{LockRank::kRouter};
+  std::vector<std::shared_ptr<const Overrides>> epochs_ C5_GUARDED_BY(mu_);
+  std::vector<std::pair<TableId, std::uint64_t>> fence_
+      C5_GUARDED_BY(mu_);  // sorted
   std::atomic<Epoch> current_epoch_{0};
   std::atomic<bool> epochs_active_{false};
   std::atomic<bool> fence_active_{false};

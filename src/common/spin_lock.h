@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -35,14 +38,25 @@ inline void SpinBackoff(int& spins) {
 }
 
 // Test-and-test-and-set spinlock. Satisfies Lockable so it works with
-// std::lock_guard.
-class SpinLock {
+// std::lock_guard; prefer SpinLockGuard in src/ so the thread-safety
+// analysis sees the acquisition. NOT re-entrant — construct with the
+// holder's LockRank (common/lock_rank.h) so reentry and lock-order
+// inversion abort deterministically in debug/sanitizer builds.
+class C5_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
+  explicit SpinLock(LockRank rank) {
+#if C5_LOCK_RANK_ENABLED
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() C5_ACQUIRE() {
+    lock_rank::OnAcquire(this, rank());
     int spins = 0;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -50,27 +64,68 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+  bool try_lock() C5_TRY_ACQUIRE(true) {
+    const bool ok = !flag_.load(std::memory_order_relaxed) &&
+                    !flag_.exchange(true, std::memory_order_acquire);
+    if (ok) lock_rank::OnTryAcquire(this, rank());
+    return ok;
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() C5_RELEASE() {
+    lock_rank::OnRelease(this);
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
+  LockRank rank() const {
+#if C5_LOCK_RANK_ENABLED
+    return rank_;
+#else
+    return LockRank::kLeaf;
+#endif
+  }
+
   std::atomic<bool> flag_{false};
+#if C5_LOCK_RANK_ENABLED
+  LockRank rank_ = LockRank::kLeaf;
+#endif
+};
+
+// Scoped SpinLock holder, visible to the thread-safety analysis (std::
+// lock_guard is opaque to it). Use this for every SpinLock acquisition in
+// src/.
+class C5_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) C5_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() C5_RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 // FIFO ticket spinlock: waiters are granted the lock in arrival order, which
 // matches the paper's 2PL assumption that conflicting operations "are granted
 // the lock in the order requested" (§3.1).
-class TicketSpinLock {
+class C5_CAPABILITY("mutex") TicketSpinLock {
  public:
   TicketSpinLock() = default;
+  explicit TicketSpinLock(LockRank rank) {
+#if C5_LOCK_RANK_ENABLED
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
   TicketSpinLock(const TicketSpinLock&) = delete;
   TicketSpinLock& operator=(const TicketSpinLock&) = delete;
 
-  void lock() {
+  void lock() C5_ACQUIRE() {
+    lock_rank::OnAcquire(this, rank());
     const std::uint32_t ticket =
         next_.fetch_add(1, std::memory_order_relaxed);
     int spins = 0;
@@ -79,14 +134,26 @@ class TicketSpinLock {
     }
   }
 
-  void unlock() {
+  void unlock() C5_RELEASE() {
+    lock_rank::OnRelease(this);
     serving_.store(serving_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);
   }
 
  private:
+  LockRank rank() const {
+#if C5_LOCK_RANK_ENABLED
+    return rank_;
+#else
+    return LockRank::kLeaf;
+#endif
+  }
+
   std::atomic<std::uint32_t> next_{0};
   std::atomic<std::uint32_t> serving_{0};
+#if C5_LOCK_RANK_ENABLED
+  LockRank rank_ = LockRank::kLeaf;
+#endif
 };
 
 }  // namespace c5

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis macros (-Wthread-safety). Under Clang these
+// expand to the analysis attributes so lock discipline is checked at compile
+// time; under every other compiler they expand to nothing. Conventions:
+//
+//  * Lock members are declared with an explicit capability type
+//    (c5::SpinLock, c5::Mutex, c5::SharedMutex — all C5_CAPABILITY).
+//  * Data owned by a lock carries C5_GUARDED_BY(lock) (C5_PT_GUARDED_BY for
+//    the pointee of a pointer member).
+//  * Private helpers that assume the lock is held carry C5_REQUIRES(lock)
+//    instead of re-acquiring (the *Locked suffix in names matches this).
+//  * Public entry points that must NOT be called with the lock held (they
+//    acquire it themselves) may carry C5_EXCLUDES(lock); this is what turns
+//    the HashIndex::ForEach-reentry class of self-deadlock into a compile
+//    error under clang.
+//
+// The clang lane is wired through scripts/check.sh --static; see
+// docs/TESTING.md ("Static analysis").
+
+#ifndef C5_COMMON_THREAD_ANNOTATIONS_H_
+#define C5_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define C5_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define C5_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+#define C5_CAPABILITY(x) C5_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define C5_SCOPED_CAPABILITY C5_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define C5_GUARDED_BY(x) C5_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define C5_PT_GUARDED_BY(x) C5_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define C5_ACQUIRED_BEFORE(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define C5_ACQUIRED_AFTER(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define C5_REQUIRES(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define C5_REQUIRES_SHARED(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define C5_ACQUIRE(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define C5_ACQUIRE_SHARED(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define C5_RELEASE(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define C5_RELEASE_SHARED(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define C5_RELEASE_GENERIC(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+#define C5_TRY_ACQUIRE(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define C5_TRY_ACQUIRE_SHARED(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define C5_EXCLUDES(...) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define C5_ASSERT_CAPABILITY(x) \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define C5_RETURN_CAPABILITY(x) C5_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch for functions the analysis cannot follow. Reserved for the
+// locking primitives themselves (spin_lock.h / mutex.h / lock_rank.h);
+// src/ code outside those files must not use it.
+#define C5_NO_THREAD_SAFETY_ANALYSIS \
+  C5_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // C5_COMMON_THREAD_ANNOTATIONS_H_

@@ -27,7 +27,7 @@ void C5MyRocksReplica::TxnDispatchQueue::PushBatch(const TxnUnit* txns,
   if (count == 0) return;
   bool need_notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.insert(queue_.end(), txns, txns + count);
     need_notify = waiters_ > 0;
   }
@@ -37,9 +37,9 @@ void C5MyRocksReplica::TxnDispatchQueue::PushBatch(const TxnUnit* txns,
   // multi-transaction batch wakes the whole pool explicitly.
   if (need_notify) {
     if (count > 1) {
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else {
-      cv_.notify_one();
+      cv_.NotifyOne();
     }
   }
 }
@@ -52,12 +52,15 @@ C5MyRocksReplica::TxnDispatchQueue::Pop(int worker,
   // that is already fully applied, stalling the snapshot boundary forever.
   // In-flight transitions happen under the same mutex as the pop, so
   // MinUnapplied never misses a transaction in transit.
-  const auto mark = [&](Timestamp ts) {
+  // Takes the guarded vector as a parameter (not via captured `this`) so the
+  // thread-safety analysis sees the access happen at the locked call site.
+  const auto mark = [&completed_all_prior](std::vector<Timestamp>& inflight,
+                                           int w, Timestamp ts) {
     if (completed_all_prior) {
-      inflight_[worker] = ts;
+      inflight[w] = ts;
     } else {
       // min(): the worker's floor may already sit at an older open txn.
-      inflight_[worker] = std::min(inflight_[worker], ts);
+      inflight[w] = std::min(inflight[w], ts);
     }
   };
   // Spin phase: wakeup latency dominates when the queue oscillates around
@@ -67,26 +70,28 @@ C5MyRocksReplica::TxnDispatchQueue::Pop(int worker,
   // spin burns the quantum the producer needs to refill the queue.
   for (int spin = 0; spin < 2048; ++spin) {
     if (size_hint_.load(std::memory_order_acquire) > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!queue_.empty()) {
         TxnUnit txn = queue_.front();
         queue_.pop_front();
         size_hint_.fetch_sub(1, std::memory_order_release);
-        mark(txn.commit_ts);
+        mark(inflight_, worker, txn.commit_ts);
         return txn;
       }
     } else if ((spin & 255) == 0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (completed_all_prior) inflight_[worker] = kMaxTimestamp;
       completed_all_prior = false;
       if (closed_ && queue_.empty()) return std::nullopt;
     }
     CpuRelax();
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (completed_all_prior) inflight_[worker] = kMaxTimestamp;
   waiters_++;
-  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  // Explicit loop (not a predicate lambda): the thread-safety analysis
+  // must see the guarded reads performed while mu_ is held.
+  while (queue_.empty() && !closed_) cv_.Wait(lock);
   waiters_--;
   if (queue_.empty()) return std::nullopt;
   TxnUnit txn = queue_.front();
@@ -99,7 +104,7 @@ C5MyRocksReplica::TxnDispatchQueue::Pop(int worker,
 std::optional<C5MyRocksReplica::TxnUnit>
 C5MyRocksReplica::TxnDispatchQueue::TryPop(int worker) {
   if (size_hint_.load(std::memory_order_acquire) == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.empty()) return std::nullopt;
   TxnUnit txn = queue_.front();
   queue_.pop_front();
@@ -109,20 +114,20 @@ C5MyRocksReplica::TxnDispatchQueue::TryPop(int worker) {
 }
 
 void C5MyRocksReplica::TxnDispatchQueue::SetFloor(int worker, Timestamp ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inflight_[worker] = ts;
 }
 
 void C5MyRocksReplica::TxnDispatchQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Timestamp C5MyRocksReplica::TxnDispatchQueue::MinUnapplied() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Timestamp min_ts = kMaxTimestamp;
   if (!queue_.empty()) min_ts = queue_.front().commit_ts;
   for (const Timestamp ts : inflight_) min_ts = std::min(min_ts, ts);
@@ -130,7 +135,7 @@ Timestamp C5MyRocksReplica::TxnDispatchQueue::MinUnapplied() const {
 }
 
 std::size_t C5MyRocksReplica::TxnDispatchQueue::SizeApprox() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

@@ -3,16 +3,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "replica/lag_tracker.h"
 #include "replica/replica.h"
 
@@ -114,12 +114,12 @@ class C5MyRocksReplica : public replica::ReplicaBase {
     std::size_t SizeApprox() const;
 
    private:
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<TxnUnit> queue_;
-    std::vector<Timestamp> inflight_;
-    bool closed_ = false;
-    int waiters_ = 0;
+    mutable Mutex mu_{LockRank::kQueue};
+    CondVar cv_;
+    std::deque<TxnUnit> queue_ C5_GUARDED_BY(mu_);
+    std::vector<Timestamp> inflight_ C5_GUARDED_BY(mu_);
+    bool closed_ C5_GUARDED_BY(mu_) = false;
+    int waiters_ C5_GUARDED_BY(mu_) = 0;
     alignas(64) std::atomic<std::size_t> size_hint_{0};
   };
 

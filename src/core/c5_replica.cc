@@ -34,7 +34,7 @@ void C5Replica::Start(log::SegmentSource* source) {
 
 C5Replica::Batch* C5Replica::AcquireBatch() {
   {
-    const std::lock_guard<SpinLock> lock(pool_lock_);
+    const SpinLockGuard lock(pool_lock_);
     if (!batch_free_.empty()) {
       Batch* b = batch_free_.back();
       batch_free_.pop_back();
@@ -45,7 +45,7 @@ C5Replica::Batch* C5Replica::AcquireBatch() {
   // allocation outside the lock.
   auto owned = std::make_unique<Batch>();
   Batch* b = owned.get();
-  const std::lock_guard<SpinLock> lock(pool_lock_);
+  const SpinLockGuard lock(pool_lock_);
   batch_storage_.push_back(std::move(owned));
   return b;
 }
@@ -53,7 +53,7 @@ C5Replica::Batch* C5Replica::AcquireBatch() {
 void C5Replica::ReleaseBatch(Batch* batch) {
   batch->recs.clear();  // keeps capacity — the point of pooling
   batch->floor = 0;
-  const std::lock_guard<SpinLock> lock(pool_lock_);
+  const SpinLockGuard lock(pool_lock_);
   batch_free_.push_back(batch);
 }
 

@@ -28,6 +28,7 @@
 #include "storage/checkpoint.h"
 
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "common/spsc_queue.h"
 #include "replica/lag_tracker.h"
 #include "replica/replica.h"
@@ -185,9 +186,9 @@ class C5Replica : public replica::ReplicaBase {
 
   // Batch pool: the scheduler acquires, workers release. Locked once per
   // batch on each side; batch_storage_ owns every batch ever created.
-  SpinLock pool_lock_;
-  std::vector<std::unique_ptr<Batch>> batch_storage_;
-  std::vector<Batch*> batch_free_;
+  SpinLock pool_lock_{LockRank::kReplicaState};
+  std::vector<std::unique_ptr<Batch>> batch_storage_ C5_GUARDED_BY(pool_lock_);
+  std::vector<Batch*> batch_free_ C5_GUARDED_BY(pool_lock_);
 
   std::vector<std::thread> threads_;
 };

@@ -45,7 +45,7 @@ void HashIndex::Reserve(std::size_t expected_keys) {
   const std::size_t target = NextPow2(per_shard < 4 ? 8 : per_shard * 2);
   for (int i = 0; i < shard_count_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<SpinLock> lock(shard.lock);
+    SpinLockGuard lock(shard.lock);
     if (shard.slots.size() < target) shard.RehashLocked(target);
   }
 }
@@ -121,25 +121,25 @@ bool HashIndex::Shard::EraseLocked(std::uint64_t stored_key) {
 
 bool HashIndex::Insert(Key key, RowId row) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   return shard.InsertLocked(key + 2, row, 0, Shard::Mode::kKeepExisting);
 }
 
 void HashIndex::Upsert(Key key, RowId row) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   shard.InsertLocked(key + 2, row, 0, Shard::Mode::kOverwrite);
 }
 
 bool HashIndex::UpsertIfNewer(Key key, RowId row, Timestamp ts) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   return shard.InsertLocked(key + 2, row, ts, Shard::Mode::kIfNewer);
 }
 
 std::optional<RowId> HashIndex::Lookup(Key key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   const Shard::Slot* s = shard.FindLocked(key + 2);
   if (s == nullptr) return std::nullopt;
   return s->row;
@@ -148,7 +148,7 @@ std::optional<RowId> HashIndex::Lookup(Key key) const {
 std::optional<std::pair<RowId, Timestamp>> HashIndex::LookupWithTs(
     Key key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   const Shard::Slot* s = shard.FindLocked(key + 2);
   if (s == nullptr) return std::nullopt;
   return std::make_pair(s->row, s->ts);
@@ -156,7 +156,7 @@ std::optional<std::pair<RowId, Timestamp>> HashIndex::LookupWithTs(
 
 bool HashIndex::Erase(Key key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   return shard.EraseLocked(key + 2);
 }
 
@@ -164,7 +164,7 @@ void HashIndex::ForEach(
     const std::function<void(Key, RowId, Timestamp)>& fn) const {
   for (int i = 0; i < shard_count_; ++i) {
     const Shard& shard = shards_[i];
-    std::lock_guard<SpinLock> lock(shard.lock);
+    SpinLockGuard lock(shard.lock);
     for (const Shard::Slot& slot : shard.slots) {
       if (slot.key != Shard::kEmpty && slot.key != Shard::kTombstone) {
         fn(slot.key - 2, slot.row, slot.ts);
@@ -177,7 +177,7 @@ void HashIndex::CollectRange(Key lo, Key hi,
                              std::vector<std::pair<Key, RowId>>* out) const {
   for (int i = 0; i < shard_count_; ++i) {
     const Shard& shard = shards_[i];
-    std::lock_guard<SpinLock> lock(shard.lock);
+    SpinLockGuard lock(shard.lock);
     for (const Shard::Slot& slot : shard.slots) {
       if (slot.key == Shard::kEmpty || slot.key == Shard::kTombstone) {
         continue;
@@ -192,7 +192,7 @@ void HashIndex::CollectRange(Key lo, Key hi,
 std::size_t HashIndex::Size() const {
   std::size_t total = 0;
   for (int i = 0; i < shard_count_; ++i) {
-    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    SpinLockGuard lock(shards_[i].lock);
     total += shards_[i].size;
   }
   return total;

@@ -114,17 +114,21 @@ class HashIndex {
     // Overwrite policy for InsertLocked.
     enum class Mode { kKeepExisting, kOverwrite, kIfNewer };
 
-    mutable SpinLock lock;
-    std::vector<Slot> slots;
-    std::size_t size = 0;       // live entries
-    std::size_t occupied = 0;   // live + tombstones
+    // Non-reentrant (rank kIndexShard): code running under it — including
+    // every ForEach/CollectRange callback — must not call back into the
+    // index. The PR-6 self-deadlock class (ForEach -> ReadKeyAt -> Lookup)
+    // now aborts instantly under the lock-rank registry instead of hanging.
+    mutable SpinLock lock{LockRank::kIndexShard};
+    std::vector<Slot> slots C5_GUARDED_BY(lock);
+    std::size_t size C5_GUARDED_BY(lock) = 0;      // live entries
+    std::size_t occupied C5_GUARDED_BY(lock) = 0;  // live + tombstones
 
-    void Grow();
-    void RehashLocked(std::size_t new_capacity);
+    void Grow() C5_REQUIRES(lock);
+    void RehashLocked(std::size_t new_capacity) C5_REQUIRES(lock);
     bool InsertLocked(std::uint64_t stored_key, RowId row, Timestamp ts,
-                      Mode mode);
-    const Slot* FindLocked(std::uint64_t stored_key) const;
-    bool EraseLocked(std::uint64_t stored_key);
+                      Mode mode) C5_REQUIRES(lock);
+    const Slot* FindLocked(std::uint64_t stored_key) const C5_REQUIRES(lock);
+    bool EraseLocked(std::uint64_t stored_key) C5_REQUIRES(lock);
   };
 
   static std::uint64_t HashKey(Key key) {

@@ -31,7 +31,7 @@ void FilteredCollector::LogCommit(RecordSpan records) {
 }
 
 void BufferCollector::LogCommit(RecordSpan records) {
-  std::lock_guard<SpinLock> lock(lock_);
+  SpinLockGuard lock(lock_);
   total_.fetch_add(records.size(), std::memory_order_acq_rel);
   for (const LogRecord& rec : records) {
     records_.push_back(rec);
@@ -40,7 +40,7 @@ void BufferCollector::LogCommit(RecordSpan records) {
 }
 
 std::size_t BufferCollector::DrainInto(std::vector<LogRecord>* out) {
-  std::lock_guard<SpinLock> lock(lock_);
+  SpinLockGuard lock(lock_);
   const std::size_t n = records_.size();
   out->insert(out->end(), records_.begin(), records_.end());
   records_.clear();
@@ -75,7 +75,7 @@ void PerThreadLogCollector::LogCommit(RecordSpan records) {
   const std::size_t shard_idx =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
   Shard& shard = shards_[shard_idx];
-  std::lock_guard<SpinLock> lock(shard.lock);
+  SpinLockGuard lock(shard.lock);
   std::vector<LogRecord> txn(records.begin(), records.end());
   for (LogRecord& rec : txn) rec.value = shard.values.Append(rec.value);
   shard.txns.push_back(std::move(txn));
@@ -84,7 +84,7 @@ void PerThreadLogCollector::LogCommit(RecordSpan records) {
 std::size_t PerThreadLogCollector::BufferedTxns() const {
   std::size_t n = 0;
   for (int i = 0; i < kShards; ++i) {
-    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    SpinLockGuard lock(shards_[i].lock);
     n += shards_[i].txns.size();
   }
   return n;
@@ -93,7 +93,7 @@ std::size_t PerThreadLogCollector::BufferedTxns() const {
 Log PerThreadLogCollector::Coalesce() {
   std::vector<std::vector<LogRecord>> all;
   for (int i = 0; i < kShards; ++i) {
-    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    SpinLockGuard lock(shards_[i].lock);
     for (auto& txn : shards_[i].txns) all.push_back(std::move(txn));
     shards_[i].txns.clear();
   }
@@ -119,7 +119,7 @@ Log PerThreadLogCollector::Coalesce() {
   }
   if (open != nullptr && !open->empty()) log.AppendSegment(std::move(open));
   for (int i = 0; i < kShards; ++i) {
-    std::lock_guard<SpinLock> lock(shards_[i].lock);
+    SpinLockGuard lock(shards_[i].lock);
     shards_[i].values.Clear();
   }
   return log;
@@ -138,7 +138,7 @@ OnlineLogCollector::OnlineLogCollector(std::size_t segment_records,
 OnlineLogCollector::~OnlineLogCollector() = default;
 
 SpscQueue<LogSegment*>* OnlineLogCollector::AddSubscriber() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   subscribers_.push_back(std::make_unique<Subscriber>(channel_capacity_));
   return subscribers_.back()->channel.get();
 }
@@ -189,7 +189,7 @@ void OnlineLogCollector::DrainLocked(Timestamp horizon) {
 void OnlineLogCollector::LogCommit(RecordSpan records) {
   const Timestamp horizon =
       horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PendingTxn* txn = AcquirePending();
   txn->ts = records.front().commit_ts;
   txn->records.assign(records.begin(), records.end());
@@ -211,18 +211,30 @@ void OnlineLogCollector::LogCommit(RecordSpan records) {
 void OnlineLogCollector::Flush() {
   const Timestamp horizon =
       horizon_fn_ ? horizon_fn_() : kMaxTimestamp;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DrainLocked(horizon);
   ShipLocked();
 }
 
 void OnlineLogCollector::Finish() {
+  // Collect the channel pointers under the lock, then close outside it:
+  // Close() wakes blocked consumers which may immediately re-enter this
+  // collector (e.g. to report lag), and channel objects are stable once
+  // created (subscribers_ only grows).
+  std::vector<SpscQueue<LogSegment*>*> channels;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DrainLocked(kMaxTimestamp);
     ShipLocked();
+    channels.reserve(subscribers_.size());
+    for (auto& sub : subscribers_) channels.push_back(sub->channel.get());
   }
-  for (auto& sub : subscribers_) sub->channel->Close();
+  for (SpscQueue<LogSegment*>* ch : channels) ch->Close();
+}
+
+SpscQueue<LogSegment*>& OnlineLogCollector::channel() {
+  MutexLock lock(mu_);
+  return *subscribers_[0]->channel;
 }
 
 }  // namespace c5::log

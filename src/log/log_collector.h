@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <span>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/mutex.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "common/spsc_queue.h"
 #include "log/log_segment.h"
 
@@ -107,9 +108,9 @@ class BufferCollector : public LogCollector {
   }
 
  private:
-  mutable SpinLock lock_;
-  std::vector<LogRecord> records_;
-  ArenaRope values_;
+  mutable SpinLock lock_{LockRank::kCollector};
+  std::vector<LogRecord> records_ C5_GUARDED_BY(lock_);
+  ArenaRope values_ C5_GUARDED_BY(lock_);
   std::atomic<std::uint64_t> total_{0};
 };
 
@@ -140,9 +141,11 @@ class PerThreadLogCollector : public LogCollector {
  private:
   struct Shard {
     Shard() : values(&ShippingArena()) {}
-    mutable SpinLock lock;
-    std::vector<std::vector<LogRecord>> txns;
-    ArenaRope values;  // backs the buffered records until Coalesce()
+    mutable SpinLock lock{LockRank::kCollector};
+    std::vector<std::vector<LogRecord>> txns C5_GUARDED_BY(lock);
+    // Backs the buffered records until Coalesce(). Clearing it takes the
+    // arena freelist lock UNDER this one (kCollector < kArenaFree).
+    ArenaRope values C5_GUARDED_BY(lock);
   };
 
   static constexpr int kShards = 256;
@@ -197,7 +200,7 @@ class OnlineLogCollector : public LogCollector {
 
   // The backup side: pops segments in order; nullopt after Finish() + drain.
   // This is subscriber 0's channel (always present).
-  SpscQueue<LogSegment*>& channel() { return *subscribers_[0]->channel; }
+  SpscQueue<LogSegment*>& channel();
 
   // Adds a shipping lane. Call before the first LogCommit (fan-out topology
   // is fixed once shipping starts). Returns the new lane's channel.
@@ -229,21 +232,23 @@ class OnlineLogCollector : public LogCollector {
     std::vector<std::unique_ptr<LogSegment>> store;
   };
 
-  void ShipLocked();
-  void DrainLocked(Timestamp horizon);
-  PendingTxn* AcquirePending();
+  void ShipLocked() C5_REQUIRES(mu_);
+  void DrainLocked(Timestamp horizon) C5_REQUIRES(mu_);
+  PendingTxn* AcquirePending() C5_REQUIRES(mu_);
 
   const std::size_t segment_records_;
   const std::size_t channel_capacity_;
+  // Called OUTSIDE mu_ (it may consult engine state); see LogCommit/Flush.
   ReleaseHorizonFn horizon_fn_;
-  std::mutex mu_;
+  mutable Mutex mu_{LockRank::kCollector};
   std::priority_queue<PendingTxn*, std::vector<PendingTxn*>, PendingOrder>
-      pending_;
-  std::vector<std::unique_ptr<PendingTxn>> pending_pool_;  // all ever made
-  std::vector<PendingTxn*> pending_free_;                  // available
-  std::uint64_t next_seq_ = 0;
-  std::unique_ptr<LogSegment> open_;
-  std::vector<std::unique_ptr<Subscriber>> subscribers_;
+      pending_ C5_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<PendingTxn>> pending_pool_
+      C5_GUARDED_BY(mu_);                                  // all ever made
+  std::vector<PendingTxn*> pending_free_ C5_GUARDED_BY(mu_);  // available
+  std::uint64_t next_seq_ C5_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<LogSegment> open_ C5_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Subscriber>> subscribers_ C5_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> shipped_{0};
 };
 

@@ -30,11 +30,11 @@ void ShipServer::PublishSegment(const log::LogSegment& segment) {
   f.base = segment.base_seq();
   f.count = segment.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     archive_.push_back(std::move(f));
     end_seq_ = segment.base_seq() + segment.size();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ShipServer::PublishLog(const log::Log& log) {
@@ -45,10 +45,10 @@ void ShipServer::PublishLog(const log::Log& log) {
 
 void ShipServer::FinishLog() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     finished_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ShipServer::ServeChannel(SpscQueue<log::LogSegment*>* chan) {
@@ -63,7 +63,7 @@ void ShipServer::ServeChannel(SpscQueue<log::LogSegment*>* chan) {
 }
 
 std::vector<ClientShipStats> ShipServer::ClientStatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ClientShipStats> out;
   out.reserve(clients_.size());
   for (const auto& c : clients_) out.push_back(c->stats);
@@ -71,18 +71,18 @@ std::vector<ClientShipStats> ShipServer::ClientStatsSnapshot() const {
 }
 
 std::uint64_t ShipServer::frames_published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return archive_.size();
 }
 
 std::uint64_t ShipServer::end_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return end_seq_;
 }
 
 void ShipServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
     for (auto& c : clients_) {
@@ -90,13 +90,13 @@ void ShipServer::Stop() {
       c->conn.ShutdownBoth();
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (drain_thread_.joinable()) drain_thread_.join();
   std::vector<std::unique_ptr<Client>> clients;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     clients.swap(clients_);
   }
   for (auto& c : clients) {
@@ -110,7 +110,7 @@ void ShipServer::AcceptLoop() {
     TcpConn conn;
     const Status s = listener_.Accept(&conn);
     if (!s.ok()) return;  // shutdown
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     auto client = std::make_unique<Client>();
     client->id = next_client_id_++;
@@ -161,7 +161,7 @@ void ShipServer::ClientRxLoop(Client* c) {
         break;
       }
       off += kRequestBytes;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       c->stats.subscribed_from = req.arg;
       c->cursor = FrameIndexFor(req.arg);
       if (req.type == RequestType::kSubscribe) {
@@ -171,18 +171,18 @@ void ShipServer::ClientRxLoop(Client* c) {
         c->rewound = true;  // emit a resync marker before retransmitting
       }
       c->end_sent = false;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
     buf.erase(0, off);
     if (broken) break;  // a malformed request means a broken peer: drop it
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     c->closing = true;
     c->stats.connected = false;
     c->conn.ShutdownBoth();  // unblock the tx thread mid-send
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ShipServer::ClientTxLoop(Client* c) {
@@ -192,13 +192,15 @@ void ShipServer::ClientTxLoop(Client* c) {
     bool is_retransmit = false;
     std::uint64_t segment_count = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        return c->closing || stopping_ ||
+      MutexLock lock(mu_);
+      // Explicit loop (not a predicate lambda): the thread-safety analysis
+      // must see the guarded reads performed while mu_ is held.
+      while (!(c->closing || stopping_ ||
                (c->subscribed &&
                 (c->rewound || c->cursor < archive_.size() ||
-                 (finished_ && !c->end_sent)));
-      });
+                 (finished_ && !c->end_sent))))) {
+        cv_.Wait(lock);
+      }
       if (c->closing || stopping_) break;
       if (c->rewound) {
         // NAK recovery: mark the stream position, then retransmit.
@@ -243,10 +245,14 @@ void ShipServer::ClientTxLoop(Client* c) {
     }
 
     if (!c->conn.WriteAll(to_send.data(), to_send.size()).ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       c->closing = true;
       c->stats.connected = false;
-      cv_.notify_all();
+      // Unblock our rx thread promptly: a failed send usually means the
+      // peer is gone, but its FIN can be arbitrarily delayed and the rx
+      // thread would otherwise sit in ReadSome until Stop().
+      c->conn.ShutdownBoth();
+      cv_.NotifyAll();
       continue;  // loop re-checks closing and exits
     }
 
@@ -255,7 +261,7 @@ void ShipServer::ClientTxLoop(Client* c) {
             static_cast<std::uint64_t>(options_.drop_after_frames) &&
         drop_armed_.exchange(false, std::memory_order_relaxed)) {
       // Simulated transport failure: hard-close under the client's feet.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       c->conn.ShutdownBoth();
     }
   }

@@ -27,16 +27,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/spsc_queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "log/log_segment.h"
 #include "net/socket.h"
 
@@ -115,6 +115,13 @@ class ShipServer {
     std::uint64_t count = 0;
   };
 
+  // All mutable Client fields (stats, subscribed, closing, cursor,
+  // high_cursor, rewound, end_sent) are guarded by the server's mu_; the
+  // analysis cannot express a nested struct guarded by an outer instance's
+  // capability, so the discipline is enforced by the lock-rank checker and
+  // review. Exception: conn.ShutdownBoth() is called under mu_ to unblock
+  // the tx thread's WriteAll, which runs OUTSIDE mu_ by design (socket
+  // shutdown is async-signal-like: safe against concurrent send/recv).
   struct Client {
     std::uint64_t id = 0;
     TcpConn conn;
@@ -133,22 +140,22 @@ class ShipServer {
   void ClientRxLoop(Client* c);
   void ClientTxLoop(Client* c);
   // Archive frame index for record seq (last frame with base <= seq; 0 when
-  // seq precedes the archive). Caller holds mu_.
-  std::size_t FrameIndexFor(std::uint64_t seq) const;
+  // seq precedes the archive).
+  std::size_t FrameIndexFor(std::uint64_t seq) const C5_REQUIRES(mu_);
 
   Options options_;
   TcpListener listener_;
   std::thread accept_thread_;
   std::thread drain_thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Frame> archive_;
-  std::uint64_t end_seq_ = 0;
-  bool finished_ = false;
-  bool stopping_ = false;
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::uint64_t next_client_id_ = 0;
+  mutable Mutex mu_{LockRank::kQueue};
+  CondVar cv_;
+  std::vector<Frame> archive_ C5_GUARDED_BY(mu_);
+  std::uint64_t end_seq_ C5_GUARDED_BY(mu_) = 0;
+  bool finished_ C5_GUARDED_BY(mu_) = false;
+  bool stopping_ C5_GUARDED_BY(mu_) = false;
+  std::vector<std::unique_ptr<Client>> clients_ C5_GUARDED_BY(mu_);
+  std::uint64_t next_client_id_ C5_GUARDED_BY(mu_) = 0;
 
   // One-shot fault-hook arming (first stream only; see Options).
   std::atomic<bool> corrupt_armed_{false};

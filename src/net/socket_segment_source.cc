@@ -16,7 +16,7 @@ SocketSegmentSource::~SocketSegmentSource() { Cancel(); }
 
 void SocketSegmentSource::Cancel() {
   cancelled_.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   conn_.ShutdownBoth();  // wake a Next() blocked in ReadSome
 }
 
@@ -72,7 +72,7 @@ bool SocketSegmentSource::EnsureConnected() {
           &req);
       s = conn.WriteAll(req.data(), req.size());
       if (s.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (cancelled_.load(std::memory_order_acquire)) return false;
         conn_ = std::move(conn);
         connected_ = true;
@@ -97,7 +97,7 @@ bool SocketSegmentSource::EnsureConnected() {
 
 void SocketSegmentSource::Disconnect() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conn_.Close();
     connected_ = false;
   }

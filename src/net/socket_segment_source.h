@@ -39,11 +39,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "log/segment_source.h"
 #include "log/wire.h"
@@ -127,8 +127,10 @@ class SocketSegmentSource : public log::SegmentSource {
 
   // conn_ is read/written by the scheduler thread; Cancel() pokes it from
   // outside. mu_ serializes open/close/shutdown — never held across a
-  // blocking read or write.
-  std::mutex mu_;
+  // blocking read or write. (conn_ itself is not GUARDED_BY: ReadSome /
+  // WriteAll run outside the lock by design; only open/close/shutdown
+  // transitions are serialized.)
+  Mutex mu_{LockRank::kQueue};
   TcpConn conn_;
   bool connected_ = false;
   std::atomic<bool> cancelled_{false};

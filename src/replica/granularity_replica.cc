@@ -69,7 +69,7 @@ void GranularityReplica::SchedulerLoop(log::SegmentSource* source) {
       outstanding_writes_.fetch_add(1, std::memory_order_acq_rel);
       bool enqueue_kq = false;
       {
-        std::lock_guard<SpinLock> lock(kq->mu);
+        SpinLockGuard lock(kq->mu);
         kq->writes.push_back(WriteRef{&rec, seq});
         // If the queue is not (and will not become) visible to workers, its
         // new head is eligible: hand the queue to the scheduler queue.
@@ -118,7 +118,7 @@ void GranularityReplica::WorkerLoop() {
       while (true) {
         WriteRef ref;
         {
-          std::lock_guard<SpinLock> lock(kq->mu);
+          SpinLockGuard lock(kq->mu);
           ref = kq->writes.front();
         }
         ApplyRecord(*ref.rec);
@@ -127,7 +127,7 @@ void GranularityReplica::WorkerLoop() {
         ++applied;
         bool more = false;
         {
-          std::lock_guard<SpinLock> lock(kq->mu);
+          SpinLockGuard lock(kq->mu);
           kq->writes.pop_front();
           more = !kq->writes.empty();
           if (!more) kq->in_sched_queue = false;

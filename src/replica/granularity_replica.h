@@ -13,6 +13,7 @@
 
 #include "common/mpmc_queue.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "replica/lag_tracker.h"
 #include "replica/prefix_tracker.h"
 #include "replica/replica.h"
@@ -86,9 +87,9 @@ class GranularityReplica : public ReplicaBase {
   // One per serialization key. The spinlock guards the deque and the
   // in-scheduler-queue flag; writes are executed outside the lock.
   struct KeyQueue {
-    SpinLock mu;
-    std::deque<WriteRef> writes;
-    bool in_sched_queue = false;
+    SpinLock mu{LockRank::kReplicaState};
+    std::deque<WriteRef> writes C5_GUARDED_BY(mu);
+    bool in_sched_queue C5_GUARDED_BY(mu) = false;
   };
 
   std::uint64_t KeyFor(const log::LogRecord& rec) const;

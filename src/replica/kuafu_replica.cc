@@ -139,7 +139,7 @@ void KuaFuReplica::WorkerLoop() {
 void KuaFuReplica::ReleaseDependents(TxnNode* node) {
   std::vector<TxnNode*> children;
   {
-    std::lock_guard<SpinLock> lock(node->children_mu);
+    SpinLockGuard lock(node->children_mu);
     node->completed = true;
     children.swap(node->children);
   }

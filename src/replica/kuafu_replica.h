@@ -13,6 +13,7 @@
 
 #include "common/mpmc_queue.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "replica/lag_tracker.h"
 #include "replica/prefix_tracker.h"
 #include "replica/replica.h"
@@ -73,14 +74,14 @@ class KuaFuReplica : public ReplicaBase {
     // is removed by the scheduler after all edges are wired, preventing
     // premature readiness.
     std::atomic<std::uint64_t> deps{1};
-    SpinLock children_mu;
-    bool completed = false;  // guarded by children_mu
-    std::vector<TxnNode*> children;
+    SpinLock children_mu{LockRank::kReplicaState};
+    bool completed C5_GUARDED_BY(children_mu) = false;
+    std::vector<TxnNode*> children C5_GUARDED_BY(children_mu);
 
     // Returns true if the edge was added; false if this parent already
     // completed (the child need not wait).
     bool TryAddChild(TxnNode* child) {
-      std::lock_guard<SpinLock> lock(children_mu);
+      SpinLockGuard lock(children_mu);
       if (completed) return false;
       children.push_back(child);
       return true;

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace c5::replica {
@@ -36,7 +37,7 @@ class LagTracker {
       return;
     }
     const std::int64_t now = MonotonicNowNanos();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.push_back(Sample{commit_ts, now});
   }
 
@@ -44,7 +45,7 @@ class LagTracker {
   // `visible_ts`. Lags of all covered samples land in the internal histogram.
   void OnVisible(Timestamp visible_ts) {
     const std::int64_t now = MonotonicNowNanos();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (!pending_.empty() && pending_.front().commit_ts <= visible_ts) {
       const std::int64_t lag = now - pending_.front().commit_time_nanos;
       hist_.Record(lag < 0 ? 0 : static_cast<std::uint64_t>(lag));
@@ -55,19 +56,19 @@ class LagTracker {
   // Instantaneous lag gauge: age of the oldest commit not yet visible
   // (0 if fully caught up). Used for time-series plots (Fig. 12).
   std::int64_t CurrentLagNanos() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pending_.empty()) return 0;
     return MonotonicNowNanos() - pending_.front().commit_time_nanos;
   }
 
   std::size_t PendingCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_.size();
   }
 
   // Snapshot of the lag distribution so far; optionally reset.
   Histogram TakeHistogram(bool reset = false) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Histogram out = hist_;
     if (reset) hist_.Reset();
     return out;
@@ -81,10 +82,10 @@ class LagTracker {
 
   const int sample_every_;
   std::atomic<std::uint64_t> counter_{0};
-  mutable std::mutex mu_;
-  std::deque<Sample> pending_;  // commit_ts-ordered (commits are ts-ordered
-                                // up to scheduling jitter; see note below)
-  Histogram hist_;
+  mutable Mutex mu_{LockRank::kStats};
+  std::deque<Sample> pending_ C5_GUARDED_BY(mu_);  // commit_ts-ordered
+      // (commits are ts-ordered up to scheduling jitter; see note below)
+  Histogram hist_ C5_GUARDED_BY(mu_);
 };
 
 }  // namespace c5::replica

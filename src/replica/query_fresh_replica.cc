@@ -16,7 +16,7 @@ QueryFreshReplica::RowState* QueryFreshReplica::RowStateMap::GetOrCreate(
   const std::size_t chunk_idx = row >> kChunkBits;
   Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
   if (chunk == nullptr) {
-    std::lock_guard<SpinLock> lock(grow_mu_);
+    SpinLockGuard lock(grow_mu_);
     chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
     if (chunk == nullptr) {
       chunk = new Chunk();
@@ -77,7 +77,7 @@ void QueryFreshReplica::IngestLoop(log::SegmentSource* source) {
       node->rec = &rec;
       node->next = nullptr;
       {
-        std::lock_guard<SpinLock> lock(state->mu);
+        SpinLockGuard lock(state->mu);
         if (state->tail == nullptr) {
           state->head = node;
         } else {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "replica/lag_tracker.h"
 #include "replica/replica.h"
 
@@ -127,9 +128,12 @@ class QueryFreshReplica : public ReplicaBase {
   // mirror the list length so readers can skip fully-instantiated rows
   // without taking the latch.
   struct RowState {
-    SpinLock mu;
-    PendingNode* head = nullptr;
-    PendingNode* tail = nullptr;
+    // kReplicaState, strictly below kStorage: InstantiateRow holds this
+    // latch across Table::InstallCommitted (which may take the table's
+    // grow lock and the version arena's locks underneath).
+    SpinLock mu{LockRank::kReplicaState};
+    PendingNode* head C5_GUARDED_BY(mu) = nullptr;
+    PendingNode* tail C5_GUARDED_BY(mu) = nullptr;
     std::atomic<std::size_t> appended{0};
     std::atomic<std::size_t> applied{0};
   };
@@ -163,9 +167,11 @@ class QueryFreshReplica : public ReplicaBase {
       RowState rows[kChunkSize];
     };
 
+    // chunks_ entries are written only under grow_mu_ but read lock-free
+    // (publish-with-release), so they are atomics, not guarded data.
     std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
     std::atomic<RowId> max_row_{0};
-    SpinLock grow_mu_;
+    SpinLock grow_mu_{LockRank::kStorage};
   };
 
   void IngestLoop(log::SegmentSource* source);

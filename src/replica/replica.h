@@ -25,10 +25,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "log/segment_source.h"
@@ -128,12 +129,12 @@ class ReplicaBase : public Replica {
   static constexpr std::uint64_t kApplySampleEvery = 64;
 
   void MergeApplyLatency(const Histogram& h) {
-    std::lock_guard<std::mutex> lock(apply_latency_mu_);
+    MutexLock lock(apply_latency_mu_);
     apply_latency_.Merge(h);
   }
 
   Histogram ApplyLatencySnapshot() const {
-    std::lock_guard<std::mutex> lock(apply_latency_mu_);
+    MutexLock lock(apply_latency_mu_);
     return apply_latency_;
   }
 
@@ -280,8 +281,8 @@ class ReplicaBase : public Replica {
   std::atomic<Timestamp> recovery_resume_{0};
 
  private:
-  mutable std::mutex apply_latency_mu_;
-  Histogram apply_latency_;
+  mutable Mutex apply_latency_mu_{LockRank::kStats};
+  Histogram apply_latency_ C5_GUARDED_BY(apply_latency_mu_);
   std::string instance_id_;
 };
 

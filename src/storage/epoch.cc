@@ -59,7 +59,7 @@ EpochManager::Guard::~Guard() {
 void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(retired_mu_);
     retired_.push_back(RetiredItem{ptr, deleter, nullptr, e});
   }
   retired_count_.fetch_add(1, std::memory_order_relaxed);
@@ -68,7 +68,7 @@ void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
 void EpochManager::RetireBatch(void* ptr, std::size_t (*deleter)(void*)) {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(retired_mu_);
     retired_.push_back(RetiredItem{ptr, nullptr, deleter, e});
   }
   retired_count_.fetch_add(1, std::memory_order_relaxed);
@@ -91,7 +91,7 @@ std::size_t EpochManager::ReclaimSome() {
 
   std::vector<RetiredItem> to_free;
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(retired_mu_);
     auto keep_end = std::partition(
         retired_.begin(), retired_.end(),
         [min_active](const RetiredItem& item) {
@@ -110,7 +110,7 @@ std::size_t EpochManager::ReclaimSome() {
 std::size_t EpochManager::ReclaimAllUnsafe() {
   std::vector<RetiredItem> to_free;
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(retired_mu_);
     to_free.swap(retired_);
   }
   std::size_t freed = 0;

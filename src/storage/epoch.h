@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace c5::storage {
 
@@ -109,8 +111,9 @@ class EpochManager {
   std::atomic<std::uint64_t> global_epoch_{1};
   Slot slots_[kMaxThreads];
 
-  std::mutex retired_mu_;
-  std::vector<RetiredItem> retired_;
+  // Deleters always run OUTSIDE retired_mu_ (they may take arena locks).
+  Mutex retired_mu_{LockRank::kEpochRetired};
+  std::vector<RetiredItem> retired_ C5_GUARDED_BY(retired_mu_);
   std::atomic<std::size_t> retired_count_{0};
 };
 

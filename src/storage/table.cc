@@ -34,7 +34,7 @@ Table::Chunk* Table::EnsureChunk(std::size_t chunk_idx) {
   assert(chunk_idx < kMaxChunks && "table exceeded maximum row capacity");
   Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
   if (chunk != nullptr) return chunk;
-  std::lock_guard<SpinLock> lock(grow_mu_);
+  SpinLockGuard lock(grow_mu_);
   chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
   if (chunk == nullptr) {
     chunk = new Chunk();

@@ -187,9 +187,12 @@ class Table {
   RowEntry* EntryOrNull(RowId row) const;
 
   const std::string name_;
+  // chunks_ entries are written only under grow_mu_ but read lock-free
+  // (publish-with-release; see EnsureChunk), so they are atomics rather
+  // than C5_GUARDED_BY data.
   std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
   std::atomic<RowId> next_row_id_{0};
-  SpinLock grow_mu_;
+  SpinLock grow_mu_{LockRank::kStorage};
   VersionArena arena_;
 };
 

@@ -37,7 +37,7 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
   const int pause = 4 + static_cast<int>(txn & 15);
   for (int spin = 0; spin < 256; ++spin) {
     {
-      std::lock_guard<std::mutex> fast(shard.mu);
+      MutexLock fast(shard.mu);
       auto it = shard.entries.find(name);
       if (it == shard.entries.end()) {
         LockEntry& fresh = shard.entries[name];
@@ -60,7 +60,7 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
   }
 
   // Phase 2: FIFO queue with blocking wait.
-  std::unique_lock<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   LockEntry& entry = shard.entries[name];
 
   if (entry.held && entry.owner == txn) return true;  // re-entrant
@@ -71,16 +71,27 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
   }
 
   // FIFO wait: enqueue and wait until we are at the front and the lock is
-  // free. Other entries in this shard share the condition variable, so spurious
-  // wakeups are expected; the predicate re-checks.
+  // free. Other entries in this shard share the condition variable, so
+  // spurious wakeups are expected; the condition is re-checked on every
+  // wake. (Explicit loop, not a predicate lambda: the thread-safety
+  // analysis must see the guarded reads under the held capability. The
+  // entry reference may have been invalidated by rehashing; re-find.)
   entry.waiters.push_back(txn);
-  const bool ok = shard.cv.wait_until(lock, deadline, [&shard, name, txn] {
-    // The entry reference may have been invalidated by rehashing; re-find.
-    auto it = shard.entries.find(name);
-    if (it == shard.entries.end()) return true;  // erased: lock free
+  const auto granted = [](const std::unordered_map<std::uint64_t, LockEntry>&
+                              entries,
+                          std::uint64_t key, TxnId who) {
+    auto it = entries.find(key);
+    if (it == entries.end()) return true;  // erased: lock free
     const LockEntry& e = it->second;
-    return !e.held && !e.waiters.empty() && e.waiters.front() == txn;
-  });
+    return !e.held && !e.waiters.empty() && e.waiters.front() == who;
+  };
+  bool ok = true;
+  while (!granted(shard.entries, name, txn)) {
+    if (shard.cv.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+      ok = granted(shard.entries, name, txn);
+      break;
+    }
+  }
 
   auto it = shard.entries.find(name);
   if (it == shard.entries.end()) {
@@ -98,7 +109,7 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
     if (pos != e.waiters.end()) {
       e.waiters.erase(pos);
       // If we were blocking the new front, wake it.
-      shard.cv.notify_all();
+      shard.cv.NotifyAll();
       return false;
     }
     // We were already at the front and eligible; fall through and take it.
@@ -114,7 +125,7 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
 void LockManager::Release(TxnId txn, TableId table, RowId row) {
   const std::uint64_t name = LockName(table, row);
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(name);
   if (it == shard.entries.end()) return;
   LockEntry& e = it->second;
@@ -124,14 +135,14 @@ void LockManager::Release(TxnId txn, TableId table, RowId row) {
   if (e.waiters.empty()) {
     shard.entries.erase(it);
   } else {
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
   }
 }
 
 std::size_t LockManager::LockedRowCountApprox() const {
   std::size_t n = 0;
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     for (const auto& [name, entry] : shards_[i].entries) {
       n += entry.held ? 1 : 0;
     }

@@ -2,12 +2,13 @@
 #define C5_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
+#include <memory>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace c5::txn {
@@ -52,9 +53,9 @@ class LockManager {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<std::uint64_t, LockEntry> entries;
+    mutable Mutex mu{LockRank::kTxnLockShard};
+    CondVar cv;
+    std::unordered_map<std::uint64_t, LockEntry> entries C5_GUARDED_BY(mu);
   };
 
   static std::uint64_t LockName(TableId table, RowId row) {

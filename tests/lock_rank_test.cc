@@ -1,0 +1,189 @@
+// Tests for the debug lock-rank registry (common/lock_rank.h).
+//
+// Built WITHOUT c5_core (see CMakeLists.txt): only the detector sources,
+// so scripts/check.sh can cheaply rebuild this one target in Release mode
+// and prove the compiled-out contract (the #else branch below).
+//
+// The violation tests are death tests: every rule breach must abort the
+// process with a "[lock_rank]" diagnostic, deterministically — that is the
+// whole point of the detector (a rank inversion is a deadlock that has not
+// happened yet; aborting in any interleaving beats hanging in one).
+
+#include "common/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+#include "common/spin_lock.h"
+
+namespace c5 {
+namespace {
+
+#if C5_LOCK_RANK_ENABLED
+
+TEST(LockRankTest, CleanNestingPasses) {
+  SpinLock outer(LockRank::kClusterState);
+  Mutex mid(LockRank::kCollector);
+  SpinLock inner(LockRank::kArenaFree);
+  {
+    SpinLockGuard g1(outer);
+    MutexLock g2(mid);
+    SpinLockGuard g3(inner);
+    EXPECT_EQ(lock_rank::HeldCount(), 3);
+    EXPECT_TRUE(lock_rank::HeldByThisThread(&outer));
+    EXPECT_TRUE(lock_rank::HeldByThisThread(&mid));
+    EXPECT_TRUE(lock_rank::HeldByThisThread(&inner));
+  }
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+  EXPECT_FALSE(lock_rank::HeldByThisThread(&outer));
+}
+
+TEST(LockRankTest, ReacquireAfterReleaseIsClean) {
+  SpinLock lock(LockRank::kStorage);
+  for (int i = 0; i < 3; ++i) {
+    SpinLockGuard g(lock);
+    EXPECT_EQ(lock_rank::HeldCount(), 1);
+  }
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+}
+
+TEST(LockRankDeathTest, RankInversionAborts) {
+  // kStorage (60) is held; acquiring kCollector (40) inverts the canonical
+  // order — the mirror-image nesting elsewhere would deadlock against this.
+  SpinLock storage(LockRank::kStorage);
+  SpinLock collector(LockRank::kCollector);
+  EXPECT_DEATH(
+      {
+        SpinLockGuard g1(storage);
+        SpinLockGuard g2(collector);
+      },
+      "lock_rank.*rank inversion");
+}
+
+TEST(LockRankDeathTest, EqualRankPeersAbort) {
+  // Two locks of the same rank may never be held together exclusively:
+  // thread A nesting s1->s2 while thread B nests s2->s1 is an AB/BA
+  // deadlock, and rank equality cannot order them.
+  SpinLock s1(LockRank::kIndexShard);
+  SpinLock s2(LockRank::kIndexShard);
+  EXPECT_DEATH(
+      {
+        SpinLockGuard g1(s1);
+        SpinLockGuard g2(s2);
+      },
+      "lock_rank.*rank inversion");
+}
+
+TEST(LockRankDeathTest, SelfReentryAborts) {
+  // The PR-6 HashIndex::ForEach -> ReadKeyAt class: re-acquiring a held,
+  // non-reentrant lock hangs forever; the detector turns it into an abort.
+  SpinLock lock(LockRank::kIndexShard);
+  EXPECT_DEATH(
+      {
+        lock.lock();
+        lock.lock();
+      },
+      "lock_rank.*self-reentry");
+}
+
+TEST(LockRankDeathTest, UnlockOutOfLifoOrderAborts) {
+  Mutex a(LockRank::kCollector);
+  Mutex b(LockRank::kStorage);
+  EXPECT_DEATH(
+      {
+        a.lock();
+        b.lock();
+        a.unlock();  // b is still held above a
+      },
+      "lock_rank.*LIFO");
+}
+
+TEST(LockRankDeathTest, ReleasingUnheldLockAborts) {
+  Mutex m(LockRank::kLeaf);
+  EXPECT_DEATH(m.unlock(), "lock_rank.*does not hold");
+}
+
+TEST(LockRankTest, SharedSameRankStackingAllowed) {
+  // The scatter-gather gate pattern: all shard gates taken SHARED at one
+  // rank. Readers never block readers, so stacking is deadlock-free, and
+  // release order within the run is meaningless (vector destruction
+  // releases in forward order).
+  SharedMutex g0(LockRank::kShardGate);
+  SharedMutex g1(LockRank::kShardGate);
+  SharedMutex g2(LockRank::kShardGate);
+  g0.lock_shared();
+  g1.lock_shared();
+  g2.lock_shared();
+  EXPECT_EQ(lock_rank::HeldCount(), 3);
+  // Out-of-LIFO release inside the equal-rank shared run is permitted.
+  g0.unlock_shared();
+  g1.unlock_shared();
+  g2.unlock_shared();
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+}
+
+TEST(LockRankDeathTest, ExclusiveOnTopOfSharedPeerAborts) {
+  // Only SHARED acquisitions may stack at equal rank: an exclusive acquirer
+  // at the same rank can deadlock against the reader crowd.
+  SharedMutex g0(LockRank::kShardGate);
+  SharedMutex g1(LockRank::kShardGate);
+  EXPECT_DEATH(
+      {
+        g0.lock_shared();
+        g1.lock();
+      },
+      "lock_rank.*rank inversion");
+}
+
+TEST(LockRankTest, TryLockIsExemptFromOrderingRules) {
+  // try_lock cannot block, so it cannot deadlock: a successful try-acquire
+  // below (or at) the held rank is recorded but not flagged. QueryFresh's
+  // optimistic instantiation spin relies on this.
+  SpinLock high(LockRank::kStats);
+  SpinLock low(LockRank::kCollector);
+  high.lock();
+  ASSERT_TRUE(low.try_lock());  // below the held rank: fine for try_lock
+  EXPECT_EQ(lock_rank::HeldCount(), 2);
+  low.unlock();  // LIFO still applies to try-acquired holds
+  high.unlock();
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+}
+
+TEST(LockRankTest, TryLockOnSelfHeldLockFailsWithoutAborting) {
+  // Spinning on try_lock against a self-held lock keeps failing — the
+  // conflict path of QueryFreshReplica::InstantiateRow — and must not trip
+  // the self-reentry rule (only a successful acquire is recorded).
+  SpinLock lock(LockRank::kReplicaState);
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  EXPECT_EQ(lock_rank::HeldCount(), 1);
+  lock.unlock();
+}
+
+TEST(LockRankTest, RankNamesCoverTheEnum) {
+  EXPECT_STREQ(LockRankName(LockRank::kShardGate), "ShardGate");
+  EXPECT_STREQ(LockRankName(LockRank::kArenaFree), "ArenaFree");
+  EXPECT_STREQ(LockRankName(LockRank::kLeaf), "Leaf");
+}
+
+#else  // !C5_LOCK_RANK_ENABLED
+
+// Release contract: the registry vanishes. No rank member (a SpinLock is
+// exactly its one-byte flag again), and every hook is an empty inline.
+static_assert(sizeof(SpinLock) == 1,
+              "lock-rank bookkeeping must compile out in release builds");
+static_assert(sizeof(TicketSpinLock) == 8,
+              "lock-rank bookkeeping must compile out in release builds");
+
+TEST(LockRankTest, DisabledHooksAreInertNoOps) {
+  SpinLock lock;  // default rank; no registry behind it
+  lock.lock();
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+  EXPECT_FALSE(lock_rank::HeldByThisThread(&lock));
+  lock.unlock();
+}
+
+#endif  // C5_LOCK_RANK_ENABLED
+
+}  // namespace
+}  // namespace c5
