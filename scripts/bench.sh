@@ -31,17 +31,19 @@ cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" -j "$jobs" --target \
   bench_fig6_tpcc_opt bench_fig9_read_throughput \
   bench_micro_replay_hotpath bench_shard_scaling bench_reshard_under_load \
-  bench_json_check >/dev/null
+  bench_htap_scan bench_json_check >/dev/null
 
 if [ "$quick" -eq 1 ]; then
   scale=${C5_BENCH_SCALE:-0.01}
   out="$build_dir/BENCH_replay.quick.json"
   out_shards="$build_dir/BENCH_shards.quick.json"
+  out_htap="$build_dir/BENCH_htap.quick.json"
   shard_flags="--quick"
 else
   scale=${C5_BENCH_SCALE:-1.0}
   out="$repo_root/BENCH_replay.json"
   out_shards="$repo_root/BENCH_shards.json"
+  out_htap="$repo_root/BENCH_htap.json"
   shard_flags=""
 fi
 export C5_BENCH_SCALE="$scale"
@@ -107,3 +109,27 @@ echo "== bench_reshard_under_load${shard_flags:+ (quick)}"
 "$build_dir/bench_json_check" "$out_shards" \
   --require shard_scaling --require reshard_under_load
 echo "wrote $out_shards"
+
+# HTAP scan trajectory (BENCH_htap.json): CollectRange baseline vs the
+# ordered-index streaming Scan vs Aggregate pushdown on a backup snapshot.
+# The harness itself enforces the narrow-range >= 10x acceptance bar at full
+# scale (exit nonzero below the bar), so a regression fails this script.
+echo "== bench_htap_scan${shard_flags:+ (quick)}"
+"$build_dir/bench_htap_scan" $shard_flags --json "$tmp/htap.json"
+{
+  printf '{\n"schema_version": 1,\n'
+  printf '"generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '"quick": %s,\n' "$([ "$quick" -eq 1 ] && echo true || echo false)"
+  printf '"htap_scan": '
+  cat "$tmp/htap.json"
+  printf '\n}\n'
+} > "$out_htap"
+"$build_dir/bench_json_check" "$out_htap" \
+  --require htap_scan \
+  --require htap_scan.table_keys \
+  --require htap_scan.narrow_range_speedup \
+  --require htap_scan.rows.stream_ns_per_scan \
+  --require htap_scan.rows.collectrange_ns_per_scan \
+  --require htap_scan.rows.speedup_stream_vs_collectrange \
+  --require htap_scan.rows.stream_allocs_per_scan
+echo "wrote $out_htap"

@@ -100,28 +100,41 @@ run_static_lane
 # invocations with distinct build dirs never race on shared trees.
 # A failing seed prints itself; replay it under the same lane with
 #   C5_DST_SEED=<n> <lane-build-dir>/dst_test
+# ordered_index_test (lock-free skiplist readers racing CAS-linking writers)
+# and htap_scan_test (streaming Scan/Aggregate over a live replica) join the
+# concurrency-sensitive lane set: TSan checks the reader/writer memory
+# ordering, ASan the inline-tower arena lifetimes. The DST ordered-index
+# oracle runs inside dst_test in every lane.
 tsan_dir="${build_dir}-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DC5_SANITIZE=thread >/dev/null
-cmake --build "$tsan_dir" -j "$jobs" --target dst_test cluster_test net_test
+cmake --build "$tsan_dir" -j "$jobs" --target dst_test cluster_test net_test \
+  ordered_index_test htap_scan_test
 C5_DST_SEED_COUNT=16 "$tsan_dir/dst_test"
 "$tsan_dir/cluster_test"
 "$tsan_dir/net_test"
+"$tsan_dir/ordered_index_test"
+"$tsan_dir/htap_scan_test"
 
 asan_dir="${build_dir}-asan"
 cmake -B "$asan_dir" -S "$repo_root" -DC5_SANITIZE=address >/dev/null
-cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test cluster_test net_test
+cmake --build "$asan_dir" -j "$jobs" --target dst_test wire_test cluster_test \
+  net_test ordered_index_test htap_scan_test
 C5_DST_SEED_COUNT=16 "$asan_dir/dst_test"
 "$asan_dir/wire_test"
 "$asan_dir/cluster_test"
 "$asan_dir/net_test"
+"$asan_dir/ordered_index_test"
+"$asan_dir/htap_scan_test"
 
 ubsan_dir="${build_dir}-ubsan"
 cmake -B "$ubsan_dir" -S "$repo_root" -DC5_SANITIZE=undefined >/dev/null
-cmake --build "$ubsan_dir" -j "$jobs" --target dst_test wire_test cluster_test net_test
+cmake --build "$ubsan_dir" -j "$jobs" --target dst_test wire_test cluster_test \
+  net_test ordered_index_test
 C5_DST_SEED_COUNT=16 "$ubsan_dir/dst_test"
 "$ubsan_dir/wire_test"
 "$ubsan_dir/cluster_test"
 "$ubsan_dir/net_test"
+"$ubsan_dir/ordered_index_test"
 
 # Release compile-out probe: lock_rank_test deliberately links no c5_core,
 # so this rebuilds two translation units, runs the static_asserts proving

@@ -302,6 +302,35 @@ Status ShardedCluster::Scan(TableId table, Key lo, Key hi,
   return Status::Ok();
 }
 
+Status ShardedCluster::Aggregate(TableId table, Key lo, Key hi,
+                                 const AggSpec& spec, AggResult* out) {
+  *out = AggResult{};
+  if (!router_.IsPartitioned(table)) {
+    // Same disjoint-ownership requirement as Scan: without it a replicated
+    // key would contribute to every shard's partial.
+    return Status::InvalidArgument(
+        "cross-shard aggregation over an unpartitioned table is not defined");
+  }
+  const auto gates = AcquireAllShared();
+  struct OwnerCtx {
+    const ShardRouter* router;
+    TableId table;
+    std::size_t shard;
+  };
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    OwnerCtx ctx{&router_, table, s};
+    AggSpec shard_spec = spec;
+    shard_spec.key_filter = [](Key key, void* p) {
+      const auto* c = static_cast<const OwnerCtx*>(p);
+      return c->router->ShardOf(c->table, key) == c->shard;
+    };
+    shard_spec.key_filter_ctx = &ctx;
+    const Snapshot snap = shards_[s]->OpenSnapshot();
+    out->Merge(snap.Aggregate(table, lo, hi, shard_spec));
+  }
+  return Status::Ok();
+}
+
 // ---- Sessions ---------------------------------------------------------------
 
 ShardedCluster::Session::Session(ShardedCluster* owner) : owner_(owner) {

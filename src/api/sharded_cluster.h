@@ -185,6 +185,14 @@ class ShardedCluster {
   Status Scan(TableId table, Key lo, Key hi,
               std::vector<std::pair<Key, Value>>* out);
 
+  // Cross-shard aggregation pushdown over [lo, hi): each shard evaluates
+  // the aggregate inside its own index walk at its own pinned snapshot
+  // (restricted to the keys it owns, so a mid-migration copy window never
+  // double-counts), and the partials merge losslessly (AggResult::Merge).
+  // Same unpartitioned-table restriction as Scan.
+  Status Aggregate(TableId table, Key lo, Key hi, const AggSpec& spec,
+                   AggResult* out);
+
   // ---- Sessions -------------------------------------------------------------
   // The §2.3 session guarantees (monotonic reads, read-your-writes) across
   // the whole fleet, one causality token PER SHARD: a write on shard s only

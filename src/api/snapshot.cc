@@ -1,5 +1,7 @@
 #include "api/snapshot.h"
 
+#include <cstring>
+
 namespace c5 {
 
 Snapshot::Snapshot(replica::ReplicaBase* replica)
@@ -47,35 +49,73 @@ std::vector<Status> Snapshot::MultiGet(TableId table,
 }
 
 Snapshot::Iterator::Iterator(const Snapshot* snap, TableId table,
-                             std::vector<std::pair<Key, RowId>> entries)
-    : snap_(snap), table_(table), entries_(std::move(entries)) {
+                             index::OrderedIndex::Cursor cursor)
+    : snap_(snap), table_(table), cursor_(cursor) {
   Settle();
 }
 
 void Snapshot::Iterator::Settle() {
-  storage::Database& db = snap_->replica_->db();
-  storage::Table& tbl = db.table(table_);
-  for (; pos_ < entries_.size(); ++pos_) {
-    const auto& [key, row] = entries_[pos_];
-    (void)key;
-    snap_->replica_->PrepareRowRead(table_, row, snap_->ts_);
-    const storage::Version* v = tbl.ReadAt(row, snap_->ts_);
-    if (v != nullptr && !v->deleted) {
-      value_ = v->value();
-      return;
+  storage::Table& tbl = snap_->replica_->db().table(table_);
+  while (cursor_.Valid()) {
+    const RowId row = cursor_.row();
+    // The binding can be erased between the cursor's own settle and this
+    // re-load; treat it like any other key that is dead at the snapshot.
+    if (row != kInvalidRowId) {
+      snap_->replica_->PrepareRowRead(table_, row, snap_->ts_);
+      const storage::Version* v = tbl.ReadAt(row, snap_->ts_);
+      if (v != nullptr && !v->deleted) {
+        value_ = v->value();
+        return;
+      }
     }
+    cursor_.Next();
   }
   value_ = {};
 }
 
 Snapshot::Iterator Snapshot::Scan(TableId table, Key lo, Key hi) const {
-  // The hash index is unordered, so the range is collected and sorted up
-  // front; versions are resolved lazily as the iterator advances. Index
-  // entries bound concurrently with the scan may or may not appear — either
-  // way their versions lie above ts_ and would be skipped.
-  std::vector<std::pair<Key, RowId>> entries;
-  replica_->db().index(table).CollectRange(lo, hi, &entries);
-  return Iterator(this, table, std::move(entries));
+  // Streams straight off the ordered index: positioning is O(log n), each
+  // advance touches one binding, and nothing is materialized. Index entries
+  // bound concurrently with the scan may or may not appear — either way
+  // their versions lie above ts_ and would be skipped.
+  return Iterator(this, table, replica_->db().ordered_index(table).Seek(lo, hi));
+}
+
+AggResult Snapshot::Aggregate(TableId table, Key lo, Key hi,
+                              const AggSpec& spec) const {
+  AggResult r;
+  const bool needs_field =
+      spec.op != AggOp::kCount || spec.filter_below.has_value();
+  storage::Database& db = replica_->db();
+  storage::Table& tbl = db.table(table);
+  for (auto c = db.ordered_index(table).Seek(lo, hi); c.Valid(); c.Next()) {
+    if (spec.key_filter != nullptr &&
+        !spec.key_filter(c.key(), spec.key_filter_ctx)) {
+      continue;
+    }
+    const RowId row = c.row();
+    if (row == kInvalidRowId) continue;
+    replica_->PrepareRowRead(table, row, ts_);
+    const storage::Version* v = tbl.ReadAt(row, ts_);
+    if (v == nullptr || v->deleted) continue;
+    if (!needs_field) {
+      ++r.rows;
+      continue;
+    }
+    const std::string_view payload = v->value();
+    if (payload.size() <
+        static_cast<std::size_t>(spec.field_offset) + spec.field_width) {
+      continue;
+    }
+    std::uint64_t field = 0;
+    std::memcpy(&field, payload.data() + spec.field_offset, spec.field_width);
+    if (spec.filter_below.has_value() && field >= *spec.filter_below) continue;
+    ++r.rows;
+    r.sum += field;
+    if (field < r.min) r.min = field;
+    if (field > r.max) r.max = field;
+  }
+  return r;
 }
 
 }  // namespace c5

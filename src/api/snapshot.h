@@ -31,16 +31,78 @@
 #ifndef C5_API_SNAPSHOT_H_
 #define C5_API_SNAPSHOT_H_
 
+#include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "index/ordered_index.h"
 #include "replica/replica.h"
 #include "storage/epoch.h"
 #include "txn/active_txn_tracker.h"
 
 namespace c5 {
+
+// Aggregation pushdown over a key range (Snapshot::Aggregate): the aggregate
+// is evaluated inside the ordered-index walk — no keys, rows, or values are
+// materialized — so a backup can answer analytical range queries (TPC-C
+// stock-level style) in one pass at index-walk cost.
+enum class AggOp : std::uint8_t { kCount, kSum, kMin, kMax };
+
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  // For kSum/kMin/kMax (and filter_below): the aggregated field is a
+  // little-endian unsigned integer of `field_width` bytes (4 or 8) at byte
+  // `field_offset` of the row payload — matching the memcpy'd POD row
+  // encodings (workload/tpcc_schema.h). Rows too short for the field are
+  // skipped.
+  std::uint32_t field_offset = 0;
+  std::uint32_t field_width = 8;
+  // Predicate pushed into the same walk: when set, only rows whose field is
+  // strictly below the bound participate (stock-level's quantity threshold).
+  std::optional<std::uint64_t> filter_below;
+  // Key-level predicate, checked before any row work. Plain function
+  // pointer + context (not std::function) so building a spec stays
+  // allocation-free. ShardedCluster uses it to restrict each shard's walk
+  // to the keys that shard OWNS — during a migration's copy window moving
+  // keys exist on source and destination, and without the filter the
+  // cross-shard merge would double-count them.
+  bool (*key_filter)(Key key, void* ctx) = nullptr;
+  void* key_filter_ctx = nullptr;
+};
+
+// All four aggregates come from the same walk, so whenever the walk decodes
+// the field (op != kCount, or filter_below set) they are all reported;
+// `value()` projects the one the spec asked for. A pure unfiltered kCount
+// never touches payload bytes, so only `rows` is meaningful there, and
+// min/max are meaningful only when rows > 0.
+struct AggResult {
+  std::uint64_t rows = 0;  // live rows that matched at the snapshot
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+
+  std::uint64_t value(AggOp op) const {
+    switch (op) {
+      case AggOp::kCount: return rows;
+      case AggOp::kSum: return sum;
+      case AggOp::kMin: return min;
+      case AggOp::kMax: return max;
+    }
+    return 0;
+  }
+
+  // Cross-shard combine (ShardedCluster::Aggregate): every AggOp is
+  // decomposable, so per-shard partials merge losslessly.
+  void Merge(const AggResult& o) {
+    rows += o.rows;
+    sum += o.sum;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+};
 
 class Snapshot {
  public:
@@ -64,34 +126,44 @@ class Snapshot {
   // Keys deleted (or never written) at the snapshot are skipped. The
   // iterator borrows the Snapshot; advance with Next() while Valid().
   //
+  // Streaming: the iterator walks the table's ordered index directly and
+  // resolves one version per step — nothing is materialized up front, so a
+  // Scan costs O(1) allocations however wide the range (the PR-10 fix for
+  // the CollectRange-backed iterator, which copied and sorted the entire
+  // match set before the first Next()).
+  //
   //   for (auto it = snap.Scan(t, lo, hi); it.Valid(); it.Next())
   //     use(it.key(), it.value());
   class Iterator {
    public:
-    bool Valid() const { return pos_ < entries_.size(); }
-    Key key() const { return entries_[pos_].first; }
+    bool Valid() const { return cursor_.Valid(); }
+    Key key() const { return cursor_.key(); }
     // View into the version payload; valid while the Snapshot is open.
     std::string_view value() const { return value_; }
     void Next() {
-      ++pos_;
+      cursor_.Next();
       Settle();
     }
 
    private:
     friend class Snapshot;
     Iterator(const Snapshot* snap, TableId table,
-             std::vector<std::pair<Key, RowId>> entries);
-    // Skips forward to the next entry with a live version at the snapshot.
+             index::OrderedIndex::Cursor cursor);
+    // Skips forward to the next key with a live version at the snapshot.
     void Settle();
 
     const Snapshot* snap_;
     TableId table_;
-    std::vector<std::pair<Key, RowId>> entries_;
-    std::size_t pos_ = 0;
+    index::OrderedIndex::Cursor cursor_;
     std::string_view value_;
   };
 
   Iterator Scan(TableId table, Key lo, Key hi) const;
+
+  // Aggregation pushdown: folds the live rows of [lo, hi) at the snapshot
+  // into an AggResult inside the index walk (see AggSpec). Same visibility
+  // rules as Scan; allocation-free.
+  AggResult Aggregate(TableId table, Key lo, Key hi, const AggSpec& spec) const;
 
  private:
   friend class replica::ReplicaBase;

@@ -348,7 +348,7 @@ void C5MyRocksReplica::WorkerLoop(int idx) {
       // potentially row-creating record (see ReplicaBase::ApplyRecord).
       if (rec.op != OpType::kUpdate ||
           table.NewestVisibleTimestamp(rec.row) == kInvalidTimestamp) {
-        db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
+        db_->BindIfNewer(rec.table, rec.key, rec.row, rec.commit_ts);
       }
       // §5.2: while a snapshot is being taken, writes beyond the boundary n
       // must wait ("choosing n also blocks workers from executing writes

@@ -250,7 +250,7 @@ void C5Replica::WorkerLoop(int idx) {
       // (see ReplicaBase::ApplyRecord).
       if (rec.op != OpType::kUpdate ||
           table.NewestVisibleTimestamp(rec.row) == kInvalidTimestamp) {
-        db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
+        db_->BindIfNewer(rec.table, rec.key, rec.row, rec.commit_ts);
       }
       bool applied;
       if ((apply_tick++ & (kApplySampleEvery - 1)) == 0) {

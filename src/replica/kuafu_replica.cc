@@ -103,8 +103,7 @@ void KuaFuReplica::WorkerLoop() {
       // update after an aborted insert); bind the index for every
       // potentially row-creating record (see ReplicaBase::ApplyRecord).
       if (rec->op != OpType::kUpdate || newest == kInvalidTimestamp) {
-        db_->index(rec->table).UpsertIfNewer(rec->key, rec->row,
-                                            rec->commit_ts);
+        db_->BindIfNewer(rec->table, rec->key, rec->row, rec->commit_ts);
       }
       // Idempotency under at-least-once delivery / checkpoint resume: skip
       // records already covered by this row's state. Safe without a lock:

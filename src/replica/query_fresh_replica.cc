@@ -71,7 +71,7 @@ void QueryFreshReplica::IngestLoop(log::SegmentSource* source) {
       // (see ReplicaBase::ApplyRecord).
       if (rec.op != OpType::kUpdate ||
           state->appended.load(std::memory_order_relaxed) == 0) {
-        db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
+        db_->BindIfNewer(rec.table, rec.key, rec.row, rec.commit_ts);
       }
       PendingNode* node = arena_.New();
       node->rec = &rec;

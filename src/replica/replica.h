@@ -237,7 +237,7 @@ class ReplicaBase : public Replica {
     // parallel application of the old-row and new-row creating records
     // must converge to the newest row, whatever order they land in.
     if (rec.op != OpType::kUpdate || newest == kInvalidTimestamp) {
-      db_->index(rec.table).UpsertIfNewer(rec.key, rec.row, rec.commit_ts);
+      db_->BindIfNewer(rec.table, rec.key, rec.row, rec.commit_ts);
     }
     if (newest < rec.commit_ts) {
       table.InstallCommitted(rec.row, rec.commit_ts, rec.value,

@@ -315,6 +315,13 @@ void CheckReplicaState(const std::string& who, DstPrimary& primary,
     ++report->scan_checks;
   }
 
+  // Secondary-index consistency: the ordered index must mirror the hash
+  // index exactly and carry the same newest-record bindings as the log.
+  if (!CheckOrderedIndexOracle(backup, primary.log, &detail,
+                               &report->ordered_index_checks)) {
+    fail(detail);
+  }
+
   // Historical prefix checks need retained history; a replica that GC'd
   // during replay legitimately truncated below its horizon, so only the
   // final state is comparable there (ASan enforces the reclamation side).

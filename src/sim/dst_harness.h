@@ -116,6 +116,10 @@ struct DstReport {
   std::uint64_t recovery_windows_closed = 0;
   // Range-scan oracle executions (one per convergence replica).
   std::uint64_t scan_checks = 0;
+  // Ordered-index consistency oracle: bindings verified across every
+  // convergence replica (dst_oracle.h CheckOrderedIndexOracle). dst_test
+  // asserts this is nonzero per seed — the oracle must actually fire.
+  std::uint64_t ordered_index_checks = 0;
   // Sharded mode: how many shard groups ran (1 = the classic scenario), and
   // how many (replica, key) placements the cross-shard router oracle
   // checked — every key a shard's replica materialized must route to that

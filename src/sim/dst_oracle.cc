@@ -324,4 +324,82 @@ bool CheckScanOracle(const Snapshot& snap, TableId table, const log::Log& log,
   return true;
 }
 
+bool CheckOrderedIndexOracle(storage::Database& db, const log::Log& log,
+                             std::string* detail,
+                             std::uint64_t* keys_checked) {
+  const auto guard = db.epochs().Enter();
+  std::uint64_t checked = 0;
+  const auto fail = [detail](std::string why) {
+    if (detail != nullptr) *detail = "ordered index oracle: " + std::move(why);
+    return false;
+  };
+
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    // (1) One ordered sweep: strictly ascending keys, every binding agreed
+    // by the hash index.
+    bool bad = false;
+    std::string why;
+    bool first = true;
+    Key prev = 0;
+    db.ordered_index(t).ForEach([&](Key key, RowId row, Timestamp) {
+      if (bad) return;
+      if (!first && key <= prev) {
+        bad = true;
+        why = "iteration not strictly ascending at table " +
+              std::to_string(t) + " key " + std::to_string(key);
+        return;
+      }
+      first = false;
+      prev = key;
+      const auto hash_row = db.index(t).Lookup(key);
+      if (!hash_row.has_value() || *hash_row != row) {
+        bad = true;
+        why = "phantom binding at table " + std::to_string(t) + " key " +
+              std::to_string(key) + ": ordered row " + std::to_string(row) +
+              ", hash " +
+              (hash_row.has_value() ? "row " + std::to_string(*hash_row)
+                                    : std::string("nothing"));
+      }
+    });
+    if (bad) return fail(std::move(why));
+
+    // (2) Reverse containment: every hash binding reachable when iterating.
+    db.index(t).ForEach([&](Key key, RowId row, Timestamp) {
+      if (bad) return;
+      ++checked;
+      const auto ordered_row = db.ordered_index(t).Lookup(key);
+      if (!ordered_row.has_value() || *ordered_row != row) {
+        bad = true;
+        why = "missing binding at table " + std::to_string(t) + " key " +
+              std::to_string(key) + ": hash row " + std::to_string(row) +
+              ", ordered " +
+              (ordered_row.has_value()
+                   ? "row " + std::to_string(*ordered_row)
+                   : std::string("nothing"));
+      }
+    });
+    if (bad) return fail(std::move(why));
+  }
+
+  // (3) Newest-record convergence, against the log itself (kMaxTimestamp:
+  // bindings are final once the replica is caught up).
+  const auto expectations = MaterializeByBoundRow(log, kMaxTimestamp);
+  for (const auto& [tk, expect] : expectations) {
+    const auto& [table, key] = tk;
+    const auto bound = db.ordered_index(table).LookupWithTs(key);
+    if (!bound.has_value() || bound->first != expect.bound_row) {
+      return fail("binding at table " + std::to_string(table) + " key " +
+                  std::to_string(key) + " is " +
+                  (bound.has_value() ? "row " + std::to_string(bound->first)
+                                     : std::string("nothing")) +
+                  ", newest record is on row " +
+                  std::to_string(expect.bound_row) + " (ts " +
+                  std::to_string(expect.bound_ts) + ")");
+    }
+    ++checked;
+  }
+  if (keys_checked != nullptr) *keys_checked += checked;
+  return true;
+}
+
 }  // namespace c5::sim

@@ -75,6 +75,22 @@ bool CheckLogicalSnapshotOracle(storage::Database& db, const log::Log& log,
 bool CheckScanOracle(const Snapshot& snap, TableId table, const log::Log& log,
                      std::uint64_t keyspace, std::string* detail);
 
+// Secondary-index consistency oracle for the ordered index (PR 10): on a
+// caught-up replica,
+//  (1) ordered iteration visits strictly ascending keys, and every binding
+//      it yields agrees with the hash index (no phantom keys);
+//  (2) every hash-index binding is reachable through the ordered index (no
+//      missing keys);
+//  (3) for every key the log mentions, the ordered index — like the hash
+//      index — is bound to the row of the key's newest record over the
+//      whole log (the timestamp-aware convergence invariant, checked
+//      against the log rather than against the sibling index).
+// `keys_checked` (optional) accumulates how many bindings were verified, so
+// the harness can prove the oracle actually ran (dst_test asserts > 0).
+bool CheckOrderedIndexOracle(storage::Database& db, const log::Log& log,
+                             std::string* detail,
+                             std::uint64_t* keys_checked = nullptr);
+
 }  // namespace c5::sim
 
 #endif  // C5_SIM_DST_ORACLE_H_

@@ -159,7 +159,6 @@ Status LoadCheckpoint(Database* db, const std::string& path,
       return Status::InvalidArgument("malformed checkpoint table header");
     }
     Table& table = db->table(table_id);
-    index::HashIndex& index = db->index(table_id);
     for (std::uint64_t i = 0; i < count; ++i) {
       std::uint64_t key = 0, row = 0, bind_ts = 0, write_ts = 0;
       std::uint8_t deleted = 0;
@@ -173,7 +172,7 @@ Status LoadCheckpoint(Database* db, const std::string& path,
       rd.remove_prefix(value_len);
       table.EnsureRow(row);
       table.InstallCommitted(row, write_ts, value, deleted != 0);
-      index.UpsertIfNewer(key, row, bind_ts);
+      db->BindIfNewer(table_id, key, row, bind_ts);
     }
   }
   if (!rd.empty()) {

@@ -8,13 +8,16 @@
 #include "common/spin_lock.h"
 #include "common/types.h"
 #include "index/hash_index.h"
+#include "index/ordered_index.h"
 #include "storage/epoch.h"
 #include "storage/table.h"
 
 namespace c5::storage {
 
-// A database: a set of multi-version tables, each paired with a key -> row-id
-// hash index, plus the epoch manager that protects version reclamation.
+// A database: a set of multi-version tables, each paired with two key ->
+// row-id secondary indexes — a hash index for point lookups and an ordered
+// index for range scans / aggregation pushdown — plus the epoch manager that
+// protects version reclamation.
 //
 // Two Database instances play the primary and backup in replication
 // experiments. Table ids are assigned in creation order, so creating the
@@ -38,8 +41,42 @@ class Database {
   const Table& table(TableId id) const { return *tables_[id]; }
   index::HashIndex& index(TableId id) { return *indexes_[id]; }
   const index::HashIndex& index(TableId id) const { return *indexes_[id]; }
+  index::OrderedIndex& ordered_index(TableId id) {
+    return *ordered_indexes_[id];
+  }
+  const index::OrderedIndex& ordered_index(TableId id) const {
+    return *ordered_indexes_[id];
+  }
 
   std::size_t NumTables() const { return tables_.size(); }
+
+  // ---- Index binding seam ---------------------------------------------------
+  // Every path that binds key -> row must keep the hash and ordered indexes
+  // in step; these helpers are the only places that touch both, so a new
+  // apply path cannot update one and forget the other.
+
+  // Timestamp-aware bind used by every backup apply path (and checkpoint
+  // load): installs key -> row in both indexes iff `ts` is at or above the
+  // existing binding (HashIndex::UpsertIfNewer discipline). Returns whether
+  // the hash binding was installed/refreshed.
+  bool BindIfNewer(TableId tid, Key key, RowId row, Timestamp ts) {
+    const bool bound = indexes_[tid]->UpsertIfNewer(key, row, ts);
+    ordered_indexes_[tid]->UpsertIfNewer(key, row, ts);
+    return bound;
+  }
+
+  // Primary-engine insert bind: claims key -> fresh if the key is unbound.
+  // The hash index arbitrates racing inserts; only the winner propagates to
+  // the ordered index (the loser returns the winner's row, so both indexes
+  // always agree on the binding). Returns the bound row for `key`.
+  RowId BindInsert(TableId tid, Key key, RowId fresh) {
+    if (indexes_[tid]->Insert(key, fresh)) {
+      ordered_indexes_[tid]->Upsert(key, fresh);
+      return fresh;
+    }
+    const auto existing = indexes_[tid]->Lookup(key);
+    return existing.has_value() ? *existing : kInvalidRowId;
+  }
 
   EpochManager& epochs() { return epochs_; }
 
@@ -65,6 +102,7 @@ class Database {
  private:
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::unique_ptr<index::HashIndex>> indexes_;
+  std::vector<std::unique_ptr<index::OrderedIndex>> ordered_indexes_;
   EpochManager epochs_;
 };
 

@@ -22,6 +22,53 @@ LockManager::LockManager(int shard_count) {
   shards_ = std::make_unique<Shard[]>(shards);
 }
 
+LockManager::LockNode* LockManager::Find(Shard& shard, std::uint64_t name) {
+  for (LockNode* n = shard.buckets[BucketOf(name)]; n != nullptr;
+       n = n->next) {
+    if (n->name == name) return n;
+  }
+  return nullptr;
+}
+
+LockManager::LockNode* LockManager::GetOrCreate(Shard& shard,
+                                                std::uint64_t name) {
+  const std::size_t b = BucketOf(name);
+  for (LockNode* n = shard.buckets[b]; n != nullptr; n = n->next) {
+    if (n->name == name) return n;
+  }
+  LockNode* n = shard.free_list;
+  if (n != nullptr) {
+    shard.free_list = n->next;
+  } else {
+    if (shard.slabs.empty() || shard.last_slab_used == kSlabNodes) {
+      shard.slabs.push_back(std::make_unique<LockNode[]>(kSlabNodes));
+      shard.last_slab_used = 0;
+    }
+    n = &shard.slabs.back()[shard.last_slab_used++];
+  }
+  n->name = name;
+  n->held = false;
+  n->owner = 0;
+  n->waiters.reset();
+  n->next = shard.buckets[b];
+  shard.buckets[b] = n;
+  return n;
+}
+
+void LockManager::Recycle(Shard& shard, LockNode* node) {
+  LockNode** link = &shard.buckets[BucketOf(node->name)];
+  while (*link != node) link = &(*link)->next;
+  *link = node->next;
+  node->next = shard.free_list;
+  shard.free_list = node;
+}
+
+bool LockManager::Granted(Shard& shard, std::uint64_t name, TxnId who) {
+  const LockNode* n = Find(shard, name);
+  if (n == nullptr) return true;  // recycled: lock free
+  return !n->held && !n->waiters.empty() && n->waiters.front() == who;
+}
+
 bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
                           std::chrono::steady_clock::time_point deadline) {
   const std::uint64_t name = LockName(table, row);
@@ -38,18 +85,17 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
   for (int spin = 0; spin < 256; ++spin) {
     {
       MutexLock fast(shard.mu);
-      auto it = shard.entries.find(name);
-      if (it == shard.entries.end()) {
-        LockEntry& fresh = shard.entries[name];
-        fresh.held = true;
-        fresh.owner = txn;
+      LockNode* n = Find(shard, name);
+      if (n == nullptr) {
+        n = GetOrCreate(shard, name);
+        n->held = true;
+        n->owner = txn;
         return true;
       }
-      LockEntry& e = it->second;
-      if (e.held && e.owner == txn) return true;  // re-entrant
-      if (!e.held && e.waiters.empty()) {
-        e.held = true;
-        e.owner = txn;
+      if (n->held && n->owner == txn) return true;  // re-entrant
+      if (!n->held && n->waiters.empty()) {
+        n->held = true;
+        n->owner = txn;
         return true;
       }
     }
@@ -61,64 +107,56 @@ bool LockManager::Acquire(TxnId txn, TableId table, RowId row,
 
   // Phase 2: FIFO queue with blocking wait.
   MutexLock lock(shard.mu);
-  LockEntry& entry = shard.entries[name];
+  LockNode* entry = GetOrCreate(shard, name);
 
-  if (entry.held && entry.owner == txn) return true;  // re-entrant
-  if (!entry.held && entry.waiters.empty()) {
-    entry.held = true;
-    entry.owner = txn;
+  if (entry->held && entry->owner == txn) return true;  // re-entrant
+  if (!entry->held && entry->waiters.empty()) {
+    entry->held = true;
+    entry->owner = txn;
     return true;
   }
 
   // FIFO wait: enqueue and wait until we are at the front and the lock is
   // free. Other entries in this shard share the condition variable, so
   // spurious wakeups are expected; the condition is re-checked on every
-  // wake. (Explicit loop, not a predicate lambda: the thread-safety
-  // analysis must see the guarded reads under the held capability. The
-  // entry reference may have been invalidated by rehashing; re-find.)
-  entry.waiters.push_back(txn);
-  const auto granted = [](const std::unordered_map<std::uint64_t, LockEntry>&
-                              entries,
-                          std::uint64_t key, TxnId who) {
-    auto it = entries.find(key);
-    if (it == entries.end()) return true;  // erased: lock free
-    const LockEntry& e = it->second;
-    return !e.held && !e.waiters.empty() && e.waiters.front() == who;
-  };
+  // wake. (Granted is an annotated method, not a lambda, so the
+  // thread-safety analysis sees the guarded reads under the held
+  // capability. The node may have been recycled and reused while we
+  // slept; re-find.)
+  entry->waiters.push(txn);
   bool ok = true;
-  while (!granted(shard.entries, name, txn)) {
+  while (!Granted(shard, name, txn)) {
     if (shard.cv.WaitUntil(lock, deadline) == std::cv_status::timeout) {
-      ok = granted(shard.entries, name, txn);
+      ok = Granted(shard, name, txn);
       break;
     }
   }
 
-  auto it = shard.entries.find(name);
-  if (it == shard.entries.end()) {
-    // Entry vanished while we waited (released with no other waiters and
-    // erased). Recreate and take it.
-    LockEntry& fresh = shard.entries[name];
-    fresh.held = true;
-    fresh.owner = txn;
+  LockNode* e = Find(shard, name);
+  if (e == nullptr) {
+    // Node vanished while we waited (released with no other waiters and
+    // recycled). Recreate and take it.
+    e = GetOrCreate(shard, name);
+    e->held = true;
+    e->owner = txn;
     return true;
   }
-  LockEntry& e = it->second;
   if (!ok) {
     // Timed out: withdraw our request.
-    auto pos = std::find(e.waiters.begin(), e.waiters.end(), txn);
-    if (pos != e.waiters.end()) {
-      e.waiters.erase(pos);
+    if (e->waiters.withdraw(txn)) {
       // If we were blocking the new front, wake it.
       shard.cv.NotifyAll();
       return false;
     }
     // We were already at the front and eligible; fall through and take it.
-    if (e.held || e.waiters.empty() || e.waiters.front() != txn) return false;
+    if (e->held || e->waiters.empty() || e->waiters.front() != txn) {
+      return false;
+    }
   }
   // Granted: we are at the front and the lock is free.
-  e.waiters.pop_front();
-  e.held = true;
-  e.owner = txn;
+  e->waiters.pop();
+  e->held = true;
+  e->owner = txn;
   return true;
 }
 
@@ -126,28 +164,30 @@ void LockManager::Release(TxnId txn, TableId table, RowId row) {
   const std::uint64_t name = LockName(table, row);
   Shard& shard = ShardFor(name);
   MutexLock lock(shard.mu);
-  auto it = shard.entries.find(name);
-  if (it == shard.entries.end()) return;
-  LockEntry& e = it->second;
-  if (!e.held || e.owner != txn) return;
-  e.held = false;
-  e.owner = 0;
-  if (e.waiters.empty()) {
-    shard.entries.erase(it);
+  LockNode* n = Find(shard, name);
+  if (n == nullptr) return;
+  if (!n->held || n->owner != txn) return;
+  n->held = false;
+  n->owner = 0;
+  if (n->waiters.empty()) {
+    Recycle(shard, n);
   } else {
     shard.cv.NotifyAll();
   }
 }
 
 std::size_t LockManager::LockedRowCountApprox() const {
-  std::size_t n = 0;
+  std::size_t count = 0;
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
     MutexLock lock(shards_[i].mu);
-    for (const auto& [name, entry] : shards_[i].entries) {
-      n += entry.held ? 1 : 0;
+    for (std::size_t b = 0; b < kBucketsPerShard; ++b) {
+      for (const LockNode* n = shards_[i].buckets[b]; n != nullptr;
+           n = n->next) {
+        count += n->held ? 1 : 0;
+      }
     }
   }
-  return n;
+  return count;
 }
 
 }  // namespace c5::txn

@@ -127,13 +127,10 @@ class MvtsoEngine::MvtsoTxn : public Txn {
       if (v != nullptr && !v->deleted) return Status::AlreadyExists();
     } else {
       const RowId fresh = db.table(table).AllocateRow();
-      if (db.index(table).Insert(key, fresh)) {
-        row = fresh;
-      } else {
-        // Lost an insert race; the slot is wasted, reuse the winner's row.
-        row = db.index(table).Lookup(key);
-        assert(row.has_value());
-      }
+      // Losing the race wastes the slot and reuses the winner's row.
+      const RowId bound = db.BindInsert(table, key, fresh);
+      assert(bound != kInvalidRowId);
+      row = bound;
     }
     Buffer(table, *row, key, OpType::kInsert, std::move(value));
     return Status::Ok();
@@ -161,12 +158,9 @@ class MvtsoEngine::MvtsoTxn : public Txn {
     OpType op = OpType::kUpdate;
     if (!row.has_value()) {
       const RowId fresh = db.table(table).AllocateRow();
-      if (db.index(table).Insert(key, fresh)) {
-        row = fresh;
-      } else {
-        row = db.index(table).Lookup(key);
-        assert(row.has_value());
-      }
+      const RowId bound = db.BindInsert(table, key, fresh);
+      assert(bound != kInvalidRowId);
+      row = bound;
       op = OpType::kInsert;
     }
     Buffer(table, *row, key, op, std::move(value));

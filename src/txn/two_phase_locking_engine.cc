@@ -122,7 +122,9 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     auto row = db.index(table).Lookup(key);
     if (!row.has_value()) {
       const RowId fresh = db.table(table).AllocateRow();
-      if (db.index(table).Insert(key, fresh)) {
+      const RowId bound = db.BindInsert(table, key, fresh);
+      assert(bound != kInvalidRowId);
+      if (bound == fresh) {
         // We won the index insert for a brand-new row slot: no other
         // transaction can have locked it, so the row lock is skipped (the
         // classic new-row latch elision; the row id is private until our
@@ -130,8 +132,7 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
         s_->PushWrite(table, fresh, key, OpType::kInsert, value);
         return Status::Ok();
       }
-      row = db.index(table).Lookup(key);
-      assert(row.has_value());
+      row = bound;
     }
     if (!Lock(table, *row)) return Status::TimedOut("lock wait");
     const Version* v = db.table(table).ReadLatestCommitted(*row);
@@ -166,13 +167,14 @@ class TwoPhaseLockingEngine::TplTxn : public Txn {
     OpType op = OpType::kUpdate;
     if (!row.has_value()) {
       const RowId fresh = db.table(table).AllocateRow();
-      if (db.index(table).Insert(key, fresh)) {
+      const RowId bound = db.BindInsert(table, key, fresh);
+      assert(bound != kInvalidRowId);
+      if (bound == fresh) {
         // New-row latch elision (see Insert).
         s_->PushWrite(table, fresh, key, OpType::kInsert, value);
         return Status::Ok();
       }
-      row = db.index(table).Lookup(key);
-      assert(row.has_value());
+      row = bound;
       op = OpType::kInsert;
     }
     if (!Lock(table, *row)) return Status::TimedOut("lock wait");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -623,6 +624,41 @@ Status RunStockLevelOnBackup(replica::ReplicaBase& replica, Rng& rng,
         config, w, d, threshold, low_stock);
   });
   return result;
+}
+
+Status CountLowStockOnBackup(replica::ReplicaBase& replica, std::uint32_t w,
+                             std::uint32_t threshold, std::uint64_t* low) {
+  // Warehouse w's stock keys occupy exactly [w << 32, (w+1) << 32).
+  const Key lo = StockKey(w, 0);
+  const Key hi = StockKey(w + 1, 0);
+  AggSpec spec;
+  spec.op = AggOp::kCount;
+  spec.field_offset = offsetof(StockRow, s_quantity);
+  spec.field_width = sizeof(StockRow::s_quantity);
+  spec.filter_below = threshold;
+  replica.ReadOnlyTxn([&](const c5::Snapshot& snap) {
+    *low = snap.Aggregate(kStock, lo, hi, spec).rows;
+  });
+  return Status::Ok();
+}
+
+Status DistrictOrderLineVolumeOnBackup(replica::ReplicaBase& replica,
+                                       std::uint32_t w, std::uint32_t d,
+                                       std::uint64_t* lines,
+                                       std::uint64_t* total_quantity) {
+  // District (w, d)'s order-line keys share the ((w << 8) | d) << 32 prefix.
+  const Key lo = OrderLineKey(w, d, 0, 0);
+  const Key hi = OrderLineKey(w, d + 1, 0, 0);
+  std::uint64_t n = 0, qty = 0;
+  replica.ReadOnlyTxn([&](const c5::Snapshot& snap) {
+    for (auto it = snap.Scan(kOrderLine, lo, hi); it.Valid(); it.Next()) {
+      ++n;
+      qty += FromValue<OrderLineRow>(it.value()).ol_quantity;
+    }
+  });
+  if (lines != nullptr) *lines = n;
+  if (total_quantity != nullptr) *total_quantity = qty;
+  return Status::Ok();
 }
 
 bool CheckDistrictOrderInvariant(storage::Database& db, const TpccConfig& cfg,

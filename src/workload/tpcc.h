@@ -129,6 +129,27 @@ Status RunStockLevelOnBackup(replica::ReplicaBase& replica, Rng& rng,
                              const TpccConfig& config, std::uint32_t w,
                              std::uint32_t* low_stock);
 
+// ---- Analytical scenarios (HTAP) -------------------------------------------
+// The ordered secondary index turns idle backup read capacity into an OLAP
+// surface: these queries range-scan or aggregate one snapshot without
+// touching the primary and without materializing match sets.
+
+// Counts warehouse `w`'s stock rows with s_quantity strictly below
+// `threshold` — the StockLevel predicate evaluated over the ENTIRE warehouse
+// as an aggregation pushdown inside the stock index walk, instead of the
+// transactional variant's 20-order point-read walk.
+Status CountLowStockOnBackup(replica::ReplicaBase& replica, std::uint32_t w,
+                             std::uint32_t threshold, std::uint64_t* low);
+
+// Streaming range scan over every order line of district (w, d): counts the
+// lines and sums ol_quantity. The analytical face of OrderStatus — one
+// ordered-index cursor over the district's key band, cost O(|lines|), not
+// O(|table|).
+Status DistrictOrderLineVolumeOnBackup(replica::ReplicaBase& replica,
+                                       std::uint32_t w, std::uint32_t d,
+                                       std::uint64_t* lines,
+                                       std::uint64_t* total_quantity);
+
 // Consistency probe used by tests: returns d_next_o_id - initial (the number
 // of successful NewOrders for the district) as observed at snapshot `ts` on
 // `db`, and cross-checks that exactly that many ORDER rows exist.

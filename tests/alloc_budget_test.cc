@@ -112,5 +112,88 @@ TEST(AllocBudgetTest, WarmPipelineStaysUnderBudget) {
       << "); the allocation-free path regressed";
 }
 
+// Update-heavy variant: every write hits an EXISTING key, so each one takes
+// the 2PL lock-manager path (acquire -> grant -> release) that the fresh-key
+// test above deliberately avoids. With the pooled lock table (fixed buckets,
+// free-listed intrusive nodes, capacity-retaining wait queues) a warm
+// uncontended update is allocation-free, so the same budget applies; before
+// pooling, every Acquire allocated map nodes + deque segments and blew it.
+TEST(AllocBudgetTest, UpdateHeavyWorkloadStaysUnderBudget) {
+  storage::Database primary_db, backup_db;
+  const TableId table = workload::SyntheticWorkload::CreateTable(&primary_db);
+  workload::SyntheticWorkload::CreateTable(&backup_db);
+
+  TxnClock clock;
+  log::OnlineLogCollector collector(/*segment_records=*/256);
+  txn::TwoPhaseLockingEngine engine(&primary_db, &collector, &clock);
+  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+
+  log::ChannelSegmentSource source(&collector.channel());
+  core::ProtocolOptions options;
+  options.num_workers = 2;
+  options.snapshot_interval = std::chrono::microseconds(100);
+  options.gc_every = 16;
+  auto rep = core::MakeReplica(core::ProtocolKind::kC5MyRocks, &backup_db,
+                               options);
+  rep->Start(&source);
+
+  constexpr std::uint64_t kKeyspace = 1024;
+  std::uint64_t round = 0;
+  const auto run_update_txn = [&](std::uint64_t t) {
+    const std::uint64_t base = (t * kWritesPerTxn) % kKeyspace;
+    const Status s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+      for (std::uint32_t i = 0; i < kWritesPerTxn; ++i) {
+        const std::uint64_t key = (base + i) % kKeyspace;
+        const Status st =
+            txn.Put(table, key, workload::EncodeIntValue(round + key));
+        if (!st.ok()) return st;
+      }
+      return Status::Ok();
+    });
+    ASSERT_TRUE(s.ok()) << s.message();
+    ++round;
+  };
+
+  const auto drain = [&]() {
+    collector.Flush();
+    const Timestamp target = clock.Latest();
+    while (rep->VisibleTimestamp() < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
+  // Seed the keyspace (these are the only inserts), then warm: the warmup
+  // rounds re-write every key enough times to fill the lock-node free lists
+  // and per-key version chains to steady state.
+  for (std::uint64_t k = 0; k < kKeyspace; k += kWritesPerTxn) {
+    const Status s = engine.ExecuteWithRetry([&](txn::Txn& txn) {
+      for (std::uint32_t i = 0; i < kWritesPerTxn; ++i) {
+        const Status st =
+            txn.Insert(table, k + i, workload::EncodeIntValue(k + i));
+        if (!st.ok()) return st;
+      }
+      return Status::Ok();
+    });
+    ASSERT_TRUE(s.ok()) << s.message();
+  }
+  for (std::uint64_t t = 0; t < kWarmupTxns; ++t) run_update_txn(t);
+  drain();
+
+  bench::AllocScope scope;
+  for (std::uint64_t t = 0; t < kMeasuredTxns; ++t) run_update_txn(t);
+  drain();
+  const double allocs_per_txn =
+      static_cast<double>(scope.Count()) / kMeasuredTxns;
+
+  collector.Finish();
+  rep->WaitUntilCaughtUp();
+  rep->Stop();
+
+  EXPECT_LT(allocs_per_txn, kAllocsPerTxnBudget)
+      << "warm update path allocated " << allocs_per_txn
+      << " times per transaction (budget " << kAllocsPerTxnBudget
+      << "); the pooled lock manager or the update pipeline regressed";
+}
+
 }  // namespace
 }  // namespace c5

@@ -474,6 +474,31 @@ TEST(ShardedClusterTest, CrossShardReadsMatchSingleThreadOracle) {
     ASSERT_LT(k, kKeyspace / 2);
     EXPECT_EQ(oracle.at(k), v);
   }
+
+  // Cross-shard aggregation pushdown: the merged partials must equal the
+  // oracle's fold over the same range (EncodeIntValue stores the u64 at
+  // offset 0).
+  AggResult agg;
+  AggSpec spec;
+  spec.field_offset = 0;
+  spec.field_width = 8;
+  spec.op = AggOp::kSum;
+  ASSERT_TRUE(fleet.Aggregate(t, kKeyspace / 4, kKeyspace / 2, spec, &agg).ok());
+  std::uint64_t want_rows = 0, want_sum = 0;
+  std::uint64_t want_min = ~std::uint64_t{0}, want_max = 0;
+  for (const auto& [k, v] : oracle) {
+    if (k < kKeyspace / 4 || k >= kKeyspace / 2) continue;
+    const std::uint64_t field = workload::DecodeIntValue(v);
+    ++want_rows;
+    want_sum += field;
+    want_min = std::min(want_min, field);
+    want_max = std::max(want_max, field);
+  }
+  EXPECT_EQ(agg.rows, want_rows);
+  EXPECT_EQ(agg.sum, want_sum);
+  EXPECT_EQ(agg.min, want_min);
+  EXPECT_EQ(agg.max, want_max);
+  EXPECT_EQ(agg.value(AggOp::kSum), want_sum);
   fleet.Shutdown();
 }
 
@@ -669,6 +694,13 @@ TEST(ShardedClusterTest, UnpartitionedTablesProbeAllShardsAndRejectScan) {
   EXPECT_EQ(fleet.Scan(t, 0, 100, &rows).code(),
             StatusCode::kInvalidArgument);
   EXPECT_TRUE(rows.empty()) << "a failed Scan must still clear the output";
+
+  // Aggregate shares Scan's disjoint-ownership requirement.
+  AggResult agg;
+  agg.rows = 99;  // stale partial: a failed Aggregate must still reset it
+  EXPECT_EQ(fleet.Aggregate(t, 0, 100, AggSpec{}, &agg).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(agg.rows, 0u);
 
   EXPECT_TRUE(fleet.VerifyPlacement().empty())
       << "the audit must skip unpartitioned tables";

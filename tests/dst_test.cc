@@ -62,9 +62,15 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
   DstChannelStats total;
   std::uint64_t crashes = 0, promotions = 0, gc_runs = 0;
   std::uint64_t restarts = 0, windows_closed = 0, scan_checks = 0;
+  std::uint64_t ordered_checks = 0;
   for (const std::uint64_t seed : seeds) {
     const DstReport r = RunDst(seed);
     EXPECT_TRUE(r.ok()) << Describe(r);
+    // The secondary-index oracle must fire for every seed: each seed's
+    // workload writes keys, so a convergence replica with zero verified
+    // ordered-index bindings means the oracle silently stopped running.
+    EXPECT_GT(r.ordered_index_checks, 0u) << Describe(r);
+    ordered_checks += r.ordered_index_checks;
     total.frames_corrupted += r.wire.frames_corrupted;
     total.frames_truncated += r.wire.frames_truncated;
     total.frames_duplicated += r.wire.frames_duplicated;
@@ -102,6 +108,7 @@ TEST(DstTest, SeedSweepHoldsAllInvariants) {
     // range-scan oracle (one scan check per convergence replica).
     EXPECT_GT(restarts, 0u);
     EXPECT_GT(scan_checks, 0u);
+    EXPECT_GT(ordered_checks, 0u);
   }
 }
 
@@ -122,6 +129,8 @@ TEST(DstTest, ShardedSweepHoldsAllInvariants) {
     const DstReport r = RunDst(seed, sharded);
     EXPECT_TRUE(r.ok()) << Describe(r);
     EXPECT_EQ(r.shards_run, 2) << Describe(r);
+    // Secondary-index consistency holds per shard group too.
+    EXPECT_GT(r.ordered_index_checks, 0u) << Describe(r);
     // The migration ledger balances per seed: every migration started
     // either commits through cutover or aborts cleanly — none may vanish
     // half-applied (invariant 10).

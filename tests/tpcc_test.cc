@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "core/protocol_factory.h"
+#include "log/log_collector.h"
 #include "log/segment_source.h"
 #include "tests/test_util.h"
 #include "workload/runner.h"
@@ -381,6 +385,166 @@ TEST_F(TpccFullMixTest, FullMixReplicatesAndStockLevelRunsOnBackup) {
   replica->Stop();
   EXPECT_EQ(test::StateDigest(db_, kMaxTimestamp),
             test::StateDigest(backup, kMaxTimestamp));
+}
+
+// ---- Analytical scenario battery (HTAP, PR 10) -----------------------------
+// The ordered-index read surface on a backup: whole-warehouse stock
+// aggregation and district order-line range scans, checked against oracles
+// computed by point reads on the primary.
+
+TEST_F(TpccFullMixTest, AnalyticalQueriesOnBackupMatchPrimaryOracle) {
+  RunClosedLoop(4, std::chrono::milliseconds(0), 40,
+                [this](std::uint32_t client, Rng& rng) {
+                  (void)client;
+                  const auto roll = rng.Uniform(100);
+                  if (roll < 60) return RunNewOrder(engine_, rng, cfg_, 1);
+                  if (roll < 95) return RunPayment(engine_, rng, cfg_, 1);
+                  std::uint32_t d = 0;
+                  return RunDelivery(engine_, rng, cfg_, 1, &d);
+                },
+                test::TestSeed(21));
+  log::Log log = collector_.Coalesce();
+  storage::Database backup;
+  CreateTables(&backup);
+  log::OfflineSegmentSource source(&log);
+  auto replica = core::MakeReplica(core::ProtocolKind::kC5, &backup,
+                                   core::ProtocolOptions{.num_workers = 4});
+  replica->Start(&source);
+  replica->WaitUntilCaughtUp();
+  auto* base = dynamic_cast<replica::ReplicaBase*>(replica.get());
+  ASSERT_NE(base, nullptr);
+
+  // Whole-warehouse low-stock count vs a point-read fold on the primary.
+  for (const std::uint32_t threshold : {0u, 12u, 1000000u}) {
+    std::uint64_t want = 0;
+    {
+      const auto guard = db_.epochs().Enter();
+      for (std::uint32_t i = 1; i <= cfg_.items; ++i) {
+        const auto* v = db_.ReadKeyAt(kStock, StockKey(1, i), kMaxTimestamp);
+        ASSERT_NE(v, nullptr);
+        if (FromValue<StockRow>(v->value()).s_quantity < threshold) ++want;
+      }
+    }
+    std::uint64_t got = 0;
+    ASSERT_TRUE(CountLowStockOnBackup(*base, 1, threshold, &got).ok());
+    EXPECT_EQ(got, want) << "threshold " << threshold;
+  }
+
+  // District order-line volume vs an order-walk oracle on the primary.
+  for (std::uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
+    std::uint64_t want_lines = 0, want_qty = 0;
+    {
+      const auto guard = db_.epochs().Enter();
+      const auto* dv =
+          db_.ReadKeyAt(kDistrict, DistrictKey(1, d), kMaxTimestamp);
+      ASSERT_NE(dv, nullptr);
+      const DistrictRow dr = FromValue<DistrictRow>(dv->value());
+      for (std::uint32_t o = 1; o < dr.d_next_o_id; ++o) {
+        const auto* ov = db_.ReadKeyAt(kOrder, OrderKey(1, d, o),
+                                       kMaxTimestamp);
+        ASSERT_NE(ov, nullptr);
+        const OrderRow orow = FromValue<OrderRow>(ov->value());
+        for (std::uint32_t ol = 1; ol <= orow.o_ol_cnt; ++ol) {
+          const auto* lv = db_.ReadKeyAt(kOrderLine,
+                                         OrderLineKey(1, d, o, ol),
+                                         kMaxTimestamp);
+          ASSERT_NE(lv, nullptr);
+          ++want_lines;
+          want_qty += FromValue<OrderLineRow>(lv->value()).ol_quantity;
+        }
+      }
+    }
+    std::uint64_t lines = 0, qty = 0;
+    ASSERT_TRUE(
+        DistrictOrderLineVolumeOnBackup(*base, 1, d, &lines, &qty).ok());
+    EXPECT_EQ(lines, want_lines) << "district " << d;
+    EXPECT_EQ(qty, want_qty) << "district " << d;
+  }
+  replica->Stop();
+}
+
+// Live HTAP: analytical queries run on the backup WHILE the primary commits
+// and replay streams. Monotonic-prefix consistency makes the per-district
+// line count non-decreasing across successive snapshots; after the writer
+// stops and the backup drains, the analytics converge to the primary's
+// final state.
+TEST(TpccAnalyticalLiveTest, AnalyticsStayConsistentWhileReplayStreams) {
+  const TpccConfig cfg = SmallConfig();
+  storage::Database primary_db, backup_db;
+  CreateTables(&primary_db);
+  CreateTables(&backup_db);
+  TxnClock clock;
+  log::OnlineLogCollector collector(/*segment_records=*/256);
+  txn::TwoPhaseLockingEngine engine(&primary_db, &collector, &clock);
+  collector.SetReleaseHorizon([&engine] { return engine.LogHorizon(); });
+  Load(engine, cfg);
+
+  log::ChannelSegmentSource source(&collector.channel());
+  core::ProtocolOptions options;
+  options.num_workers = 2;
+  options.snapshot_interval = std::chrono::microseconds(100);
+  auto replica =
+      core::MakeReplica(core::ProtocolKind::kC5, &backup_db, options);
+  replica->Start(&source);
+  auto* base = dynamic_cast<replica::ReplicaBase*>(replica.get());
+  ASSERT_NE(base, nullptr);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng rng(test::TestSeed(22));
+    for (int i = 0; i < 300; ++i) {
+      (void)RunNewOrder(engine, rng, cfg, 1);
+      collector.Flush();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t last_lines = 0;
+  std::uint64_t probes = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    std::uint64_t lines = 0, qty = 0;
+    ASSERT_TRUE(
+        DistrictOrderLineVolumeOnBackup(*base, 1, 1, &lines, &qty).ok());
+    EXPECT_GE(lines, last_lines)
+        << "order-line count went backwards across snapshots";
+    last_lines = lines;
+    std::uint64_t low = 0;
+    ASSERT_TRUE(CountLowStockOnBackup(*base, 1, 1000000u, &low).ok());
+    EXPECT_LE(low, cfg.items) << "aggregate saw more stock rows than exist";
+    ++probes;
+  }
+  writer.join();
+  EXPECT_GT(probes, 0u);
+
+  // Drain, then the analytics must agree with the primary exactly.
+  collector.Flush();
+  const Timestamp target = clock.Latest();
+  while (replica->VisibleTimestamp() < target) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  std::uint64_t want_lines = 0;
+  {
+    const auto guard = primary_db.epochs().Enter();
+    const auto* dv =
+        primary_db.ReadKeyAt(kDistrict, DistrictKey(1, 1), kMaxTimestamp);
+    ASSERT_NE(dv, nullptr);
+    const DistrictRow dr = FromValue<DistrictRow>(dv->value());
+    for (std::uint32_t o = 1; o < dr.d_next_o_id; ++o) {
+      const auto* ov =
+          primary_db.ReadKeyAt(kOrder, OrderKey(1, 1, o), kMaxTimestamp);
+      ASSERT_NE(ov, nullptr);
+      want_lines += FromValue<OrderRow>(ov->value()).o_ol_cnt;
+    }
+  }
+  std::uint64_t lines = 0, qty = 0;
+  ASSERT_TRUE(
+      DistrictOrderLineVolumeOnBackup(*base, 1, 1, &lines, &qty).ok());
+  EXPECT_EQ(lines, want_lines);
+  EXPECT_GE(lines, last_lines);
+
+  collector.Finish();
+  replica->WaitUntilCaughtUp();
+  replica->Stop();
 }
 
 }  // namespace
